@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``test_bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Benchmarks both *time* the relevant
+computation (pytest-benchmark) and *assert the reproduced shape* of the
+paper's claim; the regenerated tables are printed so that
+``pytest benchmarks/ --benchmark-only -s`` shows them, and EXPERIMENTS.md
+records the measured numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so -s reveals regenerated tables."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,61 @@
+"""E1 — figure 1: network construction on the worked example.
+
+Times the interval-graph -> flow-network construction and re-asserts the
+topology facts of section 5.1 (density regions, bipartite handoffs between
+adjacent regions, split/forced arcs under restricted access times).
+"""
+
+import pytest
+
+from repro.core.network_builder import build_network
+from repro.core.problem import AllocationProblem
+from repro.energy import MemoryConfig, StaticEnergyModel
+from repro.workloads.paper_examples import FIGURE1_HORIZON, figure1_lifetimes
+
+
+def make_problem(restricted: bool) -> AllocationProblem:
+    memory = (
+        MemoryConfig(divisor=2, voltage=5.0) if restricted else MemoryConfig()
+    )
+    return AllocationProblem(
+        figure1_lifetimes(),
+        register_count=2,
+        horizon=FIGURE1_HORIZON,
+        energy_model=StaticEnergyModel(),
+        memory=memory,
+    )
+
+
+@pytest.mark.benchmark(group="fig1-construction")
+def test_fig1_network_construction(benchmark, show):
+    problem = make_problem(restricted=False)
+    built = benchmark(lambda: build_network(problem))
+    pairs = {
+        (a.data[1].name if a.data[1] else "s",
+         a.data[2].name if a.data[2] else "t")
+        for a in built.network.arcs
+        if a.data and a.data[0] == "handoff"
+    }
+    assert problem.density_regions == [(2, 2), (5, 5)]
+    for src in ("a", "b"):
+        for dst in ("d", "e"):
+            assert (src, dst) in pairs
+    show(
+        "Figure 1 reproduction: density regions "
+        f"{problem.density_regions}, handoff arcs: {sorted(pairs)}"
+    )
+
+
+@pytest.mark.benchmark(group="fig1-construction")
+def test_fig1_restricted_access_construction(benchmark):
+    problem = make_problem(restricted=True)
+    built = benchmark(lambda: build_network(problem))
+    forced = [
+        arc
+        for arc in built.network.arcs
+        if arc.data and arc.data[0] == "segment" and arc.lower == 1
+    ]
+    forced_names = sorted(arc.data[1].key for arc in forced)
+    # Figure 1c's bold arcs: e (whole) and the top segment of c.
+    assert ("c", 0) in forced_names
+    assert ("e", 0) in forced_names

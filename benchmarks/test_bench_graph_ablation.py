@@ -1,0 +1,113 @@
+"""E6 — graph ablation: the paper's adjacent-region graph vs the
+all-non-overlapping graph of [8].
+
+Section 6 of the paper: with the [8]-style graph "we have no guarantee of
+using a minimum number of storage locations, unlike the use of the graph
+presented in this paper".  This bench sweeps seeded random instances and
+measures storage locations (registers used + memory addresses) under both
+graph styles at identical energy models.
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import AllocationProblem, allocate
+from repro.energy import ActivityEnergyModel, StaticEnergyModel
+from repro.lifetimes import max_density
+from repro.workloads.random_blocks import random_lifetimes
+
+HORIZON = 12
+SEEDS = range(40)
+
+
+@lru_cache(maxsize=None)
+def sweep():
+    rows = []
+    for seed in SEEDS:
+        rng = random.Random(seed)
+        lifetimes = random_lifetimes(rng, count=14, horizon=HORIZON)
+        density = max_density(lifetimes.values(), HORIZON)
+        registers = max(1, density // 3)
+        for model in (StaticEnergyModel(), ActivityEnergyModel()):
+            adjacent = allocate(
+                AllocationProblem(
+                    lifetimes, registers, HORIZON, energy_model=model
+                )
+            )
+            all_pairs = allocate(
+                AllocationProblem(
+                    lifetimes,
+                    registers,
+                    HORIZON,
+                    energy_model=model,
+                    graph_style="all_pairs",
+                )
+            )
+            rows.append((seed, density, adjacent, all_pairs))
+    return rows
+
+
+def test_adjacent_graph_never_uses_more_locations(show):
+    rows = sweep()
+    worse = [
+        (seed, a.storage_locations, b.storage_locations)
+        for seed, _, a, b in rows
+        if a.storage_locations > b.storage_locations
+    ]
+    assert worse == []
+
+    at_minimum = sum(
+        1 for _, density, a, _ in rows if a.storage_locations == density
+    )
+    extra_all_pairs = sum(
+        1
+        for _, _, a, b in rows
+        if b.storage_locations > a.storage_locations
+    )
+    # The paper graph achieves the density bound almost always; the
+    # [8]-style graph demonstrably exceeds it on some instances.
+    assert at_minimum >= int(0.9 * len(rows))
+    assert extra_all_pairs >= 1
+    show(
+        f"Graph ablation over {len(rows)} instances: adjacent graph at "
+        f"the minimum-location bound in {at_minimum}/{len(rows)}; "
+        f"all-pairs graph used extra locations {extra_all_pairs} times, "
+        "and never fewer than the adjacent graph."
+    )
+
+
+def test_all_pairs_energy_no_worse(show):
+    # The flip side of the trade-off: all-pairs is a relaxation, so its
+    # energy optimum can only match or beat the adjacent graph.
+    rows = sweep()
+    for _, _, adjacent, all_pairs in rows:
+        assert all_pairs.objective <= adjacent.objective + 1e-9
+    gaps = [
+        adjacent.objective - all_pairs.objective
+        for _, _, adjacent, all_pairs in rows
+    ]
+    show(
+        "Energy gap (adjacent - all_pairs): max "
+        f"{max(gaps):.3f}, mean {sum(gaps) / len(gaps):.3f} — the "
+        "min-location guarantee costs almost nothing in energy."
+    )
+
+
+@pytest.mark.benchmark(group="graph-ablation")
+@pytest.mark.parametrize("style", ["adjacent", "all_pairs"])
+def test_construction_and_solve_time(benchmark, style):
+    rng = random.Random(7)
+    lifetimes = random_lifetimes(rng, count=40, horizon=25)
+    problem = AllocationProblem(
+        lifetimes, 6, 25, energy_model=StaticEnergyModel(),
+        graph_style=style,
+    )
+    allocation = benchmark.pedantic(
+        lambda: allocate(problem.with_options(), validate=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert allocation.registers_used <= 6

@@ -1,0 +1,101 @@
+"""E12 — memory hierarchy: the off-chip claim, quantified per capacity.
+
+Paper §7: "Significantly larger savings in energy are expected when this
+network flow technique is applied to offchip memory."  E10 showed the
+claim across the two-phase comparison; this bench applies the flow
+machinery *itself* one level down — partitioning the memory image between
+a capacity-limited on-chip scratchpad and off-chip memory — and sweeps
+the scratchpad capacity on the RSP application.
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    AllocationProblem,
+    allocate,
+    partition_memory_hierarchy,
+)
+from repro.energy import ActivityEnergyModel, CapacitanceTable, StaticEnergyModel
+from repro.workloads.rsp import rsp_schedule
+
+ONCHIP = StaticEnergyModel()
+OFFCHIP = StaticEnergyModel(table=CapacitanceTable.offchip_memory())
+CAPACITIES = (0, 1, 2, 4, 8, 12)
+
+
+@lru_cache(maxsize=None)
+def rsp_allocation():
+    schedule = rsp_schedule(rng=random.Random(2024))
+    problem = AllocationProblem.from_schedule(
+        schedule, register_count=16, energy_model=ActivityEnergyModel()
+    )
+    return allocate(problem)
+
+
+@lru_cache(maxsize=None)
+def sweep():
+    allocation = rsp_allocation()
+    return [
+        (
+            capacity,
+            partition_memory_hierarchy(
+                allocation, capacity, ONCHIP, OFFCHIP
+            ),
+        )
+        for capacity in CAPACITIES
+    ]
+
+
+def test_capacity_sweep_shape(show):
+    rows = sweep()
+    energies = [result.total_energy for _, result in rows]
+    # Monotone: more scratch never hurts.
+    assert energies == sorted(energies, reverse=True)
+    # Zero capacity = the all-off-chip baseline.
+    assert rows[0][1].saving_factor == pytest.approx(1.0)
+    # A modest scratchpad already buys a large factor (the paper's
+    # "significantly larger savings" regime).
+    assert rows[-1][1].saving_factor >= 5.0
+    show(
+        format_table(
+            ("scratch locations", "on-chip vars", "off-chip vars",
+             "memory energy", "saving"),
+            [
+                (capacity, len(result.scratch), len(result.offchip),
+                 result.total_energy, f"{result.saving_factor:.2f}x")
+                for capacity, result in rows
+            ],
+            title="E12 — RSP memory image across the hierarchy "
+            "(flow-optimal scratchpad contents per capacity)",
+        )
+    )
+
+
+def test_scratch_prefers_hot_variables():
+    # With one location, the chosen chain must save at least as much as
+    # any single variable could.
+    allocation = rsp_allocation()
+    one = partition_memory_hierarchy(allocation, 1, ONCHIP, OFFCHIP)
+    zero = partition_memory_hierarchy(allocation, 0, ONCHIP, OFFCHIP)
+    best_single = max(
+        zero.baseline_energy
+        - partition_memory_hierarchy(
+            allocation, 0, ONCHIP, OFFCHIP
+        ).total_energy,
+        0.0,
+    )
+    saved = zero.total_energy - one.total_energy
+    assert saved >= best_single  # chain >= any single variable
+
+
+@pytest.mark.benchmark(group="hierarchy")
+def test_partition_time(benchmark):
+    allocation = rsp_allocation()
+    result = benchmark(
+        lambda: partition_memory_hierarchy(allocation, 4, ONCHIP, OFFCHIP)
+    )
+    assert result.scratch_capacity == 4

@@ -1,0 +1,98 @@
+"""E7 — ablation: the second-pass memory reallocation flow.
+
+The paper's methodology reallocates the memory-resident lifetimes with an
+activity-based model after the main pass.  This bench measures memory
+data-line switching before (first-pass left-edge addresses) and after the
+reallocation flow across seeded instances.
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import format_table, memory_location_switching
+from repro.core import AllocationProblem, allocate, reallocate_memory
+from repro.energy import ActivityEnergyModel
+from repro.workloads.random_blocks import random_lifetimes
+
+HORIZON = 14
+SEEDS = range(25)
+
+
+def left_edge_switching(allocation, model) -> float:
+    by_address: dict[int, list] = {}
+    for name, address in allocation.memory_addresses.items():
+        by_address.setdefault(address, []).append(
+            allocation.problem.lifetimes[name]
+        )
+    chains = [
+        sorted(chain, key=lambda lt: lt.start)
+        for chain in by_address.values()
+    ]
+    return memory_location_switching(chains, model)
+
+
+@lru_cache(maxsize=None)
+def sweep():
+    model = ActivityEnergyModel()
+    rows = []
+    for seed in SEEDS:
+        rng = random.Random(seed)
+        lifetimes = random_lifetimes(
+            rng, count=16, horizon=HORIZON, traced=True
+        )
+        allocation = allocate(
+            AllocationProblem(
+                lifetimes, 2, HORIZON, energy_model=model
+            )
+        )
+        if not allocation.memory_addresses:
+            continue
+        layout = reallocate_memory(allocation, model)
+        rows.append(
+            (
+                seed,
+                left_edge_switching(allocation, model),
+                layout.switching_energy,
+                allocation.address_count,
+                layout.address_count,
+            )
+        )
+    return rows
+
+
+def test_realloc_never_increases_switching(show):
+    rows = sweep()
+    assert rows, "sweep produced no memory-resident instances"
+    for seed, before, after, _, _ in rows:
+        assert after <= before + 1e-9, f"seed {seed}"
+    improved = sum(1 for _, before, after, _, _ in rows if after < before - 1e-9)
+    total_before = sum(before for _, before, _, _, _ in rows)
+    total_after = sum(after for _, _, after, _, _ in rows)
+    show(
+        f"Memory reallocation over {len(rows)} instances: switching "
+        f"{total_before:.2f} -> {total_after:.2f} "
+        f"({total_before / total_after:.2f}x lower), strictly improved on "
+        f"{improved} instances."
+    )
+    assert improved >= 1
+
+
+def test_realloc_keeps_minimum_addresses():
+    for _, _, _, before_addrs, after_addrs in sweep():
+        assert after_addrs == before_addrs
+
+
+@pytest.mark.benchmark(group="memory-realloc")
+def test_realloc_time(benchmark):
+    model = ActivityEnergyModel()
+    rng = random.Random(123)
+    lifetimes = random_lifetimes(rng, count=30, horizon=20, traced=True)
+    allocation = allocate(
+        AllocationProblem(lifetimes, 3, 20, energy_model=model)
+    )
+    layout = benchmark.pedantic(
+        lambda: reallocate_memory(allocation, model), rounds=3, iterations=1
+    )
+    assert layout.address_count == allocation.address_count

@@ -1,0 +1,101 @@
+"""E11 — offset assignment (the paper's closing extension).
+
+"This approach has recently been extended to solve the multiple offset
+assignment problem in software synthesis for DSP processors where
+performance, code size and power objective functions are supported."
+
+This bench runs the SOA/MOA subsystem over the RSP allocation's real
+memory access sequence and seeded random sequences: address-register
+update counts for the naive layout vs Liao's heuristic vs (where
+tractable) the exact optimum, and the effect of adding address registers.
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import AllocationProblem, allocate
+from repro.energy import ActivityEnergyModel
+from repro.moa import (
+    CostWeights,
+    access_sequence,
+    moa_assign,
+    sequence_cost,
+    soa_liao,
+    soa_naive,
+)
+from repro.workloads.rsp import rsp_schedule
+
+UPDATES = CostWeights(cycles=1.0, words=0.0, energy=0.0)  # count updates
+
+
+@lru_cache(maxsize=None)
+def rsp_sequence() -> tuple[str, ...]:
+    schedule = rsp_schedule(rng=random.Random(2024))
+    problem = AllocationProblem.from_schedule(
+        schedule, register_count=16, energy_model=ActivityEnergyModel()
+    )
+    return tuple(access_sequence(allocate(problem)))
+
+
+def test_soa_on_rsp_access_sequence(show):
+    sequence = list(rsp_sequence())
+    assert sequence, "RSP leaves no memory traffic?"
+    naive = sequence_cost(sequence, soa_naive(sequence), UPDATES)
+    liao = sequence_cost(sequence, soa_liao(sequence), UPDATES)
+    assert liao <= naive
+    show(
+        f"E11 — RSP access sequence ({len(sequence)} accesses): "
+        f"AR updates naive {naive:.0f} -> Liao {liao:.0f}"
+    )
+
+
+def test_moa_adds_registers_monotonically(show):
+    sequence = list(rsp_sequence())
+    costs = [moa_assign(sequence, k, UPDATES).cost for k in (1, 2, 4)]
+    assert costs[1] <= costs[0] + 1e-9
+    assert costs[2] <= costs[1] + 1e-9
+    show(
+        "E11 — MOA on the RSP sequence: AR updates with 1/2/4 address "
+        f"registers: {costs[0]:.0f} / {costs[1]:.0f} / {costs[2]:.0f}"
+    )
+
+
+def test_random_sequences_improvement(show):
+    rng = random.Random(42)
+    rows = []
+    for size, length in ((5, 30), (8, 50), (12, 80)):
+        variables = [f"v{i}" for i in range(size)]
+        sequence = [rng.choice(variables) for _ in range(length)]
+        naive = sequence_cost(sequence, soa_naive(sequence), UPDATES)
+        liao = sequence_cost(sequence, soa_liao(sequence), UPDATES)
+        two_ars = moa_assign(sequence, 2, UPDATES).cost
+        assert liao <= naive
+        assert two_ars <= liao + 1e-9
+        rows.append((f"{size} vars / {length} accesses", naive, liao,
+                     two_ars))
+    show(
+        format_table(
+            ("sequence", "naive updates", "Liao SOA", "MOA k=2"),
+            rows,
+            title="E11 — offset assignment on random access sequences",
+        )
+    )
+
+
+@pytest.mark.benchmark(group="offset-assignment")
+def test_soa_time(benchmark):
+    sequence = list(rsp_sequence())
+    offsets = benchmark(lambda: soa_liao(sequence))
+    assert len(offsets) == len(set(sequence))
+
+
+@pytest.mark.benchmark(group="offset-assignment")
+def test_moa_time(benchmark):
+    sequence = list(rsp_sequence())
+    result = benchmark.pedantic(
+        lambda: moa_assign(sequence, 2, UPDATES), rounds=3, iterations=1
+    )
+    assert result.cost >= 0

@@ -1,0 +1,76 @@
+"""E8 — solver scaling: "extending this problem to very large basic
+blocks ... should be a viable future research direction" (section 7).
+
+The paper argues viability from the polynomial complexity of network flow;
+this bench measures wall time of construction + solve as the block grows
+and checks the growth is polynomial (doubling the size must not blow up
+the time super-polynomially).
+"""
+
+import random
+import time
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import AllocationProblem, allocate
+from repro.energy import StaticEnergyModel
+from repro.workloads.random_blocks import random_lifetimes
+
+SIZES = (50, 100, 200, 400, 800)
+
+
+@lru_cache(maxsize=None)
+def timings():
+    rows = []
+    for size in SIZES:
+        rng = random.Random(size)
+        horizon = max(10, size // 4)
+        lifetimes = random_lifetimes(rng, count=size, horizon=horizon)
+        registers = max(2, size // 20)
+        problem = AllocationProblem(
+            lifetimes, registers, horizon, energy_model=StaticEnergyModel()
+        )
+        start = time.perf_counter()
+        allocation = allocate(problem, validate=False)
+        elapsed = time.perf_counter() - start
+        built_arcs = allocation.flow.network.num_arcs
+        rows.append((size, registers, built_arcs, elapsed))
+    return rows
+
+
+def test_scaling_is_polynomial(show):
+    rows = timings()
+    show(
+        format_table(
+            ("variables", "registers", "arcs", "seconds"),
+            [(s, r, a, round(t, 4)) for s, r, a, t in rows],
+            title="Solver scaling (construction + solve)",
+        )
+    )
+    # Crude polynomial check: time ratio between consecutive doublings
+    # stays bounded (a cubic would give ~8x; allow slack for noise).
+    for (s1, _, _, t1), (s2, _, _, t2) in zip(rows, rows[1:]):
+        if t1 > 0.01:  # below that, timer noise dominates
+            assert t2 / t1 < 16.0, f"{s1}->{s2} grew {t2 / t1:.1f}x"
+    # The largest instance still solves in interactive time.
+    assert rows[-1][3] < 60.0
+
+
+@pytest.mark.benchmark(group="solver-scaling")
+@pytest.mark.parametrize("size", (100, 400))
+def test_solve_time(benchmark, size):
+    rng = random.Random(size)
+    horizon = max(10, size // 4)
+    lifetimes = random_lifetimes(rng, count=size, horizon=horizon)
+    problem = AllocationProblem(
+        lifetimes,
+        max(2, size // 20),
+        horizon,
+        energy_model=StaticEnergyModel(),
+    )
+    allocation = benchmark.pedantic(
+        lambda: allocate(problem, validate=False), rounds=3, iterations=1
+    )
+    assert allocation.registers_used > 0

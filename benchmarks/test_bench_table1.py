@@ -1,0 +1,143 @@
+"""E4 — table 1: the RSP application under restricted memory access.
+
+Sweeps the memory operating point over frequency divisors 1, 2 and 4 with
+the supply scaled per the CMOS delay model (5 V down to ~2.2 V) — the
+paper's treatment — and reports memory/register accesses and energy
+relative to the slowest configuration, for both energy models.
+
+Paper's rows (relative to f/4): static E 4.9 / 2 / 1, activity aE
+2.8 / 1.6 / 1.  Our synthetic RSP kernel reproduces the activity shape
+closely (~2.8 / ~1.5 / 1) and the static ordering; the memory-component
+energy alone reproduces the static column's magnitude (the paper's
+register file sees far fewer accesses than ours, see EXPERIMENTS.md).
+"""
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import AllocationProblem, allocate
+from repro.energy import ActivityEnergyModel, MemoryConfig, StaticEnergyModel
+from repro.energy.voltage import max_divisor_supply
+from repro.workloads.rsp import rsp_schedule
+
+REGISTERS = 16  # the paper's 16x16 register file
+DIVISORS = (1, 2, 4)
+
+
+@lru_cache(maxsize=None)
+def schedule():
+    return rsp_schedule(rng=random.Random(2024))
+
+
+@lru_cache(maxsize=None)
+def sweep(model_kind: str):
+    rows = []
+    for divisor in DIVISORS:
+        voltage = round(max_divisor_supply(divisor), 2)
+        base_model = (
+            StaticEnergyModel()
+            if model_kind == "static"
+            else ActivityEnergyModel()
+        )
+        problem = AllocationProblem.from_schedule(
+            schedule(),
+            register_count=REGISTERS,
+            energy_model=base_model.with_voltages(voltage, 5.0),
+            memory=MemoryConfig(divisor=divisor, voltage=voltage),
+        )
+        allocation = allocate(problem)
+        rows.append((divisor, voltage, allocation))
+    return rows
+
+
+def relative(rows, component="total"):
+    def energy(allocation):
+        if component == "memory":
+            return allocation.report.mem_energy
+        return allocation.objective
+
+    base = energy(rows[-1][2])
+    return [energy(allocation) / base for _, _, allocation in rows]
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("divisor", DIVISORS)
+def test_table1_solve_time(benchmark, divisor):
+    voltage = round(max_divisor_supply(divisor), 2)
+    problem = AllocationProblem.from_schedule(
+        schedule(),
+        register_count=REGISTERS,
+        energy_model=ActivityEnergyModel().with_voltages(voltage, 5.0),
+        memory=MemoryConfig(divisor=divisor, voltage=voltage),
+    )
+    allocation = benchmark.pedantic(
+        lambda: allocate(problem, validate=False), rounds=3, iterations=1
+    )
+    assert allocation.report.mem_accesses > 0
+
+
+def test_table1_activity_shape(show):
+    rows = sweep("activity")
+    rel = relative(rows)
+    # Paper aE column: 2.8 / 1.6 / 1.
+    assert rel[2] == pytest.approx(1.0)
+    assert 2.2 <= rel[0] <= 3.4
+    assert 1.2 <= rel[1] <= 2.0
+    show(
+        format_table(
+            ("memory freq", "supply V", "mem acc", "reg acc",
+             "relative aE", "paper aE"),
+            [
+                (f"f/{d}", v, a.report.mem_accesses,
+                 a.report.reg_accesses, rel[i], paper)
+                for i, ((d, v, a), paper) in enumerate(
+                    zip(rows, (2.8, 1.6, 1.0))
+                )
+            ],
+            title="Table 1 — RSP application, activity model",
+        )
+    )
+
+
+def test_table1_static_shape(show):
+    rows = sweep("static")
+    rel_total = relative(rows)
+    rel_memory = relative(rows, component="memory")
+    # Ordering must match the paper; the memory component reproduces the
+    # 4.9x magnitude (our register file handles far more traffic, which
+    # dilutes the total-energy ratio).
+    assert rel_total[0] > rel_total[1] > rel_total[2] == pytest.approx(1.0)
+    assert 3.5 <= rel_memory[0] <= 6.5
+    show(
+        format_table(
+            ("memory freq", "supply V", "mem acc", "reg acc",
+             "relative E", "relative E (mem only)", "paper E"),
+            [
+                (f"f/{d}", v, a.report.mem_accesses,
+                 a.report.reg_accesses, rel_total[i], rel_memory[i], paper)
+                for i, ((d, v, a), paper) in enumerate(
+                    zip(rows, (4.9, 2.0, 1.0))
+                )
+            ],
+            title="Table 1 — RSP application, static model",
+        )
+    )
+
+
+def test_table1_density_matches_paper():
+    from repro.lifetimes import extract_lifetimes, max_density
+
+    lifetimes = extract_lifetimes(schedule())
+    assert max_density(lifetimes.values(), schedule().length) == 26
+
+
+def test_table1_forced_registers_grow_with_divisor():
+    rows = sweep("activity")
+    reg_accesses = [a.report.reg_accesses for _, _, a in rows]
+    # Restricting access times forces more values through the register
+    # file (the mechanism behind the paper's falling register column is
+    # its tiny register file; ours absorbs the forced traffic).
+    assert reg_accesses[0] <= reg_accesses[-1]

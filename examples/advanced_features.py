@@ -1,0 +1,126 @@
+"""Advanced features: diagnostics, port constraints, charts, regeneration.
+
+Walks the section-7 extensions on one small design:
+
+1. diagnose an infeasible memory operating point and find the smallest
+   register file that fixes it;
+2. constrain the memory port count (pinning arc flows to 1, section 7);
+3. visualise the allocation as an ASCII lifetime chart;
+4. shrink storage pressure with the data-regeneration transformation
+   plus lazy scheduling;
+5. roll energies up over a task flow graph.
+
+Run::
+
+    python examples/advanced_features.py
+"""
+
+import random
+
+from repro import (
+    AllocationProblem,
+    MemoryConfig,
+    StaticEnergyModel,
+    allocate,
+    fir_filter,
+    list_schedule,
+)
+from repro.analysis import allocation_chart, required_ports
+from repro.core import (
+    allocate_task_graph,
+    allocate_with_port_limit,
+    diagnose,
+)
+from repro.energy import CapacitanceTable
+from repro.ir import BlockBuilder, Task, TaskGraph
+from repro.lifetimes import extract_lifetimes, max_density
+from repro.transforms import regenerate
+from repro.workloads import dct4
+
+# ----------------------------------------------------------------------
+# 1. Diagnose an aggressive memory operating point.
+# ----------------------------------------------------------------------
+block = fir_filter(6, random.Random(3))
+schedule = list_schedule(block)
+aggressive = AllocationProblem.from_schedule(
+    schedule,
+    register_count=2,
+    memory=MemoryConfig(divisor=4, voltage=2.2),
+)
+report = diagnose(aggressive)
+print("1) feasibility at R=2, memory at f/4:")
+print("  ", report.summary())
+workable = aggressive.with_options(
+    register_count=report.minimum_registers
+)
+print(f"   re-solving at R={report.minimum_registers} ->", end=" ")
+print(f"energy {allocate(workable).objective:.1f}")
+print()
+
+# ----------------------------------------------------------------------
+# 2. Port-constrained allocation (expensive register file so memory is
+#    attractive and ports actually contend).
+# ----------------------------------------------------------------------
+pricey_regs = StaticEnergyModel(
+    table=CapacitanceTable(reg_read=0.4, reg_write=0.8)
+)
+problem = AllocationProblem.from_schedule(
+    schedule, register_count=8, energy_model=pricey_regs
+)
+free = allocate(problem)
+free_ports = required_ports(free)
+print(f"2) unconstrained solution needs {free_ports.mem_rw_ports} shared "
+      "memory ports")
+limited = allocate_with_port_limit(problem, max_mem_ports=4)
+print(
+    f"   limited to 4 ports: {len(limited.pinned)} segments pinned to "
+    f"registers, energy overhead {limited.energy_overhead:.1f}"
+)
+print()
+
+# ----------------------------------------------------------------------
+# 3. ASCII chart of a small allocation.
+# ----------------------------------------------------------------------
+small = dct4()
+small_schedule = list_schedule(small)
+small_problem = AllocationProblem.from_schedule(small_schedule, 3)
+print("3) dct4 allocation chart:")
+print(allocation_chart(allocate(small_problem)))
+print()
+
+# ----------------------------------------------------------------------
+# 4. Data regeneration + lazy scheduling.
+# ----------------------------------------------------------------------
+b = BlockBuilder("coef")
+x = b.input("x")
+c = b.const("c")
+v = b.add(x, c, name="v")
+t = b.neg(v, name="a")
+for i in range(4):
+    t = b.shift(t, name=f"p{i}")
+xl = b.add(t, x, name="xl")
+cl = b.add(xl, c, name="cl")
+z = b.add(cl, v, name="z")
+b.output(z)
+b.live_out(z)
+original = b.build()
+transformed = regenerate(original, StaticEnergyModel())
+for label, blk in (("original", original), ("regenerated", transformed)):
+    sched = list_schedule(blk, lazy=True)
+    lifetimes = extract_lifetimes(sched)
+    density = max_density(lifetimes.values(), sched.length)
+    energy = allocate(
+        AllocationProblem.from_schedule(sched, 2)
+    ).objective
+    print(f"4) {label:12s}: density {density}, energy at R=2: {energy:.1f}")
+print()
+
+# ----------------------------------------------------------------------
+# 5. Task-graph roll-up.
+# ----------------------------------------------------------------------
+graph = TaskGraph("pipeline")
+graph.add_task(Task("filter", fir_filter(4), rate=8))
+graph.add_task(Task("transform", dct4(), rate=2))
+graph.add_edge("filter", "transform")
+result = allocate_task_graph(graph, register_count=4)
+print("5)", result.summary().replace("\n", "\n   "))

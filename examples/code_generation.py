@@ -1,0 +1,57 @@
+"""From dataflow to verified machine code.
+
+Runs the paper's full methodology on a DCT kernel: schedule, allocate,
+lay out memory, *lower to instructions* (explicit loads/stores and memory
+operands — the paper's "detailed instruction mapping"), optimise the
+address-register offsets (SOA), and finally *simulate* the generated code
+against a direct dataflow evaluation to prove the whole chain preserves
+the computation.
+
+Run::
+
+    python examples/code_generation.py
+"""
+
+import random
+
+from repro import allocate_block, dct4
+from repro.codegen import evaluate_block, lower, verify_program
+from repro.ir import OpCode
+from repro.moa import access_sequence, sequence_cost, soa_liao, soa_naive
+
+block = dct4()
+result = allocate_block(block, register_count=3)
+program = lower(result)
+
+print(program.format())
+print()
+print(
+    f"code size {program.code_size} instructions, "
+    f"{program.loads} loads, {program.stores} stores, "
+    f"{program.memory_reads} memory reads, "
+    f"{program.memory_writes} memory writes"
+)
+
+# Offset assignment over the block's memory traffic.
+sequence = access_sequence(result.allocation)
+if sequence:
+    naive = sequence_cost(sequence, soa_naive(sequence))
+    liao = sequence_cost(sequence, soa_liao(sequence))
+    print(
+        f"address-register cost over {len(sequence)} accesses: "
+        f"naive {naive:.2f} -> SOA {liao:.2f}"
+    )
+
+# Simulate against the reference dataflow evaluation.
+rng = random.Random(7)
+inputs = {
+    op.output: rng.getrandbits(block.variable(op.output).width)
+    for op in block
+    if op.output and op.opcode in (OpCode.INPUT, OpCode.CONST)
+}
+state = verify_program(program, block, result.allocation, inputs)
+reference = evaluate_block(block, inputs)
+print()
+print("simulated outputs (all verified against the reference):")
+for name, value in sorted(state.outputs.items()):
+    print(f"  {name} = {value}  (reference {reference[name]})")

@@ -1,0 +1,18 @@
+"""Quickstart: allocate an FIR filter's variables in three lines.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import allocate_block, fir_filter
+
+block = fir_filter(taps=8)
+result = allocate_block(block, register_count=4)
+
+print(result.summary())
+print()
+print(
+    f"Total storage energy: {result.total_energy:.1f} "
+    "(relative units, 16-bit add = 1)"
+)

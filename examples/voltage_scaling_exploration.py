@@ -1,0 +1,78 @@
+"""Explore the memory voltage/frequency trade-off space.
+
+For a fixed kernel, sweeps the memory frequency divisor (and the lowest
+supply that still meets it, via the CMOS delay model) against the register
+file size, mapping out where slowing the memory pays off — the design
+exploration loop the paper's methodology (section 5) is built for.
+
+Run::
+
+    python examples/voltage_scaling_exploration.py
+"""
+
+import random
+
+from repro import (
+    ActivityEnergyModel,
+    AllocationProblem,
+    MemoryConfig,
+    allocate,
+    extract_lifetimes,
+    iir_biquad,
+    list_schedule,
+)
+from repro.analysis import format_table
+from repro.energy.voltage import cmos_delay_factor, max_divisor_supply
+from repro.exceptions import InfeasibleFlowError
+
+rng = random.Random(99)
+block = iir_biquad(2, rng)
+schedule = list_schedule(block)
+lifetimes = extract_lifetimes(schedule)
+print(
+    f"{block.name}: {len(lifetimes)} variables over {schedule.length} steps"
+)
+print()
+
+print("CMOS delay model (threshold 0.8 V):")
+for voltage in (5.0, 4.0, 3.3, 2.5, 2.0):
+    print(
+        f"  {voltage:.1f} V -> {cmos_delay_factor(voltage):.2f}x slower"
+    )
+print()
+
+rows = []
+for registers in (6, 10, 14):
+    for divisor in (1, 2, 3, 4):
+        voltage = round(max_divisor_supply(divisor), 2)
+        problem = AllocationProblem(
+            lifetimes,
+            registers,
+            schedule.length,
+            energy_model=ActivityEnergyModel().with_voltages(voltage, 5.0),
+            memory=MemoryConfig(divisor=divisor, voltage=voltage),
+        )
+        try:
+            allocation = allocate(problem)
+        except InfeasibleFlowError:
+            rows.append((registers, f"f/{divisor}", voltage, "-", "-", "-"))
+            continue
+        rows.append(
+            (
+                registers,
+                f"f/{divisor}",
+                voltage,
+                allocation.report.mem_accesses,
+                allocation.report.reg_accesses,
+                allocation.objective,
+            )
+        )
+
+print(
+    format_table(
+        ("R", "memory", "supply V", "mem acc", "reg acc", "energy"),
+        rows,
+        title="Energy across the (registers x memory operating point) grid"
+        " ('-' = infeasible: forced register demand exceeds R)",
+    )
+)

@@ -1,0 +1,86 @@
+"""repro — Low Energy Memory and Register Allocation Using Network Flow.
+
+A production-quality reproduction of C. H. Gebotys, DAC 1997: simultaneous
+partitioning of data variables between an on-chip register file and memory,
+combined with register allocation, solved *globally optimally* in
+polynomial time as a minimum-cost network flow.
+
+Quickstart::
+
+    from repro import allocate_block, fir_filter
+
+    result = allocate_block(fir_filter(taps=8), register_count=4)
+    print(result.summary())
+
+Package map:
+
+* :mod:`repro.core` — the paper's contribution (graphs, costs, solver,
+  split lifetimes, memory reallocation, pipeline);
+* :mod:`repro.flow` — from-scratch min-cost flow substrate;
+* :mod:`repro.ir`, :mod:`repro.scheduling`, :mod:`repro.lifetimes`,
+  :mod:`repro.energy` — the substrates Problem 1 stands on;
+* :mod:`repro.baselines` — prior-art allocators;
+* :mod:`repro.workloads` — paper examples, DSP kernels, the RSP
+  application, random generators;
+* :mod:`repro.analysis` — metrics and comparison harness.
+"""
+
+from repro.core import (
+    Allocation,
+    AllocationProblem,
+    PipelineResult,
+    allocate,
+    allocate_block,
+    allocate_schedule,
+    reallocate_memory,
+)
+from repro.energy import (
+    ActivityEnergyModel,
+    MemoryConfig,
+    PairwiseSwitchingModel,
+    StaticEnergyModel,
+)
+from repro.ir import BasicBlock, BlockBuilder, DataVariable, OpCode, Operation
+from repro.lifetimes import Lifetime, extract_lifetimes
+from repro.scheduling import ResourceSet, Schedule, list_schedule
+from repro.workloads import (
+    dct4,
+    elliptic_wave_filter,
+    fir_filter,
+    iir_biquad,
+    rsp_block,
+    rsp_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityEnergyModel",
+    "Allocation",
+    "AllocationProblem",
+    "BasicBlock",
+    "BlockBuilder",
+    "DataVariable",
+    "Lifetime",
+    "MemoryConfig",
+    "OpCode",
+    "Operation",
+    "PairwiseSwitchingModel",
+    "PipelineResult",
+    "ResourceSet",
+    "Schedule",
+    "StaticEnergyModel",
+    "__version__",
+    "allocate",
+    "allocate_block",
+    "allocate_schedule",
+    "dct4",
+    "elliptic_wave_filter",
+    "extract_lifetimes",
+    "fir_filter",
+    "iir_biquad",
+    "list_schedule",
+    "reallocate_memory",
+    "rsp_block",
+    "rsp_schedule",
+]

@@ -1,0 +1,57 @@
+"""Analysis: solution metrics, allocator comparisons, table rendering."""
+
+from repro.analysis.charts import allocation_chart, lifetime_chart
+from repro.analysis.comparison import BASELINES, Comparison, compare_allocators
+from repro.analysis.dot import block_to_dot, network_to_dot
+from repro.analysis.exploration import (
+    DesignPoint,
+    ExplorationResult,
+    explore_design_space,
+)
+from repro.analysis.export import (
+    allocation_to_dict,
+    comparison_to_dict,
+    report_to_dict,
+    to_json,
+)
+from repro.analysis.metrics import (
+    METRIC_HEADERS,
+    SolutionMetrics,
+    improvement_factor,
+    memory_location_switching,
+    metrics_of,
+)
+from repro.analysis.ports import (
+    PortRequirement,
+    PortUsage,
+    port_usage,
+    required_ports,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "BASELINES",
+    "Comparison",
+    "DesignPoint",
+    "ExplorationResult",
+    "METRIC_HEADERS",
+    "PortRequirement",
+    "PortUsage",
+    "SolutionMetrics",
+    "allocation_chart",
+    "allocation_to_dict",
+    "block_to_dot",
+    "compare_allocators",
+    "comparison_to_dict",
+    "explore_design_space",
+    "format_table",
+    "improvement_factor",
+    "lifetime_chart",
+    "memory_location_switching",
+    "metrics_of",
+    "network_to_dot",
+    "port_usage",
+    "report_to_dict",
+    "required_ports",
+    "to_json",
+]

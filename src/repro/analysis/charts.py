@@ -1,0 +1,99 @@
+"""ASCII lifetime charts.
+
+Renders the paper's figure-style interval diagrams in plain text: one
+column per variable, one row per control step, with write/read events and
+(optionally) the solved residency — register residents drawn solid,
+memory residents dotted.  Used by the examples and handy in notebooks and
+test failures.
+
+Example output for figure 3 (one register)::
+
+    step  a  b  c  d  e  f
+       1  W        W
+       2  |        R  W
+       3  R  W        R  W
+       4  |  R  W        :
+       5  |     |        R
+       6        R
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.allocation import Allocation
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = ["lifetime_chart", "allocation_chart"]
+
+
+def lifetime_chart(
+    lifetimes: Mapping[str, Lifetime] | Iterable[Lifetime],
+    horizon: int,
+    in_register: frozenset[str] | set[str] | None = None,
+) -> str:
+    """Render lifetimes as a step-by-step ASCII chart.
+
+    Args:
+        lifetimes: The intervals to draw.
+        horizon: Block length ``x`` (rows run 1 .. x+1 to show live-outs).
+        in_register: Names drawn as register residents (``|`` spans);
+            everything else is dotted (``:``) when the set is given, solid
+            when it is ``None``.
+
+    Returns:
+        The chart as a string.
+    """
+    items = (
+        list(lifetimes.values())
+        if isinstance(lifetimes, Mapping)
+        else list(lifetimes)
+    )
+    items.sort(key=lambda lt: (lt.start, lt.end, lt.name))
+    width = max((len(lt.name) for lt in items), default=1)
+    width = max(width, 1)
+
+    def span_char(lt: Lifetime) -> str:
+        if in_register is None or lt.name in in_register:
+            return "|"
+        return ":"
+
+    header = "step  " + "  ".join(lt.name.rjust(width) for lt in items)
+    lines = [header]
+    for step in range(1, horizon + 2):
+        cells = []
+        for lt in items:
+            if step == lt.write_time:
+                mark = "W"
+            elif step in lt.read_times:
+                mark = "R"
+            elif lt.write_time < step < lt.end:
+                mark = span_char(lt)
+            else:
+                mark = ""
+            cells.append(mark.rjust(width))
+        lines.append(f"{step:4d}  " + "  ".join(cells))
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def allocation_chart(allocation: Allocation) -> str:
+    """Chart an allocation: register residents solid, memory dotted.
+
+    A variable counts as a register resident when *all* its segments are
+    register resident; partially resident (split) variables are marked
+    dotted, with their register spans visible in
+    :meth:`Allocation.format`.
+    """
+    problem = allocation.problem
+    resident = {
+        name
+        for name in problem.lifetimes
+        if allocation.in_register(name)
+    }
+    chart = lifetime_chart(
+        problem.lifetimes, problem.horizon, in_register=resident
+    )
+    legend = (
+        "legend: W write, R read, | register resident, : memory resident"
+    )
+    return f"{chart}\n{legend}"

@@ -1,0 +1,104 @@
+"""Allocator comparison harness.
+
+Runs the flow allocator against every baseline on the same instance under
+the same energy model and collects :class:`SolutionMetrics` per contender —
+the engine behind the improvement-sweep benchmark (the paper's headline
+"1.4 to 2.5 times" claim) and the CLI ``compare`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.analysis.metrics import (
+    METRIC_HEADERS,
+    SolutionMetrics,
+    improvement_factor,
+    metrics_of,
+)
+from repro.analysis.tables import format_table
+from repro.baselines.graph_coloring import graph_coloring_allocate
+from repro.baselines.greedy_partition import greedy_partition_allocate
+from repro.baselines.left_edge import left_edge_allocate
+from repro.baselines.two_phase import two_phase_allocate
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy.models import EnergyModel
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = ["Comparison", "compare_allocators", "BASELINES"]
+
+#: Baseline registry: name -> callable(lifetimes, horizon, R, model).
+BASELINES: dict[str, Callable] = {
+    "two-phase": two_phase_allocate,
+    "left-edge": left_edge_allocate,
+    "graph-coloring": graph_coloring_allocate,
+    "greedy": greedy_partition_allocate,
+}
+
+
+@dataclass
+class Comparison:
+    """Results of one instance across all contenders.
+
+    Attributes:
+        flow: Metrics of the paper's flow allocator.
+        baselines: Metrics per baseline name.
+    """
+
+    flow: SolutionMetrics
+    baselines: dict[str, SolutionMetrics] = field(default_factory=dict)
+
+    def improvement_over(self, baseline: str) -> float:
+        """Energy improvement factor of the flow over *baseline*."""
+        return improvement_factor(self.baselines[baseline], self.flow)
+
+    def best_baseline(self) -> SolutionMetrics:
+        """The strongest (lowest-energy) baseline."""
+        return min(self.baselines.values(), key=lambda m: m.energy)
+
+    def format(self, title: str | None = None) -> str:
+        rows = [self.flow.row()]
+        rows.extend(
+            metrics.row() for metrics in self.baselines.values()
+        )
+        return format_table(METRIC_HEADERS, rows, title=title)
+
+
+def compare_allocators(
+    lifetimes: Mapping[str, Lifetime],
+    horizon: int,
+    register_count: int,
+    model: EnergyModel,
+    baselines: tuple[str, ...] = tuple(BASELINES),
+    **problem_options,
+) -> Comparison:
+    """Run the flow allocator and the selected baselines on one instance.
+
+    Args:
+        lifetimes: The instance's lifetimes.
+        horizon: Block length ``x``.
+        register_count: Register-file size ``R``.
+        model: Shared energy model.
+        baselines: Baseline names from :data:`BASELINES` to include.
+        **problem_options: Extra :class:`AllocationProblem` fields for the
+            flow allocator (graph style, splitting, memory config).
+
+    Returns:
+        The populated :class:`Comparison`.
+    """
+    problem = AllocationProblem(
+        lifetimes=lifetimes,
+        register_count=register_count,
+        horizon=horizon,
+        energy_model=model,
+        **problem_options,
+    )
+    flow_metrics = metrics_of(allocate(problem))
+    comparison = Comparison(flow=flow_metrics)
+    for name in baselines:
+        runner = BASELINES[name]
+        result = runner(lifetimes, horizon, register_count, model)
+        comparison.baselines[name] = metrics_of(result)
+    return comparison

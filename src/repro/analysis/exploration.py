@@ -1,0 +1,161 @@
+"""Design-space exploration.
+
+The paper's methodology is a designer's loop: pick a register-file size
+and a memory operating point, allocate, look at the energy, repeat.  This
+module automates the loop over a grid of register counts and memory
+configurations, collects the per-point metrics, marks infeasible points,
+and extracts the Pareto frontier over (storage cost, energy) — storage
+cost being the number of locations, the "no increase in cost" axis the
+paper's introduction emphasises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.analysis.metrics import SolutionMetrics, metrics_of
+from repro.analysis.tables import format_table
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy.models import EnergyModel, StaticEnergyModel
+from repro.energy.voltage import MemoryConfig
+from repro.exceptions import InfeasibleFlowError
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = ["DesignPoint", "ExplorationResult", "explore_design_space"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration.
+
+    Attributes:
+        register_count: Register-file size of the point.
+        memory: Memory operating point.
+        metrics: Solution metrics, or ``None`` when infeasible.
+    """
+
+    register_count: int
+    memory: MemoryConfig
+    metrics: SolutionMetrics | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.metrics is not None
+
+    @property
+    def energy(self) -> float:
+        if self.metrics is None:
+            raise InfeasibleFlowError(
+                f"design point R={self.register_count}, "
+                f"f/{self.memory.divisor} is infeasible"
+            )
+        return self.metrics.energy
+
+    def label(self) -> str:
+        return f"R={self.register_count}, f/{self.memory.divisor}"
+
+
+@dataclass
+class ExplorationResult:
+    """All evaluated points plus derived views."""
+
+    points: list[DesignPoint]
+
+    def feasible_points(self) -> list[DesignPoint]:
+        return [p for p in self.points if p.feasible]
+
+    def best(self) -> DesignPoint:
+        """The lowest-energy feasible point."""
+        feasible = self.feasible_points()
+        if not feasible:
+            raise InfeasibleFlowError("no feasible design point")
+        return min(feasible, key=lambda p: p.energy)
+
+    def pareto_frontier(self) -> list[DesignPoint]:
+        """Points not dominated in (storage locations, energy)."""
+        feasible = self.feasible_points()
+        frontier = []
+        for p in feasible:
+            assert p.metrics is not None
+            dominated = any(
+                q is not p
+                and q.metrics is not None
+                and q.metrics.storage_locations
+                <= p.metrics.storage_locations
+                and q.energy <= p.energy
+                and (
+                    q.metrics.storage_locations
+                    < p.metrics.storage_locations
+                    or q.energy < p.energy
+                )
+                for q in feasible
+            )
+            if not dominated:
+                frontier.append(p)
+        frontier.sort(
+            key=lambda p: (p.metrics.storage_locations, p.energy)  # type: ignore[union-attr]
+        )
+        return frontier
+
+    def format(self) -> str:
+        rows = []
+        for p in self.points:
+            if p.metrics is None:
+                rows.append(
+                    (p.register_count, f"f/{p.memory.divisor}",
+                     p.memory.voltage, "-", "-", "-")
+                )
+            else:
+                rows.append(
+                    (
+                        p.register_count,
+                        f"f/{p.memory.divisor}",
+                        p.memory.voltage,
+                        p.metrics.energy,
+                        p.metrics.mem_accesses,
+                        p.metrics.storage_locations,
+                    )
+                )
+        return format_table(
+            ("R", "memory", "supply V", "energy", "mem acc", "locations"),
+            rows,
+            title="design space ('-' = infeasible)",
+        )
+
+
+def explore_design_space(
+    lifetimes: Mapping[str, Lifetime],
+    horizon: int,
+    register_counts: Iterable[int],
+    memory_configs: Iterable[MemoryConfig],
+    energy_model: EnergyModel | None = None,
+    **problem_options,
+) -> ExplorationResult:
+    """Evaluate every (register count x memory config) grid point.
+
+    The energy model's memory voltage is rescaled per point to the
+    config's supply (register file stays at its own voltage).
+    """
+    base_model = energy_model or StaticEnergyModel()
+    points: list[DesignPoint] = []
+    for memory in memory_configs:
+        model = base_model.with_voltages(
+            memory.voltage, getattr(base_model, "reg_voltage", 5.0)
+        )
+        for registers in register_counts:
+            problem = AllocationProblem(
+                lifetimes=lifetimes,
+                register_count=registers,
+                horizon=horizon,
+                energy_model=model,
+                memory=memory,
+                **problem_options,
+            )
+            try:
+                metrics = metrics_of(allocate(problem), name="flow")
+            except InfeasibleFlowError:
+                metrics = None
+            points.append(DesignPoint(registers, memory, metrics))
+    return ExplorationResult(points)

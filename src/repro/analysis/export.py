@@ -1,0 +1,114 @@
+"""Result serialisation.
+
+Turns allocations, reports and comparison results into plain dictionaries
+(JSON-ready) so downstream tools — RTL generators, design dashboards,
+regression trackers — can consume them without importing this package's
+types.  All exports are pure data: names, numbers, lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.comparison import Comparison
+from repro.analysis.metrics import SolutionMetrics
+from repro.core.allocation import Allocation
+from repro.core.memory_realloc import MemoryLayout
+from repro.energy.report import EnergyReport
+
+__all__ = [
+    "report_to_dict",
+    "allocation_to_dict",
+    "comparison_to_dict",
+    "to_json",
+]
+
+
+def report_to_dict(report: EnergyReport) -> dict[str, Any]:
+    """Access counts and energy components of a report."""
+    return {
+        "mem_reads": report.mem_reads,
+        "mem_writes": report.mem_writes,
+        "reg_reads": report.reg_reads,
+        "reg_writes": report.reg_writes,
+        "mem_energy": report.mem_energy,
+        "reg_energy": report.reg_energy,
+        "total_energy": report.total_energy,
+        "notes": list(report.notes),
+    }
+
+
+def allocation_to_dict(
+    allocation: Allocation, layout: MemoryLayout | None = None
+) -> dict[str, Any]:
+    """Full allocation export: problem summary, chains, residency,
+    addresses, metrics."""
+    problem = allocation.problem
+    data: dict[str, Any] = {
+        "problem": {
+            "variables": len(problem.lifetimes),
+            "horizon": problem.horizon,
+            "register_count": problem.register_count,
+            "max_density": problem.max_density,
+            "graph_style": problem.graph_style,
+            "memory_divisor": problem.memory.divisor,
+            "memory_voltage": problem.memory.voltage,
+        },
+        "objective": allocation.objective,
+        "registers_used": allocation.registers_used,
+        "unused_registers": allocation.unused_registers,
+        "address_count": allocation.address_count,
+        "chains": [
+            [
+                {
+                    "variable": seg.name,
+                    "segment": seg.index,
+                    "start": seg.start,
+                    "end": seg.end,
+                }
+                for seg in chain
+            ]
+            for chain in allocation.chains
+        ],
+        "memory_addresses": dict(sorted(allocation.memory_addresses.items())),
+        "report": report_to_dict(allocation.report),
+    }
+    if layout is not None:
+        data["memory_layout"] = {
+            "addresses": dict(sorted(layout.addresses.items())),
+            "switching_energy": layout.switching_energy,
+        }
+    return data
+
+
+def _metrics_to_dict(metrics: SolutionMetrics) -> dict[str, Any]:
+    return {
+        "energy": metrics.energy,
+        "mem_accesses": metrics.mem_accesses,
+        "reg_accesses": metrics.reg_accesses,
+        "registers_used": metrics.registers_used,
+        "memory_addresses": metrics.memory_addresses,
+    }
+
+
+def comparison_to_dict(comparison: Comparison) -> dict[str, Any]:
+    """Comparison export: per-contender metrics and improvement factors."""
+    flow = comparison.flow
+    return {
+        "flow": _metrics_to_dict(flow),
+        "baselines": {
+            name: {
+                **_metrics_to_dict(metrics),
+                "improvement_factor": metrics.energy / flow.energy
+                if flow.energy
+                else None,
+            }
+            for name, metrics in comparison.baselines.items()
+        },
+    }
+
+
+def to_json(data: dict[str, Any], indent: int = 2) -> str:
+    """Render an export dictionary as JSON text."""
+    return json.dumps(data, indent=indent, sort_keys=True)

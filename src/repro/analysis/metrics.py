@@ -1,0 +1,128 @@
+"""Solution metrics shared by comparisons and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baselines.common import BaselineResult
+from repro.core.allocation import Allocation
+from repro.energy.models import EnergyModel
+from repro.exceptions import AllocationError
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = [
+    "SolutionMetrics",
+    "metrics_of",
+    "improvement_factor",
+    "memory_location_switching",
+]
+
+
+@dataclass(frozen=True)
+class SolutionMetrics:
+    """The figures every experiment reports for one solution.
+
+    Attributes:
+        name: Solution label.
+        energy: Total storage energy (eq. 1/2 objective).
+        mem_accesses / reg_accesses: Access counts.
+        registers_used / memory_addresses: Storage locations by kind.
+    """
+
+    name: str
+    energy: float
+    mem_accesses: int
+    reg_accesses: int
+    registers_used: int
+    memory_addresses: int
+
+    @property
+    def storage_locations(self) -> int:
+        return self.registers_used + self.memory_addresses
+
+    def row(self) -> tuple[object, ...]:
+        """Cells for :func:`repro.analysis.tables.format_table`."""
+        return (
+            self.name,
+            self.energy,
+            self.mem_accesses,
+            self.reg_accesses,
+            self.registers_used,
+            self.memory_addresses,
+        )
+
+
+#: Headers matching :meth:`SolutionMetrics.row`.
+METRIC_HEADERS = (
+    "solution",
+    "energy",
+    "mem acc",
+    "reg acc",
+    "regs",
+    "addrs",
+)
+
+
+def metrics_of(result: Allocation | BaselineResult, name: str | None = None) -> SolutionMetrics:
+    """Extract :class:`SolutionMetrics` from either result kind."""
+    if isinstance(result, Allocation):
+        label = name or "flow"
+        return SolutionMetrics(
+            name=label,
+            energy=result.objective,
+            mem_accesses=result.report.mem_accesses,
+            reg_accesses=result.report.reg_accesses,
+            registers_used=result.registers_used,
+            memory_addresses=result.address_count,
+        )
+    return SolutionMetrics(
+        name=name or result.name,
+        energy=result.objective,
+        mem_accesses=result.report.mem_accesses,
+        reg_accesses=result.report.reg_accesses,
+        registers_used=result.registers_used,
+        memory_addresses=result.address_count,
+    )
+
+
+def improvement_factor(
+    baseline: Allocation | BaselineResult | SolutionMetrics | float,
+    candidate: Allocation | BaselineResult | SolutionMetrics | float,
+) -> float:
+    """``baseline energy / candidate energy`` (the paper's "X times")."""
+
+    def energy(value) -> float:
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, SolutionMetrics):
+            return value.energy
+        return value.objective
+
+    denominator = energy(candidate)
+    if denominator <= 0:
+        raise AllocationError(
+            f"cannot compute improvement over energy {denominator}"
+        )
+    return energy(baseline) / denominator
+
+
+def memory_location_switching(
+    location_chains: Iterable[Iterable[Lifetime]],
+    model: EnergyModel,
+) -> float:
+    """Total switching energy of memory data lines under a location layout.
+
+    Each chain is the time-ordered sequence of variables sharing one
+    address; ``model.reg_write`` supplies the value-replacement energy
+    (figure 3's "switching activity in memory" metric).
+    """
+    total = 0.0
+    for chain in location_chains:
+        prev = None
+        for lifetime in chain:
+            total += model.reg_write(
+                lifetime.variable, prev.variable if prev is not None else None
+            )
+            prev = lifetime
+    return total

@@ -1,0 +1,175 @@
+"""Storage port analysis.
+
+Section 7 of the paper: "The number of memory or register file ports is
+determined from the solution of our network flow problem" — table 1's RSP
+solutions need one memory read/write port at full and half speed but two
+read ports plus one write port at quarter speed, because restricted access
+times cluster the surviving memory traffic onto few steps.
+
+This module recovers per-step access schedules from an
+:class:`~repro.core.allocation.Allocation` and derives the port counts a
+datapath would need to execute it.
+
+Timing conventions (matching the rest of the package):
+
+* a memory **definition write** of a memory-resident variable happens at
+  its write step — or, under restricted access, at the first access step
+  at or after it;
+* a memory **read** happens at the read step it serves;
+* a **spill** write happens at the end step of the register segment it
+  evicts; a **reload** read at the start step of the segment it feeds;
+* register reads/writes follow the same pattern on the register file;
+* block-end pseudo-reads of live-out variables (step ``x + 1``) belong to
+  the consuming task and are excluded from port counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.allocation import Allocation
+
+__all__ = ["PortUsage", "PortRequirement", "port_usage", "required_ports"]
+
+
+@dataclass
+class PortUsage:
+    """Per-step access counts of one allocation.
+
+    Attributes:
+        horizon: Block length ``x``; steps run 1..x.
+        mem_reads / mem_writes: Memory accesses per step (index = step).
+        reg_reads / reg_writes: Register-file accesses per step.
+    """
+
+    horizon: int
+    mem_reads: list[int] = field(default_factory=list)
+    mem_writes: list[int] = field(default_factory=list)
+    reg_reads: list[int] = field(default_factory=list)
+    reg_writes: list[int] = field(default_factory=list)
+
+    def mem_accesses_at(self, step: int) -> int:
+        return self.mem_reads[step] + self.mem_writes[step]
+
+    def busiest_memory_step(self) -> int:
+        """Step with the most simultaneous memory accesses."""
+        return max(
+            range(1, self.horizon + 1), key=self.mem_accesses_at, default=0
+        )
+
+
+@dataclass(frozen=True)
+class PortRequirement:
+    """Port counts needed to execute an allocation's access schedule.
+
+    Attributes:
+        mem_read_ports: Peak simultaneous memory reads in one step.
+        mem_write_ports: Peak simultaneous memory writes in one step.
+        mem_rw_ports: Peak total memory accesses in one step (the number
+            of shared read/write ports that would suffice).
+        reg_read_ports / reg_write_ports / reg_rw_ports: Same for the
+            register file.
+    """
+
+    mem_read_ports: int
+    mem_write_ports: int
+    mem_rw_ports: int
+    reg_read_ports: int
+    reg_write_ports: int
+    reg_rw_ports: int
+
+    def describe_memory(self) -> str:
+        """Table-1 style description, e.g. ``"2R + 1W"``."""
+        return f"{self.mem_read_ports}R + {self.mem_write_ports}W"
+
+
+def _first_access_at_or_after(
+    step: int, access_times: frozenset[int] | None, horizon: int
+) -> int:
+    if access_times is None:
+        return step
+    candidates = [m for m in access_times if m >= step]
+    return min(candidates) if candidates else horizon + 1
+
+
+def port_usage(allocation: Allocation) -> PortUsage:
+    """Recover the per-step access schedule of *allocation*."""
+    problem = allocation.problem
+    horizon = problem.horizon
+    usage = PortUsage(
+        horizon=horizon,
+        mem_reads=[0] * (horizon + 2),
+        mem_writes=[0] * (horizon + 2),
+        reg_reads=[0] * (horizon + 2),
+        reg_writes=[0] * (horizon + 2),
+    )
+    access = problem.access_times
+    registered = set(allocation.residency)
+
+    def in_block(step: int) -> bool:
+        return 1 <= step <= horizon
+
+    for name, segments in problem.segments.items():
+        lifetime = problem.lifetimes[name]
+        if segments[0].key not in registered:
+            write_step = _first_access_at_or_after(
+                lifetime.write_time, access, horizon
+            )
+            if in_block(write_step):
+                usage.mem_writes[write_step] += 1
+        for seg in segments:
+            target = (
+                usage.reg_reads
+                if seg.key in registered
+                else usage.mem_reads
+            )
+            for read in seg.reads:
+                if in_block(read):
+                    target[read] += 1
+
+    for chain in allocation.chains:
+        for position, seg in enumerate(chain):
+            previous = chain[position - 1] if position else None
+            intra = (
+                previous is not None
+                and previous.name == seg.name
+                and previous.index + 1 == seg.index
+            )
+            if not intra:
+                if in_block(seg.start):
+                    usage.reg_writes[seg.start] += 1
+                if not seg.is_first and seg.starts_at_access_cut:
+                    if in_block(seg.start):
+                        usage.mem_reads[seg.start] += 1  # reload
+            exits_chain = (
+                position + 1 == len(chain)
+                or chain[position + 1].name != seg.name
+                or chain[position + 1].index != seg.index + 1
+            )
+            if exits_chain and not seg.is_last:
+                spill_step = _first_access_at_or_after(
+                    seg.end, access, horizon
+                )
+                if in_block(spill_step):
+                    usage.mem_writes[spill_step] += 1
+    return usage
+
+
+def required_ports(allocation: Allocation) -> PortRequirement:
+    """Port counts implied by the allocation's access schedule."""
+    usage = port_usage(allocation)
+    steps = range(1, usage.horizon + 1)
+    return PortRequirement(
+        mem_read_ports=max((usage.mem_reads[s] for s in steps), default=0),
+        mem_write_ports=max((usage.mem_writes[s] for s in steps), default=0),
+        mem_rw_ports=max(
+            (usage.mem_reads[s] + usage.mem_writes[s] for s in steps),
+            default=0,
+        ),
+        reg_read_ports=max((usage.reg_reads[s] for s in steps), default=0),
+        reg_write_ports=max((usage.reg_writes[s] for s in steps), default=0),
+        reg_rw_ports=max(
+            (usage.reg_reads[s] + usage.reg_writes[s] for s in steps),
+            default=0,
+        ),
+    )

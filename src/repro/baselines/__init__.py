@@ -1,0 +1,19 @@
+"""Prior-art baseline allocators the paper compares against."""
+
+from repro.baselines.chang_pedram import chang_pedram_binding
+from repro.baselines.common import BaselineResult, report_for_partition
+from repro.baselines.graph_coloring import graph_coloring_allocate
+from repro.baselines.greedy_partition import greedy_partition_allocate
+from repro.baselines.left_edge import left_edge_allocate
+from repro.baselines.two_phase import PartitionRule, two_phase_allocate
+
+__all__ = [
+    "BaselineResult",
+    "PartitionRule",
+    "chang_pedram_binding",
+    "graph_coloring_allocate",
+    "greedy_partition_allocate",
+    "left_edge_allocate",
+    "report_for_partition",
+    "two_phase_allocate",
+]

@@ -1,0 +1,121 @@
+"""Shared result type and accounting for baseline allocators.
+
+Baselines operate on *unsplit* lifetimes (prior art has no split-lifetime
+machinery) and produce the same kind of report as the flow allocator so
+comparisons are apples-to-apples: identical energy model, identical access
+counting rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.allocation import assign_addresses
+from repro.energy.models import EnergyModel
+from repro.energy.report import EnergyReport
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = ["BaselineResult", "report_for_partition"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline allocator.
+
+    Attributes:
+        name: Identifier of the baseline (used in comparison tables).
+        chains: Register chains (time-ordered lifetimes per register).
+        memory_addresses: Variable name → address for memory residents.
+        report: Access/energy accounting under the shared energy model.
+        register_count: Register-file size the baseline was given.
+    """
+
+    name: str
+    chains: list[list[Lifetime]]
+    memory_addresses: dict[str, int]
+    report: EnergyReport
+    register_count: int
+
+    @property
+    def objective(self) -> float:
+        """Total storage energy (comparable to ``Allocation.objective``)."""
+        return self.report.total_energy
+
+    @property
+    def registers_used(self) -> int:
+        return len(self.chains)
+
+    @property
+    def address_count(self) -> int:
+        if not self.memory_addresses:
+            return 0
+        return max(self.memory_addresses.values()) + 1
+
+    @property
+    def storage_locations(self) -> int:
+        return self.registers_used + self.address_count
+
+    def register_variables(self) -> list[str]:
+        return sorted(lt.name for chain in self.chains for lt in chain)
+
+    def memory_variables(self) -> list[str]:
+        return sorted(self.memory_addresses)
+
+
+def report_for_partition(
+    lifetimes: Mapping[str, Lifetime],
+    chains: Iterable[Iterable[Lifetime]],
+    model: EnergyModel,
+) -> EnergyReport:
+    """Account a chains-plus-memory partition without split lifetimes.
+
+    Variables on a chain live entirely in the register file: one register
+    write per chain entry (activity models see the previous tenant) and all
+    reads from the register.  Every other variable lives entirely in
+    memory: one write plus its reads.
+    """
+    report = EnergyReport()
+    on_chain: set[str] = set()
+    for chain in chains:
+        prev = None
+        for lifetime in chain:
+            on_chain.add(lifetime.name)
+            report.add_reg_write(model.reg_write(lifetime.variable, prev))
+            report.add_reg_read(
+                lifetime.read_count * model.reg_read(lifetime.variable),
+                lifetime.read_count,
+            )
+            prev = lifetime.variable
+    for lifetime in lifetimes.values():
+        if lifetime.name in on_chain:
+            continue
+        report.add_mem_write(model.mem_write(lifetime.variable))
+        report.add_mem_read(
+            lifetime.read_count * model.mem_read(lifetime.variable),
+            lifetime.read_count,
+        )
+    return report
+
+
+def build_result(
+    name: str,
+    lifetimes: Mapping[str, Lifetime],
+    chains: list[list[Lifetime]],
+    model: EnergyModel,
+    register_count: int,
+) -> BaselineResult:
+    """Assemble a :class:`BaselineResult` from chains over *lifetimes*."""
+    on_chain = {lt.name for chain in chains for lt in chain}
+    memory = {
+        name_: (lt.start, lt.end)
+        for name_, lt in lifetimes.items()
+        if name_ not in on_chain
+    }
+    return BaselineResult(
+        name=name,
+        chains=chains,
+        memory_addresses=assign_addresses(memory),
+        report=report_for_partition(lifetimes, chains, model),
+        register_count=register_count,
+    )

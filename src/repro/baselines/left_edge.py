@@ -1,0 +1,54 @@
+"""Left-edge register allocation (classic, energy-oblivious).
+
+The textbook interval allocator used throughout datapath synthesis: sort
+lifetimes by start time and greedily pack each into the lowest-numbered
+free register.  With ``R`` registers, lifetimes that do not fit (density
+exceeds ``R`` at their start) fall through to memory.  It minimises the
+number of registers used but is blind to energy, making it the
+"performance-oriented compiler technique" reference point of section 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.baselines.common import BaselineResult, build_result
+from repro.energy.models import EnergyModel
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = ["left_edge_allocate"]
+
+
+def left_edge_allocate(
+    lifetimes: Mapping[str, Lifetime],
+    horizon: int,
+    register_count: int,
+    model: EnergyModel,
+) -> BaselineResult:
+    """Pack lifetimes into registers left-to-right; overflow goes to memory.
+
+    Args:
+        lifetimes: The block's lifetimes (unsplit).
+        horizon: Block length ``x`` (unused; kept for interface symmetry).
+        register_count: Register-file size ``R``.
+        model: Energy model used only for accounting.
+
+    Returns:
+        A :class:`BaselineResult` named ``"left-edge"``.
+    """
+    order = sorted(
+        lifetimes.values(), key=lambda lt: (lt.start, lt.end, lt.name)
+    )
+    free_at = [0] * register_count  # register -> end of current tenant
+    chains: list[list[Lifetime]] = [[] for _ in range(register_count)]
+    for lifetime in order:
+        for register in range(register_count):
+            if free_at[register] <= lifetime.start:
+                free_at[register] = lifetime.end
+                chains[register].append(lifetime)
+                break
+        # No free register: the lifetime is left for memory.
+    chains = [chain for chain in chains if chain]
+    return build_result(
+        "left-edge", lifetimes, chains, model, register_count
+    )

@@ -1,0 +1,105 @@
+"""The two-phase prior-art flow: register allocation *then* partitioning.
+
+This is the "previous research" figure 3a of the paper illustrates: first
+perform optimal low-power register allocation over symbolic registers
+(Chang-Pedram [8] binding, every variable gets a symbolic register), then
+partition the symbolic registers between the physical register file and
+memory.
+
+Two partition rules are provided:
+
+* ``"max_switching"`` — the paper's stated heuristic: keep the chains with
+  the highest switching activity in the register file, "since average
+  switched capacitance is smaller" there (figure 3a);
+* ``"max_saving"`` (default) — keep the chains whose register residency
+  saves the most energy *under the evaluation model itself* (memory access
+  cost avoided minus register cost incurred).  This is the strongest
+  possible two-phase opponent, so improvement factors measured against it
+  are conservative.
+
+Because partitioning happens after binding, whole chains move to memory at
+once; the simultaneous formulation (the paper's contribution) can instead
+cut across chains, which is exactly where its 1.4-2.5x energy advantage
+comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping
+
+from repro.baselines.chang_pedram import chang_pedram_binding
+from repro.baselines.common import BaselineResult, build_result
+from repro.energy.models import EnergyModel
+from repro.exceptions import AllocationError
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = ["two_phase_allocate", "PartitionRule"]
+
+PartitionRule = Literal["max_saving", "max_switching"]
+
+
+def _chain_register_cost(
+    chain: list[Lifetime], model: EnergyModel
+) -> float:
+    """Register-file energy if *chain* stays in the register file."""
+    total = 0.0
+    prev = None
+    for lifetime in chain:
+        total += model.reg_write(
+            lifetime.variable, prev.variable if prev is not None else None
+        )
+        total += lifetime.read_count * model.reg_read(lifetime.variable)
+        prev = lifetime
+    return total
+
+
+def _chain_memory_cost(chain: list[Lifetime], model: EnergyModel) -> float:
+    """Memory energy if *chain* is pushed out to memory."""
+    return sum(
+        model.mem_write(lt.variable)
+        + lt.read_count * model.mem_read(lt.variable)
+        for lt in chain
+    )
+
+
+def two_phase_allocate(
+    lifetimes: Mapping[str, Lifetime],
+    horizon: int,
+    register_count: int,
+    model: EnergyModel,
+    binding_style: str = "all_pairs",
+    partition_rule: PartitionRule = "max_saving",
+) -> BaselineResult:
+    """Run binding-then-partitioning and account the result.
+
+    Args:
+        lifetimes: The block's lifetimes (unsplit).
+        horizon: Block length ``x``.
+        register_count: Physical register-file size ``R``.
+        model: Shared energy model (also supplies the binding pair costs).
+        binding_style: Compatibility rule for phase 1 (see
+            :func:`~repro.baselines.chang_pedram.chang_pedram_binding`).
+        partition_rule: Chain ranking for phase 2 (see module docstring).
+
+    Returns:
+        A :class:`BaselineResult` named ``"two-phase"``.
+    """
+    binding = chang_pedram_binding(
+        lifetimes, horizon, model, register_count=None, style=binding_style
+    )
+    if partition_rule == "max_saving":
+        def rank(chain: list[Lifetime]) -> float:
+            return _chain_memory_cost(chain, model) - _chain_register_cost(
+                chain, model
+            )
+    elif partition_rule == "max_switching":
+        def rank(chain: list[Lifetime]) -> float:
+            return _chain_register_cost(chain, model)
+    else:
+        raise AllocationError(f"unknown partition rule {partition_rule!r}")
+
+    ranked = sorted(
+        binding.chains, key=lambda chain: (-rank(chain), chain[0].name)
+    )
+    kept = ranked[:register_count]
+    return build_result("two-phase", lifetimes, kept, model, register_count)

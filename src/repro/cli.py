@@ -1,0 +1,320 @@
+"""Command-line interface: ``repro-alloc``.
+
+Subcommands:
+
+* ``demo`` — allocate a built-in kernel and print the full pipeline
+  summary;
+* ``compare`` — flow allocator vs all baselines on a kernel;
+* ``table1`` — the paper's table-1 sweep on the RSP application;
+* ``figures`` — the figure-3 and figure-4 worked examples;
+* ``chart`` — ASCII lifetime chart of a kernel's allocation;
+* ``diagnose`` — feasibility analysis under a restricted memory;
+* ``offsets`` — SOA/MOA offset assignment for the memory traffic.
+
+Examples::
+
+    repro-alloc demo --kernel fir --taps 8 --registers 4
+    repro-alloc compare --kernel ewf --registers 6 --model activity
+    repro-alloc table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable
+
+from repro.analysis import compare_allocators, format_table, improvement_factor
+from repro.baselines import two_phase_allocate
+from repro.core import AllocationProblem, allocate, allocate_block
+from repro.energy import (
+    ActivityEnergyModel,
+    MemoryConfig,
+    PairwiseSwitchingModel,
+    StaticEnergyModel,
+)
+from repro.energy.voltage import max_divisor_supply
+from repro.ir.basic_block import BasicBlock
+from repro.lifetimes import extract_lifetimes
+from repro.scheduling import list_schedule
+from repro.workloads import (
+    FIGURE3_ACTIVITIES,
+    FIGURE3_HORIZON,
+    FIGURE4_ACTIVITIES,
+    FIGURE4_HORIZON,
+    dct4,
+    elliptic_wave_filter,
+    figure3_lifetimes,
+    figure4_lifetimes,
+    fir_filter,
+    iir_biquad,
+    random_dfg,
+    rsp_block,
+    rsp_schedule,
+)
+
+__all__ = ["main"]
+
+
+def _kernel(args: argparse.Namespace) -> BasicBlock:
+    rng = random.Random(args.seed)
+    factories: dict[str, Callable[[], BasicBlock]] = {
+        "fir": lambda: fir_filter(args.taps, rng),
+        "iir": lambda: iir_biquad(2, rng),
+        "ewf": lambda: elliptic_wave_filter(rng),
+        "dct": lambda: dct4(rng),
+        "rsp": lambda: rsp_block(rng=rng),
+        "random": lambda: random_dfg(rng, operations=40, traced=True),
+    }
+    return factories[args.kernel]()
+
+
+def _model(name: str):
+    if name == "static":
+        return StaticEnergyModel()
+    return ActivityEnergyModel()
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    block = _kernel(args)
+    result = allocate_block(block, register_count=args.registers)
+    print(result.summary())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    block = _kernel(args)
+    schedule = list_schedule(block)
+    lifetimes = extract_lifetimes(schedule)
+    comparison = compare_allocators(
+        lifetimes,
+        schedule.length,
+        args.registers,
+        _model(args.model),
+    )
+    print(comparison.format(title=f"{block.name} with R={args.registers}"))
+    best = comparison.best_baseline()
+    print(
+        f"improvement over best baseline ({best.name}): "
+        f"{improvement_factor(best, comparison.flow):.2f}x"
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    schedule = rsp_schedule(rng=random.Random(args.seed))
+    rows = []
+    results = []
+    for divisor in (1, 2, 4):
+        voltage = round(max_divisor_supply(divisor), 2)
+        model = ActivityEnergyModel().with_voltages(voltage, 5.0)
+        problem = AllocationProblem.from_schedule(
+            schedule,
+            register_count=args.registers,
+            energy_model=model,
+            memory=MemoryConfig(divisor=divisor, voltage=voltage),
+        )
+        results.append((divisor, voltage, allocate(problem)))
+    base = results[-1][2].objective
+    for divisor, voltage, allocation in results:
+        rows.append(
+            (
+                f"f/{divisor}",
+                voltage,
+                allocation.report.mem_accesses,
+                allocation.report.reg_accesses,
+                allocation.objective / base,
+            )
+        )
+    print(
+        format_table(
+            ("memory freq", "supply V", "mem acc", "reg acc", "relative E"),
+            rows,
+            title="Table 1 — RSP application (activity model)",
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    for label, lifetimes, horizon, activities in (
+        ("figure 3", figure3_lifetimes(), FIGURE3_HORIZON, FIGURE3_ACTIVITIES),
+        ("figure 4", figure4_lifetimes(), FIGURE4_HORIZON, FIGURE4_ACTIVITIES),
+    ):
+        model = PairwiseSwitchingModel(activities)
+        baseline = two_phase_allocate(
+            lifetimes, horizon, 1, model,
+            binding_style="all_pairs", partition_rule="max_switching",
+        )
+        problem = AllocationProblem(lifetimes, 1, horizon, energy_model=model)
+        flow = allocate(problem)
+        print(
+            f"{label}: two-phase E={baseline.objective:.2f} "
+            f"(mem accesses {baseline.report.mem_accesses}) vs "
+            f"simultaneous E={flow.objective:.2f} "
+            f"(mem accesses {flow.report.mem_accesses}) -> "
+            f"{improvement_factor(baseline, flow):.2f}x"
+        )
+    return 0
+
+
+def _cmd_chart(args: argparse.Namespace) -> int:
+    from repro.analysis import allocation_chart
+    from repro.core import allocate
+
+    block = _kernel(args)
+    schedule = list_schedule(block)
+    problem = AllocationProblem.from_schedule(
+        schedule, register_count=args.registers, energy_model=_model(args.model)
+    )
+    print(allocation_chart(allocate(problem)))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core import diagnose
+
+    block = _kernel(args)
+    schedule = list_schedule(block)
+    problem = AllocationProblem.from_schedule(
+        schedule,
+        register_count=args.registers,
+        memory=MemoryConfig(
+            divisor=args.divisor, voltage=max_divisor_supply(args.divisor)
+        ),
+    )
+    report = diagnose(problem)
+    print(report.summary())
+    return 0 if report.feasible else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.analysis import explore_design_space
+    from repro.lifetimes import max_density
+
+    block = _kernel(args)
+    schedule = list_schedule(block)
+    lifetimes = extract_lifetimes(schedule)
+    density = max_density(lifetimes.values(), schedule.length)
+    registers = sorted(
+        {max(1, density // 4), max(1, density // 2), density}
+    )
+    configs = [
+        MemoryConfig(
+            divisor=d, voltage=round(max_divisor_supply(d), 2)
+        )
+        for d in (1, 2, 4)
+    ]
+    result = explore_design_space(
+        lifetimes,
+        schedule.length,
+        register_counts=registers,
+        memory_configs=configs,
+        energy_model=_model(args.model),
+    )
+    print(result.format())
+    best = result.best()
+    print(f"best point: {best.label()} at energy {best.energy:.1f}")
+    frontier = ", ".join(p.label() for p in result.pareto_frontier())
+    print(f"pareto frontier (locations vs energy): {frontier}")
+    return 0
+
+
+def _cmd_offsets(args: argparse.Namespace) -> int:
+    from repro.core import allocate
+    from repro.moa import (
+        access_sequence,
+        moa_assign,
+        sequence_cost,
+        soa_liao,
+        soa_naive,
+    )
+
+    block = _kernel(args)
+    schedule = list_schedule(block)
+    problem = AllocationProblem.from_schedule(
+        schedule, register_count=args.registers, energy_model=_model(args.model)
+    )
+    sequence = access_sequence(allocate(problem))
+    if not sequence:
+        print("no memory traffic: nothing to assign")
+        return 0
+    naive = sequence_cost(sequence, soa_naive(sequence))
+    liao = sequence_cost(sequence, soa_liao(sequence))
+    print(f"access sequence ({len(sequence)} accesses): {' '.join(sequence)}")
+    print(f"AR update cost: naive {naive:.2f}, Liao SOA {liao:.2f}")
+    for k in (2, 4):
+        result = moa_assign(sequence, k)
+        print(f"MOA with {k} address registers: {result.cost:.2f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-alloc`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-alloc",
+        description="Low energy memory and register allocation "
+        "(Gebotys, DAC 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--kernel",
+            choices=("fir", "iir", "ewf", "dct", "rsp", "random"),
+            default="fir",
+        )
+        p.add_argument("--taps", type=int, default=8)
+        p.add_argument("--registers", "-R", type=int, default=4)
+        p.add_argument("--seed", type=int, default=2024)
+        p.add_argument(
+            "--model", choices=("static", "activity"), default="static"
+        )
+
+    demo = sub.add_parser("demo", help="allocate a kernel, print summary")
+    add_common(demo)
+    demo.set_defaults(func=_cmd_demo)
+
+    compare = sub.add_parser("compare", help="flow vs baselines")
+    add_common(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    table1 = sub.add_parser("table1", help="the paper's table-1 sweep")
+    table1.add_argument("--registers", "-R", type=int, default=16)
+    table1.add_argument("--seed", type=int, default=2024)
+    table1.set_defaults(func=_cmd_table1)
+
+    figures = sub.add_parser("figures", help="figure 3 / figure 4 examples")
+    figures.set_defaults(func=_cmd_figures)
+
+    chart = sub.add_parser("chart", help="ASCII lifetime chart")
+    add_common(chart)
+    chart.set_defaults(func=_cmd_chart)
+
+    diagnose_cmd = sub.add_parser(
+        "diagnose", help="feasibility under restricted memory"
+    )
+    add_common(diagnose_cmd)
+    diagnose_cmd.add_argument("--divisor", type=int, default=2)
+    diagnose_cmd.set_defaults(func=_cmd_diagnose)
+
+    offsets = sub.add_parser("offsets", help="SOA/MOA offset assignment")
+    add_common(offsets)
+    offsets.set_defaults(func=_cmd_offsets)
+
+    explore = sub.add_parser(
+        "explore", help="design-space grid (R x memory operating point)"
+    )
+    add_common(explore)
+    explore.set_defaults(func=_cmd_explore)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

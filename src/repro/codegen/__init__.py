@@ -1,0 +1,29 @@
+"""Instruction mapping and simulation (the methodology's final stage)."""
+
+from repro.codegen.lower import lower, lower_allocation
+from repro.codegen.program import (
+    Instruction,
+    Kind,
+    Mem,
+    Program,
+    Reg,
+)
+from repro.codegen.reference import evaluate_block
+from repro.codegen.semantics import evaluate_opcode, mask_of
+from repro.codegen.simulator import MachineState, simulate, verify_program
+
+__all__ = [
+    "Instruction",
+    "Kind",
+    "MachineState",
+    "Mem",
+    "Program",
+    "Reg",
+    "evaluate_block",
+    "evaluate_opcode",
+    "lower",
+    "lower_allocation",
+    "mask_of",
+    "simulate",
+    "verify_program",
+]

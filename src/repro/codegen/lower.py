@@ -1,0 +1,218 @@
+"""Lowering: schedule + allocation -> instruction stream.
+
+The paper's methodology ends with "detailed instruction mapping and data
+layout (for example adding loads and stores, or substituting in
+instructions with a memory operand etc)".  This module performs that
+step: every scheduled operation becomes an instruction whose operands are
+the physical locations the allocation chose, and the flow solution's
+spills, reloads and piggyback handoffs become explicit STORE / LOAD /
+MOVE instructions at the correct control steps.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import Allocation
+from repro.core.memory_realloc import MemoryLayout
+from repro.core.pipeline import PipelineResult
+from repro.exceptions import AllocationError
+from repro.codegen.program import Instruction, Kind, Mem, Operand, Program, Reg
+from repro.ir.operations import OpCode
+from repro.lifetimes.intervals import Segment
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["lower", "lower_allocation"]
+
+
+class _Locator:
+    """Resolves where a variable's value lives at a given time."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        addresses: dict[str, int],
+    ) -> None:
+        self.allocation = allocation
+        self.problem = allocation.problem
+        self.addresses = dict(addresses)
+        self._scratch = (
+            max(self.addresses.values()) + 1 if self.addresses else 0
+        )
+
+    def address_of(self, name: str) -> int:
+        """Memory address of *name*, allocating scratch space for values
+        that only touch memory through a spill."""
+        if name not in self.addresses:
+            self.addresses[name] = self._scratch
+            self._scratch += 1
+        return self.addresses[name]
+
+    def segment_serving_read(self, name: str, step: int) -> Segment:
+        for seg in self.problem.segments[name]:
+            if step in seg.reads:
+                return seg
+        raise AllocationError(
+            f"no segment of {name!r} serves a read at step {step}"
+        )
+
+    def read_location(self, name: str, step: int) -> Operand:
+        seg = self.segment_serving_read(name, step)
+        register = self.allocation.residency.get(seg.key)
+        if register is not None:
+            return Reg(register)
+        return Mem(self.address_of(name), name)
+
+    def write_location(self, name: str) -> Operand:
+        first = self.problem.segments[name][0]
+        register = self.allocation.residency.get(first.key)
+        if register is not None:
+            return Reg(register)
+        return Mem(self.address_of(name), name)
+
+    def first_access_at_or_after(self, step: int) -> int:
+        access = self.problem.access_times
+        if access is None:
+            return step
+        later = [m for m in access if m >= step]
+        return min(later) if later else self.problem.horizon + 1
+
+
+def lower(result: PipelineResult, use_layout: bool = True) -> Program:
+    """Lower a pipeline result (optionally with its reallocated layout)."""
+    layout = result.memory_layout if use_layout else None
+    return lower_allocation(result.schedule, result.allocation, layout)
+
+
+def lower_allocation(
+    schedule: Schedule,
+    allocation: Allocation,
+    layout: MemoryLayout | None = None,
+) -> Program:
+    """Lower *allocation* (solved over *schedule*) to instructions.
+
+    Args:
+        schedule: The schedule the allocation's lifetimes came from.
+        allocation: The solved allocation.
+        layout: Optional second-pass memory layout; defaults to the
+            allocation's left-edge addresses.
+
+    Returns:
+        The lowered :class:`Program`.
+    """
+    problem = allocation.problem
+    addresses = (
+        dict(layout.addresses) if layout else dict(allocation.memory_addresses)
+    )
+    locator = _Locator(allocation, addresses)
+    instructions: list[Instruction] = []
+
+    for op in schedule.as_ordered_list():
+        step = schedule.read_step(op)
+        if op.opcode is OpCode.OUTPUT:
+            instructions.append(
+                Instruction(
+                    kind=Kind.OUTPUT,
+                    step=step,
+                    write_step=step,
+                    variable=op.inputs[0],
+                    operands=[locator.read_location(op.inputs[0], step)],
+                )
+            )
+            continue
+        assert op.output is not None
+        write_step = schedule.write_step(op)
+        if op.opcode in (OpCode.INPUT, OpCode.CONST):
+            instructions.append(
+                Instruction(
+                    kind=Kind.INPUT,
+                    step=step,
+                    write_step=write_step,
+                    variable=op.output,
+                    dest=locator.write_location(op.output),
+                )
+            )
+            continue
+        instructions.append(
+            Instruction(
+                kind=Kind.OP,
+                step=step,
+                write_step=write_step,
+                variable=op.output,
+                opcode=op.opcode,
+                dest=locator.write_location(op.output),
+                operands=[
+                    locator.read_location(name, step) for name in op.inputs
+                ],
+            )
+        )
+
+    # Spills, reloads and piggyback moves from the register chains.
+    for chain in allocation.chains:
+        for position, seg in enumerate(chain):
+            register = allocation.residency[seg.key]
+            previous = chain[position - 1] if position else None
+            intra = (
+                previous is not None
+                and previous.name == seg.name
+                and previous.index + 1 == seg.index
+            )
+            if not intra and not seg.is_first:
+                if seg.starts_at_access_cut:
+                    instructions.append(
+                        Instruction(
+                            kind=Kind.LOAD,
+                            step=seg.start,
+                            write_step=seg.start,
+                            variable=seg.name,
+                            dest=Reg(register),
+                            operands=[
+                                Mem(locator.address_of(seg.name), seg.name)
+                            ],
+                        )
+                    )
+                else:
+                    # Entry at a read cut: the value rides the consumer's
+                    # read (no extra memory access).
+                    prior = problem.segments[seg.name][seg.index - 1]
+                    prior_register = allocation.residency.get(prior.key)
+                    source: Operand
+                    if prior_register is not None:
+                        source = Reg(prior_register)
+                    else:
+                        source = Mem(
+                            locator.address_of(seg.name), seg.name
+                        )
+                    instructions.append(
+                        Instruction(
+                            kind=Kind.MOVE,
+                            step=seg.start,
+                            write_step=seg.start,
+                            variable=seg.name,
+                            dest=Reg(register),
+                            operands=[source],
+                            piggyback=True,
+                        )
+                    )
+            exits = (
+                position + 1 == len(chain)
+                or chain[position + 1].name != seg.name
+                or chain[position + 1].index != seg.index + 1
+            )
+            if exits and not seg.is_last:
+                spill_step = locator.first_access_at_or_after(seg.end)
+                instructions.append(
+                    Instruction(
+                        kind=Kind.STORE,
+                        step=spill_step,
+                        write_step=spill_step,
+                        variable=seg.name,
+                        dest=Mem(locator.address_of(seg.name), seg.name),
+                        operands=[Reg(register)],
+                    )
+                )
+
+    instructions.sort(key=lambda i: (i.step, i.kind.value, i.variable))
+    return Program(
+        block_name=schedule.block.name,
+        length=schedule.length,
+        instructions=instructions,
+    )

@@ -1,0 +1,153 @@
+"""Symbolic instruction stream produced by lowering an allocation.
+
+Operands are physical locations: register indices (the flow solution's
+chains) or memory addresses (the left-edge / reallocation layout).  The
+instruction kinds mirror what the paper's methodology calls "detailed
+instruction mapping and data layout": compute ops whose operands may be
+registers or memory ("substituting in instructions with a memory
+operand"), explicit LOAD/STORE for spills and reloads ("adding loads and
+stores"), and register-to-register moves for piggyback handoffs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.operations import OpCode
+
+__all__ = ["Reg", "Mem", "Operand", "Kind", "Instruction", "Program"]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A physical register of the file."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"R{self.index}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory location (address plus the variable it holds, for
+    readability)."""
+
+    address: int
+    variable: str = ""
+
+    def __str__(self) -> str:
+        tag = f":{self.variable}" if self.variable else ""
+        return f"M[{self.address}{tag}]"
+
+
+Operand = Reg | Mem
+
+
+class Kind(enum.Enum):
+    """Instruction kinds."""
+
+    INPUT = "input"  # value arrives from outside (no datapath op)
+    OP = "op"  # functional-unit operation
+    OUTPUT = "output"  # value leaves the block
+    LOAD = "load"  # explicit memory -> register reload
+    STORE = "store"  # explicit register -> memory spill
+    MOVE = "move"  # register-to-register / piggyback copy
+
+
+@dataclass
+class Instruction:
+    """One lowered instruction.
+
+    Attributes:
+        kind: Instruction kind.
+        step: Control step at whose top edge operands are sampled.
+        write_step: Step at whose bottom edge the destination is written
+            (equals *step* except for multi-cycle ops).
+        opcode: Datapath opcode (``OP`` instructions only).
+        dest: Destination location, if any.
+        operands: Source locations in positional order.
+        variable: The value concerned (for listings and debugging).
+        piggyback: ``MOVE`` only — the source access is shared with a
+            consumer read and costs no extra memory access.
+    """
+
+    kind: Kind
+    step: int
+    write_step: int
+    variable: str
+    opcode: OpCode | None = None
+    dest: Operand | None = None
+    operands: list[Operand] = field(default_factory=list)
+    piggyback: bool = False
+
+    def format(self) -> str:
+        args = ", ".join(str(op) for op in self.operands)
+        target = f"{self.dest} <- " if self.dest is not None else ""
+        name = self.opcode.value if self.opcode else self.kind.value
+        tail = f"  ; {self.variable}"
+        if self.piggyback:
+            tail += " (piggyback)"
+        return f"{target}{name}({args}){tail}"
+
+
+@dataclass
+class Program:
+    """A lowered basic block."""
+
+    block_name: str
+    length: int
+    instructions: list[Instruction]
+
+    def at_step(self, step: int) -> list[Instruction]:
+        return [i for i in self.instructions if i.step == step]
+
+    @property
+    def code_size(self) -> int:
+        """Executable instructions (sources/sinks excluded)."""
+        return sum(
+            1
+            for i in self.instructions
+            if i.kind in (Kind.OP, Kind.LOAD, Kind.STORE, Kind.MOVE)
+        )
+
+    @property
+    def loads(self) -> int:
+        return sum(1 for i in self.instructions if i.kind is Kind.LOAD)
+
+    @property
+    def stores(self) -> int:
+        return sum(1 for i in self.instructions if i.kind is Kind.STORE)
+
+    @property
+    def memory_reads(self) -> int:
+        """In-block memory read accesses the program performs."""
+        reads = self.loads
+        for i in self.instructions:
+            if i.kind in (Kind.OP, Kind.OUTPUT):
+                reads += sum(1 for op in i.operands if isinstance(op, Mem))
+        return reads
+
+    @property
+    def memory_writes(self) -> int:
+        """In-block memory write accesses the program performs."""
+        writes = self.stores
+        for i in self.instructions:
+            if i.kind in (Kind.OP, Kind.INPUT) and isinstance(i.dest, Mem):
+                writes += 1
+        return writes
+
+    def format(self) -> str:
+        lines = [f"; block {self.block_name} ({self.code_size} instructions)"]
+        for step in range(1, self.length + 2):
+            todo = self.at_step(step)
+            if not todo:
+                continue
+            lines.append(f"step {step}:")
+            for instruction in todo:
+                lines.append(f"  {instruction.format()}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()

@@ -1,0 +1,56 @@
+"""Reference evaluation of basic blocks.
+
+Directly interprets the dataflow graph — no schedule, no storage — to
+produce the ground-truth values the lowered instruction stream must
+reproduce.  Used by the simulator tests as the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.codegen.semantics import evaluate_opcode, mask_of
+from repro.exceptions import GraphError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode
+
+__all__ = ["evaluate_block"]
+
+
+def evaluate_block(
+    block: BasicBlock, inputs: Mapping[str, int]
+) -> dict[str, int]:
+    """Evaluate *block* on concrete *inputs*.
+
+    Args:
+        block: The block to evaluate.
+        inputs: Value per ``INPUT``/``CONST`` variable (unsigned encoding
+            within the variable's width).
+
+    Returns:
+        The value of every defined variable.
+
+    Raises:
+        GraphError: On missing inputs or out-of-range values.
+    """
+    values: dict[str, int] = {}
+    for op in block:
+        if op.output is None:
+            continue  # sinks compute nothing
+        width = block.variable(op.output).width
+        if op.opcode in (OpCode.INPUT, OpCode.CONST):
+            if op.output not in inputs:
+                raise GraphError(
+                    f"no value supplied for source {op.output!r}"
+                )
+            value = inputs[op.output]
+            if not 0 <= value <= mask_of(width):
+                raise GraphError(
+                    f"value {value} for {op.output!r} exceeds "
+                    f"{width} bits"
+                )
+            values[op.output] = value
+            continue
+        operands = [values[name] for name in op.inputs]
+        values[op.output] = evaluate_opcode(op.opcode, operands, width)
+    return values

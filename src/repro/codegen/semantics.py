@@ -1,0 +1,77 @@
+"""Concrete semantics of the IR opcodes.
+
+Fixed-width two's-complement arithmetic so the instruction simulator and
+the reference evaluator agree bit-for-bit.  Shift is a logical right shift
+by one (the scaling step of fixed-point DSP kernels); CMP yields 0/1.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.ir.operations import OpCode
+
+__all__ = ["evaluate_opcode", "mask_of"]
+
+
+def mask_of(width: int) -> int:
+    """All-ones mask of *width* bits (the unsigned value range)."""
+    return (1 << width) - 1
+
+
+def _to_signed(value: int, width: int) -> int:
+    sign = 1 << (width - 1)
+    return (value & mask_of(width)) - ((value & sign) << 1)
+
+
+def evaluate_opcode(
+    opcode: OpCode, operands: list[int], width: int
+) -> int:
+    """Apply *opcode* to *operands* (unsigned encodings) at *width* bits."""
+    mask = mask_of(width)
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise GraphError(
+                f"{opcode.value} expects {count} operands, "
+                f"got {len(operands)}"
+            )
+
+    if opcode is OpCode.ADD:
+        need(2)
+        return (operands[0] + operands[1]) & mask
+    if opcode is OpCode.SUB:
+        need(2)
+        return (operands[0] - operands[1]) & mask
+    if opcode is OpCode.MUL:
+        need(2)
+        return (operands[0] * operands[1]) & mask
+    if opcode is OpCode.MAC:
+        need(3)
+        return (operands[0] * operands[1] + operands[2]) & mask
+    if opcode is OpCode.SHIFT:
+        need(1)
+        return (operands[0] & mask) >> 1
+    if opcode is OpCode.AND:
+        need(2)
+        return operands[0] & operands[1] & mask
+    if opcode is OpCode.OR:
+        need(2)
+        return (operands[0] | operands[1]) & mask
+    if opcode is OpCode.XOR:
+        need(2)
+        return (operands[0] ^ operands[1]) & mask
+    if opcode is OpCode.NEG:
+        need(1)
+        return (-operands[0]) & mask
+    if opcode is OpCode.ABS:
+        need(1)
+        return abs(_to_signed(operands[0], width)) & mask
+    if opcode is OpCode.CMP:
+        need(2)
+        return int(
+            _to_signed(operands[0], width) < _to_signed(operands[1], width)
+        )
+    if opcode is OpCode.MOVE:
+        need(1)
+        return operands[0] & mask
+    raise GraphError(f"opcode {opcode.value} has no datapath semantics")

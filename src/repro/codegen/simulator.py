@@ -1,0 +1,179 @@
+"""Cycle-based simulation of lowered programs.
+
+Executes a :class:`~repro.codegen.program.Program` against concrete input
+values on a simple machine (a register file and a flat memory) honouring
+the package's timing conventions: operand sampling at the top edge of an
+instruction's issue step, destination writes at the bottom edge of its
+write step.  The simulator is the repository's strongest end-to-end check:
+if the allocator, the splitter, the address assigner or the lowering were
+wrong about *where a value lives when*, the simulated outputs would
+diverge from the reference dataflow evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.codegen.program import Instruction, Kind, Mem, Program, Reg
+from repro.codegen.reference import evaluate_block
+from repro.codegen.semantics import evaluate_opcode
+from repro.core.allocation import Allocation
+from repro.exceptions import AllocationError
+from repro.ir.basic_block import BasicBlock
+
+__all__ = ["MachineState", "simulate", "verify_program"]
+
+
+@dataclass
+class MachineState:
+    """Final machine state of a simulation.
+
+    Attributes:
+        registers: Register index → last written value.
+        memory: Address → last written value.
+        outputs: Values sampled by OUTPUT instructions, per variable.
+    """
+
+    registers: dict[int, int] = field(default_factory=dict)
+    memory: dict[int, int] = field(default_factory=dict)
+    outputs: dict[str, int] = field(default_factory=dict)
+
+
+def _sample(state: MachineState, operand, instruction: Instruction) -> int:
+    if isinstance(operand, Reg):
+        if operand.index not in state.registers:
+            raise AllocationError(
+                f"{instruction.format()} reads uninitialised {operand}"
+            )
+        return state.registers[operand.index]
+    if isinstance(operand, Mem):
+        if operand.address not in state.memory:
+            raise AllocationError(
+                f"{instruction.format()} reads uninitialised {operand}"
+            )
+        return state.memory[operand.address]
+    raise AllocationError(f"unknown operand {operand!r}")
+
+
+def simulate(
+    program: Program,
+    block: BasicBlock,
+    inputs: Mapping[str, int],
+) -> MachineState:
+    """Run *program* with the given source values.
+
+    Args:
+        program: The lowered instruction stream.
+        block: The originating block (supplies widths and source values'
+            names; ``INPUT``/``CONST`` instructions take their value from
+            *inputs*).
+        inputs: Value per source variable.
+
+    Returns:
+        The final :class:`MachineState`.
+
+    Raises:
+        AllocationError: On reads of never-written locations — i.e. a
+            lowering or allocation bug.
+    """
+    state = MachineState()
+    pending: dict[int, list[tuple[Instruction, int]]] = {}
+    last_step = max(
+        (i.write_step for i in program.instructions), default=0
+    )
+    for step in range(1, last_step + 1):
+        # Top edge: sample operands of instructions issuing now.
+        for instruction in program.at_step(step):
+            if instruction.kind is Kind.INPUT:
+                name = instruction.variable
+                if name not in inputs:
+                    raise AllocationError(
+                        f"no input value for source {name!r}"
+                    )
+                value = inputs[name]
+            elif instruction.kind is Kind.OP:
+                operands = [
+                    _sample(state, op, instruction)
+                    for op in instruction.operands
+                ]
+                width = block.variable(instruction.variable).width
+                assert instruction.opcode is not None
+                value = evaluate_opcode(
+                    instruction.opcode, operands, width
+                )
+            elif instruction.kind is Kind.OUTPUT:
+                state.outputs[instruction.variable] = _sample(
+                    state, instruction.operands[0], instruction
+                )
+                continue
+            else:  # LOAD / STORE / MOVE copy one value
+                value = _sample(
+                    state, instruction.operands[0], instruction
+                )
+            pending.setdefault(instruction.write_step, []).append(
+                (instruction, value)
+            )
+        # Bottom edge: apply destination writes landing this step.
+        for instruction, value in pending.pop(step, ()):  # type: ignore[arg-type]
+            dest = instruction.dest
+            if dest is None:
+                continue
+            if isinstance(dest, Reg):
+                state.registers[dest.index] = value
+            else:
+                state.memory[dest.address] = value
+    if pending:
+        raise AllocationError(
+            f"writes left unapplied past step {last_step}: {sorted(pending)}"
+        )
+    return state
+
+
+def verify_program(
+    program: Program,
+    block: BasicBlock,
+    allocation: Allocation,
+    inputs: Mapping[str, int],
+) -> MachineState:
+    """Simulate and check every observable value against the reference.
+
+    Checks (raising :class:`AllocationError` on the first mismatch):
+
+    * every OUTPUT-sampled value equals the reference evaluation;
+    * every live-out variable's value, read from its final storage
+      location (register chain or memory address), equals the reference.
+    """
+    reference = evaluate_block(block, inputs)
+    state = simulate(program, block, inputs)
+    for name, value in state.outputs.items():
+        if value != reference[name]:
+            raise AllocationError(
+                f"output {name!r}: simulated {value}, "
+                f"reference {reference[name]}"
+            )
+    problem = allocation.problem
+    for name in block.live_out:
+        final = problem.segments[name][-1]
+        register = allocation.residency.get(final.key)
+        if register is not None:
+            observed = state.registers.get(register)
+        else:
+            # The program's own memory destinations are authoritative
+            # (they reflect whichever layout the lowering used).
+            address = None
+            for instruction in program.instructions:
+                if (
+                    isinstance(instruction.dest, Mem)
+                    and instruction.dest.variable == name
+                ):
+                    address = instruction.dest.address
+            observed = (
+                state.memory.get(address) if address is not None else None
+            )
+        if observed != reference[name]:
+            raise AllocationError(
+                f"live-out {name!r}: simulated {observed}, "
+                f"reference {reference[name]}"
+            )
+    return state

@@ -1,0 +1,93 @@
+"""Arc-cost assignment (the energy semantics of eqs. 3-10, generalised).
+
+The paper attaches all energy deltas to the handoff arcs and keeps segment
+arcs at cost zero (eq. 3).  This module uses the equivalent *uniform*
+decomposition — read credits live on the segment arcs, entry/exit effects
+on the handoff arcs — which extends cleanly to every segment kind the
+splitting machinery can produce (access-time cuts, unsplit multi-read
+lifetimes, forced segments).  Shifting cost between a segment arc and its
+incident handoff arcs never changes any flow's total cost (conservation),
+so optima are identical; :mod:`repro.core.paper_equations` provides the
+literal per-equation arc costs and the tests cross-check the two.
+
+Cost components, for an energy model ``E``:
+
+* segment arc ``w_i(v) -> r_i(v)`` serving reads ``R_i``:
+  ``|R_i| * (E.reg_read(v) - E.mem_read(v))`` — each served read comes from
+  the register file instead of memory;
+* handoff arc into a segment of ``v2`` (from a segment of ``v1``, or from
+  the source ``s``):
+  ``+ E.reg_write(v2, prev=v1)``  (new value enters the register), plus
+  ``- E.mem_write(v2)`` when the segment is the variable's first (the
+  definition write to memory is avoided), or
+  ``+ E.mem_read(v2)`` when the segment begins at a pure access cut (an
+  explicit reload from memory; a segment beginning at a read time
+  piggybacks on the consumer's already-paid read);
+* handoff arc out of a *non-final* segment of ``v1`` (to another variable
+  or to the sink): ``+ E.mem_write(v1)`` — the live value is spilled back
+  to memory so the variable's remaining reads can be served (the paper's
+  eq. 6 spill term);
+* intra-variable arcs ``r_i(v) -> w_{i+1}(v)`` cost nothing here (the read
+  credit already sits on the segment arc, and a value staying put switches
+  no register bits — ``H(v, v) = 0``).
+"""
+
+from __future__ import annotations
+
+from repro.energy.models import EnergyModel
+from repro.lifetimes.intervals import Segment
+
+__all__ = ["segment_cost", "handoff_cost", "intra_cost"]
+
+
+def segment_cost(model: EnergyModel, segment: Segment) -> float:
+    """Cost of the ``w_i(v) -> r_i(v)`` arc (register-resident segment)."""
+    v = segment.variable
+    reads = segment.read_count
+    if not reads:
+        return 0.0
+    return reads * (model.reg_read(v) - model.mem_read(v))
+
+
+def handoff_cost(
+    model: EnergyModel,
+    source: Segment | None,
+    target: Segment | None,
+) -> float:
+    """Cost of a handoff arc.
+
+    Args:
+        model: Energy model.
+        source: Segment whose read node the arc leaves, or ``None`` for the
+            flow source ``s`` (register initially holds unknown data).
+        target: Segment whose write node the arc enters, or ``None`` for
+            the sink ``t`` (register retires).
+
+    Returns:
+        The arc cost (may be negative: register residency usually *saves*
+        energy relative to the all-in-memory constant term).
+    """
+    cost = 0.0
+    if source is not None and not source.is_last:
+        # Spill: remaining reads of the source variable need a memory copy.
+        cost += model.mem_write(source.variable)
+    if target is not None:
+        if target.is_first:
+            cost -= model.mem_write(target.variable)
+        elif target.starts_at_access_cut:
+            cost += model.mem_read(target.variable)
+        prev = source.variable if source is not None else None
+        cost += model.reg_write(target.variable, prev)
+    return cost
+
+
+def intra_cost(
+    model: EnergyModel, earlier: Segment, later: Segment
+) -> float:
+    """Cost of the intra-variable arc ``r_i(v) -> w_{i+1}(v)``.
+
+    Zero under the uniform decomposition: the value stays in its register
+    (no bit flips, no new accesses) and the read credit is carried by the
+    segment arc.
+    """
+    return 0.0

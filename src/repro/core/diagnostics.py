@@ -1,0 +1,123 @@
+"""Infeasibility diagnostics.
+
+A fixed-value flow with lower bounds can be infeasible — in this domain
+almost always because restricted memory access times force more segments
+into the register file than the file can hold at once.  When ``allocate``
+raises :class:`InfeasibleFlowError`, this module explains *why* and *what
+would fix it*: the overload steps, the forced segments alive there, and
+the minimum register count (or the loosest memory period) that restores
+feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.exceptions import InfeasibleFlowError
+from repro.lifetimes.intervals import density_profile
+
+__all__ = ["FeasibilityReport", "diagnose", "minimum_feasible_registers"]
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Why an instance is (in)feasible at its register count.
+
+    Attributes:
+        feasible: Whether the instance solves as given.
+        register_count: The instance's register supply ``R``.
+        forced_density: Peak number of simultaneously live forced
+            segments — a lower bound on the registers needed.
+        overload_steps: Half-point steps where the forced density exceeds
+            ``R`` (empty when feasible).
+        forced_at_peak: Variable names of forced segments alive at the
+            worst overload step.
+        minimum_registers: Smallest ``R`` at which the instance solves.
+    """
+
+    feasible: bool
+    register_count: int
+    forced_density: int
+    overload_steps: tuple[int, ...]
+    forced_at_peak: tuple[str, ...]
+    minimum_registers: int
+
+    def summary(self) -> str:
+        if self.feasible:
+            return (
+                f"feasible at R={self.register_count} "
+                f"(forced density {self.forced_density})"
+            )
+        steps = ", ".join(str(s) for s in self.overload_steps)
+        names = ", ".join(self.forced_at_peak)
+        return (
+            f"infeasible at R={self.register_count}: forced density "
+            f"{self.forced_density} (steps {steps}; variables {names}); "
+            f"needs R>={self.minimum_registers}"
+        )
+
+
+def _forced_segments(problem: AllocationProblem):
+    return [
+        seg
+        for segments in problem.segments.values()
+        for seg in segments
+        if problem.is_forced(seg)
+    ]
+
+
+def diagnose(problem: AllocationProblem) -> FeasibilityReport:
+    """Analyse the feasibility of *problem* and explain any overload."""
+    forced = _forced_segments(problem)
+    profile = density_profile(forced, problem.horizon)
+    forced_density = max(profile, default=0)
+    overload = tuple(
+        k
+        for k, value in enumerate(profile)
+        if value > problem.register_count
+    )
+    peak_names: tuple[str, ...] = ()
+    if overload:
+        worst = max(overload, key=lambda k: profile[k])
+        peak_names = tuple(
+            sorted({seg.name for seg in forced if seg.alive_at(worst)})
+        )
+    feasible = _solves(problem)
+    return FeasibilityReport(
+        feasible=feasible,
+        register_count=problem.register_count,
+        forced_density=forced_density,
+        overload_steps=overload,
+        forced_at_peak=peak_names,
+        minimum_registers=minimum_feasible_registers(problem),
+    )
+
+
+def _solves(problem: AllocationProblem) -> bool:
+    try:
+        allocate(problem, validate=False)
+    except InfeasibleFlowError:
+        return False
+    return True
+
+
+def minimum_feasible_registers(problem: AllocationProblem) -> int:
+    """Smallest register count at which *problem* becomes feasible.
+
+    Binary-searches between the forced-density lower bound and the total
+    lifetime density (always sufficient).
+    """
+    forced = _forced_segments(problem)
+    low = max(density_profile(forced, problem.horizon), default=0)
+    high = max(problem.max_density, low)
+    if _solves(problem.with_options(register_count=low)):
+        return low
+    while low < high:
+        mid = (low + high) // 2
+        if _solves(problem.with_options(register_count=mid)):
+            high = mid
+        else:
+            low = mid + 1
+    return low

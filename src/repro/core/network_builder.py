@@ -1,0 +1,223 @@
+"""Network flow graph construction (paper section 5.1 / 5.2).
+
+Builds the minimum-cost flow network from the split lifetimes of an
+:class:`~repro.core.problem.AllocationProblem`:
+
+* one ``w_i(v) -> r_i(v)`` arc per segment (capacity 1; lower bound 1 when
+  the segment is forced register-resident);
+* intra-variable arcs ``r_i(v) -> w_{i+1}(v)`` between consecutive
+  segments;
+* handoff arcs between segments of different variables, from the source
+  ``s`` (a pseudo-read at time 0), and to the sink ``t`` (a pseudo-write at
+  time ``x + 1``).
+
+Two handoff rules are provided.  The paper's rule (``"adjacent"``) allows a
+register to idle between a read at step ``b`` and a write at step ``a``
+only when no *maximum-density* half-point lies in the idle window
+``(b, a)``; on figure 1 this reduces exactly to "complete bipartite graphs
+between adjacent regions of maximum lifetime density" and it keeps every
+register busy across density peaks, which is what bounds the number of
+memory locations.  The prior-art rule (``"all_pairs"``, Chang-Pedram [8])
+connects every time-compatible pair.
+
+Implementation note: the idle-window test compresses to an *era* index —
+``era(k)`` counts the maximum-density half-points before step ``k``; a
+handoff is adjacent-legal iff its endpoints share an era.  Events are
+bucketed by era, so construction is linear in the number of legal arcs.
+
+Restricted memory access times add two legality constraints (section 5.2
+semantics): a value leaving the register file mid-lifetime must spill at a
+memory access step, so handoffs *out of a non-final segment* require the
+segment to end on an access step; the matching reload cost for entering at
+an access cut is handled by :mod:`repro.core.costs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.costs import handoff_cost, intra_cost, segment_cost
+from repro.core.problem import AllocationProblem
+from repro.exceptions import GraphError
+from repro.flow.graph import Arc, FlowNetwork
+from repro.lifetimes.intervals import Segment
+
+__all__ = ["SOURCE", "SINK", "BuiltNetwork", "build_network"]
+
+SOURCE: Hashable = "s"
+SINK: Hashable = "t"
+
+
+def _write_node(segment: Segment) -> tuple[str, str, int]:
+    return ("w", segment.name, segment.index)
+
+
+def _read_node(segment: Segment) -> tuple[str, str, int]:
+    return ("r", segment.name, segment.index)
+
+
+@dataclass
+class BuiltNetwork:
+    """The flow network of one allocation instance plus its bookkeeping.
+
+    Attributes:
+        problem: The instance the network encodes.
+        network: The flow network (arc ``data`` fields describe arc roles:
+            ``("segment", seg)``, ``("intra", a, b)``,
+            ``("handoff", src|None, dst|None)`` with ``None`` meaning
+            ``s``/``t``, and ``("bypass",)``).
+        source / sink: Flow terminals.
+        segment_arcs: Segment key → its ``w -> r`` arc.
+    """
+
+    problem: AllocationProblem
+    network: FlowNetwork
+    source: Hashable
+    sink: Hashable
+    segment_arcs: dict[tuple[str, int], Arc]
+
+    @property
+    def flow_value(self) -> int:
+        """The fixed flow: the register count ``R``."""
+        return self.problem.register_count
+
+
+def build_network(problem: AllocationProblem) -> BuiltNetwork:
+    """Construct the flow network for *problem*."""
+    model = problem.energy_model
+    network = FlowNetwork()
+    network.add_node(SOURCE)
+    network.add_node(SINK)
+
+    segments = [seg for segs in problem.segments.values() for seg in segs]
+    known_keys = {seg.key for seg in segments}
+    unknown = problem.forced_segments - known_keys
+    if unknown:
+        raise GraphError(
+            f"forced_segments reference unknown segments: {sorted(unknown)}"
+        )
+    segment_arcs: dict[tuple[str, int], Arc] = {}
+    for seg in segments:
+        arc = network.add_arc(
+            _write_node(seg),
+            _read_node(seg),
+            capacity=1,
+            lower=1 if problem.is_forced(seg) else 0,
+            cost=segment_cost(model, seg),
+            data=("segment", seg),
+        )
+        segment_arcs[seg.key] = arc
+
+    # Intra-variable arcs between consecutive segments.
+    for segs in problem.segments.values():
+        for earlier, later in zip(segs, segs[1:]):
+            network.add_arc(
+                _read_node(earlier),
+                _write_node(later),
+                capacity=1,
+                cost=intra_cost(model, earlier, later),
+                data=("intra", earlier, later),
+            )
+
+    _add_handoffs(problem, network, segments)
+
+    if problem.allow_unused_registers and problem.register_count > 0:
+        network.add_arc(
+            SOURCE,
+            SINK,
+            capacity=problem.register_count,
+            cost=0.0,
+            data=("bypass",),
+        )
+    return BuiltNetwork(problem, network, SOURCE, SINK, segment_arcs)
+
+
+def _add_handoffs(
+    problem: AllocationProblem,
+    network: FlowNetwork,
+    segments: list[Segment],
+) -> None:
+    """Add source/handoff/sink arcs under the problem's graph style."""
+    model = problem.energy_model
+    access = problem.access_times
+    end_time = problem.horizon + 1
+
+    def spill_legal(seg: Segment) -> bool:
+        # Leaving the register file before the variable's last read
+        # requires a write-back, only possible at a memory access step.
+        if seg.is_last:
+            return True
+        return access is None or seg.end in access
+
+    adjacent = problem.graph_style == "adjacent"
+    if adjacent:
+        era = _era_index(problem)
+        # Bucket candidate targets by era so only same-era pairs are tried.
+        targets: dict[int, list[Segment]] = {}
+        for seg in segments:
+            targets.setdefault(era[seg.start], []).append(seg)
+
+        def candidates(read_time: int) -> list[Segment]:
+            return targets.get(era[read_time], [])
+
+        def compatible(read_time: int, write_time: int) -> bool:
+            return read_time <= write_time and era[read_time] == era[write_time]
+    else:
+
+        def candidates(read_time: int) -> list[Segment]:
+            return segments
+
+        def compatible(read_time: int, write_time: int) -> bool:
+            return read_time <= write_time
+
+    for dst in candidates(0):
+        if compatible(0, dst.start):
+            network.add_arc(
+                SOURCE,
+                _write_node(dst),
+                capacity=1,
+                cost=handoff_cost(model, None, dst),
+                data=("handoff", None, dst),
+            )
+    for src in segments:
+        if not spill_legal(src):
+            continue
+        if compatible(src.end, end_time):
+            network.add_arc(
+                _read_node(src),
+                SINK,
+                capacity=1,
+                cost=handoff_cost(model, src, None),
+                data=("handoff", src, None),
+            )
+        for dst in candidates(src.end):
+            if dst.name == src.name:
+                continue  # same-variable moves use the intra arcs
+            if src.end <= dst.start:
+                network.add_arc(
+                    _read_node(src),
+                    _write_node(dst),
+                    capacity=1,
+                    cost=handoff_cost(model, src, dst),
+                    data=("handoff", src, dst),
+                )
+
+
+def _era_index(problem: AllocationProblem) -> list[int]:
+    """``era[k]`` = number of maximum-density half-points before step ``k``.
+
+    A register may idle from a read at step ``b`` to a write at step ``a``
+    iff no maximum-density half-point lies in ``[b + 0.5, a - 0.5]``, i.e.
+    iff ``era[b] == era[a]``.  Indexed for ``k = 0 .. horizon + 1``.
+    """
+    density = problem.density
+    peak = problem.max_density
+    era = [0] * (problem.horizon + 2)
+    count = 0
+    for k in range(problem.horizon + 1):
+        era[k] = count
+        if peak > 0 and density[k] == peak:
+            count += 1
+    era[problem.horizon + 1] = count
+    return era

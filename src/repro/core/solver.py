@@ -1,0 +1,90 @@
+"""The allocator: solve Problem 1 by minimum-cost network flow.
+
+``allocate(problem)`` is the package's central entry point: it builds the
+flow network, solves the (possibly lower-bounded) minimum-cost flow at flow
+value ``R``, decomposes the solution into register chains, assigns memory
+addresses, and returns a fully accounted :class:`Allocation`.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import (
+    Allocation,
+    assign_addresses,
+    compute_report,
+    decompose_chains,
+    memory_intervals,
+)
+from repro.core.network_builder import BuiltNetwork, build_network
+from repro.core.problem import AllocationProblem
+from repro.exceptions import AllocationError
+from repro.flow.lower_bounds import solve as flow_solve
+from repro.flow.validate import check_flow
+
+__all__ = ["allocate", "solve_built"]
+
+#: Absolute tolerance when cross-checking the recomputed energy against the
+#: flow objective.
+_ENERGY_TOLERANCE = 1e-6
+
+
+def allocate(
+    problem: AllocationProblem, validate: bool = True
+) -> Allocation:
+    """Solve *problem* and return the optimal :class:`Allocation`.
+
+    Args:
+        problem: The instance to solve.
+        validate: Run the flow validator and the energy cross-check on the
+            solution (cheap; disable only in tight benchmarking loops).
+
+    Raises:
+        InfeasibleFlowError: If the register count cannot be realised — in
+            practice only when forced (restricted-access) segments demand
+            more simultaneous registers than available.
+        AllocationError: If internal invariants are violated (a bug).
+    """
+    built = build_network(problem)
+    return solve_built(built, validate=validate)
+
+
+def solve_built(built: BuiltNetwork, validate: bool = True) -> Allocation:
+    """Solve an already-constructed network (used by ablation benches)."""
+    problem = built.problem
+    flow = flow_solve(
+        built.network, built.source, built.sink, built.flow_value
+    )
+    if validate:
+        check_flow(flow, built.source, built.sink, built.flow_value)
+
+    chains, bypass_units = decompose_chains(built, flow)
+    residency: dict[tuple[str, int], int] = {}
+    for register, chain in enumerate(chains):
+        for seg in chain:
+            residency[seg.key] = register
+
+    report = compute_report(problem, chains)
+    intervals = memory_intervals(problem, residency)
+    addresses = assign_addresses(intervals)
+    objective = problem.constant_energy() + flow.cost
+
+    if validate:
+        recomputed = report.total_energy
+        if abs(recomputed - objective) > _ENERGY_TOLERANCE * (
+            1.0 + abs(objective)
+        ):
+            raise AllocationError(
+                f"energy accounting mismatch: flow objective {objective:.6f}"
+                f" vs recomputed {recomputed:.6f}"
+            )
+
+    return Allocation(
+        problem=problem,
+        flow=flow,
+        chains=chains,
+        residency=residency,
+        memory_addresses=addresses,
+        report=report,
+        objective=objective,
+        unused_registers=bypass_units,
+    )

@@ -1,0 +1,43 @@
+"""Energy-model substrate: capacitance tables, static/activity models,
+voltage-frequency scaling, switching estimation, and reports."""
+
+from repro.energy.capacitance import NOMINAL_VOLTAGE, CapacitanceTable
+from repro.energy.models import (
+    ActivityEnergyModel,
+    EnergyModel,
+    PairwiseSwitchingModel,
+    StaticEnergyModel,
+)
+from repro.energy.report import EnergyReport
+from repro.energy.switching import (
+    attach_traces,
+    correlated_trace,
+    gaussian_dsp_trace,
+    pairwise_activity_table,
+    uniform_trace,
+)
+from repro.energy.voltage import (
+    MemoryConfig,
+    cmos_delay_factor,
+    max_divisor_supply,
+    scale_energy,
+)
+
+__all__ = [
+    "ActivityEnergyModel",
+    "CapacitanceTable",
+    "EnergyModel",
+    "EnergyReport",
+    "MemoryConfig",
+    "NOMINAL_VOLTAGE",
+    "PairwiseSwitchingModel",
+    "StaticEnergyModel",
+    "attach_traces",
+    "cmos_delay_factor",
+    "correlated_trace",
+    "gaussian_dsp_trace",
+    "max_divisor_supply",
+    "pairwise_activity_table",
+    "scale_energy",
+    "uniform_trace",
+]

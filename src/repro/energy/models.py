@@ -1,0 +1,235 @@
+"""Energy models for storage components.
+
+Implements the two models of section 3:
+
+* :class:`StaticEnergyModel` — eq. (1): fixed per-access read/write energies
+  for both the memory and the register file.
+* :class:`ActivityEnergyModel` — eq. (2): memory keeps per-access energies,
+  but register-file energy is activity based — writing a value ``v2`` into
+  a register previously holding ``v1`` dissipates
+  ``H(v1, v2) * C_rw^r * Vr^2``.
+
+Both models share the :class:`EnergyModel` interface the cost assignment
+and metrics code consume, and both support independent voltage scaling of
+the memory and register components (section 5.2 pairs a slowed memory with
+a scaled supply).
+
+:class:`PairwiseSwitchingModel` is an activity model whose inter-variable
+switching activities are given explicitly, reproducing the cost tables of
+figures 3 and 4 of the paper verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.energy.capacitance import NOMINAL_VOLTAGE, CapacitanceTable
+from repro.exceptions import EnergyModelError
+from repro.ir.values import DataVariable, expected_hamming, mean_trace_hamming
+
+__all__ = [
+    "EnergyModel",
+    "StaticEnergyModel",
+    "ActivityEnergyModel",
+    "PairwiseSwitchingModel",
+]
+
+
+@runtime_checkable
+class EnergyModel(Protocol):
+    """Per-access energies the allocator charges.
+
+    ``reg_write`` receives the value previously held by the register
+    (``None`` for a register of unknown initial contents, i.e. a path
+    starting at the source node); static models ignore it.
+    """
+
+    def mem_read(self, v: DataVariable) -> float: ...
+
+    def mem_write(self, v: DataVariable) -> float: ...
+
+    def reg_read(self, v: DataVariable) -> float: ...
+
+    def reg_write(self, v: DataVariable, prev: DataVariable | None) -> float: ...
+
+    def with_voltages(
+        self, mem_voltage: float, reg_voltage: float
+    ) -> "EnergyModel": ...
+
+
+def _check_voltage(voltage: float) -> float:
+    if voltage <= 0:
+        raise EnergyModelError(f"non-positive supply voltage {voltage}")
+    return voltage
+
+
+@dataclass(frozen=True)
+class StaticEnergyModel:
+    """Eq. (1): constant per-access energies (``E = C * V^2``).
+
+    Attributes:
+        table: Switched-capacitance table.
+        mem_voltage: Supply of the memory component.
+        reg_voltage: Supply of the register file.
+    """
+
+    table: CapacitanceTable = field(default_factory=CapacitanceTable)
+    mem_voltage: float = NOMINAL_VOLTAGE
+    reg_voltage: float = NOMINAL_VOLTAGE
+
+    def __post_init__(self) -> None:
+        _check_voltage(self.mem_voltage)
+        _check_voltage(self.reg_voltage)
+
+    def mem_read(self, v: DataVariable) -> float:
+        return self.table.energy(self.table.mem_read, self.mem_voltage)
+
+    def mem_write(self, v: DataVariable) -> float:
+        return self.table.energy(self.table.mem_write, self.mem_voltage)
+
+    def reg_read(self, v: DataVariable) -> float:
+        return self.table.energy(self.table.reg_read, self.reg_voltage)
+
+    def reg_write(self, v: DataVariable, prev: DataVariable | None) -> float:
+        return self.table.energy(self.table.reg_write, self.reg_voltage)
+
+    def with_voltages(
+        self, mem_voltage: float, reg_voltage: float
+    ) -> "StaticEnergyModel":
+        return replace(
+            self, mem_voltage=mem_voltage, reg_voltage=reg_voltage
+        )
+
+
+@dataclass(frozen=True)
+class ActivityEnergyModel:
+    """Eq. (2): Hamming-distance register-file energy, static memory energy.
+
+    Register writes cost ``H(prev, v) * C_rw^r * Vr^2`` where the Hamming
+    distance comes from attached value traces (falling back to the 0.5
+    expected activity of section 6 when traces are missing); register reads
+    are free, as in eq. (2).  Memory accesses keep the static per-access
+    model — simultaneously activity-modelling memory would need the
+    NP-complete two-commodity flow the paper rules out (section 7).
+
+    Attributes:
+        table: Switched-capacitance table (uses ``reg_bit`` for C_rw^r).
+        mem_voltage: Memory supply.
+        reg_voltage: Register-file supply.
+        start_activity: Fraction of bits assumed to flip when a register of
+            unknown contents is first written.
+    """
+
+    table: CapacitanceTable = field(default_factory=CapacitanceTable)
+    mem_voltage: float = NOMINAL_VOLTAGE
+    reg_voltage: float = NOMINAL_VOLTAGE
+    start_activity: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_voltage(self.mem_voltage)
+        _check_voltage(self.reg_voltage)
+        if not 0.0 <= self.start_activity <= 1.0:
+            raise EnergyModelError(
+                f"start activity {self.start_activity} outside [0, 1]"
+            )
+
+    def mem_read(self, v: DataVariable) -> float:
+        return self.table.energy(self.table.mem_read, self.mem_voltage)
+
+    def mem_write(self, v: DataVariable) -> float:
+        return self.table.energy(self.table.mem_write, self.mem_voltage)
+
+    def reg_read(self, v: DataVariable) -> float:
+        return 0.0
+
+    def reg_write(self, v: DataVariable, prev: DataVariable | None) -> float:
+        hamming = self.hamming(prev, v)
+        return self.table.energy(self.table.reg_bit, self.reg_voltage) * hamming
+
+    def hamming(self, prev: DataVariable | None, v: DataVariable) -> float:
+        """Estimated bit flips when *v* replaces *prev* in a register."""
+        if prev is None:
+            return expected_hamming(v.width, self.start_activity)
+        if prev.name == v.name:
+            return 0.0
+        return mean_trace_hamming(prev, v)
+
+    def with_voltages(
+        self, mem_voltage: float, reg_voltage: float
+    ) -> "ActivityEnergyModel":
+        return replace(
+            self, mem_voltage=mem_voltage, reg_voltage=reg_voltage
+        )
+
+
+@dataclass(frozen=True)
+class PairwiseSwitchingModel:
+    """Activity model with an explicit inter-variable switching table.
+
+    The paper's figures 3 and 4 specify switching activities per variable
+    pair directly (e.g. ``a -> b: 0.2``, as a fraction of the word width);
+    this model consumes such a table verbatim.  Pairs are symmetric by
+    default; a missing pair falls back to *default_activity*.
+
+    Attributes:
+        activities: ``(v1 name, v2 name) -> fraction of bits flipping``.
+        table: Capacitance table (uses ``reg_bit`` x width).
+        mem_voltage: Memory supply.
+        reg_voltage: Register-file supply.
+        start_activity: Activity charged when a path's first variable
+            enters a register ("0.5 of the bits change at time 0").
+        default_activity: Activity for pairs absent from the table.
+    """
+
+    activities: Mapping[tuple[str, str], float] = field(default_factory=dict)
+    table: CapacitanceTable = field(default_factory=CapacitanceTable)
+    mem_voltage: float = NOMINAL_VOLTAGE
+    reg_voltage: float = NOMINAL_VOLTAGE
+    start_activity: float = 0.5
+    default_activity: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_voltage(self.mem_voltage)
+        _check_voltage(self.reg_voltage)
+        for pair, activity in self.activities.items():
+            if not 0.0 <= activity <= 1.0:
+                raise EnergyModelError(
+                    f"switching activity {activity} for pair {pair} "
+                    "outside [0, 1]"
+                )
+
+    def mem_read(self, v: DataVariable) -> float:
+        return self.table.energy(self.table.mem_read, self.mem_voltage)
+
+    def mem_write(self, v: DataVariable) -> float:
+        return self.table.energy(self.table.mem_write, self.mem_voltage)
+
+    def reg_read(self, v: DataVariable) -> float:
+        return 0.0
+
+    def reg_write(self, v: DataVariable, prev: DataVariable | None) -> float:
+        activity = self.activity(prev, v)
+        bit_energy = self.table.energy(self.table.reg_bit, self.reg_voltage)
+        return bit_energy * activity * v.width
+
+    def activity(self, prev: DataVariable | None, v: DataVariable) -> float:
+        """Switching fraction when *v* replaces *prev*."""
+        if prev is None:
+            return self.start_activity
+        if prev.name == v.name:
+            return 0.0
+        key = (prev.name, v.name)
+        if key in self.activities:
+            return self.activities[key]
+        reverse = (v.name, prev.name)
+        if reverse in self.activities:
+            return self.activities[reverse]
+        return self.default_activity
+
+    def with_voltages(
+        self, mem_voltage: float, reg_voltage: float
+    ) -> "PairwiseSwitchingModel":
+        return replace(
+            self, mem_voltage=mem_voltage, reg_voltage=reg_voltage
+        )

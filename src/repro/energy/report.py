@@ -1,0 +1,92 @@
+"""Energy accounting reports.
+
+The allocator produces an :class:`EnergyReport` per solution: access counts
+and energy per storage component, independently recomputed from the
+extracted allocation (not just read off the flow objective), so the test
+suite can assert the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyReport"]
+
+
+@dataclass
+class EnergyReport:
+    """Access counts and energy breakdown of one allocation.
+
+    Attributes:
+        mem_reads / mem_writes: Memory access counts (includes spill
+            writes and explicit reload reads).
+        reg_reads / reg_writes: Register-file access counts (a write is a
+            new value entering some register).
+        mem_read_energy / mem_write_energy: Memory energy totals.
+        reg_read_energy / reg_write_energy: Register-file energy totals.
+    """
+
+    mem_reads: int = 0
+    mem_writes: int = 0
+    reg_reads: int = 0
+    reg_writes: int = 0
+    mem_read_energy: float = 0.0
+    mem_write_energy: float = 0.0
+    reg_read_energy: float = 0.0
+    reg_write_energy: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def mem_accesses(self) -> int:
+        """Total memory accesses (the '# Accesses Mem' column of table 1)."""
+        return self.mem_reads + self.mem_writes
+
+    @property
+    def reg_accesses(self) -> int:
+        """Total register-file accesses ('# Accesses Reg' of table 1)."""
+        return self.reg_reads + self.reg_writes
+
+    @property
+    def mem_energy(self) -> float:
+        return self.mem_read_energy + self.mem_write_energy
+
+    @property
+    def reg_energy(self) -> float:
+        return self.reg_read_energy + self.reg_write_energy
+
+    @property
+    def total_energy(self) -> float:
+        """``Energy_msystem`` of eq. (1)/(2)."""
+        return self.mem_energy + self.reg_energy
+
+    def add_mem_read(self, energy: float, count: int = 1) -> None:
+        self.mem_reads += count
+        self.mem_read_energy += energy
+
+    def add_mem_write(self, energy: float, count: int = 1) -> None:
+        self.mem_writes += count
+        self.mem_write_energy += energy
+
+    def add_reg_read(self, energy: float, count: int = 1) -> None:
+        self.reg_reads += count
+        self.reg_read_energy += energy
+
+    def add_reg_write(self, energy: float, count: int = 1) -> None:
+        self.reg_writes += count
+        self.reg_write_energy += energy
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"memory   : {self.mem_reads:4d} reads  {self.mem_writes:4d} writes"
+            f"  energy {self.mem_energy:10.3f}",
+            f"registers: {self.reg_reads:4d} reads  {self.reg_writes:4d} writes"
+            f"  energy {self.reg_energy:10.3f}",
+            f"total    : {self.mem_accesses + self.reg_accesses:4d} accesses"
+            f"              energy {self.total_energy:10.3f}",
+        ]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()

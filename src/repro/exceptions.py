@@ -1,0 +1,35 @@
+"""Exception hierarchy shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A network/graph construction request was malformed."""
+
+
+class InfeasibleFlowError(ReproError):
+    """No flow satisfying the requested value and bounds exists."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed or violates precedence/resource rules."""
+
+
+class LifetimeError(ReproError):
+    """Lifetime extraction or splitting failed."""
+
+
+class AllocationError(ReproError):
+    """An allocation result is inconsistent or could not be produced."""
+
+
+class EnergyModelError(ReproError):
+    """An energy model was queried with parameters it does not support."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""

@@ -1,0 +1,30 @@
+"""Minimum-cost network flow substrate.
+
+Implements, from scratch, everything the allocation core needs from network
+flow theory (paper section 4): a bounded-arc network container, a
+successive-shortest-path solver, the lower-bound transformation used by
+split lifetimes, a cycle-cancelling cross-check solver, and solution
+validators.
+"""
+
+from repro.flow.cycle_canceling import solve_by_cycle_canceling
+from repro.flow.decompose import decompose_into_paths
+from repro.flow.graph import Arc, FlowNetwork, FlowResult
+from repro.flow.lower_bounds import solve, solve_with_lower_bounds
+from repro.flow.ssp import max_flow_value, solve_min_cost_flow
+from repro.flow.validate import FlowValidationError, check_flow, flow_cost
+
+__all__ = [
+    "Arc",
+    "FlowNetwork",
+    "FlowResult",
+    "FlowValidationError",
+    "check_flow",
+    "decompose_into_paths",
+    "flow_cost",
+    "max_flow_value",
+    "solve",
+    "solve_by_cycle_canceling",
+    "solve_min_cost_flow",
+    "solve_with_lower_bounds",
+]

@@ -1,0 +1,74 @@
+"""Path decomposition of acyclic flows.
+
+Any feasible ``s -> t`` flow on a DAG decomposes into ``value`` simple
+paths; for the allocation networks each path is one physical register (or
+one memory location in the reallocation pass).  The decomposition walks
+greedily in arc-construction order, which makes results deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.exceptions import GraphError
+from repro.flow.graph import Arc, FlowNetwork, FlowResult
+
+__all__ = ["decompose_into_paths"]
+
+
+def decompose_into_paths(
+    result: FlowResult,
+    source: Hashable,
+    sink: Hashable,
+) -> list[list[Arc]]:
+    """Split *result* into arc paths from *source* to *sink*.
+
+    Returns:
+        One list of arcs per flow unit, each tracing ``source -> sink``.
+
+    Raises:
+        GraphError: If the flow cannot be decomposed (cyclic flow or
+            conservation violation — both indicate an invalid input).
+    """
+    network: FlowNetwork = result.network
+    remaining = list(result.flows)
+    out_arcs: dict[Hashable, list[Arc]] = {}
+    for arc in network.arcs:
+        if remaining[arc.index] > 0:
+            out_arcs.setdefault(arc.tail, []).append(arc)
+
+    def next_arc(node: Hashable) -> Arc | None:
+        for arc in out_arcs.get(node, ()):
+            if remaining[arc.index] > 0:
+                return arc
+        return None
+
+    paths: list[list[Arc]] = []
+    guard = network.num_arcs + 2
+    while True:
+        first = next_arc(source)
+        if first is None:
+            break
+        path: list[Arc] = []
+        node = source
+        hops = 0
+        while node != sink:
+            arc = next_arc(node)
+            if arc is None:
+                raise GraphError(
+                    f"path decomposition stuck at {node!r}; "
+                    "flow violates conservation"
+                )
+            remaining[arc.index] -= 1
+            path.append(arc)
+            node = arc.head
+            hops += 1
+            if hops > guard:
+                raise GraphError("path decomposition found a cycle")
+        paths.append(path)
+    if any(remaining[arc.index] for arc in network.arcs):
+        raise GraphError(
+            "flow units remain after decomposition; "
+            "flow is cyclic or not source-sink"
+        )
+    return paths

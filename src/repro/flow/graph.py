@@ -1,0 +1,232 @@
+"""Directed flow-network data structure.
+
+This module defines :class:`FlowNetwork`, the substrate every solver in
+:mod:`repro.flow` operates on.  Arcs carry an integer capacity, an integer
+lower bound and a real-valued cost, matching the minimum-cost network flow
+formulation in section 4 of the paper (plus the lower bounds needed by the
+split-lifetime extension in section 5.2).
+
+Nodes are arbitrary hashable identifiers supplied by the caller; internally
+each node also receives a dense integer index so that solvers can use flat
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.exceptions import GraphError
+
+__all__ = ["Arc", "FlowNetwork", "FlowResult"]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A directed arc ``tail -> head`` in a :class:`FlowNetwork`.
+
+    Attributes:
+        index: Dense identifier of the arc inside its network; flows returned
+            by solvers are indexed by this value.
+        tail: Node the arc leaves.
+        head: Node the arc enters.
+        capacity: Upper bound on flow (integer, ``>= lower``).
+        lower: Lower bound on flow (integer, ``>= 0``).
+        cost: Cost per unit of flow; may be negative (the allocation
+            formulation uses negative costs to encode energy *savings*).
+        data: Opaque caller payload (the allocator stores what the arc means,
+            e.g. which variable segment or handoff it models).
+    """
+
+    index: int
+    tail: Hashable
+    head: Hashable
+    capacity: int
+    lower: int
+    cost: float
+    data: Any = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        bound = f"[{self.lower},{self.capacity}]"
+        return f"{self.tail}->{self.head} {bound} @ {self.cost:g}"
+
+
+class FlowNetwork:
+    """A directed graph with arc capacities, lower bounds and costs.
+
+    The class is a plain container: it validates construction-time invariants
+    (non-negative integer bounds, known endpoints) and provides adjacency
+    queries, but all optimisation lives in the solver modules.
+    """
+
+    def __init__(self) -> None:
+        self._node_index: dict[Hashable, int] = {}
+        self._nodes: list[Hashable] = []
+        self._arcs: list[Arc] = []
+        self._out: dict[Hashable, list[Arc]] = {}
+        self._in: dict[Hashable, list[Arc]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> Hashable:
+        """Register *node* (idempotent) and return it."""
+        if node not in self._node_index:
+            self._node_index[node] = len(self._nodes)
+            self._nodes.append(node)
+            self._out[node] = []
+            self._in[node] = []
+        return node
+
+    def add_arc(
+        self,
+        tail: Hashable,
+        head: Hashable,
+        capacity: int,
+        cost: float = 0.0,
+        lower: int = 0,
+        data: Any = None,
+    ) -> Arc:
+        """Add an arc and return it.
+
+        Endpoints are auto-registered.  Raises :class:`GraphError` on
+        self-loops or inconsistent bounds; parallel arcs are permitted.
+        """
+        if tail == head:
+            raise GraphError(f"self-loop arcs are not supported: {tail!r}")
+        if not isinstance(capacity, int) or not isinstance(lower, int):
+            raise GraphError("capacity and lower bound must be integers")
+        if lower < 0:
+            raise GraphError(f"negative lower bound {lower} on {tail!r}->{head!r}")
+        if capacity < lower:
+            raise GraphError(
+                f"capacity {capacity} below lower bound {lower} "
+                f"on {tail!r}->{head!r}"
+            )
+        self.add_node(tail)
+        self.add_node(head)
+        arc = Arc(len(self._arcs), tail, head, capacity, lower, float(cost), data)
+        self._arcs.append(arc)
+        self._out[tail].append(arc)
+        self._in[head].append(arc)
+        return arc
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[Hashable, ...]:
+        """All nodes in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        """All arcs in insertion order (``arc.index`` positions)."""
+        return tuple(self._arcs)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of registered nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs."""
+        return len(self._arcs)
+
+    def has_node(self, node: Hashable) -> bool:
+        """Whether *node* has been registered."""
+        return node in self._node_index
+
+    def node_index(self, node: Hashable) -> int:
+        """Dense integer index of *node* (raises ``KeyError`` if unknown)."""
+        return self._node_index[node]
+
+    def arcs_from(self, node: Hashable) -> tuple[Arc, ...]:
+        """Arcs leaving *node*."""
+        return tuple(self._out[node])
+
+    def arcs_into(self, node: Hashable) -> tuple[Arc, ...]:
+        """Arcs entering *node*."""
+        return tuple(self._in[node])
+
+    def has_lower_bounds(self) -> bool:
+        """True if any arc carries a non-zero lower bound."""
+        return any(arc.lower > 0 for arc in self._arcs)
+
+    def topological_order(self) -> list[Hashable] | None:
+        """Kahn topological order of the nodes, or ``None`` if cyclic.
+
+        Used by solvers to initialise node potentials in ``O(V + E)`` when
+        the network is acyclic (always the case for allocation networks,
+        whose arcs point forward in time).
+        """
+        indegree = {node: 0 for node in self._nodes}
+        for arc in self._arcs:
+            indegree[arc.head] += 1
+        ready = [node for node, deg in indegree.items() if deg == 0]
+        order: list[Hashable] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for arc in self._out[node]:
+                indegree[arc.head] -= 1
+                if indegree[arc.head] == 0:
+                    ready.append(arc.head)
+        if len(order) != len(self._nodes):
+            return None
+        return order
+
+    def __iter__(self) -> Iterator[Arc]:
+        return iter(self._arcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowNetwork(nodes={self.num_nodes}, arcs={self.num_arcs})"
+
+
+@dataclass
+class FlowResult:
+    """Solution of a minimum-cost flow problem.
+
+    Attributes:
+        network: The network the problem was solved on.
+        flows: Integer flow per arc, indexed by ``arc.index``.
+        value: Total flow shipped from source to sink.
+        cost: Total cost ``sum(arc.cost * flow[arc])``.
+    """
+
+    network: FlowNetwork
+    flows: list[int]
+    value: int
+    cost: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        self.cost = sum(
+            arc.cost * self.flows[arc.index]
+            for arc in self.network.arcs
+            if self.flows[arc.index]
+        )
+
+    def flow(self, arc: Arc) -> int:
+        """Flow carried by *arc*."""
+        return self.flows[arc.index]
+
+    def saturated_arcs(self) -> list[Arc]:
+        """Arcs carrying positive flow."""
+        return [arc for arc in self.network.arcs if self.flows[arc.index] > 0]
+
+    def outflow(self, node: Hashable) -> int:
+        """Total flow leaving *node*."""
+        return sum(self.flows[a.index] for a in self.network.arcs_from(node))
+
+    def inflow(self, node: Hashable) -> int:
+        """Total flow entering *node*."""
+        return sum(self.flows[a.index] for a in self.network.arcs_into(node))
+
+
+def iter_positive(result: FlowResult) -> Iterable[tuple[Arc, int]]:
+    """Yield ``(arc, flow)`` pairs with positive flow (helper for reports)."""
+    for arc in result.network.arcs:
+        f = result.flows[arc.index]
+        if f > 0:
+            yield arc, f

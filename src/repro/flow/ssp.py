@@ -1,0 +1,259 @@
+"""Successive-shortest-path minimum-cost flow solver.
+
+This is the primary solver used by the allocator.  It implements the classic
+successive-shortest-path algorithm with node potentials:
+
+1. Initialise potentials with one exact shortest-path pass that tolerates
+   negative arc costs — a topological relaxation when the network is acyclic
+   (allocation networks always are: every arc points forward in time), or
+   Bellman-Ford otherwise.
+2. Repeatedly run Dijkstra on reduced costs, augment along the shortest
+   source→sink path, and update the potentials, until the requested flow
+   value has been shipped.
+
+With integer capacities the algorithm returns an integral flow, matching the
+integrality guarantee the paper relies on (section 4).  Costs may be
+arbitrary floats; reduced costs are clamped at zero within a small tolerance
+to absorb floating-point drift.
+
+The solver requires the network to contain no directed cycle of negative
+total cost among its *forward* arcs (guaranteed for DAGs); under that
+precondition each intermediate flow is optimal for its value, so the final
+flow is a true minimum-cost flow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from repro.exceptions import GraphError, InfeasibleFlowError
+from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.residual import Residual
+
+__all__ = ["solve_min_cost_flow", "max_flow_value"]
+
+_INF = float("inf")
+#: Tolerance for negative reduced costs caused by float rounding.
+_EPS = 1e-9
+
+
+def _initial_potentials(residual: Residual, source: int) -> list[float]:
+    """Exact shortest-path distances from *source* over positive-capacity arcs.
+
+    Uses a topological relaxation when the capacity-positive subgraph is
+    acyclic, otherwise Bellman-Ford.  Unreachable nodes get ``inf`` (they can
+    never lie on an augmenting path, because new residual arcs only appear
+    along augmented paths inside the reachable set).
+    """
+    n = residual.num_nodes
+    order = _topological_order(residual)
+    dist = [_INF] * n
+    dist[source] = 0.0
+    if order is not None:
+        for u in order:
+            du = dist[u]
+            if du == _INF:
+                continue
+            for rid in residual.adj[u]:
+                if residual.cap[rid] <= 0:
+                    continue
+                v = residual.head[rid]
+                nd = du + residual.cost[rid]
+                if nd < dist[v]:
+                    dist[v] = nd
+        return dist
+    # Bellman-Ford fallback for cyclic networks.
+    for iteration in range(n):
+        changed = False
+        for u in range(n):
+            du = dist[u]
+            if du == _INF:
+                continue
+            for rid in residual.adj[u]:
+                if residual.cap[rid] <= 0:
+                    continue
+                v = residual.head[rid]
+                nd = du + residual.cost[rid]
+                if nd < dist[v] - _EPS:
+                    dist[v] = nd
+                    changed = True
+        if not changed:
+            return dist
+    raise GraphError("network contains a negative-cost cycle")
+
+
+def _topological_order(residual: Residual) -> list[int] | None:
+    """Topological order over positive-capacity residual arcs, or ``None``."""
+    n = residual.num_nodes
+    indegree = [0] * n
+    for u in range(n):
+        for rid in residual.adj[u]:
+            if residual.cap[rid] > 0:
+                indegree[residual.head[rid]] += 1
+    ready = [u for u in range(n) if indegree[u] == 0]
+    order: list[int] = []
+    while ready:
+        u = ready.pop()
+        order.append(u)
+        for rid in residual.adj[u]:
+            if residual.cap[rid] > 0:
+                v = residual.head[rid]
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    ready.append(v)
+    return order if len(order) == n else None
+
+
+def _dijkstra(
+    residual: Residual, source: int, potential: list[float]
+) -> tuple[list[float], list[int]]:
+    """Shortest distances on reduced costs plus predecessor residual arcs."""
+    n = residual.num_nodes
+    dist = [_INF] * n
+    pred = [-1] * n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        pot_u = potential[u]
+        for rid in residual.adj[u]:
+            if residual.cap[rid] <= 0:
+                continue
+            v = residual.head[rid]
+            if potential[v] == _INF:
+                continue
+            reduced = residual.cost[rid] + pot_u - potential[v]
+            if reduced < -_EPS * (1.0 + abs(residual.cost[rid])):
+                # Should be impossible with valid potentials.
+                reduced = 0.0
+            elif reduced < 0.0:
+                reduced = 0.0
+            nd = d + reduced
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = rid
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def solve_min_cost_flow(
+    network: FlowNetwork,
+    source: Hashable,
+    sink: Hashable,
+    flow_value: int,
+) -> FlowResult:
+    """Ship exactly *flow_value* units from *source* to *sink* at minimum cost.
+
+    Args:
+        network: Network with integer capacities and real costs.  Arcs must
+            not carry lower bounds (use
+            :func:`repro.flow.lower_bounds.solve_with_lower_bounds` for
+            those).
+        source: Source node.
+        sink: Sink node.
+        flow_value: Exact amount of flow to ship (``>= 0``).
+
+    Returns:
+        A :class:`FlowResult` with integral arc flows.
+
+    Raises:
+        InfeasibleFlowError: If less than *flow_value* units fit through the
+            network.
+        GraphError: On lower-bounded arcs, unknown endpoints, or a
+            negative-cost directed cycle.
+    """
+    if flow_value < 0:
+        raise GraphError(f"flow value must be non-negative, got {flow_value}")
+    if not network.has_node(source) or not network.has_node(sink):
+        raise GraphError("source or sink is not a node of the network")
+    if network.has_lower_bounds():
+        raise GraphError(
+            "network has lower-bounded arcs; use solve_with_lower_bounds()"
+        )
+    residual = Residual(network)
+    s = residual.node_of(source)
+    t = residual.node_of(sink)
+    if flow_value == 0 or s == t:
+        return FlowResult(network, [0] * network.num_arcs, 0)
+
+    potential = _initial_potentials(residual, s)
+    if potential[t] == _INF:
+        raise InfeasibleFlowError(
+            f"sink {sink!r} unreachable from source {source!r}"
+        )
+    shipped = 0
+    while shipped < flow_value:
+        dist, pred = _dijkstra(residual, s, potential)
+        if dist[t] == _INF:
+            raise InfeasibleFlowError(
+                f"only {shipped} of {flow_value} flow units fit "
+                f"from {source!r} to {sink!r}"
+            )
+        # Bottleneck along the shortest path.
+        bottleneck = flow_value - shipped
+        v = t
+        while v != s:
+            rid = pred[v]
+            bottleneck = min(bottleneck, residual.cap[rid])
+            v = residual.tail(rid)
+        v = t
+        while v != s:
+            rid = pred[v]
+            residual.push(rid, bottleneck)
+            v = residual.tail(rid)
+        shipped += bottleneck
+        for u in range(residual.num_nodes):
+            if dist[u] != _INF and potential[u] != _INF:
+                potential[u] += dist[u]
+            elif potential[u] != _INF:
+                # Unreached this round: now permanently unreachable.
+                potential[u] = _INF
+    return FlowResult(network, residual.flows(), shipped)
+
+
+def max_flow_value(network: FlowNetwork, source: Hashable, sink: Hashable) -> int:
+    """Maximum feasible flow value from *source* to *sink* (costs ignored).
+
+    Implemented as BFS augmentation (Edmonds-Karp) on the residual network;
+    used to size fixed-flow problems and by feasibility diagnostics.
+    """
+    if not network.has_node(source) or not network.has_node(sink):
+        raise GraphError("source or sink is not a node of the network")
+    residual = Residual(network)
+    s = residual.node_of(source)
+    t = residual.node_of(sink)
+    if s == t:
+        return 0
+    total = 0
+    while True:
+        pred = [-1] * residual.num_nodes
+        pred[s] = -2
+        queue = [s]
+        while queue and pred[t] == -1:
+            next_queue: list[int] = []
+            for u in queue:
+                for rid in residual.adj[u]:
+                    v = residual.head[rid]
+                    if residual.cap[rid] > 0 and pred[v] == -1:
+                        pred[v] = rid
+                        next_queue.append(v)
+            queue = next_queue
+        if pred[t] == -1:
+            return total
+        bottleneck = None
+        v = t
+        while v != s:
+            rid = pred[v]
+            cap = residual.cap[rid]
+            bottleneck = cap if bottleneck is None else min(bottleneck, cap)
+            v = residual.tail(rid)
+        assert bottleneck is not None and bottleneck > 0
+        v = t
+        while v != s:
+            rid = pred[v]
+            residual.push(rid, bottleneck)
+            v = residual.tail(rid)
+        total += bottleneck

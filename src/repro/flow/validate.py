@@ -1,0 +1,84 @@
+"""Validation utilities for flow solutions.
+
+Every solver result can be checked against the mathematical-programming
+formulation of section 4: conservation at interior nodes, bound compliance
+on every arc, and the exact source/sink balance.  The allocator runs these
+checks in its own debug mode and the test suite applies them to every
+solution it produces.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.exceptions import ReproError
+from repro.flow.graph import FlowResult
+
+__all__ = ["FlowValidationError", "check_flow", "flow_cost"]
+
+
+class FlowValidationError(ReproError):
+    """A flow violates conservation, bounds, or the required value."""
+
+
+def check_flow(
+    result: FlowResult,
+    source: Hashable,
+    sink: Hashable,
+    flow_value: int | None = None,
+) -> None:
+    """Validate *result* against the network it was solved on.
+
+    Args:
+        result: Solver output to validate.
+        source: Source node of the problem.
+        sink: Sink node of the problem.
+        flow_value: Expected flow value; defaults to ``result.value``.
+
+    Raises:
+        FlowValidationError: Describing the first violated constraint.
+    """
+    network = result.network
+    expected = result.value if flow_value is None else flow_value
+    if len(result.flows) != network.num_arcs:
+        raise FlowValidationError(
+            f"flow vector has {len(result.flows)} entries for "
+            f"{network.num_arcs} arcs"
+        )
+    for arc in network.arcs:
+        f = result.flows[arc.index]
+        if not isinstance(f, int):
+            raise FlowValidationError(f"non-integral flow {f!r} on {arc}")
+        if f < arc.lower or f > arc.capacity:
+            raise FlowValidationError(
+                f"flow {f} outside bounds [{arc.lower}, {arc.capacity}] on {arc}"
+            )
+    balance: dict[Hashable, int] = {node: 0 for node in network.nodes}
+    for arc in network.arcs:
+        f = result.flows[arc.index]
+        balance[arc.tail] -= f
+        balance[arc.head] += f
+    for node, net in balance.items():
+        if node == source:
+            if net != -expected:
+                raise FlowValidationError(
+                    f"source ships {-net} units, expected {expected}"
+                )
+        elif node == sink:
+            if net != expected:
+                raise FlowValidationError(
+                    f"sink receives {net} units, expected {expected}"
+                )
+        elif net != 0:
+            raise FlowValidationError(
+                f"conservation violated at {node!r}: imbalance {net}"
+            )
+
+
+def flow_cost(result: FlowResult) -> float:
+    """Recompute the total cost of *result* from scratch."""
+    return sum(
+        arc.cost * result.flows[arc.index]
+        for arc in result.network.arcs
+        if result.flows[arc.index]
+    )

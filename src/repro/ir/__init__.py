@@ -1,0 +1,34 @@
+"""Dataflow intermediate representation substrate.
+
+Provides the program objects Problem 1 is defined over: single-assignment
+data variables, operations, basic blocks, task graphs, and a fluent builder
+for writing kernels.
+"""
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import BlockBuilder
+from repro.ir.operations import OpCode, Operation
+from repro.ir.task_graph import Task, TaskGraph
+from repro.ir.values import (
+    DEFAULT_WIDTH,
+    DataVariable,
+    expected_hamming,
+    hamming_distance,
+    mean_trace_hamming,
+    normalized_switching,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BlockBuilder",
+    "DEFAULT_WIDTH",
+    "DataVariable",
+    "OpCode",
+    "Operation",
+    "Task",
+    "TaskGraph",
+    "expected_hamming",
+    "hamming_distance",
+    "mean_trace_hamming",
+    "normalized_switching",
+]

@@ -1,0 +1,179 @@
+"""Basic blocks: single-assignment operation lists with dataflow queries.
+
+A :class:`BasicBlock` is the unit the paper's technique operates on
+("the minimum cost network flow approach is applied to each basic block",
+section 5).  It validates the single-assignment discipline the lifetime
+model relies on (each variable has exactly one write time) and exposes the
+producer/consumer relations the scheduler and lifetime analysis need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import GraphError
+from repro.ir.operations import Operation
+from repro.ir.values import DataVariable
+
+__all__ = ["BasicBlock"]
+
+
+@dataclass
+class BasicBlock:
+    """An ordered, single-assignment list of operations.
+
+    Attributes:
+        name: Block identifier (used in reports).
+        operations: Operations in program order; the order is a valid
+            linearisation of the dataflow dependences (checked).
+        variables: Declared variables; any variable referenced by an
+            operation but not declared is auto-declared with default width.
+        live_out: Names of variables read by later tasks (their lifetimes
+            extend past the end of the block, like ``c`` and ``d`` in
+            figure 1 of the paper).
+    """
+
+    name: str
+    operations: list[Operation] = field(default_factory=list)
+    variables: dict[str, DataVariable] = field(default_factory=dict)
+    live_out: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        self.live_out = frozenset(self.live_out)
+        self._producer: dict[str, Operation] = {}
+        self._consumers: dict[str, list[Operation]] = {}
+        names: set[str] = set()
+        defined: set[str] = set()
+        for op in self.operations:
+            if op.name in names:
+                raise GraphError(
+                    f"duplicate operation name {op.name!r} in block {self.name!r}"
+                )
+            names.add(op.name)
+            for read in op.inputs:
+                if read not in defined:
+                    raise GraphError(
+                        f"operation {op.name!r} reads {read!r} before its "
+                        f"definition in block {self.name!r}"
+                    )
+                self._consumers.setdefault(read, []).append(op)
+            if op.output is not None:
+                if op.output in defined:
+                    raise GraphError(
+                        f"variable {op.output!r} assigned twice in block "
+                        f"{self.name!r} (single assignment required)"
+                    )
+                defined.add(op.output)
+                self._producer[op.output] = op
+        for var in defined:
+            if var not in self.variables:
+                self.variables[var] = DataVariable(var)
+        unknown = set(self.variables) - defined
+        if unknown:
+            raise GraphError(
+                f"declared variables never defined in block {self.name!r}: "
+                f"{sorted(unknown)}"
+            )
+        missing_live_out = self.live_out - defined
+        if missing_live_out:
+            raise GraphError(
+                f"live-out variables not defined in block {self.name!r}: "
+                f"{sorted(missing_live_out)}"
+            )
+
+    # ------------------------------------------------------------------
+    # dataflow queries
+    # ------------------------------------------------------------------
+    def producer(self, variable: str) -> Operation:
+        """The unique operation defining *variable*."""
+        try:
+            return self._producer[variable]
+        except KeyError:
+            raise GraphError(
+                f"no producer for {variable!r} in block {self.name!r}"
+            ) from None
+
+    def consumers(self, variable: str) -> tuple[Operation, ...]:
+        """Operations reading *variable*, in program order."""
+        return tuple(self._consumers.get(variable, ()))
+
+    def variable(self, name: str) -> DataVariable:
+        """Declared :class:`DataVariable` for *name*."""
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise GraphError(
+                f"unknown variable {name!r} in block {self.name!r}"
+            ) from None
+
+    def variable_names(self) -> tuple[str, ...]:
+        """All defined variable names, in definition order."""
+        return tuple(
+            op.output for op in self.operations if op.output is not None
+        )
+
+    def operation(self, name: str) -> Operation:
+        """Operation with the given *name*."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise GraphError(f"unknown operation {name!r} in block {self.name!r}")
+
+    def predecessors(self, op: Operation) -> tuple[Operation, ...]:
+        """Operations whose outputs *op* reads."""
+        return tuple(self.producer(read) for read in op.inputs)
+
+    def successors(self, op: Operation) -> tuple[Operation, ...]:
+        """Operations reading the output of *op*."""
+        if op.output is None:
+            return ()
+        return self.consumers(op.output)
+
+    def dependence_edges(self) -> Iterator[tuple[Operation, Operation]]:
+        """All dataflow edges ``(producer, consumer)``."""
+        for op in self.operations:
+            for read in op.inputs:
+                yield self.producer(read), op
+
+    def is_dead(self, variable: str) -> bool:
+        """True if *variable* has no consumer and is not live out."""
+        return not self._consumers.get(variable) and variable not in self.live_out
+
+    def sources(self) -> tuple[Operation, ...]:
+        """Operations with no dataflow predecessors."""
+        return tuple(op for op in self.operations if not op.inputs)
+
+    def critical_path_length(self) -> int:
+        """Length (in control steps) of the longest dependence chain."""
+        available: dict[str, int] = {}  # variable name -> ready time
+        longest = 0
+        for op in self.operations:
+            start = max((available[read] for read in op.inputs), default=0)
+            finish = start + op.delay
+            if op.output is not None:
+                available[op.output] = finish
+            longest = max(longest, finish)
+        return longest
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    @classmethod
+    def from_operations(
+        cls,
+        name: str,
+        operations: Iterable[Operation],
+        live_out: Iterable[str] = (),
+        variables: Iterable[DataVariable] = (),
+    ) -> "BasicBlock":
+        """Convenience constructor accepting iterables."""
+        return cls(
+            name=name,
+            operations=list(operations),
+            variables={v.name: v for v in variables},
+            live_out=frozenset(live_out),
+        )

@@ -1,0 +1,165 @@
+"""Fluent builder for dataflow kernels.
+
+Writing :class:`~repro.ir.basic_block.BasicBlock` instances by hand is
+verbose; the builder lets workload modules and examples express kernels
+compactly::
+
+    b = BlockBuilder("fir3")
+    x0, x1, x2 = (b.input(f"x{i}") for i in range(3))
+    c0, c1, c2 = (b.const(f"c{i}") for i in range(3))
+    p0 = b.mul(x0, c0)
+    p1 = b.mul(x1, c1)
+    acc = b.add(p0, p1)
+    y = b.add(acc, b.mul(x2, c2), name="y")
+    b.output(y)
+    block = b.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.exceptions import GraphError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+from repro.ir.values import DEFAULT_WIDTH, DataVariable
+
+__all__ = ["BlockBuilder"]
+
+
+class BlockBuilder:
+    """Incrementally constructs a single-assignment basic block."""
+
+    def __init__(self, name: str, default_width: int = DEFAULT_WIDTH) -> None:
+        self.name = name
+        self.default_width = default_width
+        self._operations: list[Operation] = []
+        self._variables: dict[str, DataVariable] = {}
+        self._live_out: set[str] = set()
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def input(
+        self,
+        name: str | None = None,
+        width: int | None = None,
+        trace: Iterable[int] = (),
+    ) -> str:
+        """Declare an externally produced value; returns its variable name."""
+        return self._emit(OpCode.INPUT, (), name, width, trace)
+
+    def const(
+        self,
+        name: str | None = None,
+        width: int | None = None,
+        trace: Iterable[int] = (),
+    ) -> str:
+        """Declare a constant value; returns its variable name."""
+        return self._emit(OpCode.CONST, (), name, width, trace)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def add(self, a: str, b: str, name: str | None = None, **kw) -> str:
+        return self._emit(OpCode.ADD, (a, b), name, **kw)
+
+    def sub(self, a: str, b: str, name: str | None = None, **kw) -> str:
+        return self._emit(OpCode.SUB, (a, b), name, **kw)
+
+    def mul(self, a: str, b: str, name: str | None = None, **kw) -> str:
+        return self._emit(OpCode.MUL, (a, b), name, **kw)
+
+    def mac(self, a: str, b: str, c: str, name: str | None = None, **kw) -> str:
+        """Multiply-accumulate ``a * b + c``."""
+        return self._emit(OpCode.MAC, (a, b, c), name, **kw)
+
+    def shift(self, a: str, name: str | None = None, **kw) -> str:
+        return self._emit(OpCode.SHIFT, (a,), name, **kw)
+
+    def neg(self, a: str, name: str | None = None, **kw) -> str:
+        return self._emit(OpCode.NEG, (a,), name, **kw)
+
+    def move(self, a: str, name: str | None = None, **kw) -> str:
+        return self._emit(OpCode.MOVE, (a,), name, **kw)
+
+    def op(
+        self,
+        opcode: OpCode,
+        inputs: Iterable[str],
+        name: str | None = None,
+        **kw,
+    ) -> str:
+        """Emit an arbitrary value-defining operation."""
+        if not opcode.defines_value:
+            raise GraphError("use output() for sink operations")
+        return self._emit(opcode, tuple(inputs), name, **kw)
+
+    # ------------------------------------------------------------------
+    # sinks
+    # ------------------------------------------------------------------
+    def output(self, variable: str) -> None:
+        """Mark *variable* as consumed by an OUTPUT sink inside the block."""
+        self._check_defined(variable)
+        op_name = f"out_{variable}_{next(self._counter)}"
+        self._operations.append(
+            Operation(op_name, OpCode.OUTPUT, inputs=(variable,))
+        )
+
+    def live_out(self, *variables: str) -> None:
+        """Mark variables as read by a later task (lifetime extends past the
+        block end, like ``c``/``d`` in figure 1 of the paper)."""
+        for variable in variables:
+            self._check_defined(variable)
+            self._live_out.add(variable)
+
+    # ------------------------------------------------------------------
+    # finish
+    # ------------------------------------------------------------------
+    def build(self) -> BasicBlock:
+        """Produce the validated :class:`BasicBlock`."""
+        return BasicBlock(
+            name=self.name,
+            operations=list(self._operations),
+            variables=dict(self._variables),
+            live_out=frozenset(self._live_out),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        opcode: OpCode,
+        inputs: tuple[str, ...],
+        name: str | None,
+        width: int | None = None,
+        trace: Iterable[int] = (),
+        delay: int = 1,
+    ) -> str:
+        for read in inputs:
+            self._check_defined(read)
+        out = name or f"v{next(self._counter)}"
+        if out in self._variables:
+            raise GraphError(f"variable {out!r} already defined")
+        self._variables[out] = DataVariable(
+            out, width or self.default_width, tuple(trace)
+        )
+        self._operations.append(
+            Operation(
+                f"op_{out}",
+                opcode,
+                inputs=inputs,
+                output=out,
+                delay=delay,
+            )
+        )
+        return out
+
+    def _check_defined(self, variable: str) -> None:
+        if variable not in self._variables:
+            raise GraphError(
+                f"variable {variable!r} is not defined in builder {self.name!r}"
+            )

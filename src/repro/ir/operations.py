@@ -1,0 +1,137 @@
+"""Operations of the dataflow IR.
+
+The paper assumes "a partially ordered list of code operations" (section 2).
+We model each operation as a node of a dataflow graph: it consumes zero or
+more named variables and defines at most one variable.  Opcodes carry the
+functional-unit class the list scheduler budgets against and a relative
+energy weight anchored to the ratios quoted from [14] (add = 1, mul = 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import GraphError
+
+__all__ = ["OpCode", "Operation"]
+
+
+class OpCode(enum.Enum):
+    """Operation kinds understood by the scheduler and energy models."""
+
+    INPUT = "input"  # value arrives from outside the block (no FU needed)
+    CONST = "const"  # compile-time constant materialisation
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAC = "mac"  # multiply-accumulate (DSP kernels)
+    SHIFT = "shift"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NEG = "neg"
+    ABS = "abs"
+    CMP = "cmp"
+    MOVE = "move"
+    OUTPUT = "output"  # value leaves the block (consumed by a later task)
+
+    @property
+    def unit_class(self) -> str:
+        """Functional-unit class used for resource-constrained scheduling."""
+        return _UNIT_CLASS[self]
+
+    @property
+    def relative_energy(self) -> float:
+        """Computation energy relative to a 16-bit add (ratios from [14])."""
+        return _RELATIVE_ENERGY[self]
+
+    @property
+    def defines_value(self) -> bool:
+        """Whether operations of this kind produce a variable."""
+        return self is not OpCode.OUTPUT
+
+
+_UNIT_CLASS: dict[OpCode, str] = {
+    OpCode.INPUT: "io",
+    OpCode.CONST: "io",
+    OpCode.ADD: "alu",
+    OpCode.SUB: "alu",
+    OpCode.MUL: "mult",
+    OpCode.MAC: "mult",
+    OpCode.SHIFT: "alu",
+    OpCode.AND: "alu",
+    OpCode.OR: "alu",
+    OpCode.XOR: "alu",
+    OpCode.NEG: "alu",
+    OpCode.ABS: "alu",
+    OpCode.CMP: "alu",
+    OpCode.MOVE: "alu",
+    OpCode.OUTPUT: "io",
+}
+
+_RELATIVE_ENERGY: dict[OpCode, float] = {
+    OpCode.INPUT: 0.0,
+    OpCode.CONST: 0.0,
+    OpCode.ADD: 1.0,
+    OpCode.SUB: 1.0,
+    OpCode.MUL: 4.0,
+    OpCode.MAC: 5.0,
+    OpCode.SHIFT: 0.5,
+    OpCode.AND: 0.5,
+    OpCode.OR: 0.5,
+    OpCode.XOR: 0.5,
+    OpCode.NEG: 0.5,
+    OpCode.ABS: 0.5,
+    OpCode.CMP: 0.5,
+    OpCode.MOVE: 0.25,
+    OpCode.OUTPUT: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single IR operation.
+
+    Attributes:
+        name: Unique identifier within the block.
+        opcode: The operation kind.
+        inputs: Names of the variables read (in positional order).
+        output: Name of the variable defined, or ``None`` for sinks
+            (:data:`OpCode.OUTPUT`).
+        delay: Latency in control steps (``>= 1``).
+    """
+
+    name: str
+    opcode: OpCode
+    inputs: tuple[str, ...] = field(default=())
+    output: str | None = None
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay < 1:
+            raise GraphError(f"operation {self.name!r} has delay {self.delay}")
+        if self.opcode.defines_value and self.output is None:
+            raise GraphError(
+                f"operation {self.name!r} ({self.opcode.value}) must define "
+                "a variable"
+            )
+        if not self.opcode.defines_value and self.output is not None:
+            raise GraphError(
+                f"sink operation {self.name!r} cannot define {self.output!r}"
+            )
+        if self.opcode in (OpCode.INPUT, OpCode.CONST) and self.inputs:
+            raise GraphError(
+                f"source operation {self.name!r} cannot read inputs"
+            )
+        if len(set(self.inputs)) != len(self.inputs):
+            # Reading the same variable twice in one op is legal hardware-wise
+            # but collapses to a single port access; callers should dedupe.
+            raise GraphError(
+                f"operation {self.name!r} lists a duplicate input"
+            )
+
+    def __str__(self) -> str:
+        args = ", ".join(self.inputs)
+        target = f"{self.output} = " if self.output else ""
+        return f"{target}{self.opcode.value}({args})"

@@ -1,0 +1,121 @@
+"""Task flow graphs.
+
+The paper's methodology (section 5) represents an application as a *task
+flow graph*: tasks in a partial order, each task holding scheduled basic
+blocks.  The allocator runs per basic block; the task graph supplies the
+block ordering and the cross-task liveness that makes variables like
+``c``/``d`` of figure 1 live out of their defining block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import GraphError
+from repro.ir.basic_block import BasicBlock
+
+__all__ = ["Task", "TaskGraph"]
+
+
+@dataclass
+class Task:
+    """A schedulable unit holding one basic block.
+
+    Attributes:
+        name: Task identifier.
+        block: The basic block the task executes.
+        rate: Invocations per frame (used by energy roll-ups: a task running
+            twice per frame dissipates twice its per-run energy).
+    """
+
+    name: str
+    block: BasicBlock
+    rate: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate < 1:
+            raise GraphError(f"task {self.name!r} has rate {self.rate}")
+
+
+class TaskGraph:
+    """A DAG of tasks with precedence edges."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._edges: set[tuple[str, str]] = set()
+
+    def add_task(self, task: Task) -> Task:
+        """Register *task*; names must be unique."""
+        if task.name in self._tasks:
+            raise GraphError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def add_edge(self, before: str, after: str) -> None:
+        """Declare that *before* must complete before *after* starts."""
+        if before not in self._tasks or after not in self._tasks:
+            raise GraphError(f"unknown task in edge {before!r} -> {after!r}")
+        if before == after:
+            raise GraphError(f"self-edge on task {before!r}")
+        self._edges.add((before, after))
+        if self.topological_order() is None:
+            self._edges.remove((before, after))
+            raise GraphError(
+                f"edge {before!r} -> {after!r} would create a cycle"
+            )
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return tuple(self._tasks.values())
+
+    @property
+    def edges(self) -> frozenset[tuple[str, str]]:
+        return frozenset(self._edges)
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise GraphError(f"unknown task {name!r}") from None
+
+    def predecessors(self, name: str) -> tuple[Task, ...]:
+        return tuple(
+            self._tasks[a] for a, b in sorted(self._edges) if b == name
+        )
+
+    def successors(self, name: str) -> tuple[Task, ...]:
+        return tuple(
+            self._tasks[b] for a, b in sorted(self._edges) if a == name
+        )
+
+    def topological_order(self) -> list[Task] | None:
+        """Tasks in a precedence-respecting order, or ``None`` if cyclic."""
+        indegree = {name: 0 for name in self._tasks}
+        for _, after in self._edges:
+            indegree[after] += 1
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: list[Task] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self._tasks[name])
+            for a, b in sorted(self._edges):
+                if a == name:
+                    indegree[b] -= 1
+                    if indegree[b] == 0:
+                        ready.append(b)
+            ready.sort()
+        if len(order) != len(self._tasks):
+            return None
+        return order
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        """Basic blocks in topological task order."""
+        order = self.topological_order()
+        assert order is not None  # cycles rejected at add_edge time
+        for task in order:
+            yield task.block
+
+    def __len__(self) -> int:
+        return len(self._tasks)

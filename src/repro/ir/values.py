@@ -1,0 +1,108 @@
+"""Data variables.
+
+A :class:`DataVariable` is the unit the allocator places: a single-assignment
+value produced by one operation and consumed by one or more operations
+(Problem 1 in the paper).  Each variable carries a bit width and, optionally,
+a *value trace* — the sequence of concrete values the storage location would
+observe — used by the activity-based energy model to compute Hamming
+distances (eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import GraphError
+
+__all__ = ["DataVariable", "hamming_distance", "expected_hamming"]
+
+#: Default word size used throughout the paper's experiments (16-bit CMOS
+#: library, section 2).
+DEFAULT_WIDTH = 16
+
+
+@dataclass(frozen=True)
+class DataVariable:
+    """A single-assignment data value.
+
+    Attributes:
+        name: Unique identifier within its basic block.
+        width: Bit width of the value (defaults to 16, the paper's library).
+        trace: Optional tuple of concrete values the variable takes over
+            successive block executions; used to estimate switching activity.
+            An empty trace means "unknown" and activity falls back to the
+            expected-Hamming approximation.
+    """
+
+    name: str
+    width: int = DEFAULT_WIDTH
+    trace: tuple[int, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise GraphError(f"variable {self.name!r} has width {self.width}")
+        mask = (1 << self.width) - 1
+        for value in self.trace:
+            if value < 0 or value > mask:
+                raise GraphError(
+                    f"trace value {value} of {self.name!r} does not fit "
+                    f"in {self.width} bits"
+                )
+
+    def representative_value(self) -> int | None:
+        """First trace value, or ``None`` when no trace is attached."""
+        return self.trace[0] if self.trace else None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two machine words."""
+    return (a ^ b).bit_count()
+
+
+def expected_hamming(width: int, activity_factor: float = 0.5) -> float:
+    """Expected Hamming distance for unknown data.
+
+    The paper assumes half the bits switch when nothing is known ("0.5 of the
+    bits change at time 0", section 6); *activity_factor* makes the fraction
+    tunable for correlated data.
+    """
+    if not 0.0 <= activity_factor <= 1.0:
+        raise GraphError(f"activity factor {activity_factor} outside [0, 1]")
+    return width * activity_factor
+
+
+def mean_trace_hamming(v1: DataVariable, v2: DataVariable) -> float:
+    """Average Hamming distance between paired trace samples of two variables.
+
+    Falls back to :func:`expected_hamming` over the wider of the two widths
+    when either trace is missing; mismatched trace lengths compare the common
+    prefix.
+    """
+    if not v1.trace or not v2.trace:
+        return expected_hamming(max(v1.width, v2.width))
+    pairs = list(zip(v1.trace, v2.trace))
+    return sum(hamming_distance(a, b) for a, b in pairs) / len(pairs)
+
+
+def normalized_switching(v1: DataVariable, v2: DataVariable) -> float:
+    """Switching activity as a fraction of the word width (paper fig. 3).
+
+    The paper's examples quote activities as "number of bits which change
+    over total number of bits"; this helper reproduces that normalisation.
+    """
+    width = max(v1.width, v2.width)
+    return mean_trace_hamming(v1, v2) / width
+
+
+def variables_by_name(variables: Iterable[DataVariable]) -> dict[str, DataVariable]:
+    """Index *variables* by name, rejecting duplicates."""
+    table: dict[str, DataVariable] = {}
+    for var in variables:
+        if var.name in table:
+            raise GraphError(f"duplicate variable name {var.name!r}")
+        table[var.name] = var
+    return table

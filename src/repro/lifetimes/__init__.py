@@ -1,0 +1,27 @@
+"""Lifetime analysis substrate: extraction, density, and splitting."""
+
+from repro.lifetimes.analysis import extract_lifetimes
+from repro.lifetimes.intervals import (
+    Lifetime,
+    Segment,
+    density_profile,
+    max_density,
+    max_density_regions,
+)
+from repro.lifetimes.splitting import (
+    periodic_access_times,
+    split_all,
+    split_lifetime,
+)
+
+__all__ = [
+    "Lifetime",
+    "Segment",
+    "density_profile",
+    "extract_lifetimes",
+    "max_density",
+    "max_density_regions",
+    "periodic_access_times",
+    "split_all",
+    "split_lifetime",
+]

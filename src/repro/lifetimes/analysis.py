@@ -1,0 +1,70 @@
+"""Lifetime extraction from schedules.
+
+Turns a :class:`~repro.scheduling.schedule.Schedule` into the lifetime set
+Problem 1 operates on: each defined variable gets a write time (bottom edge
+of its producer's finishing step) and read times (top edges of its
+consumers' start steps).  Live-out variables receive an additional
+pseudo-read at ``x + 1``, modelling consumption by a later task exactly as
+variables ``c`` and ``d`` extend past time 7 in figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.exceptions import LifetimeError
+from repro.lifetimes.intervals import Lifetime
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["extract_lifetimes"]
+
+DeadPolicy = Literal["extend", "error", "drop"]
+
+
+def extract_lifetimes(
+    schedule: Schedule,
+    dead_policy: DeadPolicy = "extend",
+) -> dict[str, Lifetime]:
+    """Compute the lifetime of every variable defined in the scheduled block.
+
+    Args:
+        schedule: A validated schedule.
+        dead_policy: What to do with variables that are never read and not
+            live out: ``"extend"`` gives them a one-step lifetime (the write
+            still dissipates energy somewhere), ``"error"`` raises, and
+            ``"drop"`` omits them from the result.
+
+    Returns:
+        Mapping from variable name to :class:`Lifetime`, in definition
+        order.
+
+    Raises:
+        LifetimeError: On dead variables under the ``"error"`` policy.
+    """
+    block = schedule.block
+    block_end = schedule.length + 1
+    lifetimes: dict[str, Lifetime] = {}
+    for op in block:
+        if op.output is None:
+            continue
+        name = op.output
+        write_time = schedule.write_step(op)
+        reads = [schedule.read_step(c) for c in block.consumers(name)]
+        live_out = name in block.live_out
+        if live_out:
+            reads.append(block_end)
+        if not reads:
+            if dead_policy == "error":
+                raise LifetimeError(
+                    f"variable {name!r} is dead (never read, not live out)"
+                )
+            if dead_policy == "drop":
+                continue
+            reads = [write_time + 1]
+        lifetimes[name] = Lifetime(
+            variable=block.variable(name),
+            write_time=write_time,
+            read_times=tuple(reads),
+            live_out=live_out,
+        )
+    return lifetimes

@@ -1,0 +1,213 @@
+"""Lifetime and segment interval types plus density machinery.
+
+Timing/occupancy conventions (shared with :mod:`repro.scheduling.schedule`):
+a value written at the bottom of step ``w`` and last read at the top of step
+``r`` occupies its storage location over the *open* window ``(w, r)``.
+Occupancy is therefore measured at half-integer points ``k + 0.5``: the
+lifetime ``[w, r]`` is alive at ``k + 0.5`` iff ``w <= k < r``.  Two
+lifetimes conflict iff their open windows intersect, which lets a location
+freed by a read at step ``k`` be rewritten at the bottom of the same step
+(the same-control-step handoff figure 1 of the paper relies on).
+
+The *density* at a half-point is the number of live lifetimes there; the
+maximum density ``D`` is the minimum total number of storage locations the
+block needs, and the maximal runs of half-points at density ``D`` are the
+paper's "regions of maximum lifetime density" (section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import LifetimeError
+from repro.ir.values import DataVariable
+
+__all__ = [
+    "Lifetime",
+    "Segment",
+    "density_profile",
+    "max_density",
+    "max_density_regions",
+]
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """The storage interval of one data variable.
+
+    Attributes:
+        variable: The variable this lifetime stores.
+        write_time: Step at whose bottom edge the value is produced.
+        read_times: Sorted, deduplicated steps at whose top edges the value
+            is consumed (non-empty; the block-end pseudo-read of live-out
+            variables is included at ``x + 1``).
+        live_out: Whether the value is consumed by a later task.
+    """
+
+    variable: DataVariable
+    write_time: int
+    read_times: tuple[int, ...]
+    live_out: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.read_times:
+            raise LifetimeError(
+                f"lifetime of {self.variable.name!r} has no reads"
+            )
+        ordered = tuple(sorted(set(self.read_times)))
+        object.__setattr__(self, "read_times", ordered)
+        if ordered[0] <= self.write_time:
+            raise LifetimeError(
+                f"{self.variable.name!r} read at {ordered[0]} but written "
+                f"at {self.write_time}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.variable.name
+
+    @property
+    def start(self) -> int:
+        return self.write_time
+
+    @property
+    def end(self) -> int:
+        """Last read time (``rlast``)."""
+        return self.read_times[-1]
+
+    @property
+    def read_count(self) -> int:
+        return len(self.read_times)
+
+    def alive_at(self, half_point: int) -> bool:
+        """Liveness at half-integer point ``half_point + 0.5``."""
+        return self.start <= half_point < self.end
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        """Whether the two open occupancy windows intersect."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One piece of a (possibly split) lifetime.
+
+    Splitting (paper section 5.2) cuts a lifetime at interior read times
+    and/or at restricted memory access times.  Each segment becomes one
+    ``w_i(v) -> r_i(v)`` arc in the network flow graph.
+
+    Attributes:
+        variable: The owning variable.
+        index: 0-based position among the variable's segments.
+        start: Step at whose bottom edge the segment begins.
+        end: Step at whose top edge the segment ends.
+        reads: Read times served by the segment — every read in
+            ``(start, end]`` (empty when the segment ends at a pure
+            memory-access cut).  When lifetimes are split at read times the
+            list holds at most the read at ``end``; unsplit multi-read
+            lifetimes carry all their reads on one segment.
+        is_first: Segment begins at the variable's definition.
+        is_last: Segment ends at the variable's final read.
+        starts_at_access_cut: Segment begins at a restricted-memory access
+            cut rather than at the definition or a read.
+        forced: Segment must be register-resident (flow lower bound 1);
+            set when restricted access times make memory residency
+            impossible for this window.
+    """
+
+    variable: DataVariable
+    index: int
+    start: int
+    end: int
+    reads: tuple[int, ...] = ()
+    is_first: bool = True
+    is_last: bool = True
+    starts_at_access_cut: bool = False
+    forced: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise LifetimeError(
+                f"segment {self.index} of {self.variable.name!r} is empty "
+                f"([{self.start}, {self.end}])"
+            )
+        for read in self.reads:
+            if not self.start < read <= self.end:
+                raise LifetimeError(
+                    f"segment {self.index} of {self.variable.name!r} spans "
+                    f"[{self.start}, {self.end}] but serves a read at {read}"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.variable.name
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Stable identifier ``(variable name, segment index)``."""
+        return (self.variable.name, self.index)
+
+    @property
+    def read_count(self) -> int:
+        return len(self.reads)
+
+    def alive_at(self, half_point: int) -> bool:
+        return self.start <= half_point < self.end
+
+
+def density_profile(
+    intervals: Iterable[Lifetime | Segment], horizon: int
+) -> list[int]:
+    """Number of live intervals at each half-point ``k + 0.5``.
+
+    Args:
+        intervals: Lifetimes or segments (segments of one variable tile its
+            lifetime without double counting).
+        horizon: Largest step ``x``; the profile covers ``k = 0 .. horizon``.
+
+    Returns:
+        ``profile[k]`` = density at ``k + 0.5``.
+    """
+    profile = [0] * (horizon + 1)
+    for interval in intervals:
+        lo = max(interval.start, 0)
+        hi = min(interval.end - 1, horizon)
+        for k in range(lo, hi + 1):
+            profile[k] += 1
+    return profile
+
+
+def max_density(intervals: Iterable[Lifetime | Segment], horizon: int) -> int:
+    """Maximum lifetime density — the minimum total storage locations."""
+    profile = density_profile(intervals, horizon)
+    return max(profile, default=0)
+
+
+def max_density_regions(profile: Sequence[int]) -> list[tuple[int, int]]:
+    """Maximal runs of half-points at peak density.
+
+    Args:
+        profile: Output of :func:`density_profile`.
+
+    Returns:
+        List of ``(k_first, k_last)`` pairs: each region spans half-points
+        ``k_first + 0.5 .. k_last + 0.5``, matching the paper's "region of
+        maximum lifetime density from time k_first to time k_last + 1".
+    """
+    if not profile:
+        return []
+    peak = max(profile)
+    if peak == 0:
+        return []
+    regions: list[tuple[int, int]] = []
+    run_start: int | None = None
+    for k, value in enumerate(profile):
+        if value == peak and run_start is None:
+            run_start = k
+        elif value != peak and run_start is not None:
+            regions.append((run_start, k - 1))
+            run_start = None
+    if run_start is not None:
+        regions.append((run_start, len(profile) - 1))
+    return regions

@@ -1,0 +1,152 @@
+"""Lifetime splitting (paper section 5.2).
+
+A lifetime is divided into *split lifetimes* by cutting it at
+
+* its interior read times (variables read more than once), and/or
+* restricted memory access times — when the memory module runs at a lower
+  frequency than the processor it is only accessible at a subset of control
+  steps (e.g. every ``c`` steps), so values can only move between the
+  register file and memory at those steps.
+
+Each resulting :class:`~repro.lifetimes.intervals.Segment` becomes one
+``w_i(v) -> r_i(v)`` arc of the network flow graph.  Segments that cannot
+legally reside in memory (they begin and/or end strictly between memory
+access times) are marked *forced* and receive a flow lower bound of 1 —
+the bold arcs of figure 1c in the paper.
+
+Memory-residency legality for a segment ``[a, b]`` of a variable written at
+``w`` under access-time set ``M``:
+
+* the value must be able to reach memory by the segment start: some
+  ``m in M`` with ``w <= m <= a`` must exist (the definition write or a
+  spill lands there);
+* every read the segment serves must be a memory-access step.
+
+Segment boundaries created *by* access cuts are trivially legal on that
+side.  When ``M`` is ``None`` (unrestricted memory) nothing is forced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import LifetimeError
+from repro.lifetimes.intervals import Lifetime, Segment
+
+__all__ = [
+    "periodic_access_times",
+    "split_lifetime",
+    "split_all",
+]
+
+
+def periodic_access_times(
+    period: int, length: int, offset: int = 1
+) -> frozenset[int]:
+    """Access steps of a memory running every *period* control steps.
+
+    Args:
+        period: Steps between consecutive memory access opportunities
+            (``c`` in the paper; 1 = memory accessible every step).
+        length: Block length ``x``; access times are generated through
+            ``x + 1`` so block-boundary traffic is representable.
+        offset: First access step (figure 1c uses times 1, 3, 5, i.e.
+            ``period=2, offset=1``).
+
+    Returns:
+        Frozen set of access steps.
+    """
+    if period < 1:
+        raise LifetimeError(f"access period must be >= 1, got {period}")
+    if offset < 0:
+        raise LifetimeError(f"access offset must be >= 0, got {offset}")
+    return frozenset(range(offset, length + 2, period))
+
+
+def split_lifetime(
+    lifetime: Lifetime,
+    access_times: frozenset[int] | None = None,
+    split_at_reads: bool = True,
+) -> list[Segment]:
+    """Split one lifetime into segments.
+
+    Args:
+        lifetime: The lifetime to split.
+        access_times: Steps at which memory may be accessed, or ``None``
+            for an unrestricted memory (no access cuts, nothing forced).
+        split_at_reads: Cut at interior read times (the multi-read
+            extension of section 5.2).  When ``False`` a multi-read
+            variable stays on one segment carrying all its reads (the
+            representation prior-art graphs use).
+
+    Returns:
+        Segments ordered by time, tiling ``[write_time, end]`` exactly.
+    """
+    reads = set(lifetime.read_times)
+    cuts: set[int] = set()
+    if split_at_reads:
+        cuts.update(lifetime.read_times[:-1])
+    access_cuts: set[int] = set()
+    if access_times is not None:
+        access_cuts = {
+            m
+            for m in access_times
+            if lifetime.start < m < lifetime.end and m not in cuts
+        }
+        cuts.update(access_cuts)
+    boundaries = [lifetime.start, *sorted(cuts), lifetime.end]
+
+    segments: list[Segment] = []
+    for index, (a, b) in enumerate(zip(boundaries, boundaries[1:])):
+        served = tuple(r for r in lifetime.read_times if a < r <= b)
+        starts_at_access_cut = a in access_cuts and a not in reads
+        segments.append(
+            Segment(
+                variable=lifetime.variable,
+                index=index,
+                start=a,
+                end=b,
+                reads=served,
+                is_first=(index == 0),
+                is_last=(b == lifetime.end),
+                starts_at_access_cut=starts_at_access_cut,
+                forced=_is_forced(lifetime, a, served, access_times),
+            )
+        )
+    return segments
+
+
+def _is_forced(
+    lifetime: Lifetime,
+    start: int,
+    served_reads: tuple[int, ...],
+    access_times: frozenset[int] | None,
+) -> bool:
+    """Whether a segment must be register-resident (lower bound 1)."""
+    if access_times is None:
+        return False
+    reaches_memory = any(
+        lifetime.write_time <= m <= start for m in access_times
+    )
+    # The block-end pseudo-read of a live-out variable is always
+    # memory-legal: the consuming task performs its own access.
+    reads_legal = all(
+        r in access_times or (lifetime.live_out and r == lifetime.end)
+        for r in served_reads
+    )
+    return not (reaches_memory and reads_legal)
+
+
+def split_all(
+    lifetimes: Mapping[str, Lifetime] | Iterable[Lifetime],
+    access_times: frozenset[int] | None = None,
+    split_at_reads: bool = True,
+) -> dict[str, list[Segment]]:
+    """Split every lifetime; returns segments keyed by variable name."""
+    values = (
+        lifetimes.values() if isinstance(lifetimes, Mapping) else lifetimes
+    )
+    return {
+        lifetime.name: split_lifetime(lifetime, access_times, split_at_reads)
+        for lifetime in values
+    }

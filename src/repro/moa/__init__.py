@@ -1,0 +1,28 @@
+"""Offset assignment for DSP address generation (the paper's closing
+extension: SOA/MOA with performance, code-size and power objectives)."""
+
+from repro.moa.access import access_graph, access_sequence
+from repro.moa.cost import CostWeights, sequence_cost, transition_cost
+from repro.moa.moa import MoaResult, moa_assign, moa_cost, moa_optimal_partition
+from repro.moa.soa import (
+    offsets_from_paths,
+    soa_liao,
+    soa_naive,
+    soa_optimal,
+)
+
+__all__ = [
+    "CostWeights",
+    "MoaResult",
+    "access_graph",
+    "access_sequence",
+    "moa_assign",
+    "moa_cost",
+    "moa_optimal_partition",
+    "offsets_from_paths",
+    "sequence_cost",
+    "soa_liao",
+    "soa_naive",
+    "soa_optimal",
+    "transition_cost",
+]

@@ -1,0 +1,94 @@
+"""Memory access sequences and access graphs.
+
+The offset-assignment problems are defined over the *access sequence*:
+the time-ordered list of memory variables the generated code touches.
+This module derives that sequence from a solved
+:class:`~repro.core.allocation.Allocation` (definition writes, reads,
+spills and reloads in step order) and builds the *access graph* — nodes
+are variables, edge weights count adjacent occurrences in the sequence —
+which both the SOA heuristic and the exact solver consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.allocation import Allocation
+
+__all__ = ["access_sequence", "access_graph"]
+
+
+def access_sequence(allocation: Allocation) -> list[str]:
+    """Memory accesses of *allocation* in execution order.
+
+    Events per step follow the package's timing conventions: reads happen
+    at a step's top edge before writes at its bottom edge.  Ties inside
+    one edge are ordered by variable name for determinism.
+
+    Returns:
+        Variable names, one entry per memory access.
+    """
+    problem = allocation.problem
+    access = problem.access_times
+    horizon = problem.horizon
+    registered = set(allocation.residency)
+    reads: dict[int, list[str]] = {}
+    writes: dict[int, list[str]] = {}
+
+    def first_access_at_or_after(step: int) -> int:
+        if access is None:
+            return step
+        later = [m for m in access if m >= step]
+        return min(later) if later else horizon + 1
+
+    for name, segments in problem.segments.items():
+        if segments[0].key not in registered:
+            step = first_access_at_or_after(
+                problem.lifetimes[name].write_time
+            )
+            writes.setdefault(step, []).append(name)
+        for seg in segments:
+            if seg.key in registered:
+                continue
+            for read in seg.reads:
+                reads.setdefault(read, []).append(name)
+
+    for chain in allocation.chains:
+        for position, seg in enumerate(chain):
+            previous = chain[position - 1] if position else None
+            intra = (
+                previous is not None
+                and previous.name == seg.name
+                and previous.index + 1 == seg.index
+            )
+            if not intra and not seg.is_first and seg.starts_at_access_cut:
+                reads.setdefault(seg.start, []).append(seg.name)  # reload
+            exits = (
+                position + 1 == len(chain)
+                or chain[position + 1].name != seg.name
+                or chain[position + 1].index != seg.index + 1
+            )
+            if exits and not seg.is_last:
+                spill = first_access_at_or_after(seg.end)
+                writes.setdefault(spill, []).append(seg.name)
+
+    sequence: list[str] = []
+    for step in range(1, horizon + 2):
+        sequence.extend(sorted(reads.get(step, ())))
+        sequence.extend(sorted(writes.get(step, ())))
+    return sequence
+
+
+def access_graph(sequence: list[str]) -> dict[frozenset[str], int]:
+    """Adjacency-count access graph of *sequence*.
+
+    Returns:
+        Edge (unordered variable pair) → number of adjacent occurrences.
+        Self-transitions (same variable twice in a row) are free and
+        excluded.
+    """
+    graph: Counter[frozenset[str]] = Counter()
+    for a, b in zip(sequence, sequence[1:]):
+        if a != b:
+            graph[frozenset((a, b))] += 1
+    return dict(graph)

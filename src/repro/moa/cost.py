@@ -1,0 +1,82 @@
+"""Offset-assignment cost model.
+
+A DSP address generation unit steps an address register (AR) through the
+memory access sequence.  Moving the AR by ±1 rides the free
+auto-increment/decrement; any larger move needs an explicit AR update
+instruction.  The paper's closing paragraph says the flow approach "has
+recently been extended to solve the multiple offset assignment problem
+... where performance, code size and power objective functions are
+supported" — so the cost of an assignment is a weighted count of AR
+updates:
+
+* performance: one extra cycle per update;
+* code size: one extra instruction word per update;
+* power: one address-arithmetic operation per update (a 16-bit add in the
+  [14] relative scale), plus the address-register write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AllocationError
+
+__all__ = ["CostWeights", "transition_cost", "sequence_cost"]
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weights of one explicit AR update under the three objectives.
+
+    Attributes:
+        cycles: Performance weight (cycles per update).
+        words: Code-size weight (instruction words per update).
+        energy: Power weight (relative energy per update; the default is
+            one 16-bit add plus a cheap register write).
+    """
+
+    cycles: float = 1.0
+    words: float = 1.0
+    energy: float = 1.25
+
+    def __post_init__(self) -> None:
+        if min(self.cycles, self.words, self.energy) < 0:
+            raise AllocationError("cost weights must be non-negative")
+
+    def update_cost(self) -> float:
+        """Scalarised cost of one AR update (sum of the objectives)."""
+        return self.cycles + self.words + self.energy
+
+    @classmethod
+    def performance_only(cls) -> "CostWeights":
+        return cls(cycles=1.0, words=0.0, energy=0.0)
+
+    @classmethod
+    def energy_only(cls) -> "CostWeights":
+        return cls(cycles=0.0, words=0.0, energy=1.25)
+
+
+def transition_cost(offset_a: int, offset_b: int) -> int:
+    """AR updates needed to move between two offsets (0 or 1)."""
+    return 0 if abs(offset_a - offset_b) <= 1 else 1
+
+
+def sequence_cost(
+    sequence: list[str],
+    offsets: dict[str, int],
+    weights: CostWeights | None = None,
+) -> float:
+    """Total cost of serving *sequence* with one AR under *offsets*.
+
+    The initial AR load is not charged (every assignment pays it).
+    """
+    weights = weights or CostWeights()
+    updates = 0
+    for a, b in zip(sequence, sequence[1:]):
+        try:
+            updates += transition_cost(offsets[a], offsets[b])
+        except KeyError as exc:
+            raise AllocationError(
+                f"access sequence mentions unplaced variable {exc}"
+            ) from None
+    return updates * weights.update_cost()

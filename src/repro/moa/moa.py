@@ -1,0 +1,186 @@
+"""Multiple offset assignment (MOA): several address registers.
+
+With ``k`` address registers the access sequence is served by whichever
+AR currently points nearest: variables are partitioned among the ARs and
+each AR runs SOA over the subsequence of its own variables.  Cost = sum of
+per-AR SOA costs (transitions between accesses served by different ARs
+are free — the other AR kept its position).
+
+Partition heuristic (Liao-style): seed each AR with the heaviest
+still-unassigned access-graph node, then greedily assign every remaining
+variable to the AR where it adds the most covered weight; finish with a
+local improvement pass that relocates single variables while it helps.
+An exact partition search certifies the heuristic on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import AllocationError
+from repro.moa.access import access_graph
+from repro.moa.cost import CostWeights, sequence_cost
+from repro.moa.soa import soa_liao, soa_optimal
+
+__all__ = ["MoaResult", "moa_assign", "moa_cost", "moa_optimal_partition"]
+
+
+def _subsequence(sequence: list[str], members: set[str]) -> list[str]:
+    return [name for name in sequence if name in members]
+
+
+def moa_cost(
+    sequence: list[str],
+    partition: list[set[str]],
+    weights: CostWeights | None = None,
+    exact_soa: bool = False,
+) -> float:
+    """Total cost of a partition (per-AR SOA costs summed)."""
+    total = 0.0
+    for members in partition:
+        sub = _subsequence(sequence, members)
+        if not sub:
+            continue
+        offsets = soa_optimal(sub) if exact_soa else soa_liao(sub)
+        total += sequence_cost(sub, offsets, weights)
+    return total
+
+
+class MoaResult:
+    """Outcome of :func:`moa_assign`.
+
+    Attributes:
+        partition: Variable sets per address register.
+        offsets: Per-AR offset maps (offsets are local to each AR's
+            memory region).
+        cost: Scalarised total cost under the given weights.
+    """
+
+    def __init__(
+        self,
+        partition: list[set[str]],
+        offsets: list[dict[str, int]],
+        cost: float,
+    ) -> None:
+        self.partition = partition
+        self.offsets = offsets
+        self.cost = cost
+
+    def register_of(self, name: str) -> int:
+        for index, members in enumerate(self.partition):
+            if name in members:
+                return index
+        raise AllocationError(f"variable {name!r} not assigned to any AR")
+
+
+def moa_assign(
+    sequence: list[str],
+    address_registers: int,
+    weights: CostWeights | None = None,
+) -> MoaResult:
+    """Partition + per-AR SOA for *address_registers* ARs.
+
+    Args:
+        sequence: The memory access sequence.
+        address_registers: Number of ARs (``>= 1``).
+        weights: Objective weights (performance/code/power).
+
+    Returns:
+        The heuristic :class:`MoaResult`.
+    """
+    if address_registers < 1:
+        raise AllocationError(
+            f"need at least one address register, got {address_registers}"
+        )
+    variables: list[str] = []
+    for name in sequence:
+        if name not in variables:
+            variables.append(name)
+    if not variables:
+        return MoaResult(
+            [set() for _ in range(address_registers)], [], 0.0
+        )
+    graph = access_graph(sequence)
+    weight_of: dict[str, int] = {v: 0 for v in variables}
+    for edge, weight in graph.items():
+        for node in edge:
+            weight_of[node] += weight
+
+    k = min(address_registers, len(variables))
+    seeds = sorted(variables, key=lambda v: (-weight_of[v], v))[:k]
+    partition: list[set[str]] = [{seed} for seed in seeds]
+    partition.extend(set() for _ in range(address_registers - k))
+
+    def gain(name: str, members: set[str]) -> int:
+        return sum(
+            weight
+            for edge, weight in graph.items()
+            if name in edge and (edge - {name}) & members
+        )
+
+    for name in variables:
+        if any(name in members for members in partition):
+            continue
+        best = max(
+            range(len(partition)),
+            key=lambda i: (gain(name, partition[i]), -i),
+        )
+        partition[best].add(name)
+
+    # Local improvement: relocate single variables while the total cost
+    # drops.
+    improved = True
+    current = moa_cost(sequence, partition, weights)
+    while improved:
+        improved = False
+        for name in variables:
+            source = next(
+                i for i, members in enumerate(partition) if name in members
+            )
+            for target in range(len(partition)):
+                if target == source:
+                    continue
+                partition[source].discard(name)
+                partition[target].add(name)
+                candidate = moa_cost(sequence, partition, weights)
+                if candidate < current - 1e-9:
+                    current = candidate
+                    source = target
+                    improved = True
+                else:
+                    partition[target].discard(name)
+                    partition[source].add(name)
+    offsets = [
+        soa_liao(_subsequence(sequence, members)) if members else {}
+        for members in partition
+    ]
+    return MoaResult(partition, offsets, current)
+
+
+def moa_optimal_partition(
+    sequence: list[str],
+    address_registers: int,
+    weights: CostWeights | None = None,
+    limit: int = 8,
+) -> float:
+    """Exact MOA cost by exhaustive partition search (tiny instances)."""
+    variables: list[str] = []
+    for name in sequence:
+        if name not in variables:
+            variables.append(name)
+    if len(variables) > limit:
+        raise AllocationError(
+            f"exact MOA limited to {limit} variables, got {len(variables)}"
+        )
+    best = float("inf")
+    for labels in itertools.product(
+        range(address_registers), repeat=len(variables)
+    ):
+        partition = [set() for _ in range(address_registers)]
+        for name, label in zip(variables, labels):
+            partition[label].add(name)
+        best = min(
+            best,
+            moa_cost(sequence, partition, weights, exact_soa=True),
+        )
+    return best

@@ -1,0 +1,154 @@
+"""Simple offset assignment (SOA): one address register.
+
+Choose memory offsets for the variables such that as many adjacent pairs
+of the access sequence as possible sit at neighbouring offsets (covered by
+free auto-increment/decrement).  Equivalent to finding a maximum-weight
+Hamiltonian *path cover* of the access graph (Bartley/Liao): every edge on
+the chosen paths is a covered transition; every uncovered transition costs
+one explicit AR update.
+
+Implemented here:
+
+* :func:`soa_liao` — Liao's classic greedy: take edges by descending
+  weight, rejecting any that would give a node degree > 2 or close a
+  cycle; the resulting paths are laid out consecutively.
+* :func:`soa_optimal` — exact branch-and-bound over edge subsets for
+  small instances (used by the tests to certify the heuristic).
+* :func:`soa_naive` — first-use order, the do-nothing baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import AllocationError
+
+__all__ = ["soa_naive", "soa_liao", "soa_optimal", "offsets_from_paths"]
+
+
+def _variables(sequence: list[str]) -> list[str]:
+    seen: dict[str, None] = {}
+    for name in sequence:
+        seen.setdefault(name)
+    return list(seen)
+
+
+def soa_naive(sequence: list[str]) -> dict[str, int]:
+    """Offsets in first-use order (the unoptimised layout)."""
+    return {name: i for i, name in enumerate(_variables(sequence))}
+
+
+def offsets_from_paths(
+    paths: list[list[str]], all_variables: list[str]
+) -> dict[str, int]:
+    """Lay the chosen paths out consecutively; isolated variables last."""
+    offsets: dict[str, int] = {}
+    position = 0
+    placed: set[str] = set()
+    for path in paths:
+        for name in path:
+            offsets[name] = position
+            placed.add(name)
+            position += 1
+    for name in all_variables:
+        if name not in placed:
+            offsets[name] = position
+            position += 1
+    return offsets
+
+
+def _paths_from_edges(
+    edges: list[frozenset[str]], variables: list[str]
+) -> list[list[str]]:
+    """Assemble degree-<=2 acyclic edge sets into explicit paths."""
+    neighbours: dict[str, list[str]] = {v: [] for v in variables}
+    for edge in edges:
+        a, b = tuple(edge)
+        neighbours[a].append(b)
+        neighbours[b].append(a)
+    visited: set[str] = set()
+    paths: list[list[str]] = []
+    # Start from path endpoints (degree <= 1).
+    for start in variables:
+        if start in visited or len(neighbours[start]) > 1:
+            continue
+        if not neighbours[start]:
+            continue  # isolated: appended by offsets_from_paths
+        path = [start]
+        visited.add(start)
+        current = start
+        while True:
+            nxt = [n for n in neighbours[current] if n not in visited]
+            if not nxt:
+                break
+            current = nxt[0]
+            path.append(current)
+            visited.add(current)
+        paths.append(path)
+    return paths
+
+
+def soa_liao(sequence: list[str]) -> dict[str, int]:
+    """Liao's greedy maximum-weight path cover heuristic."""
+    from repro.moa.access import access_graph
+
+    variables = _variables(sequence)
+    graph = access_graph(sequence)
+    degree: dict[str, int] = {v: 0 for v in variables}
+    component: dict[str, str] = {v: v for v in variables}
+
+    def find(v: str) -> str:
+        while component[v] != v:
+            component[v] = component[component[v]]
+            v = component[v]
+        return v
+
+    chosen: list[frozenset[str]] = []
+    ordered = sorted(
+        graph.items(), key=lambda item: (-item[1], sorted(item[0]))
+    )
+    for edge, _weight in ordered:
+        a, b = tuple(edge)
+        if degree[a] >= 2 or degree[b] >= 2:
+            continue
+        if find(a) == find(b):
+            continue  # would close a cycle
+        chosen.append(edge)
+        degree[a] += 1
+        degree[b] += 1
+        component[find(a)] = find(b)
+    paths = _paths_from_edges(chosen, variables)
+    return offsets_from_paths(paths, variables)
+
+
+def soa_optimal(sequence: list[str], limit: int = 9) -> dict[str, int]:
+    """Exact SOA by permutation search (small instances only).
+
+    Args:
+        sequence: The access sequence.
+        limit: Maximum distinct variables accepted (cost grows
+            factorially).
+
+    Raises:
+        AllocationError: If the instance exceeds *limit* variables.
+    """
+    from repro.moa.cost import sequence_cost
+
+    variables = _variables(sequence)
+    if len(variables) > limit:
+        raise AllocationError(
+            f"exact SOA limited to {limit} variables, got {len(variables)}"
+        )
+    if not variables:
+        return {}
+    best: dict[str, int] | None = None
+    best_cost = float("inf")
+    for order in itertools.permutations(variables):
+        if order[0] > order[-1]:
+            continue  # reversal symmetry: mirrored layouts cost the same
+        layout = {name: i for i, name in enumerate(order)}
+        cost = sequence_cost(sequence, layout)
+        if cost < best_cost:
+            best, best_cost = layout, cost
+    assert best is not None
+    return best

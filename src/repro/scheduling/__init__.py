@@ -1,0 +1,15 @@
+"""Scheduling substrate: ASAP/ALAP and resource-constrained list scheduling."""
+
+from repro.scheduling.asap_alap import alap_schedule, asap_schedule, mobility
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import ResourceSet
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "ResourceSet",
+    "Schedule",
+    "alap_schedule",
+    "asap_schedule",
+    "list_schedule",
+    "mobility",
+]

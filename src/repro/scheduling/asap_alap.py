@@ -1,0 +1,74 @@
+"""ASAP and ALAP scheduling.
+
+As-soon-as-possible / as-late-as-possible schedules bound every operation's
+feasible start window; the list scheduler uses the ALAP-derived slack as its
+priority function, and workload generators use ASAP directly for
+resource-unconstrained kernels.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ScheduleError
+from repro.ir.basic_block import BasicBlock
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["asap_schedule", "alap_schedule", "mobility"]
+
+
+def asap_schedule(block: BasicBlock) -> Schedule:
+    """Earliest-start schedule honouring dataflow precedence only."""
+    available: dict[str, int] = {}  # variable -> first step it can be read
+    start: dict[str, int] = {}
+    for op in block:  # program order is a topological order (validated)
+        earliest = max((available[read] for read in op.inputs), default=1)
+        start[op.name] = earliest
+        if op.output is not None:
+            available[op.output] = earliest + op.delay
+    return Schedule(block, start)
+
+
+def alap_schedule(block: BasicBlock, deadline: int | None = None) -> Schedule:
+    """Latest-start schedule finishing by *deadline*.
+
+    Args:
+        block: Block to schedule.
+        deadline: Last allowed control step; defaults to the critical-path
+            length (the tightest feasible deadline).
+
+    Raises:
+        ScheduleError: If *deadline* is shorter than the critical path.
+    """
+    critical = asap_schedule(block).length
+    if deadline is None:
+        deadline = critical
+    if deadline < critical:
+        raise ScheduleError(
+            f"deadline {deadline} below critical path length {critical}"
+        )
+    # Latest finish per variable: constrained by every consumer's start.
+    start: dict[str, int] = {}
+    for op in reversed(block.operations):
+        latest_finish = deadline
+        if op.output is not None:
+            for consumer in block.consumers(op.output):
+                # value must be written strictly before the consumer reads
+                latest_finish = min(latest_finish, start[consumer.name] - 1)
+        start[op.name] = latest_finish - op.delay + 1
+        if start[op.name] < 1:
+            raise ScheduleError(
+                f"operation {op.name!r} cannot meet deadline {deadline}"
+            )
+    return Schedule(block, start)
+
+
+def mobility(block: BasicBlock, deadline: int | None = None) -> dict[str, int]:
+    """Slack (ALAP start − ASAP start) per operation name.
+
+    Zero-mobility operations lie on the critical path; the list scheduler
+    prioritises small mobility.
+    """
+    asap = asap_schedule(block)
+    alap = alap_schedule(block, deadline)
+    return {
+        op.name: alap.start_of(op) - asap.start_of(op) for op in block
+    }

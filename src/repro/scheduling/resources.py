@@ -1,0 +1,60 @@
+"""Functional-unit resource descriptions for list scheduling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ScheduleError
+from repro.ir.operations import Operation
+
+__all__ = ["ResourceSet"]
+
+#: Unit classes with effectively unlimited availability (block I/O is wiring,
+#: not a datapath resource).
+_UNLIMITED = frozenset({"io"})
+
+
+@dataclass(frozen=True)
+class ResourceSet:
+    """Available functional units per unit class.
+
+    Attributes:
+        units: Mapping from unit class (see :attr:`OpCode.unit_class`) to the
+            number of instances available per control step.  Classes absent
+            from the mapping default to one unit; classes in ``_UNLIMITED``
+            are never constrained.
+    """
+
+    units: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for unit, count in self.units.items():
+            if count < 1:
+                raise ScheduleError(f"resource {unit!r} has count {count}")
+
+    def available(self, unit_class: str) -> int:
+        """Units of *unit_class* usable in a single control step.
+
+        Classes in ``_UNLIMITED`` (block I/O) default to unbounded but can
+        still be budgeted explicitly — e.g. a streaming front end that
+        delivers at most four samples per step declares ``{"io": 4}``.
+        """
+        if unit_class in self.units:
+            return self.units[unit_class]
+        if unit_class in _UNLIMITED:
+            return 1 << 30
+        return 1
+
+    def capacity_for(self, op: Operation) -> int:
+        """Units usable per step by *op*."""
+        return self.available(op.opcode.unit_class)
+
+    @classmethod
+    def unlimited(cls) -> "ResourceSet":
+        """A resource set that never constrains the schedule."""
+        return cls({cls_name: 1 << 30 for cls_name in ("alu", "mult")})
+
+    @classmethod
+    def typical_dsp(cls) -> "ResourceSet":
+        """One multiplier + two ALUs: a common small DSP datapath."""
+        return cls({"mult": 1, "alu": 2})

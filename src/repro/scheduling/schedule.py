@@ -1,0 +1,127 @@
+"""Schedules: the assignment of operations to control steps.
+
+Problem 1 assumes "an initial schedule of operations" is given.  A
+:class:`Schedule` maps each operation of a basic block to the control step
+at which it starts.  Timing conventions (fixed here and used by every other
+module):
+
+* Control steps are numbered from 1 to the schedule length ``x``.
+* An operation starting at step ``s`` with delay ``d`` **reads** its inputs
+  at the top of step ``s`` and **writes** its output at the bottom of step
+  ``s + d - 1``.
+* A value written at the bottom of step ``k`` is readable from the top of
+  step ``k + 1``; a storage location freed by a read at step ``k`` can be
+  rewritten at the bottom of the same step ``k`` (this is what lets the
+  paper connect the reads of ``a``/``b`` to the write of ``d`` inside
+  control step 3 of figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.exceptions import ScheduleError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import Operation
+
+__all__ = ["Schedule"]
+
+
+@dataclass
+class Schedule:
+    """An operation → start-step mapping over a basic block.
+
+    Attributes:
+        block: The scheduled basic block.
+        start: Start control step per operation name (all ``>= 1``).
+    """
+
+    block: BasicBlock
+    start: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def start_of(self, op: Operation | str) -> int:
+        """Start step of an operation (by object or name)."""
+        name = op if isinstance(op, str) else op.name
+        try:
+            return self.start[name]
+        except KeyError:
+            raise ScheduleError(f"operation {name!r} is unscheduled") from None
+
+    def write_step(self, op: Operation | str) -> int:
+        """Step whose bottom edge carries the operation's result write."""
+        operation = self._resolve(op)
+        return self.start_of(operation) + operation.delay - 1
+
+    def read_step(self, op: Operation | str) -> int:
+        """Step whose top edge carries the operation's input reads."""
+        return self.start_of(op)
+
+    @property
+    def length(self) -> int:
+        """Number of control steps ``x`` the block occupies."""
+        return max(
+            (self.start[op.name] + op.delay - 1 for op in self.block),
+            default=0,
+        )
+
+    def operations_at(self, step: int) -> tuple[Operation, ...]:
+        """Operations busy during *step* (between start and finish)."""
+        return tuple(
+            op
+            for op in self.block
+            if self.start[op.name] <= step <= self.write_step(op)
+        )
+
+    def as_ordered_list(self) -> list[Operation]:
+        """Operations sorted by start step (the paper's 'ordered list')."""
+        return sorted(self.block, key=lambda op: (self.start[op.name], op.name))
+
+    def __iter__(self) -> Iterator[tuple[Operation, int]]:
+        for op in self.block:
+            yield op, self.start[op.name]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check completeness, step positivity, and dataflow precedence."""
+        for op in self.block:
+            if op.name not in self.start:
+                raise ScheduleError(
+                    f"operation {op.name!r} missing from schedule of "
+                    f"block {self.block.name!r}"
+                )
+            if self.start[op.name] < 1:
+                raise ScheduleError(
+                    f"operation {op.name!r} starts at step "
+                    f"{self.start[op.name]} (< 1)"
+                )
+        extra = set(self.start) - {op.name for op in self.block}
+        if extra:
+            raise ScheduleError(
+                f"schedule mentions unknown operations: {sorted(extra)}"
+            )
+        for producer, consumer in self.block.dependence_edges():
+            if self.start_of(consumer) <= self.write_step(producer):
+                raise ScheduleError(
+                    f"{consumer.name!r} (step {self.start_of(consumer)}) "
+                    f"reads the output of {producer.name!r} before it is "
+                    f"written (bottom of step {self.write_step(producer)})"
+                )
+
+    def _resolve(self, op: Operation | str) -> Operation:
+        return self.block.operation(op) if isinstance(op, str) else op
+
+    @classmethod
+    def from_mapping(
+        cls, block: BasicBlock, mapping: Mapping[str, int]
+    ) -> "Schedule":
+        """Build a schedule from any mapping, validating it."""
+        return cls(block, dict(mapping))

@@ -1,0 +1,13 @@
+"""Pre-allocation program transformations (paper section 5 methodology)."""
+
+from repro.transforms.regeneration import (
+    apply_regeneration,
+    regenerate,
+    regeneration_candidates,
+)
+
+__all__ = [
+    "apply_regeneration",
+    "regenerate",
+    "regeneration_candidates",
+]

@@ -1,0 +1,192 @@
+"""Data regeneration (recompute-instead-of-store).
+
+The paper's methodology performs "transformations ... within each task
+such as data regeneration" before the allocation flow (section 5, citing
+[20, 21]: trading extra computation against memory traffic).  The idea:
+when a value is consumed several times and recomputing it is cheaper than
+keeping it alive in storage, clone its producing operation in front of the
+later consumers so every copy is single-use.
+
+This implementation takes the conservative, always-sound subset:
+
+* only values whose producer reads *source operands exclusively*
+  (block inputs / constants) are regenerated;
+* the operands must be *nearly live* across the value's reads already:
+  using program-order positions as a time proxy, the lifetime span the
+  regeneration removes from the value must exceed the total span it adds
+  to the operands (the regeneration papers' profitable regime — e.g. a
+  filter coefficient reused late in the block extends by nothing);
+* a value is a candidate when the energy of one recomputation
+  (the operation's own energy plus register reads for its operands) is
+  below the storage read it replaces;
+* the transformed block remains single-assignment: clone ``i`` defines
+  ``v__regen<i>`` and the corresponding consumer is rewired.
+
+The transformation changes the *program*; its energy effect is then
+evaluated exactly by scheduling and allocating the transformed block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.energy.models import EnergyModel
+from repro.exceptions import GraphError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+
+__all__ = ["regeneration_candidates", "apply_regeneration", "regenerate"]
+
+#: Opcodes whose outputs are "source operands" — always available without
+#: dedicated storage pressure attributable to the regeneration.
+_SOURCE_OPCODES = frozenset({OpCode.INPUT, OpCode.CONST})
+
+
+def _recompute_cost(
+    producer: Operation, model: EnergyModel, block: BasicBlock
+) -> float:
+    """Energy of one extra evaluation of *producer*.
+
+    The operation's datapath energy (relative units, [14] ratios) plus a
+    register read per operand.
+    """
+    operand_reads = sum(
+        model.reg_read(block.variable(name)) for name in producer.inputs
+    )
+    return producer.opcode.relative_energy + operand_reads
+
+
+def regeneration_candidates(
+    block: BasicBlock,
+    model: EnergyModel,
+) -> dict[str, float]:
+    """Values worth regenerating, with their per-read energy saving.
+
+    Args:
+        block: The block to analyse.
+        model: Energy model used to price storage vs recomputation.
+
+    Returns:
+        Variable name → estimated saving per replaced read (positive).
+        Only multi-consumer values produced purely from source operands
+        qualify.
+    """
+    position = {op.name: index for index, op in enumerate(block)}
+
+    def last_consumer_position(name: str, excluding: str) -> int:
+        consumers = [
+            c for c in block.consumers(name) if c.name != excluding
+        ]
+        return max((position[c.name] for c in consumers), default=-1)
+
+    savings: dict[str, float] = {}
+    for op in block:
+        if op.output is None or op.opcode in _SOURCE_OPCODES:
+            continue
+        consumers = block.consumers(op.output)
+        if len(consumers) < 2:
+            continue
+        if op.output in block.live_out:
+            continue  # the stored copy is needed past the block anyway
+        if not op.inputs:
+            continue
+        if not all(
+            block.producer(name).opcode in _SOURCE_OPCODES
+            for name in op.inputs
+        ):
+            continue
+        # Storage-span arithmetic in program-order positions: removing
+        # the value's tail must outweigh the operand lifetimes the clones
+        # stretch; otherwise regeneration trades one long lifetime for
+        # several.
+        value_first = min(position[c.name] for c in consumers)
+        value_last = max(position[c.name] for c in consumers)
+        span_removed = value_last - value_first
+        span_added = sum(
+            max(
+                0,
+                value_last
+                - last_consumer_position(operand, excluding=op.name),
+            )
+            for operand in op.inputs
+        )
+        if span_added >= span_removed:
+            continue
+        recompute = _recompute_cost(op, model, block)
+        # Worst-case storage read replaced: a memory read; even the
+        # optimistic register read keeps the value's lifetime long, so we
+        # price against the memory read as [20]/[21] do.
+        replaced = model.mem_read(block.variable(op.output))
+        if recompute < replaced:
+            savings[op.output] = replaced - recompute
+    return savings
+
+
+def apply_regeneration(
+    block: BasicBlock, variables: list[str] | tuple[str, ...]
+) -> BasicBlock:
+    """Clone producers so each listed variable is consumed exactly once.
+
+    Args:
+        block: The block to transform.
+        variables: Names from :func:`regeneration_candidates` (validated).
+
+    Returns:
+        A new single-assignment block; for each variable ``v`` with
+        consumers ``c1..ck``, consumers ``c2..ck`` now read fresh clones
+        ``v__regen1..``.
+    """
+    for name in variables:
+        if len(block.consumers(name)) < 2:
+            raise GraphError(f"{name!r} has fewer than two consumers")
+        producer = block.producer(name)
+        if any(
+            block.producer(read).opcode not in _SOURCE_OPCODES
+            for read in producer.inputs
+        ):
+            raise GraphError(
+                f"{name!r} is not regenerable: producer reads "
+                "non-source operands"
+            )
+
+    chosen = set(variables)
+    operations: list[Operation] = []
+    declared = list(block.variables.values())
+    seen_consumers: dict[str, int] = {}
+    for op in block.operations:
+        new_inputs = list(op.inputs)
+        for position, read in enumerate(op.inputs):
+            if read not in chosen:
+                continue
+            count = seen_consumers.get(read, 0)
+            seen_consumers[read] = count + 1
+            if count == 0:
+                continue  # first consumer keeps the original value
+            clone_value = f"{read}__regen{count}"
+            producer = block.producer(read)
+            operations.append(
+                replace(
+                    producer,
+                    name=f"{producer.name}__regen{count}",
+                    output=clone_value,
+                )
+            )
+            original = block.variable(read)
+            declared.append(replace(original, name=clone_value))
+            new_inputs[position] = clone_value
+        operations.append(replace(op, inputs=tuple(new_inputs)))
+    return BasicBlock.from_operations(
+        f"{block.name}+regen",
+        operations,
+        live_out=block.live_out,
+        variables=declared,
+    )
+
+
+def regenerate(block: BasicBlock, model: EnergyModel) -> BasicBlock:
+    """Apply every profitable regeneration to *block* (fixed-point-free:
+    one analysis pass suffices because clones are single-use)."""
+    candidates = regeneration_candidates(block, model)
+    if not candidates:
+        return block
+    return apply_regeneration(block, sorted(candidates))

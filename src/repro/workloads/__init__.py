@@ -1,0 +1,71 @@
+"""Workloads: the paper's examples, DSP kernels, the synthetic RSP
+application, and seeded random generators."""
+
+from repro.workloads.dsp_kernels import (
+    dct4,
+    diffeq,
+    elliptic_wave_filter,
+    fft_butterfly,
+    fir_filter,
+    iir_biquad,
+    lattice_filter,
+    matmul2,
+)
+from repro.workloads.paper_examples import (
+    FIGURE1_ACCESS_TIMES,
+    FIGURE1_HORIZON,
+    FIGURE3_ACTIVITIES,
+    FIGURE3_HORIZON,
+    FIGURE4_ACTIVITIES,
+    FIGURE4_HORIZON,
+    figure1_lifetimes,
+    figure3_lifetimes,
+    figure4_lifetimes,
+)
+from repro.workloads.random_blocks import random_dfg, random_lifetimes
+from repro.workloads.serialize import (
+    dumps,
+    lifetimes_from_dict,
+    lifetimes_to_dict,
+    loads,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.workloads.rsp import (
+    RSP_MAX_DENSITY,
+    RSP_RESOURCES,
+    rsp_block,
+    rsp_schedule,
+)
+
+__all__ = [
+    "FIGURE1_ACCESS_TIMES",
+    "FIGURE1_HORIZON",
+    "FIGURE3_ACTIVITIES",
+    "FIGURE3_HORIZON",
+    "FIGURE4_ACTIVITIES",
+    "FIGURE4_HORIZON",
+    "RSP_MAX_DENSITY",
+    "RSP_RESOURCES",
+    "dct4",
+    "diffeq",
+    "dumps",
+    "elliptic_wave_filter",
+    "fft_butterfly",
+    "figure1_lifetimes",
+    "figure3_lifetimes",
+    "figure4_lifetimes",
+    "fir_filter",
+    "iir_biquad",
+    "lattice_filter",
+    "lifetimes_from_dict",
+    "lifetimes_to_dict",
+    "loads",
+    "matmul2",
+    "problem_from_dict",
+    "problem_to_dict",
+    "random_dfg",
+    "random_lifetimes",
+    "rsp_block",
+    "rsp_schedule",
+]

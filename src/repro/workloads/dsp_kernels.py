@@ -1,0 +1,369 @@
+"""Classic DSP dataflow kernels.
+
+The blocks high-level synthesis papers of the era evaluate on: FIR filter,
+IIR biquad cascade, the 34-operation elliptic wave filter benchmark
+(reconstructed), and a small DCT.  All are expressed through
+:class:`~repro.ir.builder.BlockBuilder` and return plain
+:class:`~repro.ir.basic_block.BasicBlock` objects ready for scheduling and
+allocation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.energy.switching import gaussian_dsp_trace, uniform_trace
+from repro.exceptions import WorkloadError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import BlockBuilder
+from repro.ir.operations import OpCode
+
+__all__ = [
+    "fir_filter",
+    "iir_biquad",
+    "elliptic_wave_filter",
+    "dct4",
+    "diffeq",
+    "fft_butterfly",
+    "lattice_filter",
+    "matmul2",
+]
+
+
+def _traces(rng: random.Random | None, width: int, samples: int, dsp: bool):
+    """Trace factory: gaussian DSP data when a generator is supplied."""
+    if rng is None:
+        return lambda: ()
+    if dsp:
+        return lambda: gaussian_dsp_trace(rng, width, samples)
+    return lambda: uniform_trace(rng, width, samples)
+
+
+def fir_filter(
+    taps: int = 8,
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """Direct-form FIR filter: ``y = sum_i c_i * x_i``.
+
+    Args:
+        taps: Number of filter taps (``>= 2``).
+        rng: Optional generator; when given, inputs receive Gaussian DSP
+            value traces for the activity model.
+        width: Word width.
+        samples: Trace length per variable.
+
+    Returns:
+        A basic block named ``fir<taps>`` whose output is live out.
+    """
+    if taps < 2:
+        raise WorkloadError(f"FIR needs >= 2 taps, got {taps}")
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder(f"fir{taps}", default_width=width)
+    xs = [b.input(f"x{i}", trace=trace()) for i in range(taps)]
+    cs = [b.const(f"c{i}", trace=trace()) for i in range(taps)]
+    acc = b.mul(xs[0], cs[0], name="p0")
+    for i in range(1, taps):
+        product = b.mul(xs[i], cs[i], name=f"p{i}")
+        acc = b.add(acc, product, name=f"s{i}")
+    b.output(acc)
+    b.live_out(acc)
+    return b.build()
+
+
+def iir_biquad(
+    sections: int = 2,
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """Cascade of direct-form-II IIR biquad sections.
+
+    Each section computes ``w = x + a1*z1 + a2*z2`` and
+    ``y = b0*w + b1*z1 + b2*z2`` with state variables ``z1``/``z2`` live
+    out (they feed the next invocation).
+    """
+    if sections < 1:
+        raise WorkloadError(f"IIR needs >= 1 section, got {sections}")
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder(f"iir{sections}", default_width=width)
+    x = b.input("x", trace=trace())
+    for s in range(sections):
+        z1 = b.input(f"z1_{s}", trace=trace())
+        z2 = b.input(f"z2_{s}", trace=trace())
+        a1 = b.const(f"a1_{s}", trace=trace())
+        a2 = b.const(f"a2_{s}", trace=trace())
+        b0 = b.const(f"b0_{s}", trace=trace())
+        b1 = b.const(f"b1_{s}", trace=trace())
+        b2 = b.const(f"b2_{s}", trace=trace())
+        t1 = b.mul(a1, z1, name=f"t1_{s}")
+        t2 = b.mul(a2, z2, name=f"t2_{s}")
+        w0 = b.add(x, t1, name=f"wa_{s}")
+        w = b.add(w0, t2, name=f"w_{s}")
+        u0 = b.mul(b0, w, name=f"u0_{s}")
+        u1 = b.mul(b1, z1, name=f"u1_{s}")
+        u2 = b.mul(b2, z2, name=f"u2_{s}")
+        y0 = b.add(u0, u1, name=f"ya_{s}")
+        x = b.add(y0, u2, name=f"y_{s}")
+        # w becomes next z1, old z1 becomes next z2 (state update).
+        nz1 = b.move(w, name=f"nz1_{s}")
+        nz2 = b.move(z1, name=f"nz2_{s}")
+        b.live_out(nz1, nz2)
+    b.output(x)
+    b.live_out(x)
+    return b.build()
+
+
+def elliptic_wave_filter(
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """The fifth-order elliptic wave filter HLS benchmark (reconstructed).
+
+    The classic 34-operation benchmark (26 additions, 8 multiplications)
+    used throughout the scheduling/allocation literature.  The exact
+    published netlist is reconstructed here with the standard structure:
+    two input adders feeding a ladder of add/multiply stages with eight
+    state variables (``sv*``) live out.
+    """
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder("ewf", default_width=width)
+    inp = b.input("inp", trace=trace())
+    sv = {
+        k: b.input(f"sv{k}", trace=trace())
+        for k in (2, 13, 18, 26, 33, 38, 39, 40)
+    }
+    c = {k: b.const(f"cf{k}", trace=trace()) for k in range(1, 9)}
+
+    n1 = b.add(inp, sv[2], name="n1")
+    n2 = b.add(n1, sv[13], name="n2")
+    n3 = b.mul(n2, c[1], name="n3")
+    n4 = b.add(n3, sv[2], name="n4")
+    n5 = b.add(n3, sv[13], name="n5")
+    n6 = b.mul(n5, c[2], name="n6")
+    n7 = b.add(n6, sv[18], name="n7")
+    n8 = b.add(n7, sv[26], name="n8")
+    n9 = b.mul(n8, c[3], name="n9")
+    n10 = b.add(n9, sv[18], name="n10")
+    n11 = b.add(n9, sv[26], name="n11")
+    n12 = b.mul(n11, c[4], name="n12")
+    n13 = b.add(n12, sv[33], name="n13")
+    n14 = b.add(n13, sv[38], name="n14")
+    n15 = b.mul(n14, c[5], name="n15")
+    n16 = b.add(n15, sv[33], name="n16")
+    n17 = b.add(n15, sv[38], name="n17")
+    n18 = b.mul(n17, c[6], name="n18")
+    n19 = b.add(n18, sv[39], name="n19")
+    n20 = b.add(n19, sv[40], name="n20")
+    n21 = b.mul(n20, c[7], name="n21")
+    n22 = b.add(n21, sv[39], name="n22")
+    n23 = b.add(n21, sv[40], name="n23")
+    n24 = b.mul(n23, c[8], name="n24")
+    n25 = b.add(n4, n10, name="n25")
+    n26 = b.add(n25, n16, name="n26")
+    n27 = b.add(n26, n22, name="n27")
+    n28 = b.add(n27, n24, name="n28")
+    n29 = b.add(n5, n11, name="n29")
+    n30 = b.add(n29, n17, name="n30")
+    n31 = b.add(n7, n13, name="n31")
+    n32 = b.add(n31, n19, name="n32")
+    out = b.add(n28, n30, name="n33")
+    aux = b.add(n32, n23, name="n34")
+
+    for new_state in (n4, n10, n16, n22, n24, n29, n31, aux):
+        b.live_out(new_state)
+    b.output(out)
+    b.live_out(out)
+    return b.build()
+
+
+def dct4(
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """4-point DCT-II butterfly kernel."""
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder("dct4", default_width=width)
+    x = [b.input(f"x{i}", trace=trace()) for i in range(4)]
+    c = [b.const(f"k{i}", trace=trace()) for i in range(3)]
+    s0 = b.add(x[0], x[3], name="s0")
+    s1 = b.add(x[1], x[2], name="s1")
+    d0 = b.sub(x[0], x[3], name="d0")
+    d1 = b.sub(x[1], x[2], name="d1")
+    y0 = b.add(s0, s1, name="y0")
+    t0 = b.sub(s0, s1, name="t0")
+    y2 = b.mul(t0, c[0], name="y2")
+    m0 = b.mul(d0, c[1], name="m0")
+    m1 = b.mul(d1, c[2], name="m1")
+    y1 = b.add(m0, m1, name="y1")
+    y3 = b.sub(m0, m1, name="y3")
+    for y in (y0, y1, y2, y3):
+        b.output(y)
+        b.live_out(y)
+    return b.build()
+
+
+def diffeq(
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """The classic HAL differential-equation solver benchmark.
+
+    One Euler step of ``y'' + 3xy' + 3y = 0``: the 11-operation dataflow
+    graph (6 multiplications, 2 additions, 2 subtractions, 1 compare)
+    used since the original high-level synthesis papers.  State variables
+    ``x1``/``y1``/``u1`` and the loop condition are live out.
+    """
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder("diffeq", default_width=width)
+    x = b.input("x", trace=trace())
+    y = b.input("y", trace=trace())
+    u = b.input("u", trace=trace())
+    dx = b.input("dx", trace=trace())
+    a = b.input("a", trace=trace())
+    three = b.const("three", trace=trace())
+
+    t1 = b.mul(u, dx, name="t1")
+    t2 = b.mul(three, x, name="t2")
+    t3 = b.mul(three, y, name="t3")
+    t4 = b.mul(t1, t2, name="t4")
+    t5 = b.mul(dx, t3, name="t5")
+    t6 = b.sub(u, t4, name="t6")
+    u1 = b.sub(t6, t5, name="u1")
+    x1 = b.add(x, dx, name="x1")
+    t7 = b.mul(u1, dx, name="t7")
+    y1 = b.add(y, t7, name="y1")
+    c = b.op(OpCode.CMP, (x1, a), name="c")
+
+    for out in (x1, y1, u1, c):
+        b.live_out(out)
+    b.output(y1)
+    return b.build()
+
+
+def fft_butterfly(
+    stages: int = 2,
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """Radix-2 decimation-in-time FFT butterflies over ``2**stages`` points.
+
+    Complex data is carried as separate real/imaginary variables; each
+    butterfly is one complex multiply (4 MUL + 2 ADD/SUB) and two complex
+    add/subs.  A staple memory-intensive HLS workload.
+    """
+    if stages < 1:
+        raise WorkloadError(f"FFT needs >= 1 stage, got {stages}")
+    points = 1 << stages
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder(f"fft{points}", default_width=width)
+    re = [b.input(f"re{i}", trace=trace()) for i in range(points)]
+    im = [b.input(f"im{i}", trace=trace()) for i in range(points)]
+    uid = 0
+
+    def complex_mul(ar, ai, br, bi):
+        nonlocal uid
+        uid += 1
+        rr = b.mul(ar, br, name=f"rr{uid}")
+        ii = b.mul(ai, bi, name=f"ii{uid}")
+        ri = b.mul(ar, bi, name=f"ri{uid}")
+        ir = b.mul(ai, br, name=f"ir{uid}")
+        return (
+            b.sub(rr, ii, name=f"cr{uid}"),
+            b.add(ri, ir, name=f"ci{uid}"),
+        )
+
+    for stage in range(stages):
+        half = 1 << stage
+        tw_r = [
+            b.const(f"wr{stage}_{k}", trace=trace()) for k in range(half)
+        ]
+        tw_i = [
+            b.const(f"wi{stage}_{k}", trace=trace()) for k in range(half)
+        ]
+        new_re: list[str] = list(re)
+        new_im: list[str] = list(im)
+        for group in range(0, points, half * 2):
+            for k in range(half):
+                top = group + k
+                bottom = group + k + half
+                uid += 1
+                pr, pi = complex_mul(
+                    re[bottom], im[bottom], tw_r[k], tw_i[k]
+                )
+                new_re[top] = b.add(re[top], pr, name=f"ar{uid}")
+                new_im[top] = b.add(im[top], pi, name=f"ai{uid}")
+                new_re[bottom] = b.sub(re[top], pr, name=f"sr{uid}")
+                new_im[bottom] = b.sub(im[top], pi, name=f"si{uid}")
+        re, im = new_re, new_im
+
+    for name in (*re, *im):
+        b.output(name)
+        b.live_out(name)
+    return b.build()
+
+
+def lattice_filter(
+    sections: int = 3,
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """Normalised lattice filter sections (an AR analysis ladder).
+
+    Each section: ``f_i = f_{i-1} + k_i * g_{i-1}`` and
+    ``g_i = g_{i-1} + k_i * f_{i-1}`` with the reflection coefficient
+    ``k_i`` constant and the delayed ``g`` state live out.
+    """
+    if sections < 1:
+        raise WorkloadError(
+            f"lattice filter needs >= 1 section, got {sections}"
+        )
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder(f"lattice{sections}", default_width=width)
+    f = b.input("f0", trace=trace())
+    for i in range(1, sections + 1):
+        g_state = b.input(f"g{i - 1}", trace=trace())
+        k = b.const(f"k{i}", trace=trace())
+        up = b.mul(k, g_state, name=f"up{i}")
+        down = b.mul(k, f, name=f"down{i}")
+        new_f = b.add(f, up, name=f"f{i}")
+        new_g = b.add(g_state, down, name=f"gn{i}")
+        b.live_out(new_g)
+        f = new_f
+    b.output(f)
+    b.live_out(f)
+    return b.build()
+
+
+def matmul2(
+    rng: random.Random | None = None,
+    width: int = 16,
+    samples: int = 32,
+) -> BasicBlock:
+    """2x2 matrix multiply: 8 multiplications, 4 additions."""
+    trace = _traces(rng, width, samples, dsp=True)
+    b = BlockBuilder("matmul2", default_width=width)
+    a = {
+        (i, j): b.input(f"a{i}{j}", trace=trace())
+        for i in range(2)
+        for j in range(2)
+    }
+    c = {
+        (i, j): b.input(f"b{i}{j}", trace=trace())
+        for i in range(2)
+        for j in range(2)
+    }
+    for i in range(2):
+        for j in range(2):
+            p = b.mul(a[(i, 0)], c[(0, j)], name=f"p{i}{j}")
+            q = b.mul(a[(i, 1)], c[(1, j)], name=f"q{i}{j}")
+            out = b.add(p, q, name=f"y{i}{j}")
+            b.output(out)
+            b.live_out(out)
+    return b.build()

@@ -1,0 +1,150 @@
+"""Seeded random workload generators.
+
+Two levels of abstraction:
+
+* :func:`random_lifetimes` — draw lifetime sets directly (fast; used by
+  property tests and the solver-scaling bench);
+* :func:`random_dfg` — draw a layered random dataflow block (exercises the
+  full schedule → lifetimes → allocate pipeline).
+
+All generators take an explicit :class:`random.Random` so every experiment
+is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.energy.switching import gaussian_dsp_trace
+from repro.exceptions import WorkloadError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import BlockBuilder
+from repro.ir.values import DataVariable
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = ["random_lifetimes", "random_dfg"]
+
+
+def random_lifetimes(
+    rng: random.Random,
+    count: int,
+    horizon: int,
+    multi_read_fraction: float = 0.25,
+    live_out_fraction: float = 0.15,
+    max_reads: int = 3,
+    width: int = 16,
+    traced: bool = False,
+    trace_samples: int = 16,
+) -> dict[str, Lifetime]:
+    """Draw *count* random lifetimes over steps ``1 .. horizon``.
+
+    Args:
+        rng: Seeded generator.
+        count: Number of variables.
+        horizon: Block length ``x``.
+        multi_read_fraction: Probability a variable gets extra reads.
+        live_out_fraction: Probability a variable is live out (final read
+            at ``horizon + 1``).
+        max_reads: Upper bound on reads per variable.
+        width: Word width of every variable.
+        traced: Attach Gaussian DSP value traces (for activity models).
+        trace_samples: Trace length when *traced*.
+
+    Returns:
+        Variable name → lifetime.
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if horizon < 2:
+        raise WorkloadError(f"horizon must be >= 2, got {horizon}")
+    lifetimes: dict[str, Lifetime] = {}
+    for i in range(count):
+        name = f"v{i}"
+        write = rng.randint(1, horizon - 1)
+        live_out = rng.random() < live_out_fraction
+        reads: set[int] = set()
+        if rng.random() < multi_read_fraction:
+            wanted = rng.randint(2, max_reads)
+        else:
+            wanted = 1
+        # A variable written at step w has only horizon - w distinct
+        # in-block read slots.
+        wanted = min(wanted, horizon - write)
+        while len(reads) < wanted:
+            reads.add(rng.randint(write + 1, horizon))
+        if live_out:
+            reads.add(horizon + 1)
+        trace = (
+            gaussian_dsp_trace(rng, width, trace_samples) if traced else ()
+        )
+        lifetimes[name] = Lifetime(
+            DataVariable(name, width, trace),
+            write,
+            tuple(sorted(reads)),
+            live_out,
+        )
+    return lifetimes
+
+
+def random_dfg(
+    rng: random.Random,
+    operations: int = 30,
+    inputs: int = 6,
+    mul_fraction: float = 0.4,
+    live_out_fraction: float = 0.2,
+    width: int = 16,
+    traced: bool = False,
+    trace_samples: int = 16,
+) -> BasicBlock:
+    """Draw a random layered dataflow block.
+
+    Each operation consumes one or two previously defined variables chosen
+    with recency bias (real kernels mostly consume recent values), so
+    lifetimes stay realistic rather than uniformly long.
+
+    Returns:
+        A basic block named ``rand<operations>``.
+    """
+    if operations < 1:
+        raise WorkloadError(f"operations must be >= 1, got {operations}")
+    if inputs < 2:
+        raise WorkloadError(f"inputs must be >= 2, got {inputs}")
+
+    def trace() -> tuple[int, ...]:
+        return gaussian_dsp_trace(rng, width, trace_samples) if traced else ()
+
+    b = BlockBuilder(f"rand{operations}", default_width=width)
+    defined = [b.input(f"in{i}", trace=trace()) for i in range(inputs)]
+    for i in range(operations):
+        # Recency-biased operand choice.
+        def pick() -> str:
+            span = max(1, len(defined) // 2)
+            return defined[-rng.randint(1, span)]
+
+        lhs = pick()
+        rhs = pick()
+        if rhs == lhs:
+            rhs = rng.choice(defined)
+        if rng.random() < mul_fraction:
+            out = (
+                b.mul(lhs, rhs, name=f"t{i}")
+                if rhs != lhs
+                else b.shift(lhs, name=f"t{i}")
+            )
+        else:
+            out = (
+                b.add(lhs, rhs, name=f"t{i}")
+                if rhs != lhs
+                else b.neg(lhs, name=f"t{i}")
+            )
+        defined.append(out)
+        if rng.random() < live_out_fraction:
+            b.live_out(out)
+    # Anything never consumed becomes an output so no variable is dead.
+    block = b.build()
+    consumed = {read for op in block for read in op.inputs}
+    for name in block.variable_names():
+        if name not in consumed and name not in block.live_out:
+            b.output(name)
+            b.live_out(name)
+    return b.build()

@@ -1,0 +1,145 @@
+"""Problem serialisation: lifetimes and instances as JSON.
+
+Lets users bring their own workloads (e.g. lifetimes extracted from a
+production compiler) and archive instances for regression: a compact,
+versioned JSON schema with full round-tripping of variables (width,
+value traces), lifetimes (write/read times, live-out) and the problem's
+knobs (register count, memory operating point, graph options).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.problem import AllocationProblem
+from repro.energy.voltage import MemoryConfig
+from repro.exceptions import WorkloadError
+from repro.ir.values import DataVariable
+from repro.lifetimes.intervals import Lifetime
+
+__all__ = [
+    "lifetimes_to_dict",
+    "lifetimes_from_dict",
+    "problem_to_dict",
+    "problem_from_dict",
+    "dumps",
+    "loads",
+]
+
+_SCHEMA = "repro-instance-v1"
+
+
+def lifetimes_to_dict(
+    lifetimes: Mapping[str, Lifetime],
+) -> list[dict[str, Any]]:
+    """Serialise a lifetime map (order preserved)."""
+    return [
+        {
+            "name": lt.name,
+            "width": lt.variable.width,
+            "trace": list(lt.variable.trace),
+            "write": lt.write_time,
+            "reads": list(lt.read_times),
+            "live_out": lt.live_out,
+        }
+        for lt in lifetimes.values()
+    ]
+
+
+def lifetimes_from_dict(
+    data: list[dict[str, Any]],
+) -> dict[str, Lifetime]:
+    """Rebuild a lifetime map (validates through the normal constructors)."""
+    out: dict[str, Lifetime] = {}
+    for entry in data:
+        try:
+            name = entry["name"]
+            variable = DataVariable(
+                name,
+                int(entry.get("width", 16)),
+                tuple(entry.get("trace", ())),
+            )
+            lifetime = Lifetime(
+                variable,
+                int(entry["write"]),
+                tuple(int(r) for r in entry["reads"]),
+                bool(entry.get("live_out", False)),
+            )
+        except KeyError as exc:
+            raise WorkloadError(f"lifetime entry missing field {exc}") from None
+        if name in out:
+            raise WorkloadError(f"duplicate lifetime {name!r}")
+        out[name] = lifetime
+    return out
+
+
+def problem_to_dict(problem: AllocationProblem) -> dict[str, Any]:
+    """Serialise an instance (energy model parameters are not embedded —
+    models are code; attach them at load time)."""
+    return {
+        "schema": _SCHEMA,
+        "horizon": problem.horizon,
+        "register_count": problem.register_count,
+        "graph_style": problem.graph_style,
+        "split_at_reads": problem.split_at_reads,
+        "allow_unused_registers": problem.allow_unused_registers,
+        "forced_segments": sorted(
+            list(key) for key in problem.forced_segments
+        ),
+        "memory": {
+            "divisor": problem.memory.divisor,
+            "voltage": problem.memory.voltage,
+            "offset": problem.memory.offset,
+        },
+        "lifetimes": lifetimes_to_dict(problem.lifetimes),
+    }
+
+
+def problem_from_dict(
+    data: Mapping[str, Any], energy_model=None
+) -> AllocationProblem:
+    """Rebuild an instance serialised by :func:`problem_to_dict`.
+
+    Args:
+        data: The parsed JSON object.
+        energy_model: Model to attach (defaults to the static model).
+    """
+    if data.get("schema") != _SCHEMA:
+        raise WorkloadError(
+            f"unknown instance schema {data.get('schema')!r}"
+        )
+    memory = data.get("memory", {})
+    kwargs: dict[str, Any] = {}
+    if energy_model is not None:
+        kwargs["energy_model"] = energy_model
+    return AllocationProblem(
+        lifetimes=lifetimes_from_dict(data["lifetimes"]),
+        register_count=int(data["register_count"]),
+        horizon=int(data["horizon"]),
+        memory=MemoryConfig(
+            divisor=int(memory.get("divisor", 1)),
+            voltage=float(memory.get("voltage", 5.0)),
+            offset=int(memory.get("offset", 1)),
+        ),
+        graph_style=data.get("graph_style", "adjacent"),
+        split_at_reads=bool(data.get("split_at_reads", True)),
+        allow_unused_registers=bool(
+            data.get("allow_unused_registers", True)
+        ),
+        forced_segments=frozenset(
+            (str(name), int(index))
+            for name, index in data.get("forced_segments", ())
+        ),
+        **kwargs,
+    )
+
+
+def dumps(problem: AllocationProblem, indent: int = 2) -> str:
+    """Serialise *problem* to JSON text."""
+    return json.dumps(problem_to_dict(problem), indent=indent)
+
+
+def loads(text: str, energy_model=None) -> AllocationProblem:
+    """Parse JSON text produced by :func:`dumps`."""
+    return problem_from_dict(json.loads(text), energy_model=energy_model)

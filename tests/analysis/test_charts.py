@@ -1,0 +1,54 @@
+"""Tests for the ASCII lifetime charts."""
+
+from repro.analysis.charts import allocation_chart, lifetime_chart
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.workloads import FIGURE3_HORIZON, figure3_lifetimes
+from tests.conftest import make_lifetime
+
+
+def test_chart_marks_events():
+    lifetimes = {"v": make_lifetime("v", 1, (3, 5))}
+    chart = lifetime_chart(lifetimes, 5)
+    lines = chart.splitlines()
+    assert lines[0].split() == ["step", "v"]
+    assert lines[1].endswith("W")  # write at step 1
+    assert lines[3].endswith("R")  # read at step 3
+    assert lines[2].endswith("|")  # live span
+
+
+def test_chart_residency_styles():
+    lifetimes = {
+        "r": make_lifetime("r", 1, 4),
+        "m": make_lifetime("m", 1, 4),
+    }
+    chart = lifetime_chart(lifetimes, 4, in_register={"r"})
+    # Memory resident drawn dotted, register resident solid.
+    assert ":" in chart
+    assert "|" in chart
+
+
+def test_chart_row_count():
+    lifetimes = {"v": make_lifetime("v", 1, 3)}
+    chart = lifetime_chart(lifetimes, 6)
+    # header + steps 1..7 (x+1 row shows live-outs)
+    assert len(chart.splitlines()) == 8
+
+
+def test_allocation_chart_figure3():
+    problem = AllocationProblem(figure3_lifetimes(), 1, FIGURE3_HORIZON)
+    chart = allocation_chart(allocate(problem))
+    assert "legend:" in chart
+    # The chain d,e,b,c is solid; a and f are dotted.
+    assert ":" in chart
+
+
+def test_chart_accepts_iterables():
+    items = [make_lifetime("a", 1, 3), make_lifetime("b", 2, 4)]
+    as_list = lifetime_chart(items, 4)
+    as_map = lifetime_chart({lt.name: lt for lt in items}, 4)
+    assert as_list == as_map
+
+
+def test_empty_chart():
+    assert lifetime_chart({}, 3).splitlines()[0].startswith("step")

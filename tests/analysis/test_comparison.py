@@ -1,0 +1,56 @@
+"""Tests for the comparison harness."""
+
+import random
+
+import pytest
+
+from repro.analysis.comparison import BASELINES, compare_allocators
+from repro.energy import StaticEnergyModel
+from repro.workloads.random_blocks import random_lifetimes
+
+
+def test_compare_runs_all_baselines():
+    rng = random.Random(21)
+    lifetimes = random_lifetimes(rng, count=10, horizon=10)
+    comparison = compare_allocators(
+        lifetimes, 10, 3, StaticEnergyModel()
+    )
+    assert set(comparison.baselines) == set(BASELINES)
+    assert comparison.flow.energy > 0
+
+
+def test_flow_never_loses_with_matching_graph():
+    rng = random.Random(22)
+    lifetimes = random_lifetimes(rng, count=12, horizon=12)
+    comparison = compare_allocators(
+        lifetimes,
+        12,
+        3,
+        StaticEnergyModel(),
+        graph_style="all_pairs",
+        split_at_reads=False,
+    )
+    best = comparison.best_baseline()
+    assert comparison.flow.energy <= best.energy + 1e-9
+    assert comparison.improvement_over(best.name) >= 1.0 - 1e-9
+
+
+def test_subset_of_baselines():
+    rng = random.Random(23)
+    lifetimes = random_lifetimes(rng, count=6, horizon=8)
+    comparison = compare_allocators(
+        lifetimes, 8, 2, StaticEnergyModel(), baselines=("left-edge",)
+    )
+    assert list(comparison.baselines) == ["left-edge"]
+
+
+def test_format_table_output():
+    rng = random.Random(24)
+    lifetimes = random_lifetimes(rng, count=6, horizon=8)
+    comparison = compare_allocators(
+        lifetimes, 8, 2, StaticEnergyModel()
+    )
+    text = comparison.format(title="demo")
+    assert "demo" in text
+    assert "flow" in text
+    assert "two-phase" in text

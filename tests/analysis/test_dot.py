@@ -1,0 +1,52 @@
+"""Tests for the DOT exporters."""
+
+from repro.analysis.dot import block_to_dot, network_to_dot
+from repro.core import AllocationProblem, allocate, build_network
+from repro.workloads import FIGURE3_HORIZON, dct4, figure3_lifetimes
+
+
+def test_block_dot_structure():
+    dot = block_to_dot(dct4())
+    assert dot.startswith('digraph "dct4"')
+    assert dot.rstrip().endswith("}")
+    assert "shape=box" in dot  # sources
+    assert "shape=diamond" in dot  # sinks
+    assert "->" in dot
+    # Every op appears as a node.
+    for op in dct4():
+        assert f'"{op.name}"' in dot
+
+
+def test_network_dot_marks_flow():
+    problem = AllocationProblem(figure3_lifetimes(), 1, FIGURE3_HORIZON)
+    built = build_network(problem)
+    allocation = allocate(problem)
+    plain = network_to_dot(built)
+    solved = network_to_dot(built, allocation)
+    assert "penwidth" not in plain
+    assert "penwidth=2.5" in solved
+    assert solved.count("color=red") == sum(
+        1 for f in allocation.flow.flows if f > 0
+    )
+
+
+def test_network_dot_orders_left_to_right():
+    problem = AllocationProblem(figure3_lifetimes(), 1, FIGURE3_HORIZON)
+    built = build_network(problem)
+    dot = network_to_dot(built)
+    assert "rankdir=LR" in dot
+    assert '"s"' in dot and '"t"' in dot
+
+
+def test_forced_arcs_highlighted():
+    from repro.energy import MemoryConfig
+    from repro.workloads import FIGURE1_HORIZON, figure1_lifetimes
+
+    problem = AllocationProblem(
+        figure1_lifetimes(),
+        2,
+        FIGURE1_HORIZON,
+        memory=MemoryConfig(divisor=2, voltage=5.0),
+    )
+    dot = network_to_dot(build_network(problem))
+    assert "color=darkorange" in dot  # the bold (forced) arcs of fig 1c

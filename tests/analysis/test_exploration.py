@@ -1,0 +1,109 @@
+"""Tests for design-space exploration."""
+
+import pytest
+
+from repro.analysis.exploration import explore_design_space
+from repro.energy import MemoryConfig, StaticEnergyModel
+from repro.exceptions import InfeasibleFlowError
+from tests.conftest import make_lifetime
+
+
+def lifetimes():
+    return {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 5),
+        "c": make_lifetime("c", 2, 4),
+        "d": make_lifetime("d", 4, 6),
+    }
+
+
+def grid():
+    return explore_design_space(
+        lifetimes(),
+        6,
+        register_counts=(0, 1, 3),
+        memory_configs=(
+            MemoryConfig(),
+            MemoryConfig(divisor=2, voltage=3.3),
+        ),
+        energy_model=StaticEnergyModel(),
+    )
+
+
+def test_grid_covers_all_points():
+    result = grid()
+    assert len(result.points) == 6
+    labels = {p.label() for p in result.points}
+    assert "R=3, f/1" in labels
+
+
+def test_energy_monotone_in_registers_per_config():
+    result = grid()
+    by_config: dict[int, list] = {}
+    for p in result.feasible_points():
+        by_config.setdefault(p.memory.divisor, []).append(p)
+    for points in by_config.values():
+        points.sort(key=lambda p: p.register_count)
+        energies = [p.energy for p in points]
+        assert energies == sorted(energies, reverse=True)
+
+
+def test_best_point_is_feasible_minimum():
+    result = grid()
+    best = result.best()
+    assert best.feasible
+    assert all(
+        best.energy <= p.energy + 1e-9 for p in result.feasible_points()
+    )
+
+
+def test_pareto_frontier_is_nondominated():
+    result = grid()
+    frontier = result.pareto_frontier()
+    assert frontier
+    for p in frontier:
+        assert p.metrics is not None
+        for q in result.feasible_points():
+            if q.metrics is None or q is p:
+                continue
+            strictly_better = (
+                q.metrics.storage_locations <= p.metrics.storage_locations
+                and q.energy <= p.energy
+                and (
+                    q.metrics.storage_locations
+                    < p.metrics.storage_locations
+                    or q.energy < p.energy
+                )
+            )
+            assert not strictly_better
+
+
+def test_infeasible_points_marked():
+    result = explore_design_space(
+        {"u": make_lifetime("u", 2, 4), "v": make_lifetime("v", 2, 4)},
+        6,
+        register_counts=(0,),
+        memory_configs=(MemoryConfig(divisor=6, voltage=2.0),),
+    )
+    [point] = result.points
+    assert not point.feasible
+    with pytest.raises(InfeasibleFlowError):
+        point.energy
+    assert "-" in result.format()
+
+
+def test_no_feasible_point_raises_on_best():
+    result = explore_design_space(
+        {"u": make_lifetime("u", 2, 4), "v": make_lifetime("v", 2, 4)},
+        6,
+        register_counts=(0,),
+        memory_configs=(MemoryConfig(divisor=6, voltage=2.0),),
+    )
+    with pytest.raises(InfeasibleFlowError):
+        result.best()
+
+
+def test_format_renders_table():
+    text = grid().format()
+    assert "design space" in text
+    assert "f/2" in text

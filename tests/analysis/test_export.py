@@ -1,0 +1,73 @@
+"""Tests for result serialisation."""
+
+import json
+
+import pytest
+
+from repro.analysis.comparison import compare_allocators
+from repro.analysis.export import (
+    allocation_to_dict,
+    comparison_to_dict,
+    report_to_dict,
+    to_json,
+)
+from repro.core import AllocationProblem, allocate, reallocate_memory
+from repro.energy import StaticEnergyModel
+from tests.conftest import make_lifetime
+
+
+def allocation():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 5),
+        "c": make_lifetime("c", 3, 6),
+    }
+    return allocate(
+        AllocationProblem(lifetimes, 1, 6, energy_model=StaticEnergyModel())
+    )
+
+
+def test_report_round_trips_through_json():
+    result = allocation()
+    data = report_to_dict(result.report)
+    parsed = json.loads(to_json(data))
+    assert parsed["total_energy"] == pytest.approx(
+        result.report.total_energy
+    )
+    assert parsed["mem_reads"] == result.report.mem_reads
+
+
+def test_allocation_export_structure():
+    result = allocation()
+    data = allocation_to_dict(result)
+    assert data["problem"]["register_count"] == 1
+    assert data["registers_used"] == result.registers_used
+    assert len(data["chains"]) == result.registers_used
+    for chain in data["chains"]:
+        for entry in chain:
+            assert set(entry) == {"variable", "segment", "start", "end"}
+    assert data["objective"] == pytest.approx(result.objective)
+    json.loads(to_json(data))  # must be JSON-serialisable
+
+
+def test_allocation_export_with_layout():
+    result = allocation()
+    layout = reallocate_memory(result)
+    data = allocation_to_dict(result, layout)
+    assert set(data["memory_layout"]["addresses"]) == set(
+        result.memory_addresses
+    )
+
+
+def test_comparison_export():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 5),
+    }
+    comparison = compare_allocators(
+        lifetimes, 5, 1, StaticEnergyModel(), baselines=("left-edge",)
+    )
+    data = comparison_to_dict(comparison)
+    assert "flow" in data
+    assert data["baselines"]["left-edge"]["improvement_factor"] >= 1.0 - 1e-9
+    json.loads(to_json(data))

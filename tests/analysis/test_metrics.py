@@ -1,0 +1,65 @@
+"""Tests for solution metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    improvement_factor,
+    memory_location_switching,
+    metrics_of,
+)
+from repro.baselines import left_edge_allocate
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import PairwiseSwitchingModel, StaticEnergyModel
+from repro.exceptions import AllocationError
+from tests.conftest import make_lifetime
+
+
+def lifetimes():
+    return {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 5),
+        "c": make_lifetime("c", 3, 6),
+    }
+
+
+def test_metrics_of_allocation():
+    allocation = allocate(AllocationProblem(lifetimes(), 1, 6))
+    metrics = metrics_of(allocation)
+    assert metrics.name == "flow"
+    assert metrics.energy == pytest.approx(allocation.objective)
+    assert metrics.storage_locations == allocation.storage_locations
+    assert len(metrics.row()) == 6
+
+
+def test_metrics_of_baseline():
+    result = left_edge_allocate(lifetimes(), 6, 1, StaticEnergyModel())
+    metrics = metrics_of(result)
+    assert metrics.name == "left-edge"
+    assert metrics.energy == pytest.approx(result.objective)
+
+
+def test_improvement_factor_accepts_mixed_kinds():
+    allocation = allocate(AllocationProblem(lifetimes(), 1, 6))
+    baseline = left_edge_allocate(lifetimes(), 6, 1, StaticEnergyModel())
+    factor = improvement_factor(baseline, allocation)
+    assert factor >= 1.0 - 1e-9
+    assert improvement_factor(10.0, 5.0) == pytest.approx(2.0)
+    assert improvement_factor(metrics_of(baseline), allocation) == pytest.approx(
+        factor
+    )
+
+
+def test_improvement_factor_rejects_zero_denominator():
+    with pytest.raises(AllocationError):
+        improvement_factor(10.0, 0.0)
+
+
+def test_memory_location_switching():
+    model = PairwiseSwitchingModel(
+        {("a", "b"): 0.25}, start_activity=0.5
+    )
+    chains = [[lifetimes()["a"], lifetimes()["b"]]]
+    total = memory_location_switching(chains, model)
+    per_bit = model.table.energy(model.table.reg_bit, 5.0)
+    assert total == pytest.approx((0.5 + 0.25) * 16 * per_bit)

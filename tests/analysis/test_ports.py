@@ -1,0 +1,104 @@
+"""Tests for port-usage analysis."""
+
+import pytest
+
+from repro.analysis.ports import port_usage, required_ports
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import MemoryConfig, StaticEnergyModel
+from tests.conftest import make_lifetime
+
+
+def test_all_memory_counts_writes_and_reads():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 1, 4),
+    }
+    allocation = allocate(AllocationProblem(lifetimes, 0, 4))
+    usage = port_usage(allocation)
+    assert usage.mem_writes[1] == 2
+    assert usage.mem_reads[3] == 1
+    assert usage.mem_reads[4] == 1
+    req = required_ports(allocation)
+    assert req.mem_write_ports == 2
+    assert req.mem_read_ports == 1
+    assert req.mem_rw_ports == 2
+    assert req.reg_rw_ports == 0
+
+
+def test_register_side_counts():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 3, 5),
+    }
+    allocation = allocate(AllocationProblem(lifetimes, 1, 5))
+    usage = port_usage(allocation)
+    # a enters R0 at step 1, read at 3; b enters at step 3, read at 5.
+    assert usage.reg_writes[1] == 1
+    assert usage.reg_writes[3] == 1
+    assert usage.reg_reads[3] == 1
+    assert usage.reg_reads[5] == 1
+    req = required_ports(allocation)
+    assert req.reg_rw_ports == 2  # read of a + write of b at step 3
+
+
+def test_block_end_reads_excluded():
+    lifetimes = {"a": make_lifetime("a", 1, 6, live_out=True)}
+    allocation = allocate(AllocationProblem(lifetimes, 0, 5))
+    usage = port_usage(allocation)
+    # The live-out read happens at step 6 = x+1: not an in-block port.
+    assert sum(usage.mem_reads[1:6]) == 0
+    assert required_ports(allocation).mem_read_ports == 0
+
+
+def test_restricted_access_def_write_lands_on_access_step():
+    # b written at 2 (off the access grid {1,3,5,7}); its forced head
+    # segment rides a register, and if the optimum spills it, the write
+    # must land on step 3.  A second variable occupies the peak so b
+    # cannot simply stay registered for free.
+    lifetimes = {
+        "b": make_lifetime("b", 2, 7),
+        "c": make_lifetime("c", 3, 5),
+    }
+    allocation = allocate(
+        AllocationProblem(
+            lifetimes, 1, 7,
+            memory=MemoryConfig(divisor=2, voltage=3.3, offset=1),
+        )
+    )
+    usage = port_usage(allocation)
+    # No memory write may ever occur off the access grid.
+    for step in (2, 4, 6):
+        assert usage.mem_writes[step] == 0
+
+
+def test_spill_and_reload_ports():
+    # v in register for [1,3], spilled, reloaded at access cut.
+    lifetimes = {
+        "v": make_lifetime("v", 1, (3, 7)),
+        "w": make_lifetime("w", 3, 5),
+    }
+    problem = AllocationProblem(
+        lifetimes, 1, 7, energy_model=StaticEnergyModel()
+    )
+    allocation = allocate(problem)
+    usage = port_usage(allocation)
+    total_mem = sum(usage.mem_reads[1:8]) + sum(usage.mem_writes[1:8])
+    assert total_mem == allocation.report.mem_accesses
+
+
+def test_busiest_memory_step():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 4),
+        "b": make_lifetime("b", 1, 4),
+        "c": make_lifetime("c", 2, 5),
+    }
+    allocation = allocate(AllocationProblem(lifetimes, 0, 5))
+    usage = port_usage(allocation)
+    assert usage.busiest_memory_step() == 1  # two writes
+
+
+def test_describe_memory():
+    lifetimes = {"a": make_lifetime("a", 1, 3)}
+    allocation = allocate(AllocationProblem(lifetimes, 0, 3))
+    assert required_ports(allocation).describe_memory() == "1R + 1W"

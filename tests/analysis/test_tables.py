@@ -1,0 +1,28 @@
+"""Tests for the table formatter."""
+
+from repro.analysis.tables import format_table
+
+
+def test_alignment_and_title():
+    text = format_table(
+        ("name", "value"),
+        [("x", 1.5), ("long-name", 22)],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.50" in text  # floats at two decimals
+    assert "22" in text
+
+
+def test_empty_rows():
+    text = format_table(("a", "b"), [])
+    assert text.count("\n") == 1  # header + rule only
+
+
+def test_wide_cells_stretch_columns():
+    text = format_table(("h",), [("wiiiiiiide",)])
+    header, rule, row = text.splitlines()
+    assert len(rule) >= len("wiiiiiiide")

@@ -1,0 +1,52 @@
+"""Tests for the Chang-Pedram-style register binding."""
+
+import pytest
+
+from repro.baselines.chang_pedram import chang_pedram_binding
+from repro.energy import PairwiseSwitchingModel, StaticEnergyModel
+from repro.exceptions import AllocationError
+from repro.workloads import FIGURE3_ACTIVITIES, FIGURE3_HORIZON, figure3_lifetimes
+from tests.conftest import make_lifetime
+
+
+def test_figure3_binding_reproduces_paper_chains():
+    model = PairwiseSwitchingModel(FIGURE3_ACTIVITIES)
+    binding = chang_pedram_binding(
+        figure3_lifetimes(), FIGURE3_HORIZON, model
+    )
+    chains = sorted(
+        tuple(lt.name for lt in chain) for chain in binding.chains
+    )
+    assert chains == [("a", "b", "c"), ("d", "e", "f")]
+    # Total switching 2.4 including the 0.5 start activity per chain.
+    assert binding.total_cost == pytest.approx(2.4)
+
+
+def test_covers_every_variable():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 5),
+        "c": make_lifetime("c", 3, 6),
+    }
+    binding = chang_pedram_binding(lifetimes, 6, StaticEnergyModel())
+    names = sorted(lt.name for c in binding.chains for lt in c)
+    assert names == ["a", "b", "c"]
+
+
+def test_register_count_below_density_rejected():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 4),
+        "b": make_lifetime("b", 2, 5),
+    }
+    with pytest.raises(AllocationError, match="at least"):
+        chang_pedram_binding(
+            lifetimes, 5, StaticEnergyModel(), register_count=1
+        )
+
+
+def test_extra_registers_allowed():
+    lifetimes = {"a": make_lifetime("a", 1, 3)}
+    binding = chang_pedram_binding(
+        lifetimes, 3, StaticEnergyModel(), register_count=3
+    )
+    assert len(binding.chains) == 1  # bypass absorbs the spare flow

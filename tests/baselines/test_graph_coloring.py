@@ -1,0 +1,60 @@
+"""Tests for the graph-colouring baseline."""
+
+from repro.baselines.graph_coloring import graph_coloring_allocate
+from repro.energy import StaticEnergyModel
+from tests.conftest import make_lifetime
+
+
+def test_colours_interval_graph_without_spills_when_k_suffices():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 4),
+        "c": make_lifetime("c", 3, 6),
+    }
+    result = graph_coloring_allocate(lifetimes, 6, 2, StaticEnergyModel())
+    # Interval graphs are perfect: density 2 needs exactly 2 colours.
+    assert result.memory_variables() == []
+    assert result.registers_used <= 2
+
+
+def test_spills_when_pressure_exceeds_k():
+    lifetimes = {
+        f"v{i}": make_lifetime(f"v{i}", 1, 5) for i in range(4)
+    }
+    result = graph_coloring_allocate(lifetimes, 5, 2, StaticEnergyModel())
+    assert len(result.memory_variables()) == 2
+    assert len(result.register_variables()) == 2
+
+
+def test_no_two_overlapping_share_a_register():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 4),
+        "b": make_lifetime("b", 2, 6),
+        "c": make_lifetime("c", 3, 5),
+        "d": make_lifetime("d", 5, 8),
+    }
+    result = graph_coloring_allocate(lifetimes, 8, 2, StaticEnergyModel())
+    for chain in result.chains:
+        for i, x in enumerate(chain):
+            for y in chain[i + 1 :]:
+                assert not x.overlaps(y)
+
+
+def test_spill_metric_prefers_cheap_high_degree():
+    # v_long interferes with everything and has one read: the cheapest
+    # spill; the short multi-read variables should stay in registers.
+    lifetimes = {
+        "long": make_lifetime("long", 1, 9),
+        "m1": make_lifetime("m1", 1, (2, 3, 4)),
+        "m2": make_lifetime("m2", 3, (5, 6, 7)),
+        "m3": make_lifetime("m3", 2, (4, 8)),
+    }
+    result = graph_coloring_allocate(lifetimes, 9, 2, StaticEnergyModel())
+    if result.memory_variables():
+        assert "long" in result.memory_variables()
+
+
+def test_zero_registers_spills_all():
+    lifetimes = {"a": make_lifetime("a", 1, 2)}
+    result = graph_coloring_allocate(lifetimes, 2, 0, StaticEnergyModel())
+    assert result.memory_variables() == ["a"]

@@ -1,0 +1,47 @@
+"""Tests for the greedy energy-aware partition baseline."""
+
+from repro.baselines.greedy_partition import greedy_partition_allocate
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import StaticEnergyModel
+from tests.conftest import make_lifetime
+
+
+def test_prefers_high_access_variables():
+    lifetimes = {
+        "hot": make_lifetime("hot", 1, (2, 3, 4, 5)),
+        "cold": make_lifetime("cold", 1, 5),
+    }
+    result = greedy_partition_allocate(lifetimes, 5, 1, StaticEnergyModel())
+    assert result.register_variables() == ["hot"]
+    assert result.memory_variables() == ["cold"]
+
+
+def test_respects_register_capacity():
+    lifetimes = {
+        f"v{i}": make_lifetime(f"v{i}", 1, 5) for i in range(5)
+    }
+    result = greedy_partition_allocate(lifetimes, 5, 2, StaticEnergyModel())
+    assert len(result.register_variables()) == 2
+
+
+def test_never_beats_optimal_flow():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, (4, 6)),
+        "c": make_lifetime("c", 3, 7),
+        "d": make_lifetime("d", 5, 8),
+    }
+    model = StaticEnergyModel()
+    greedy = greedy_partition_allocate(lifetimes, 8, 2, model)
+    problem = AllocationProblem(
+        lifetimes, 2, 8, energy_model=model,
+        graph_style="all_pairs", split_at_reads=False,
+    )
+    assert allocate(problem).objective <= greedy.objective + 1e-9
+
+
+def test_zero_registers():
+    lifetimes = {"a": make_lifetime("a", 1, 2)}
+    result = greedy_partition_allocate(lifetimes, 2, 0, StaticEnergyModel())
+    assert result.register_variables() == []

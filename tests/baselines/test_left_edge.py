@@ -1,0 +1,54 @@
+"""Tests for the left-edge baseline."""
+
+from repro.baselines.left_edge import left_edge_allocate
+from repro.energy import StaticEnergyModel
+from tests.conftest import make_lifetime
+
+
+def lifetimes():
+    return {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 5),
+        "c": make_lifetime("c", 3, 6),
+        "d": make_lifetime("d", 4, 7),
+    }
+
+
+def test_packs_compatible_lifetimes():
+    result = left_edge_allocate(lifetimes(), 7, 2, StaticEnergyModel())
+    # Density is 3 at k=4; with 2 registers one variable must overflow.
+    assert len(result.memory_variables()) == 1
+    assert result.registers_used <= 2
+
+
+def test_reuses_freed_registers():
+    result = left_edge_allocate(lifetimes(), 7, 3, StaticEnergyModel())
+    # a [1,3] then c [3,6] can share register 0.
+    assert result.memory_variables() == []
+    chain0_names = [lt.name for lt in result.chains[0]]
+    assert chain0_names[0] == "a"
+    assert "c" in chain0_names
+
+
+def test_zero_registers():
+    result = left_edge_allocate(lifetimes(), 7, 0, StaticEnergyModel())
+    assert result.chains == []
+    assert len(result.memory_variables()) == 4
+
+
+def test_deterministic():
+    a = left_edge_allocate(lifetimes(), 7, 2, StaticEnergyModel())
+    b = left_edge_allocate(lifetimes(), 7, 2, StaticEnergyModel())
+    assert a.memory_variables() == b.memory_variables()
+    assert [[lt.name for lt in c] for c in a.chains] == [
+        [lt.name for lt in c] for c in b.chains
+    ]
+
+
+def test_energy_accounting_consistent():
+    result = left_edge_allocate(lifetimes(), 7, 2, StaticEnergyModel())
+    mem_vars = result.memory_variables()
+    expected_mem = sum(
+        10.0 + 5.0 * lifetimes()[name].read_count for name in mem_vars
+    )
+    assert result.report.mem_energy == expected_mem

@@ -1,0 +1,79 @@
+"""Tests for the two-phase baseline."""
+
+import pytest
+
+from repro.baselines.two_phase import two_phase_allocate
+from repro.energy import PairwiseSwitchingModel, StaticEnergyModel
+from repro.exceptions import AllocationError
+from repro.workloads import (
+    FIGURE3_ACTIVITIES,
+    FIGURE3_HORIZON,
+    figure3_lifetimes,
+)
+from tests.conftest import make_lifetime
+
+
+def test_figure3_max_switching_partition():
+    model = PairwiseSwitchingModel(FIGURE3_ACTIVITIES)
+    result = two_phase_allocate(
+        figure3_lifetimes(),
+        FIGURE3_HORIZON,
+        1,
+        model,
+        partition_rule="max_switching",
+    )
+    # The paper keeps the higher-switching chain {a,b,c} in the file.
+    assert result.register_variables() == ["a", "b", "c"]
+    assert result.memory_variables() == ["d", "e", "f"]
+    assert result.report.mem_accesses == 6
+
+
+def test_partition_rules_can_differ():
+    model = PairwiseSwitchingModel(FIGURE3_ACTIVITIES)
+    saving = two_phase_allocate(
+        figure3_lifetimes(), FIGURE3_HORIZON, 1, model,
+        partition_rule="max_saving",
+    )
+    # max_saving keeps the LOW-switching chain (register cost is lower).
+    assert saving.register_variables() == ["d", "e", "f"]
+
+
+def test_unknown_partition_rule_rejected():
+    with pytest.raises(AllocationError):
+        two_phase_allocate(
+            figure3_lifetimes(),
+            FIGURE3_HORIZON,
+            1,
+            StaticEnergyModel(),
+            partition_rule="nope",  # type: ignore[arg-type]
+        )
+
+
+def test_whole_chains_move_together():
+    lifetimes = figure3_lifetimes()
+    result = two_phase_allocate(
+        lifetimes, FIGURE3_HORIZON, 1, StaticEnergyModel()
+    )
+    in_regs = set(result.register_variables())
+    # Exactly one of the two bound chains is kept.
+    assert in_regs in ({"a", "b", "c"}, {"d", "e", "f"})
+
+
+def test_enough_registers_keeps_everything():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 4),
+    }
+    result = two_phase_allocate(lifetimes, 4, 2, StaticEnergyModel())
+    assert result.memory_variables() == []
+    assert result.report.mem_accesses == 0
+
+
+def test_zero_registers_everything_in_memory():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 4),
+    }
+    result = two_phase_allocate(lifetimes, 4, 0, StaticEnergyModel())
+    assert result.register_variables() == []
+    assert result.report.mem_accesses == 4

@@ -1,0 +1,118 @@
+"""Failure injection: the verifier must actually catch broken programs.
+
+A verifier that never fires is worthless; these tests corrupt correct
+programs in targeted ways and assert the simulation/verification pipeline
+reports the fault.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.codegen import lower, simulate, verify_program
+from repro.codegen.program import Kind, Mem, Reg
+from repro.core import allocate_block
+from repro.exceptions import AllocationError
+from repro.ir.operations import OpCode
+from repro.workloads import dct4
+
+
+@pytest.fixture
+def case():
+    block = dct4()
+    result = allocate_block(block, register_count=3)
+    program = lower(result)
+    rng = random.Random(13)
+    inputs = {
+        op.output: rng.getrandbits(16)
+        for op in block
+        if op.output and op.opcode in (OpCode.INPUT, OpCode.CONST)
+    }
+    return block, result, program, inputs
+
+
+def test_baseline_verifies(case):
+    block, result, program, inputs = case
+    verify_program(program, block, result.allocation, inputs)
+
+
+def test_swapped_operand_detected(case):
+    block, result, program, inputs = case
+    # Find a subtraction and swap its operands: sub is not commutative.
+    for index, instruction in enumerate(program.instructions):
+        if (
+            instruction.kind is Kind.OP
+            and instruction.opcode is OpCode.SUB
+            and instruction.operands[0] != instruction.operands[1]
+        ):
+            program.instructions[index] = replace(
+                instruction, operands=list(reversed(instruction.operands))
+            )
+            break
+    else:
+        pytest.skip("no suitable subtraction found")
+    with pytest.raises(AllocationError, match="simulated|reference"):
+        verify_program(program, block, result.allocation, inputs)
+
+
+def test_wrong_register_operand_detected(case):
+    block, result, program, inputs = case
+    # Redirect one register operand to a different register.
+    for index, instruction in enumerate(program.instructions):
+        if instruction.kind is Kind.OP:
+            for pos, operand in enumerate(instruction.operands):
+                if isinstance(operand, Reg):
+                    operands = list(instruction.operands)
+                    operands[pos] = Reg((operand.index + 1) % 3)
+                    program.instructions[index] = replace(
+                        instruction, operands=operands
+                    )
+                    with pytest.raises(AllocationError):
+                        verify_program(
+                            program, block, result.allocation, inputs
+                        )
+                    return
+    pytest.skip("no register operand found")
+
+
+def test_dropped_instruction_detected(case):
+    block, result, program, inputs = case
+    # Remove the producer of a non-input value: a later consumer reads an
+    # uninitialised location or computes the wrong result.
+    for index, instruction in enumerate(program.instructions):
+        if instruction.kind is Kind.OP:
+            del program.instructions[index]
+            break
+    with pytest.raises(AllocationError):
+        verify_program(program, block, result.allocation, inputs)
+
+
+def test_corrupted_memory_address_detected(case):
+    block, result, program, inputs = case
+    for index, instruction in enumerate(program.instructions):
+        if instruction.kind is Kind.OP:
+            for pos, operand in enumerate(instruction.operands):
+                if isinstance(operand, Mem):
+                    operands = list(instruction.operands)
+                    operands[pos] = Mem(operand.address + 100, "corrupt")
+                    program.instructions[index] = replace(
+                        instruction, operands=operands
+                    )
+                    with pytest.raises(AllocationError):
+                        verify_program(
+                            program, block, result.allocation, inputs
+                        )
+                    return
+    pytest.skip("no memory operand found")
+
+
+def test_simulate_flags_uninitialised_reads(case):
+    block, result, program, inputs = case
+    # Drop every INPUT instruction: the first consumer must trip the
+    # uninitialised-location check rather than read garbage.
+    program.instructions = [
+        i for i in program.instructions if i.kind is not Kind.INPUT
+    ]
+    with pytest.raises(AllocationError, match="uninitialised"):
+        simulate(program, block, inputs)

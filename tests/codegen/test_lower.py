@@ -1,0 +1,119 @@
+"""Tests for lowering allocations to instructions."""
+
+import pytest
+
+from repro.codegen.lower import lower, lower_allocation
+from repro.codegen.program import Kind, Mem, Reg
+from repro.core import AllocationProblem, allocate, allocate_block
+from repro.energy import MemoryConfig, StaticEnergyModel
+from repro.scheduling.schedule import Schedule
+from repro.workloads import dct4, fir_filter
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+
+
+def small_case(register_count=1):
+    block = BasicBlock.from_operations(
+        "blk",
+        [
+            Operation("i0", OpCode.INPUT, output="a"),
+            Operation("i1", OpCode.INPUT, output="b"),
+            Operation("o0", OpCode.ADD, inputs=("a", "b"), output="c"),
+            Operation("sink", OpCode.OUTPUT, inputs=("c",)),
+        ],
+    )
+    schedule = Schedule(block, {"i0": 1, "i1": 1, "o0": 2, "sink": 3})
+    problem = AllocationProblem.from_schedule(
+        schedule, register_count, energy_model=StaticEnergyModel()
+    )
+    return block, schedule, allocate(problem)
+
+
+def test_memory_operands_substituted():
+    _, schedule, allocation = small_case(register_count=0)
+    program = lower_allocation(schedule, allocation)
+    [add] = [i for i in program.instructions if i.kind is Kind.OP]
+    assert all(isinstance(op, Mem) for op in add.operands)
+    assert isinstance(add.dest, Mem)
+
+
+def test_register_operands_when_allocated():
+    _, schedule, allocation = small_case(register_count=3)
+    program = lower_allocation(schedule, allocation)
+    [add] = [i for i in program.instructions if i.kind is Kind.OP]
+    assert all(isinstance(op, Reg) for op in add.operands)
+    assert isinstance(add.dest, Reg)
+    assert program.memory_reads == 0
+    assert program.memory_writes == 0
+
+
+def test_memory_counts_match_report_in_block():
+    result = allocate_block(fir_filter(6), register_count=3)
+    program = lower(result)
+    report = result.allocation.report
+    problem = result.allocation.problem
+    block_end_mem_reads = sum(
+        1
+        for segments in problem.segments.values()
+        for seg in segments
+        if seg.reads
+        and seg.reads[-1] == problem.horizon + 1
+        and seg.key not in result.allocation.residency
+    )
+    assert program.memory_reads == report.mem_reads - block_end_mem_reads
+    assert program.memory_writes == report.mem_writes
+
+
+def test_store_and_load_counts_consistent():
+    result = allocate_block(fir_filter(5), register_count=1)
+    program = lower(result)
+    spills = [i for i in program.instructions if i.kind is Kind.STORE]
+    loads = [i for i in program.instructions if i.kind is Kind.LOAD]
+    assert program.stores == len(spills)
+    assert program.loads == len(loads)
+    # Every STORE sources a register and targets memory; LOADs inverse.
+    for s in spills:
+        assert isinstance(s.dest, Mem)
+        assert isinstance(s.operands[0], Reg)
+    for l in loads:
+        assert isinstance(l.dest, Reg)
+        assert isinstance(l.operands[0], Mem)
+
+
+def test_restricted_access_loads_on_access_steps():
+    result = allocate_block(
+        fir_filter(6),
+        register_count=6,
+        memory=MemoryConfig(divisor=2, voltage=3.3),
+    )
+    program = lower(result)
+    access = result.problem.access_times
+    assert access is not None
+    for instruction in program.instructions:
+        if instruction.kind is Kind.LOAD:
+            assert instruction.step in access
+        if instruction.kind is Kind.STORE:
+            assert instruction.step in access
+        if instruction.kind in (Kind.OP, Kind.OUTPUT):
+            for op in instruction.operands:
+                if isinstance(op, Mem):
+                    assert instruction.step in access
+
+
+def test_program_listing_format():
+    result = allocate_block(dct4(), register_count=3)
+    program = lower(result)
+    text = program.format()
+    assert "block dct4" in text
+    assert "step 1:" in text
+    assert "input()" in text
+
+
+def test_layout_addresses_used_when_given():
+    result = allocate_block(fir_filter(6), register_count=2)
+    assert result.memory_layout is not None
+    with_layout = lower(result, use_layout=True)
+    without = lower(result, use_layout=False)
+    # Both are valid programs over the same accesses.
+    assert with_layout.memory_reads == without.memory_reads
+    assert with_layout.memory_writes == without.memory_writes

@@ -1,0 +1,79 @@
+"""Tests for opcode semantics and the reference evaluator."""
+
+import pytest
+
+from repro.codegen.reference import evaluate_block
+from repro.codegen.semantics import evaluate_opcode, mask_of
+from repro.exceptions import GraphError
+from repro.ir.builder import BlockBuilder
+from repro.ir.operations import OpCode
+
+
+def test_mask():
+    assert mask_of(4) == 15
+    assert mask_of(16) == 0xFFFF
+
+
+def test_wraparound_arithmetic():
+    assert evaluate_opcode(OpCode.ADD, [0xFFFF, 1], 16) == 0
+    assert evaluate_opcode(OpCode.SUB, [0, 1], 16) == 0xFFFF
+    assert evaluate_opcode(OpCode.MUL, [0x100, 0x100], 16) == 0
+    assert evaluate_opcode(OpCode.MAC, [2, 3, 4], 16) == 10
+
+
+def test_bitwise_and_shift():
+    assert evaluate_opcode(OpCode.SHIFT, [0b1010], 8) == 0b0101
+    assert evaluate_opcode(OpCode.AND, [0b1100, 0b1010], 8) == 0b1000
+    assert evaluate_opcode(OpCode.OR, [0b1100, 0b1010], 8) == 0b1110
+    assert evaluate_opcode(OpCode.XOR, [0b1100, 0b1010], 8) == 0b0110
+
+
+def test_signed_ops():
+    minus_one = 0xFFFF
+    assert evaluate_opcode(OpCode.NEG, [1], 16) == minus_one
+    assert evaluate_opcode(OpCode.ABS, [minus_one], 16) == 1
+    assert evaluate_opcode(OpCode.CMP, [minus_one, 0], 16) == 1
+    assert evaluate_opcode(OpCode.CMP, [0, minus_one], 16) == 0
+    assert evaluate_opcode(OpCode.MOVE, [42], 16) == 42
+
+
+def test_operand_arity_checked():
+    with pytest.raises(GraphError):
+        evaluate_opcode(OpCode.ADD, [1], 16)
+
+
+def test_source_opcodes_have_no_semantics():
+    with pytest.raises(GraphError):
+        evaluate_opcode(OpCode.INPUT, [], 16)
+
+
+def test_evaluate_block():
+    b = BlockBuilder("k", default_width=8)
+    x = b.input("x")
+    y = b.input("y")
+    s = b.add(x, y, name="s")
+    d = b.sub(x, y, name="d")
+    p = b.mul(s, d, name="p")
+    b.output(p)
+    block = b.build()
+    values = evaluate_block(block, {"x": 7, "y": 3})
+    assert values["s"] == 10
+    assert values["d"] == 4
+    assert values["p"] == 40
+
+
+def test_evaluate_block_missing_input():
+    b = BlockBuilder("k")
+    x = b.input("x")
+    b.neg(x, name="y")
+    block = b.build()
+    with pytest.raises(GraphError, match="no value"):
+        evaluate_block(block, {})
+
+
+def test_evaluate_block_range_check():
+    b = BlockBuilder("k", default_width=4)
+    b.input("x")
+    block = b.build()
+    with pytest.raises(GraphError, match="exceeds"):
+        evaluate_block(block, {"x": 16})

@@ -1,0 +1,113 @@
+"""Tests for the generic interval-chaining flow."""
+
+import pytest
+
+from repro.core.chain_flow import optimal_interval_chains
+from repro.exceptions import AllocationError, InfeasibleFlowError
+from tests.conftest import make_lifetime
+
+
+def unit_cost(prev, nxt):
+    return 0.0 if prev is None else 1.0
+
+
+def test_empty_input():
+    result = optimal_interval_chains([], 5, unit_cost)
+    assert result.chains == []
+    assert result.total_cost == 0.0
+
+
+def test_single_interval_single_chain():
+    result = optimal_interval_chains(
+        [make_lifetime("a", 1, 3)], 3, unit_cost
+    )
+    assert [[lt.name for lt in c] for c in result.chains] == [["a"]]
+
+
+def test_chains_cover_all_when_forced():
+    intervals = [
+        make_lifetime("a", 1, 3),
+        make_lifetime("b", 3, 5),
+        make_lifetime("c", 2, 4),
+    ]
+    result = optimal_interval_chains(intervals, 5, unit_cost)
+    names = sorted(lt.name for c in result.chains for lt in c)
+    assert names == ["a", "b", "c"]
+    assert result.chain_count == 2  # density
+
+
+def test_minimises_pair_cost():
+    costs = {("a", "b"): 5.0, ("a", "c"): 1.0}
+
+    def pair_cost(prev, nxt):
+        if prev is None:
+            return 0.0
+        return costs.get((prev.name, nxt.name), 10.0)
+
+    intervals = [
+        make_lifetime("a", 1, 3),
+        make_lifetime("b", 3, 5),
+        make_lifetime("c", 3, 5),
+    ]
+    result = optimal_interval_chains(intervals, 5, pair_cost)
+    # a chains with c (cost 1); b starts its own chain.
+    assert result.chain_of("a") == result.chain_of("c")
+    assert result.chain_of("a") != result.chain_of("b")
+    assert result.total_cost == pytest.approx(1.0)
+
+
+def test_infeasible_chain_count():
+    intervals = [
+        make_lifetime("a", 1, 4),
+        make_lifetime("b", 2, 5),
+    ]
+    with pytest.raises(InfeasibleFlowError):
+        optimal_interval_chains(
+            intervals, 5, unit_cost, chain_count=1, force_all=True
+        )
+
+
+def test_unknown_style_rejected():
+    with pytest.raises(AllocationError):
+        optimal_interval_chains(
+            [make_lifetime("a", 1, 2)], 2, unit_cost, style="nope"
+        )
+
+
+def test_chain_of_unknown_interval():
+    result = optimal_interval_chains(
+        [make_lifetime("a", 1, 3)], 3, unit_cost
+    )
+    with pytest.raises(AllocationError):
+        result.chain_of("ghost")
+
+
+def test_all_pairs_style_can_reduce_cost():
+    # a [1,2] -> b [4,6] skips the peak c [2,4]: only the all-pairs rule
+    # may pair them directly.
+    def pair_cost(prev, nxt):
+        if prev is None:
+            return 0.0
+        return 0.0 if (prev.name, nxt.name) == ("a", "b") else 3.0
+
+    intervals = [
+        make_lifetime("a", 1, 2),
+        make_lifetime("c", 2, 4),
+        make_lifetime("b", 4, 6),
+    ]
+    adjacent = optimal_interval_chains(
+        intervals, 6, pair_cost, style="adjacent"
+    )
+    all_pairs = optimal_interval_chains(
+        intervals, 6, pair_cost, style="all_pairs"
+    )
+    assert all_pairs.total_cost <= adjacent.total_cost
+
+
+def test_extra_chains_allowed_without_force():
+    intervals = [make_lifetime("a", 1, 3)]
+    result = optimal_interval_chains(
+        intervals, 3, unit_cost, chain_count=3, force_all=False
+    )
+    # One real chain; the other two units ride the bypass.
+    assert len(result.chains) <= 1

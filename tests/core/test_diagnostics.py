@@ -1,0 +1,73 @@
+"""Tests for infeasibility diagnostics."""
+
+import pytest
+
+from repro.core.diagnostics import diagnose, minimum_feasible_registers
+from repro.core.problem import AllocationProblem
+from repro.energy import MemoryConfig
+from tests.conftest import make_lifetime
+
+
+def overloaded_problem(registers=1):
+    # Two forced (fully interior) lifetimes overlap: need 2 registers.
+    # w is aligned with the access grid {1, 7} and stays unforced.
+    lifetimes = {
+        "u": make_lifetime("u", 2, 4),
+        "v": make_lifetime("v", 2, 4),
+        "w": make_lifetime("w", 1, 7),
+    }
+    return AllocationProblem(
+        lifetimes,
+        registers,
+        6,
+        memory=MemoryConfig(divisor=6, voltage=2.0, offset=1),
+    )
+
+
+def test_diagnose_infeasible():
+    report = diagnose(overloaded_problem(1))
+    assert not report.feasible
+    assert report.forced_density == 2
+    assert report.overload_steps  # the half-points where 2 > 1
+    assert set(report.forced_at_peak) == {"u", "v"}
+    assert report.minimum_registers == 2
+    assert "infeasible" in report.summary()
+    assert "needs R>=2" in report.summary()
+
+
+def test_diagnose_feasible():
+    report = diagnose(overloaded_problem(2))
+    assert report.feasible
+    assert report.overload_steps == ()
+    assert "feasible" in report.summary()
+
+
+def test_minimum_registers_unrestricted_is_zero():
+    lifetimes = {"a": make_lifetime("a", 1, 3)}
+    problem = AllocationProblem(lifetimes, 0, 3)
+    assert minimum_feasible_registers(problem) == 0
+    assert diagnose(problem).feasible
+
+
+def test_minimum_registers_matches_forced_density_when_connectable():
+    problem = overloaded_problem(1)
+    assert minimum_feasible_registers(problem) == 2
+    fixed = problem.with_options(register_count=2)
+    assert diagnose(fixed).feasible
+
+
+def test_diagnose_counts_explicit_pins():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 4),
+        "b": make_lifetime("b", 2, 5),
+    }
+    problem = AllocationProblem(
+        lifetimes,
+        1,
+        5,
+        forced_segments=frozenset({("a", 0), ("b", 0)}),
+    )
+    report = diagnose(problem)
+    assert not report.feasible
+    assert report.forced_density == 2
+    assert report.minimum_registers == 2

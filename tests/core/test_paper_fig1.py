@@ -1,0 +1,141 @@
+"""E1 — figure 1: interval graph, density regions, network topology,
+restricted access times (sections 5.1 and 5.2 construction facts)."""
+
+import pytest
+
+from repro.core.network_builder import SINK, SOURCE, build_network
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import MemoryConfig, StaticEnergyModel
+from repro.workloads.paper_examples import (
+    FIGURE1_ACCESS_TIMES,
+    FIGURE1_HORIZON,
+    figure1_lifetimes,
+)
+
+
+def problem(**options) -> AllocationProblem:
+    return AllocationProblem(
+        figure1_lifetimes(),
+        register_count=2,
+        horizon=FIGURE1_HORIZON,
+        energy_model=StaticEnergyModel(),
+        **options,
+    )
+
+
+def handoff_pairs(built) -> set[tuple[str | None, str | None]]:
+    pairs = set()
+    for arc in built.network.arcs:
+        if arc.data and arc.data[0] == "handoff":
+            src = arc.data[1].name if arc.data[1] is not None else None
+            dst = arc.data[2].name if arc.data[2] is not None else None
+            pairs.add((src, dst))
+    return pairs
+
+
+def test_density_regions_match_paper():
+    p = problem()
+    # "a region of maximum lifetime density is from time 2 to time 3 and
+    # another region is from time 5 to time 6"
+    assert p.max_density == 3
+    assert p.density_regions == [(2, 2), (5, 5)]
+
+
+def test_step3_events():
+    lifetimes = figure1_lifetimes()
+    # "at control step three, variables a and b are read and d is written"
+    read_at_3 = {n for n, lt in lifetimes.items() if 3 in lt.read_times}
+    written_at_3 = {n for n, lt in lifetimes.items() if lt.write_time == 3}
+    assert read_at_3 == {"a", "b"}
+    assert written_at_3 == {"d"}
+
+
+def test_live_out_variables():
+    lifetimes = figure1_lifetimes()
+    # "Variables d and c are read after time 7 by another task"
+    assert lifetimes["c"].live_out and lifetimes["d"].live_out
+    assert lifetimes["c"].end == FIGURE1_HORIZON + 1
+
+
+def test_bipartite_between_regions():
+    built = build_network(problem())
+    pairs = handoff_pairs(built)
+    # "lifetimes of a and b end and lifetimes of e and d begin" between the
+    # regions -> complete bipartite {a,b} x {d,e}.
+    for src in ("a", "b"):
+        for dst in ("d", "e"):
+            assert (src, dst) in pairs, f"missing {src}->{dst}"
+
+
+def test_source_connects_to_first_region_variables():
+    built = build_network(problem())
+    pairs = handoff_pairs(built)
+    source_targets = {dst for src, dst in pairs if src is None}
+    # Variables starting before the first max-density region.
+    assert source_targets == {"a", "b", "c"}
+
+
+def test_sink_receives_last_region_reads():
+    built = build_network(problem())
+    pairs = handoff_pairs(built)
+    sink_sources = {src for src, dst in pairs if dst is None}
+    # c, d extend past time 7; e's read at 6 lies after the last region.
+    assert sink_sources == {"c", "d", "e"}
+
+
+def test_no_handoff_skips_a_region():
+    built = build_network(problem())
+    pairs = handoff_pairs(built)
+    # a is read at 3 (before region k=5); d/e handoffs are fine, but no
+    # arc may jump a->t or a past the second region.
+    assert ("a", None) not in pairs
+    assert ("b", None) not in pairs
+
+
+def test_restricted_access_splits_c_and_forces_bold_arcs():
+    p = problem(memory=MemoryConfig(divisor=2, voltage=5.0))
+    assert p.access_times == FIGURE1_ACCESS_TIMES | {7}
+    segments = p.segments
+    # c spans access times 3, 5, 7 -> split; top piece starts at 2 (not an
+    # access step) so it is forced register-resident (bold in fig. 1c).
+    assert [(s.start, s.end) for s in segments["c"]] == [
+        (2, 3), (3, 5), (5, 7), (7, 8),
+    ]
+    assert segments["c"][0].forced
+    assert not any(s.forced for s in segments["c"][1:])
+    # e [5,6] ends at a non-access step -> forced entirely (bold).
+    assert len(segments["e"]) == 1
+    assert segments["e"][0].forced
+
+
+def test_d_splittable_at_5():
+    # "we could have also split variables c and d into two segments,
+    # defined from control steps 3 to 5 and from 5 to 7"
+    p = problem(memory=MemoryConfig(divisor=2, voltage=5.0))
+    d_segments = p.segments["d"]
+    assert [(s.start, s.end) for s in d_segments][0] == (3, 5)
+
+
+def test_forced_arcs_carry_flow():
+    p = problem(memory=MemoryConfig(divisor=2, voltage=5.0))
+    allocation = allocate(p)
+    for name, segments in p.segments.items():
+        for seg in segments:
+            if seg.forced:
+                assert seg.key in allocation.residency, (
+                    f"forced segment {seg.key} not register resident"
+                )
+
+
+def test_network_has_source_sink_and_segment_arcs():
+    built = build_network(problem())
+    assert built.network.has_node(SOURCE)
+    assert built.network.has_node(SINK)
+    segment_arcs = [
+        arc
+        for arc in built.network.arcs
+        if arc.data and arc.data[0] == "segment"
+    ]
+    assert len(segment_arcs) == 5  # one per single-read variable
+    assert all(arc.capacity == 1 for arc in segment_arcs)

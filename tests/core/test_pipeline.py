@@ -1,0 +1,66 @@
+"""Tests for the end-to-end pipeline."""
+
+import pytest
+
+from repro.core.pipeline import allocate_block, allocate_schedule
+from repro.energy import ActivityEnergyModel, MemoryConfig
+from repro.scheduling import ResourceSet, list_schedule
+from repro.workloads import dct4, fir_filter
+
+
+def test_allocate_block_runs_all_stages():
+    result = allocate_block(fir_filter(4), register_count=4)
+    assert result.schedule.length > 0
+    assert result.allocation.problem.register_count == 4
+    assert result.total_energy == result.allocation.objective
+    # Variables exist in memory, so the second pass ran.
+    if result.allocation.memory_addresses:
+        assert result.memory_layout is not None
+        assert set(result.memory_layout.addresses) == set(
+            result.allocation.memory_addresses
+        )
+
+
+def test_reallocate_can_be_disabled():
+    result = allocate_block(fir_filter(4), register_count=1, reallocate=False)
+    assert result.memory_layout is None
+
+
+def test_allocate_schedule_options_forwarded():
+    schedule = list_schedule(dct4(), ResourceSet.typical_dsp())
+    result = allocate_schedule(
+        schedule,
+        register_count=3,
+        energy_model=ActivityEnergyModel(),
+        graph_style="all_pairs",
+        split_at_reads=False,
+    )
+    assert result.problem.graph_style == "all_pairs"
+    assert not result.problem.split_at_reads
+    assert isinstance(result.problem.energy_model, ActivityEnergyModel)
+
+
+def test_memory_config_forwarded():
+    schedule = list_schedule(dct4(), ResourceSet.typical_dsp())
+    result = allocate_schedule(
+        schedule,
+        register_count=9,
+        memory=MemoryConfig(divisor=2, voltage=3.3),
+    )
+    assert result.problem.memory.divisor == 2
+
+
+def test_summary_text():
+    result = allocate_block(dct4(), register_count=3)
+    text = result.summary()
+    assert "dct4" in text
+    assert "max density" in text
+
+
+def test_more_registers_never_hurt():
+    block = fir_filter(5)
+    energies = [
+        allocate_block(block, register_count=r).total_energy
+        for r in (1, 3, 6, 12)
+    ]
+    assert energies == sorted(energies, reverse=True)

@@ -1,0 +1,83 @@
+"""Tests for the AllocationProblem container."""
+
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.energy import MemoryConfig, StaticEnergyModel
+from repro.exceptions import AllocationError
+from repro.ir.builder import BlockBuilder
+from repro.scheduling.list_scheduler import list_schedule
+from tests.conftest import make_lifetime
+
+
+def lifetimes():
+    return {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, (4, 6)),
+    }
+
+
+def test_basic_construction_and_density():
+    p = AllocationProblem(lifetimes(), 2, 6)
+    assert p.max_density == 2
+    assert p.density == [0, 1, 2, 1, 1, 1, 0]
+    assert p.density_regions == [(2, 2)]
+
+
+def test_segments_respect_options():
+    p = AllocationProblem(lifetimes(), 2, 6)
+    assert len(p.segments["b"]) == 2  # split at the interior read
+    unsplit = p.with_options(split_at_reads=False)
+    assert len(unsplit.segments["b"]) == 1
+
+
+def test_access_times_from_memory_config():
+    p = AllocationProblem(
+        lifetimes(), 2, 6, memory=MemoryConfig(divisor=2, voltage=3.3)
+    )
+    assert p.access_times == frozenset({1, 3, 5, 7})
+    free = AllocationProblem(lifetimes(), 2, 6)
+    assert free.access_times is None
+
+
+def test_constant_energy():
+    model = StaticEnergyModel()
+    p = AllocationProblem(lifetimes(), 2, 6, energy_model=model)
+    # a: 1 write + 1 read; b: 1 write + 2 reads.
+    assert p.constant_energy() == pytest.approx(2 * 10.0 + 3 * 5.0)
+
+
+def test_negative_register_count_rejected():
+    with pytest.raises(AllocationError):
+        AllocationProblem(lifetimes(), -1, 6)
+
+
+def test_mismatched_key_rejected():
+    bad = {"zzz": make_lifetime("a", 1, 3)}
+    with pytest.raises(AllocationError, match="does not match"):
+        AllocationProblem(bad, 1, 6)
+
+
+def test_lifetime_past_block_end_rejected():
+    bad = {"a": make_lifetime("a", 1, 9)}
+    with pytest.raises(AllocationError, match="past the block end"):
+        AllocationProblem(bad, 1, 6)
+
+
+def test_from_schedule():
+    b = BlockBuilder("k")
+    x = b.input("x")
+    y = b.input("y")
+    z = b.add(x, y, name="z")
+    b.output(z)
+    schedule = list_schedule(b.build())
+    p = AllocationProblem.from_schedule(schedule, register_count=2)
+    assert set(p.lifetimes) == {"x", "y", "z"}
+    assert p.horizon == schedule.length
+
+
+def test_with_options_copies():
+    p = AllocationProblem(lifetimes(), 2, 6)
+    q = p.with_options(register_count=5)
+    assert q.register_count == 5
+    assert p.register_count == 2

@@ -1,0 +1,119 @@
+"""Tests for the end-to-end allocator."""
+
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import ActivityEnergyModel, MemoryConfig, StaticEnergyModel
+from repro.exceptions import InfeasibleFlowError
+from tests.conftest import make_lifetime
+
+
+def five_var_problem(register_count, **options):
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, 3),
+        "d": make_lifetime("d", 3, 8, live_out=True),
+        "e": make_lifetime("e", 4, 5),
+        "c": make_lifetime("c", 5, 8, live_out=True),
+    }
+    return AllocationProblem(
+        lifetimes,
+        register_count,
+        7,
+        energy_model=options.pop("energy_model", StaticEnergyModel()),
+        **options,
+    )
+
+
+def test_zero_registers_all_memory():
+    allocation = allocate(five_var_problem(0))
+    assert allocation.chains == []
+    assert allocation.report.reg_accesses == 0
+    assert allocation.report.mem_accesses == 10  # 5 writes + 5 reads
+    assert set(allocation.memory_addresses) == {"a", "b", "c", "d", "e"}
+
+
+def test_enough_registers_no_memory():
+    allocation = allocate(five_var_problem(2))
+    assert allocation.report.mem_accesses == 0
+    assert allocation.memory_addresses == {}
+    assert allocation.registers_used == 2
+
+
+def test_extra_registers_left_unused():
+    allocation = allocate(five_var_problem(4))
+    assert allocation.unused_registers == 2
+    assert allocation.registers_used == 2
+
+
+def test_objective_monotone_in_registers():
+    energies = [
+        allocate(five_var_problem(r)).objective for r in range(0, 4)
+    ]
+    assert energies == sorted(energies, reverse=True)
+    assert energies[2] == energies[3]  # saturates at density
+
+
+def test_chains_are_time_ordered_and_disjoint():
+    allocation = allocate(five_var_problem(2))
+    seen = set()
+    for chain in allocation.chains:
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier.end <= later.start
+        for seg in chain:
+            assert seg.key not in seen
+            seen.add(seg.key)
+
+
+def test_residency_matches_chains():
+    allocation = allocate(five_var_problem(1))
+    for register, chain in enumerate(allocation.chains):
+        for seg in chain:
+            assert allocation.residency[seg.key] == register
+    for name in allocation.problem.lifetimes:
+        in_reg = allocation.in_register(name)
+        in_mem = name in allocation.memory_addresses
+        assert in_reg != in_mem  # single-read vars: exactly one home
+
+
+def test_energy_identity_flow_vs_accounting():
+    # allocate(validate=True) enforces objective == recomputed energy; run
+    # across models and register counts.
+    for model in (StaticEnergyModel(), ActivityEnergyModel()):
+        for r in range(4):
+            allocation = allocate(
+                five_var_problem(r, energy_model=model), validate=True
+            )
+            assert allocation.report.total_energy == pytest.approx(
+                allocation.objective
+            )
+
+
+def test_infeasible_forced_density_raises():
+    # Two forced (interior) lifetimes overlap but only 1 register exists.
+    lifetimes = {
+        "u": make_lifetime("u", 2, 4),
+        "v": make_lifetime("v", 2, 4),
+    }
+    problem = AllocationProblem(
+        lifetimes,
+        1,
+        6,
+        memory=MemoryConfig(divisor=6, voltage=2.0),
+    )
+    with pytest.raises(InfeasibleFlowError):
+        allocate(problem)
+
+
+def test_register_count_never_exceeded():
+    for r in (1, 2, 3):
+        allocation = allocate(five_var_problem(r))
+        assert allocation.registers_used <= r
+
+
+def test_format_mentions_chains():
+    allocation = allocate(five_var_problem(2))
+    text = allocation.format()
+    assert "R0:" in text
+    assert "objective" in text

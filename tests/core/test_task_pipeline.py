@@ -1,0 +1,58 @@
+"""Tests for application-level (task graph) allocation."""
+
+import pytest
+
+from repro.core.task_pipeline import allocate_task_graph
+from repro.energy import ActivityEnergyModel
+from repro.ir.task_graph import Task, TaskGraph
+from repro.workloads import dct4, fir_filter
+
+
+def app_graph() -> TaskGraph:
+    graph = TaskGraph("frontend")
+    graph.add_task(Task("filter", fir_filter(4), rate=4))
+    graph.add_task(Task("transform", dct4(), rate=1))
+    graph.add_edge("filter", "transform")
+    return graph
+
+
+def test_every_task_allocated():
+    result = allocate_task_graph(app_graph(), register_count=4)
+    assert set(result.results) == {"filter", "transform"}
+    for pipeline_result in result.results.values():
+        assert pipeline_result.total_energy > 0
+
+
+def test_energy_per_frame_is_rate_weighted():
+    result = allocate_task_graph(app_graph(), register_count=4)
+    expected = (
+        4 * result.results["filter"].total_energy
+        + 1 * result.results["transform"].total_energy
+    )
+    assert result.energy_per_frame == pytest.approx(expected)
+
+
+def test_options_forwarded_to_every_task():
+    result = allocate_task_graph(
+        app_graph(),
+        register_count=3,
+        energy_model=ActivityEnergyModel(),
+        graph_style="all_pairs",
+    )
+    for pipeline_result in result.results.values():
+        assert pipeline_result.problem.graph_style == "all_pairs"
+        assert pipeline_result.problem.register_count == 3
+
+
+def test_summary_mentions_tasks_and_total():
+    result = allocate_task_graph(app_graph(), register_count=4)
+    text = result.summary()
+    assert "filter" in text
+    assert "transform" in text
+    assert "frame total" in text
+
+
+def test_more_registers_never_hurt_the_frame():
+    small = allocate_task_graph(app_graph(), register_count=2)
+    large = allocate_task_graph(app_graph(), register_count=8)
+    assert large.energy_per_frame <= small.energy_per_frame + 1e-9

@@ -1,0 +1,54 @@
+"""Tests for the capacitance table."""
+
+import pytest
+
+from repro.energy.capacitance import NOMINAL_VOLTAGE, CapacitanceTable
+from repro.exceptions import EnergyModelError
+
+
+def test_nominal_energies_match_literature_ratios():
+    table = CapacitanceTable()
+    # [14]: mem read 5x, mem write 10x a 16-bit add at nominal supply.
+    assert table.energy(table.mem_read, NOMINAL_VOLTAGE) == pytest.approx(5.0)
+    assert table.energy(table.mem_write, NOMINAL_VOLTAGE) == pytest.approx(
+        10.0
+    )
+    assert table.energy(table.offchip, NOMINAL_VOLTAGE) == pytest.approx(11.0)
+
+
+def test_register_access_cheaper_than_memory():
+    table = CapacitanceTable()
+    assert table.reg_read < table.mem_read
+    assert table.reg_write < table.mem_write
+
+
+def test_reg_bit_scales_to_full_write():
+    table = CapacitanceTable()
+    # A worst-case 16-bit flip equals the static register write energy.
+    assert table.reg_bit * 16 == pytest.approx(table.reg_write)
+
+
+def test_energy_quadratic_in_voltage():
+    table = CapacitanceTable()
+    e5 = table.energy(table.mem_read, 5.0)
+    e2 = table.energy(table.mem_read, 2.5)
+    assert e5 / e2 == pytest.approx(4.0)
+
+
+def test_negative_capacitance_rejected():
+    with pytest.raises(EnergyModelError):
+        CapacitanceTable(mem_read=-1.0)
+
+
+def test_non_positive_voltage_rejected():
+    table = CapacitanceTable()
+    with pytest.raises(EnergyModelError):
+        table.energy(table.mem_read, 0.0)
+
+
+def test_offchip_variant_is_costlier():
+    onchip = CapacitanceTable.onchip_default()
+    offchip = CapacitanceTable.offchip_memory()
+    assert offchip.mem_read > onchip.mem_read
+    assert offchip.mem_write > onchip.mem_write
+    assert offchip.reg_read == onchip.reg_read

@@ -1,0 +1,103 @@
+"""Tests for the energy models (eqs. 1 and 2)."""
+
+import pytest
+
+from repro.energy.models import (
+    ActivityEnergyModel,
+    EnergyModel,
+    PairwiseSwitchingModel,
+    StaticEnergyModel,
+)
+from repro.exceptions import EnergyModelError
+from repro.ir.values import DataVariable
+
+
+V16 = DataVariable("v", 16)
+
+
+def test_static_model_constants():
+    model = StaticEnergyModel()
+    assert model.mem_read(V16) == pytest.approx(5.0)
+    assert model.mem_write(V16) == pytest.approx(10.0)
+    assert model.reg_read(V16) == pytest.approx(0.5)
+    assert model.reg_write(V16, None) == pytest.approx(1.0)
+    # Static: previous tenant irrelevant.
+    assert model.reg_write(V16, DataVariable("w")) == model.reg_write(
+        V16, None
+    )
+
+
+def test_static_model_voltage_scaling():
+    model = StaticEnergyModel().with_voltages(2.5, 5.0)
+    assert model.mem_read(V16) == pytest.approx(5.0 / 4)
+    assert model.reg_read(V16) == pytest.approx(0.5)  # regs unscaled
+
+
+def test_models_satisfy_protocol():
+    for model in (
+        StaticEnergyModel(),
+        ActivityEnergyModel(),
+        PairwiseSwitchingModel(),
+    ):
+        assert isinstance(model, EnergyModel)
+
+
+def test_activity_register_writes_use_hamming():
+    model = ActivityEnergyModel()
+    a = DataVariable("a", 8, (0b00000000,))
+    b = DataVariable("b", 8, (0b00001111,))
+    # 4 bits flip; per-bit energy = reg_bit * 25.
+    per_bit = model.table.energy(model.table.reg_bit, 5.0)
+    assert model.reg_write(b, a) == pytest.approx(4 * per_bit)
+    # Same variable re-written: no flips.
+    assert model.reg_write(a, a) == 0.0
+    # Unknown start: half the bits.
+    assert model.reg_write(b, None) == pytest.approx(4 * per_bit)
+
+
+def test_activity_register_reads_free():
+    assert ActivityEnergyModel().reg_read(V16) == 0.0
+
+
+def test_activity_memory_side_static():
+    model = ActivityEnergyModel()
+    assert model.mem_read(V16) == pytest.approx(5.0)
+    assert model.mem_write(V16) == pytest.approx(10.0)
+
+
+def test_activity_start_activity_validation():
+    with pytest.raises(EnergyModelError):
+        ActivityEnergyModel(start_activity=2.0)
+
+
+def test_pairwise_model_uses_table():
+    model = PairwiseSwitchingModel({("a", "b"): 0.25})
+    a, b, c = DataVariable("a"), DataVariable("b"), DataVariable("c")
+    per_bit = model.table.energy(model.table.reg_bit, 5.0)
+    assert model.reg_write(b, a) == pytest.approx(0.25 * 16 * per_bit)
+    # Symmetric fallback.
+    assert model.reg_write(a, b) == pytest.approx(0.25 * 16 * per_bit)
+    # Missing pair -> default activity 0.5.
+    assert model.reg_write(c, a) == pytest.approx(0.5 * 16 * per_bit)
+    # Start activity 0.5.
+    assert model.reg_write(a, None) == pytest.approx(0.5 * 16 * per_bit)
+    # Identity: no switching.
+    assert model.reg_write(a, a) == 0.0
+
+
+def test_pairwise_activity_bounds_checked():
+    with pytest.raises(EnergyModelError):
+        PairwiseSwitchingModel({("a", "b"): 1.5})
+
+
+def test_with_voltages_returns_new_instance():
+    model = ActivityEnergyModel()
+    scaled = model.with_voltages(3.3, 2.0)
+    assert scaled is not model
+    assert scaled.mem_voltage == 3.3
+    assert model.mem_voltage == 5.0
+
+
+def test_bad_voltage_rejected():
+    with pytest.raises(EnergyModelError):
+        StaticEnergyModel(mem_voltage=-1.0)

@@ -1,0 +1,38 @@
+"""Tests for the energy report accumulator."""
+
+import pytest
+
+from repro.energy.report import EnergyReport
+
+
+def test_accumulation_and_totals():
+    report = EnergyReport()
+    report.add_mem_write(10.0)
+    report.add_mem_read(10.0, count=2)
+    report.add_reg_write(1.0)
+    report.add_reg_read(1.5, count=3)
+    assert report.mem_writes == 1
+    assert report.mem_reads == 2
+    assert report.reg_writes == 1
+    assert report.reg_reads == 3
+    assert report.mem_accesses == 3
+    assert report.reg_accesses == 4
+    assert report.mem_energy == pytest.approx(20.0)
+    assert report.reg_energy == pytest.approx(2.5)
+    assert report.total_energy == pytest.approx(22.5)
+
+
+def test_empty_report():
+    report = EnergyReport()
+    assert report.total_energy == 0.0
+    assert report.mem_accesses == 0
+
+
+def test_format_contains_counts_and_notes():
+    report = EnergyReport()
+    report.add_mem_write(10.0)
+    report.notes.append("hello")
+    text = report.format()
+    assert "memory" in text
+    assert "registers" in text
+    assert "note: hello" in text

@@ -1,0 +1,88 @@
+"""Tests for switching-activity estimation."""
+
+import random
+
+import pytest
+
+from repro.energy.switching import (
+    attach_traces,
+    correlated_trace,
+    gaussian_dsp_trace,
+    pairwise_activity_table,
+    uniform_trace,
+)
+from repro.exceptions import EnergyModelError
+from repro.ir.values import DataVariable, hamming_distance
+
+
+def mean_activity(trace: tuple[int, ...], width: int) -> float:
+    flips = [
+        hamming_distance(a, b) for a, b in zip(trace, trace[1:])
+    ]
+    return sum(flips) / len(flips) / width
+
+
+def test_uniform_trace_activity_near_half():
+    rng = random.Random(1)
+    trace = uniform_trace(rng, 16, 600)
+    assert 0.42 < mean_activity(trace, 16) < 0.58
+
+
+def test_correlated_trace_activity_matches_flip_probability():
+    rng = random.Random(2)
+    trace = correlated_trace(rng, 16, 600, flip_probability=0.1)
+    assert 0.06 < mean_activity(trace, 16) < 0.14
+
+
+def test_gaussian_trace_lower_activity_than_uniform():
+    rng = random.Random(3)
+    trace = gaussian_dsp_trace(rng, 16, 600, sigma_fraction=0.05)
+    uniform = uniform_trace(random.Random(3), 16, 600)
+    # Correlated small-magnitude data switches meaningfully less than
+    # independent uniform words (which sit at ~0.5).
+    assert mean_activity(trace, 16) < 0.45
+    assert mean_activity(trace, 16) < mean_activity(uniform, 16)
+    assert all(0 <= v < (1 << 16) for v in trace)
+
+
+def test_gaussian_trace_high_correlation_lowers_activity_further():
+    base = mean_activity(
+        gaussian_dsp_trace(random.Random(3), 16, 600, 0.05, rho=0.5), 16
+    )
+    tight = mean_activity(
+        gaussian_dsp_trace(random.Random(3), 16, 600, 0.05, rho=0.98), 16
+    )
+    assert tight < base
+
+
+def test_trace_lengths_and_validation():
+    rng = random.Random(4)
+    assert len(uniform_trace(rng, 8, 10)) == 10
+    with pytest.raises(EnergyModelError):
+        uniform_trace(rng, 0, 10)
+    with pytest.raises(EnergyModelError):
+        uniform_trace(rng, 8, 0)
+    with pytest.raises(EnergyModelError):
+        correlated_trace(rng, 8, 10, flip_probability=2.0)
+    with pytest.raises(EnergyModelError):
+        gaussian_dsp_trace(rng, 8, 10, sigma_fraction=0.0)
+
+
+def test_pairwise_activity_table():
+    a = DataVariable("a", 4, (0b0000, 0b1111))
+    b = DataVariable("b", 4, (0b0011, 0b1111))
+    c = DataVariable("c", 4)  # no trace
+    table = pairwise_activity_table([a, b, c])
+    assert table[("a", "b")] == pytest.approx(0.25)
+    assert table[("b", "a")] == pytest.approx(0.25)
+    assert ("a", "c") not in table
+    assert ("a", "a") not in table
+
+
+def test_attach_traces():
+    variables = {"x": DataVariable("x", 8), "y": DataVariable("y", 8)}
+    out = attach_traces(variables, {"x": [1, 2, 3]})
+    assert out["x"].trace == (1, 2, 3)
+    assert out["y"].trace == ()
+    # Originals untouched.
+    assert variables["x"].trace == ()

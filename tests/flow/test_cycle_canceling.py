@@ -1,0 +1,83 @@
+"""Cycle-cancelling solver tests: standalone behaviour plus agreement
+with the successive-shortest-path solver on random instances."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError, InfeasibleFlowError
+from repro.flow import (
+    FlowNetwork,
+    check_flow,
+    solve_by_cycle_canceling,
+    solve_min_cost_flow,
+)
+
+
+def test_simple_instance():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2, cost=1.0)
+    net.add_arc("a", "t", capacity=2, cost=1.0)
+    result = solve_by_cycle_canceling(net, "s", "t", 2)
+    check_flow(result, "s", "t", 2)
+    assert result.cost == pytest.approx(4.0)
+
+
+def test_improves_initial_flow():
+    # BFS establishes s-a-t first; cancelling must reroute to the cheap arc.
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=1, cost=0.0)
+    net.add_arc("a", "t", capacity=1, cost=10.0)
+    net.add_arc("a", "b", capacity=1, cost=0.0)
+    net.add_arc("b", "t", capacity=1, cost=1.0)
+    result = solve_by_cycle_canceling(net, "s", "t", 1)
+    assert result.cost == pytest.approx(1.0)
+
+
+def test_infeasible():
+    net = FlowNetwork()
+    net.add_arc("s", "t", capacity=1, cost=0.0)
+    with pytest.raises(InfeasibleFlowError):
+        solve_by_cycle_canceling(net, "s", "t", 2)
+
+
+def test_rejects_lower_bounds():
+    net = FlowNetwork()
+    net.add_arc("s", "t", capacity=2, lower=1)
+    with pytest.raises(GraphError):
+        solve_by_cycle_canceling(net, "s", "t", 1)
+
+
+def _random_dag(rng: random.Random, nodes: int, extra_arcs: int) -> FlowNetwork:
+    """Random layered DAG with integer costs (possibly negative)."""
+    net = FlowNetwork()
+    names = ["s"] + [f"n{i}" for i in range(nodes)] + ["t"]
+    for a, b in zip(names, names[1:]):  # guarantee an s-t path
+        net.add_arc(a, b, capacity=rng.randint(1, 4), cost=rng.randint(-3, 6))
+    for _ in range(extra_arcs):
+        i = rng.randrange(len(names) - 1)
+        j = rng.randrange(i + 1, len(names))
+        net.add_arc(
+            names[i],
+            names[j],
+            capacity=rng.randint(1, 4),
+            cost=rng.randint(-3, 6),
+        )
+    return net
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_agrees_with_ssp_on_random_dags(seed):
+    rng = random.Random(seed)
+    net = _random_dag(rng, nodes=rng.randint(2, 7), extra_arcs=rng.randint(2, 12))
+    from repro.flow.ssp import max_flow_value
+
+    limit = max_flow_value(net, "s", "t")
+    if limit == 0:
+        pytest.skip("degenerate instance")
+    value = rng.randint(1, limit)
+    ssp = solve_min_cost_flow(net, "s", "t", value)
+    cc = solve_by_cycle_canceling(net, "s", "t", value)
+    check_flow(ssp, "s", "t", value)
+    check_flow(cc, "s", "t", value)
+    assert ssp.cost == pytest.approx(cc.cost, abs=1e-6)

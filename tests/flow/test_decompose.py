@@ -1,0 +1,76 @@
+"""Tests for flow path decomposition."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.flow import (
+    FlowNetwork,
+    decompose_into_paths,
+    solve_min_cost_flow,
+)
+from repro.flow.graph import FlowResult
+
+
+def test_single_path():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=1)
+    net.add_arc("a", "t", capacity=1)
+    result = solve_min_cost_flow(net, "s", "t", 1)
+    paths = decompose_into_paths(result, "s", "t")
+    assert len(paths) == 1
+    assert [arc.head for arc in paths[0]] == ["a", "t"]
+
+
+def test_value_many_paths():
+    net = FlowNetwork()
+    for mid in ("a", "b", "c"):
+        net.add_arc("s", mid, capacity=1)
+        net.add_arc(mid, "t", capacity=1)
+    result = solve_min_cost_flow(net, "s", "t", 3)
+    paths = decompose_into_paths(result, "s", "t")
+    assert len(paths) == 3
+    mids = {path[0].head for path in paths}
+    assert mids == {"a", "b", "c"}
+
+
+def test_shared_arc_multi_unit():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2)
+    net.add_arc("a", "t", capacity=2)
+    result = solve_min_cost_flow(net, "s", "t", 2)
+    paths = decompose_into_paths(result, "s", "t")
+    assert len(paths) == 2
+    assert all(len(p) == 2 for p in paths)
+
+
+def test_zero_flow_empty():
+    net = FlowNetwork()
+    net.add_arc("s", "t", capacity=1)
+    result = solve_min_cost_flow(net, "s", "t", 0)
+    assert decompose_into_paths(result, "s", "t") == []
+
+
+def test_conservation_violation_raises():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=1)
+    net.add_arc("a", "t", capacity=1)
+    bad = FlowResult(net, [1, 0], 1)
+    with pytest.raises(GraphError):
+        decompose_into_paths(bad, "s", "t")
+
+
+def test_paths_preserve_flow_counts():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2, cost=0.0)
+    net.add_arc("s", "b", capacity=1, cost=0.0)
+    net.add_arc("a", "t", capacity=1, cost=0.0)
+    net.add_arc("a", "b", capacity=1, cost=0.0)
+    net.add_arc("b", "t", capacity=2, cost=0.0)
+    result = solve_min_cost_flow(net, "s", "t", 3)
+    paths = decompose_into_paths(result, "s", "t")
+    used: dict[int, int] = {}
+    for path in paths:
+        for arc in path:
+            used[arc.index] = used.get(arc.index, 0) + 1
+    for arc in net.arcs:
+        assert used.get(arc.index, 0) == result.flow(arc)

@@ -1,0 +1,80 @@
+"""Unit tests for the lower-bound transformation."""
+
+import pytest
+
+from repro.exceptions import InfeasibleFlowError
+from repro.flow import (
+    FlowNetwork,
+    check_flow,
+    solve,
+    solve_with_lower_bounds,
+)
+
+
+def test_dispatch_without_lower_bounds():
+    net = FlowNetwork()
+    net.add_arc("s", "t", capacity=3, cost=1.0)
+    result = solve(net, "s", "t", 2)
+    assert result.cost == 2.0
+
+
+def test_forced_expensive_arc():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2, cost=5.0)
+    net.add_arc("s", "b", capacity=2, cost=0.0)
+    net.add_arc("a", "t", capacity=2, cost=0.0, lower=1)
+    net.add_arc("b", "t", capacity=2, cost=0.0)
+    result = solve_with_lower_bounds(net, "s", "t", 2)
+    check_flow(result, "s", "t", 2)
+    # Without the bound the optimum would route both units via b (cost 0);
+    # the bound forces one unit over the 5-cost arc.
+    assert result.cost == pytest.approx(5.0)
+    forced = net.arcs[2]
+    assert result.flow(forced) >= 1
+
+
+def test_bounds_respected_exactly():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=3, cost=0.0)
+    net.add_arc("a", "t", capacity=3, cost=0.0, lower=2)
+    result = solve_with_lower_bounds(net, "s", "t", 3)
+    check_flow(result, "s", "t", 3)
+    assert result.flow(net.arcs[1]) == 3
+
+
+def test_infeasible_lower_bound():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=1, cost=0.0)
+    net.add_arc("a", "t", capacity=2, cost=0.0, lower=2)
+    # Only 1 unit can reach a, but the arc demands 2.
+    with pytest.raises(InfeasibleFlowError):
+        solve_with_lower_bounds(net, "s", "t", 1)
+
+
+def test_lower_bound_exceeding_flow_value_infeasible():
+    net = FlowNetwork()
+    net.add_arc("s", "t", capacity=5, cost=0.0, lower=3)
+    with pytest.raises(InfeasibleFlowError):
+        solve_with_lower_bounds(net, "s", "t", 2)
+
+
+def test_parallel_bounded_arcs():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2, cost=0.0)
+    net.add_arc("a", "t", capacity=1, cost=1.0, lower=1)
+    net.add_arc("a", "t", capacity=1, cost=9.0, lower=1)
+    result = solve_with_lower_bounds(net, "s", "t", 2)
+    check_flow(result, "s", "t", 2)
+    assert result.cost == pytest.approx(10.0)
+
+
+def test_optimality_with_negative_costs_and_bounds():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2, cost=0.0)
+    net.add_arc("s", "b", capacity=2, cost=0.0)
+    net.add_arc("a", "t", capacity=2, cost=-4.0)
+    net.add_arc("b", "t", capacity=2, cost=1.0, lower=1)
+    result = solve_with_lower_bounds(net, "s", "t", 3)
+    check_flow(result, "s", "t", 3)
+    # Best: 2 units at -4, 1 forced unit at +1.
+    assert result.cost == pytest.approx(-7.0)

@@ -1,0 +1,69 @@
+"""Tests for the flow validator."""
+
+import pytest
+
+from repro.flow import FlowNetwork, check_flow, flow_cost
+from repro.flow.graph import FlowResult
+from repro.flow.validate import FlowValidationError
+
+
+def net_and_flow():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2, cost=1.0)
+    net.add_arc("a", "t", capacity=2, cost=3.0)
+    return net, FlowResult(net, [2, 2], 2)
+
+
+def test_valid_flow_passes():
+    net, result = net_and_flow()
+    check_flow(result, "s", "t", 2)
+
+
+def test_flow_cost_recomputation():
+    net, result = net_and_flow()
+    assert flow_cost(result) == pytest.approx(8.0)
+    assert result.cost == pytest.approx(8.0)
+
+
+def test_conservation_violation_detected():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2)
+    net.add_arc("a", "t", capacity=2)
+    bad = FlowResult(net, [2, 1], 2)
+    with pytest.raises(FlowValidationError, match="conservation|receives"):
+        check_flow(bad, "s", "t", 2)
+
+
+def test_capacity_violation_detected():
+    net, _ = net_and_flow()
+    bad = FlowResult(net, [3, 3], 3)
+    with pytest.raises(FlowValidationError, match="bounds"):
+        check_flow(bad, "s", "t", 3)
+
+
+def test_lower_bound_violation_detected():
+    net = FlowNetwork()
+    net.add_arc("s", "t", capacity=2, lower=1)
+    bad = FlowResult(net, [0], 0)
+    with pytest.raises(FlowValidationError, match="bounds"):
+        check_flow(bad, "s", "t", 0)
+
+
+def test_wrong_value_detected():
+    net, result = net_and_flow()
+    with pytest.raises(FlowValidationError, match="ships|receives"):
+        check_flow(result, "s", "t", 1)
+
+
+def test_non_integral_flow_detected():
+    net, _ = net_and_flow()
+    bad = FlowResult(net, [1.5, 1.5], 1)  # type: ignore[list-item]
+    with pytest.raises(FlowValidationError, match="non-integral"):
+        check_flow(bad, "s", "t", 1)
+
+
+def test_wrong_vector_length_detected():
+    net, result = net_and_flow()
+    result.flows = [2]  # truncate after construction
+    with pytest.raises(FlowValidationError, match="entries"):
+        check_flow(result, "s", "t", 2)

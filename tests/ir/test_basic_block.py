@@ -1,0 +1,144 @@
+"""Tests for basic blocks."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+from repro.ir.values import DataVariable
+
+
+def simple_block() -> BasicBlock:
+    return BasicBlock.from_operations(
+        "blk",
+        [
+            Operation("i0", OpCode.INPUT, output="a"),
+            Operation("i1", OpCode.INPUT, output="b"),
+            Operation("o0", OpCode.ADD, inputs=("a", "b"), output="c"),
+            Operation("o1", OpCode.MUL, inputs=("c", "a"), output="d"),
+            Operation("sink", OpCode.OUTPUT, inputs=("d",)),
+        ],
+        live_out=("d",),
+    )
+
+
+def test_producer_consumer_queries():
+    block = simple_block()
+    assert block.producer("c").name == "o0"
+    assert [op.name for op in block.consumers("a")] == ["o0", "o1"]
+    assert block.consumers("d")[0].name == "sink"
+
+
+def test_auto_declared_variables():
+    block = simple_block()
+    assert set(block.variables) == {"a", "b", "c", "d"}
+    assert block.variable("a") == DataVariable("a")
+
+
+def test_variable_names_in_definition_order():
+    assert simple_block().variable_names() == ("a", "b", "c", "d")
+
+
+def test_read_before_def_rejected():
+    with pytest.raises(GraphError, match="before its definition"):
+        BasicBlock.from_operations(
+            "bad",
+            [Operation("o0", OpCode.ADD, inputs=("x", "y"), output="z")],
+        )
+
+
+def test_double_assignment_rejected():
+    with pytest.raises(GraphError, match="single assignment"):
+        BasicBlock.from_operations(
+            "bad",
+            [
+                Operation("i0", OpCode.INPUT, output="a"),
+                Operation("i1", OpCode.INPUT, output="a"),
+            ],
+        )
+
+
+def test_duplicate_operation_name_rejected():
+    with pytest.raises(GraphError, match="duplicate operation"):
+        BasicBlock.from_operations(
+            "bad",
+            [
+                Operation("i0", OpCode.INPUT, output="a"),
+                Operation("i0", OpCode.INPUT, output="b"),
+            ],
+        )
+
+
+def test_unknown_live_out_rejected():
+    with pytest.raises(GraphError, match="live-out"):
+        BasicBlock.from_operations(
+            "bad",
+            [Operation("i0", OpCode.INPUT, output="a")],
+            live_out=("zzz",),
+        )
+
+
+def test_declared_but_undefined_variable_rejected():
+    with pytest.raises(GraphError, match="never defined"):
+        BasicBlock.from_operations(
+            "bad",
+            [Operation("i0", OpCode.INPUT, output="a")],
+            variables=[DataVariable("ghost")],
+        )
+
+
+def test_dependence_edges():
+    block = simple_block()
+    edges = {(p.name, c.name) for p, c in block.dependence_edges()}
+    assert edges == {
+        ("i0", "o0"),
+        ("i1", "o0"),
+        ("o0", "o1"),
+        ("i0", "o1"),
+        ("o1", "sink"),
+    }
+
+
+def test_predecessors_successors():
+    block = simple_block()
+    o1 = block.operation("o1")
+    assert {op.name for op in block.predecessors(o1)} == {"o0", "i0"}
+    o0 = block.operation("o0")
+    assert {op.name for op in block.successors(o0)} == {"o1"}
+
+
+def test_is_dead():
+    block = BasicBlock.from_operations(
+        "blk",
+        [
+            Operation("i0", OpCode.INPUT, output="a"),
+            Operation("i1", OpCode.INPUT, output="b"),
+            Operation("o0", OpCode.ADD, inputs=("a", "b"), output="c"),
+        ],
+        live_out=("c",),
+    )
+    assert not block.is_dead("a")
+    assert not block.is_dead("c")  # live out
+
+
+def test_critical_path_length():
+    block = simple_block()
+    # i0 (1) -> o0 (2) -> o1 (3) -> sink (4): four delay-1 ops in a chain.
+    assert block.critical_path_length() == 4
+
+
+def test_sources_and_len_iter():
+    block = simple_block()
+    assert {op.name for op in block.sources()} == {"i0", "i1"}
+    assert len(block) == 5
+    assert [op.name for op in block][:2] == ["i0", "i1"]
+
+
+def test_unknown_queries_raise():
+    block = simple_block()
+    with pytest.raises(GraphError):
+        block.producer("nope")
+    with pytest.raises(GraphError):
+        block.variable("nope")
+    with pytest.raises(GraphError):
+        block.operation("nope")

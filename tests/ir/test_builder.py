@@ -1,0 +1,97 @@
+"""Tests for the block builder."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.ir.builder import BlockBuilder
+from repro.ir.operations import OpCode
+
+
+def test_fir_like_build():
+    b = BlockBuilder("k")
+    x = b.input("x")
+    c = b.const("c")
+    p = b.mul(x, c, name="p")
+    y = b.add(p, b.shift(p, name="ps"), name="y")
+    b.output(y)
+    b.live_out(y)
+    block = b.build()
+    assert set(block.variables) == {"x", "c", "p", "ps", "y"}
+    assert block.live_out == {"y"}
+    assert block.producer("y").opcode is OpCode.ADD
+
+
+def test_auto_names_unique():
+    b = BlockBuilder("k")
+    x = b.input()
+    y = b.input()
+    assert x != y
+    z = b.add(x, y)
+    assert z in b.build().variables
+
+
+def test_width_and_trace_attach():
+    b = BlockBuilder("k", default_width=8)
+    x = b.input("x", trace=(1, 2, 3))
+    y = b.input("y", width=4)
+    block = b.build()
+    assert block.variable(x).width == 8
+    assert block.variable(x).trace == (1, 2, 3)
+    assert block.variable(y).width == 4
+
+
+def test_undefined_operand_rejected():
+    b = BlockBuilder("k")
+    with pytest.raises(GraphError):
+        b.add("nope", "nada")
+
+
+def test_duplicate_name_rejected():
+    b = BlockBuilder("k")
+    b.input("x")
+    with pytest.raises(GraphError):
+        b.input("x")
+
+
+def test_mac_and_generic_op():
+    b = BlockBuilder("k")
+    a, c, d = b.input("a"), b.input("c"), b.input("d")
+    m = b.mac(a, c, d, name="m")
+    n = b.op(OpCode.XOR, (m, a), name="n")
+    block = b.build()
+    assert block.producer(m).opcode is OpCode.MAC
+    assert block.producer(n).opcode is OpCode.XOR
+
+
+def test_op_rejects_sinks():
+    b = BlockBuilder("k")
+    x = b.input("x")
+    with pytest.raises(GraphError):
+        b.op(OpCode.OUTPUT, (x,))
+
+
+def test_live_out_requires_defined():
+    b = BlockBuilder("k")
+    with pytest.raises(GraphError):
+        b.live_out("ghost")
+
+
+def test_output_creates_sink_op():
+    b = BlockBuilder("k")
+    x = b.input("x")
+    b.output(x)
+    block = b.build()
+    sinks = [op for op in block if op.opcode is OpCode.OUTPUT]
+    assert len(sinks) == 1
+    assert sinks[0].inputs == (x,)
+
+
+def test_move_and_neg():
+    b = BlockBuilder("k")
+    x = b.input("x")
+    m = b.move(x)
+    n = b.neg(m)
+    b.output(n)
+    block = b.build()
+    assert block.producer(m).opcode is OpCode.MOVE
+    assert block.producer(n).opcode is OpCode.NEG

@@ -1,0 +1,55 @@
+"""Tests for operations and opcodes."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.ir.operations import OpCode, Operation
+
+
+def test_basic_operation():
+    op = Operation("o1", OpCode.ADD, inputs=("a", "b"), output="c")
+    assert op.delay == 1
+    assert "add" in str(op)
+    assert "c = " in str(op)
+
+
+def test_every_opcode_has_unit_class_and_energy():
+    for opcode in OpCode:
+        assert isinstance(opcode.unit_class, str)
+        assert opcode.relative_energy >= 0.0
+
+
+def test_mul_energy_matches_ratio_from_literature():
+    # [14]: a 16-bit multiply dissipates 4x an addition.
+    assert OpCode.MUL.relative_energy == 4 * OpCode.ADD.relative_energy
+
+
+def test_value_defining_opcode_requires_output():
+    with pytest.raises(GraphError):
+        Operation("o1", OpCode.ADD, inputs=("a", "b"))
+
+
+def test_output_sink_cannot_define():
+    with pytest.raises(GraphError):
+        Operation("o1", OpCode.OUTPUT, inputs=("a",), output="b")
+
+
+def test_source_cannot_read():
+    with pytest.raises(GraphError):
+        Operation("o1", OpCode.INPUT, inputs=("a",), output="b")
+
+
+def test_zero_delay_rejected():
+    with pytest.raises(GraphError):
+        Operation("o1", OpCode.ADD, inputs=("a", "b"), output="c", delay=0)
+
+
+def test_duplicate_input_rejected():
+    with pytest.raises(GraphError):
+        Operation("o1", OpCode.ADD, inputs=("a", "a"), output="c")
+
+
+def test_input_op_defines_value():
+    op = Operation("o1", OpCode.INPUT, output="x")
+    assert op.opcode.defines_value
+    assert op.inputs == ()

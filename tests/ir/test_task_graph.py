@@ -1,0 +1,84 @@
+"""Tests for task graphs."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+from repro.ir.task_graph import Task, TaskGraph
+
+
+def block(name: str) -> BasicBlock:
+    return BasicBlock.from_operations(
+        name,
+        [
+            Operation(f"{name}_i", OpCode.INPUT, output=f"{name}_x"),
+            Operation(
+                f"{name}_n", OpCode.NEG, inputs=(f"{name}_x",),
+                output=f"{name}_y",
+            ),
+        ],
+        live_out=(f"{name}_y",),
+    )
+
+
+def chain_graph() -> TaskGraph:
+    tg = TaskGraph("app")
+    for name in ("t1", "t2", "t3"):
+        tg.add_task(Task(name, block(name)))
+    tg.add_edge("t1", "t2")
+    tg.add_edge("t2", "t3")
+    return tg
+
+
+def test_topological_order():
+    tg = chain_graph()
+    order = tg.topological_order()
+    assert [t.name for t in order] == ["t1", "t2", "t3"]
+
+
+def test_blocks_iterates_in_order():
+    tg = chain_graph()
+    assert [b.name for b in tg.blocks()] == ["t1", "t2", "t3"]
+
+
+def test_duplicate_task_rejected():
+    tg = chain_graph()
+    with pytest.raises(GraphError):
+        tg.add_task(Task("t1", block("t9")))
+
+
+def test_cycle_rejected_and_rolled_back():
+    tg = chain_graph()
+    with pytest.raises(GraphError, match="cycle"):
+        tg.add_edge("t3", "t1")
+    # The offending edge must not linger.
+    assert ("t3", "t1") not in tg.edges
+    assert tg.topological_order() is not None
+
+
+def test_self_edge_rejected():
+    tg = chain_graph()
+    with pytest.raises(GraphError):
+        tg.add_edge("t1", "t1")
+
+
+def test_unknown_task_in_edge_rejected():
+    tg = chain_graph()
+    with pytest.raises(GraphError):
+        tg.add_edge("t1", "ghost")
+
+
+def test_predecessors_successors():
+    tg = chain_graph()
+    assert [t.name for t in tg.predecessors("t2")] == ["t1"]
+    assert [t.name for t in tg.successors("t2")] == ["t3"]
+
+
+def test_rate_validation():
+    with pytest.raises(GraphError):
+        Task("t", block("b"), rate=0)
+
+
+def test_len():
+    assert len(chain_graph()) == 3

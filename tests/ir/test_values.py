@@ -1,0 +1,84 @@
+"""Tests for data variables and Hamming utilities."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.ir.values import (
+    DataVariable,
+    expected_hamming,
+    hamming_distance,
+    mean_trace_hamming,
+    normalized_switching,
+    variables_by_name,
+)
+
+
+def test_defaults():
+    v = DataVariable("x")
+    assert v.width == 16
+    assert v.trace == ()
+    assert v.representative_value() is None
+    assert str(v) == "x"
+
+
+def test_trace_fits_width():
+    v = DataVariable("x", 4, (0, 15))
+    assert v.representative_value() == 0
+
+
+def test_trace_overflow_rejected():
+    with pytest.raises(GraphError):
+        DataVariable("x", 4, (16,))
+
+
+def test_negative_trace_rejected():
+    with pytest.raises(GraphError):
+        DataVariable("x", 4, (-1,))
+
+
+def test_zero_width_rejected():
+    with pytest.raises(GraphError):
+        DataVariable("x", 0)
+
+
+def test_hamming_distance():
+    assert hamming_distance(0, 0) == 0
+    assert hamming_distance(0b1010, 0b0101) == 4
+    assert hamming_distance(0xFFFF, 0) == 16
+
+
+def test_expected_hamming_default_half():
+    assert expected_hamming(16) == 8.0
+    assert expected_hamming(16, 0.25) == 4.0
+
+
+def test_expected_hamming_bad_factor():
+    with pytest.raises(GraphError):
+        expected_hamming(16, 1.5)
+
+
+def test_mean_trace_hamming():
+    a = DataVariable("a", 4, (0b0000, 0b1111))
+    b = DataVariable("b", 4, (0b0001, 0b1110))
+    assert mean_trace_hamming(a, b) == pytest.approx(1.0)
+
+
+def test_mean_trace_hamming_fallback_without_traces():
+    a = DataVariable("a", 8)
+    b = DataVariable("b", 8, (1, 2))
+    assert mean_trace_hamming(a, b) == pytest.approx(4.0)
+
+
+def test_normalized_switching():
+    a = DataVariable("a", 4, (0b0000,))
+    b = DataVariable("b", 4, (0b0011,))
+    assert normalized_switching(a, b) == pytest.approx(0.5)
+
+
+def test_variables_by_name_rejects_duplicates():
+    with pytest.raises(GraphError):
+        variables_by_name([DataVariable("x"), DataVariable("x")])
+
+
+def test_equality_ignores_trace():
+    assert DataVariable("x", 16, (1,)) == DataVariable("x", 16, (2,))

@@ -1,0 +1,83 @@
+"""Tests for lifetime extraction from schedules."""
+
+import pytest
+
+from repro.exceptions import LifetimeError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import BlockBuilder
+from repro.ir.operations import OpCode, Operation
+from repro.lifetimes.analysis import extract_lifetimes
+from repro.scheduling.schedule import Schedule
+
+
+def scheduled_block():
+    block = BasicBlock.from_operations(
+        "blk",
+        [
+            Operation("i0", OpCode.INPUT, output="a"),
+            Operation("i1", OpCode.INPUT, output="b"),
+            Operation("o0", OpCode.ADD, inputs=("a", "b"), output="c"),
+            Operation("o1", OpCode.MUL, inputs=("a", "c"), output="d"),
+            Operation("sink", OpCode.OUTPUT, inputs=("d",)),
+        ],
+        live_out=("c",),
+    )
+    schedule = Schedule(
+        block, {"i0": 1, "i1": 1, "o0": 2, "o1": 3, "sink": 4}
+    )
+    return block, schedule
+
+
+def test_write_and_read_times():
+    _, schedule = scheduled_block()
+    lifetimes = extract_lifetimes(schedule)
+    a = lifetimes["a"]
+    assert a.write_time == 1
+    assert a.read_times == (2, 3)  # read by o0 and o1
+    assert lifetimes["d"].read_times == (4,)
+
+
+def test_live_out_gets_block_end_read():
+    _, schedule = scheduled_block()
+    lifetimes = extract_lifetimes(schedule)
+    c = lifetimes["c"]
+    assert c.live_out
+    # block length 4, so the block-end pseudo-read is at 5.
+    assert c.read_times == (3, 5)
+
+
+def test_dead_variable_policies():
+    b = BlockBuilder("dead")
+    x = b.input("x")
+    b.neg(x, name="unused")
+    block = b.build()
+    schedule = Schedule(block, {"op_x": 1, "op_unused": 2})
+
+    extended = extract_lifetimes(schedule, dead_policy="extend")
+    assert extended["unused"].read_times == (3,)
+
+    dropped = extract_lifetimes(schedule, dead_policy="drop")
+    assert "unused" not in dropped
+    assert "x" in dropped
+
+    with pytest.raises(LifetimeError, match="dead"):
+        extract_lifetimes(schedule, dead_policy="error")
+
+
+def test_multicycle_write_time():
+    b = BlockBuilder("mc")
+    x = b.input("x")
+    z = b.input("z")
+    y = b.op(OpCode.MUL, (x, z), name="y", delay=3)
+    b.output(y)
+    block = b.build()
+    schedule = Schedule(
+        block, {"op_x": 1, "op_z": 1, "op_y": 2, f"out_{y}_0": 5}
+    )
+    lifetimes = extract_lifetimes(schedule)
+    assert lifetimes["y"].write_time == 4  # starts 2, delay 3
+
+
+def test_definition_order_preserved():
+    _, schedule = scheduled_block()
+    assert list(extract_lifetimes(schedule)) == ["a", "b", "c", "d"]

@@ -1,0 +1,111 @@
+"""Tests for lifetimes, segments, and density machinery."""
+
+import pytest
+
+from repro.exceptions import LifetimeError
+from repro.ir.values import DataVariable
+from repro.lifetimes.intervals import (
+    Lifetime,
+    Segment,
+    density_profile,
+    max_density,
+    max_density_regions,
+)
+from tests.conftest import make_lifetime
+
+
+def test_lifetime_basics():
+    lt = make_lifetime("v", 2, (4, 6))
+    assert lt.start == 2
+    assert lt.end == 6
+    assert lt.read_count == 2
+    assert lt.name == "v"
+
+
+def test_reads_sorted_and_deduped():
+    lt = make_lifetime("v", 1, (5, 3, 5))
+    assert lt.read_times == (3, 5)
+
+
+def test_read_before_write_rejected():
+    with pytest.raises(LifetimeError):
+        make_lifetime("v", 3, (2,))
+
+
+def test_read_at_write_rejected():
+    with pytest.raises(LifetimeError):
+        make_lifetime("v", 3, (3,))
+
+
+def test_no_reads_rejected():
+    with pytest.raises(LifetimeError):
+        Lifetime(DataVariable("v"), 1, ())
+
+
+def test_alive_at_half_points():
+    lt = make_lifetime("v", 2, 4)
+    assert not lt.alive_at(1)
+    assert lt.alive_at(2)
+    assert lt.alive_at(3)
+    assert not lt.alive_at(4)
+
+
+def test_overlap_open_windows():
+    a = make_lifetime("a", 1, 3)
+    b = make_lifetime("b", 3, 5)  # b starts where a ends: no conflict
+    c = make_lifetime("c", 2, 4)
+    assert not a.overlaps(b)
+    assert a.overlaps(c)
+    assert c.overlaps(b)
+    assert a.overlaps(a)
+
+
+def test_segment_validation():
+    v = DataVariable("v")
+    with pytest.raises(LifetimeError, match="empty"):
+        Segment(v, 0, 3, 3)
+    with pytest.raises(LifetimeError, match="read"):
+        Segment(v, 0, 3, 5, reads=(7,))
+
+
+def test_segment_key_and_alive():
+    v = DataVariable("v")
+    seg = Segment(v, 1, 2, 5, reads=(5,), is_first=False)
+    assert seg.key == ("v", 1)
+    assert seg.alive_at(2) and seg.alive_at(4) and not seg.alive_at(5)
+    assert seg.read_count == 1
+
+
+def test_density_profile():
+    lifetimes = [
+        make_lifetime("a", 1, 3),
+        make_lifetime("b", 2, 3),
+        make_lifetime("c", 2, 5),
+    ]
+    profile = density_profile(lifetimes, 5)
+    assert profile == [0, 1, 3, 1, 1, 0]
+    assert max_density(lifetimes, 5) == 3
+
+
+def test_density_counts_segments_like_lifetimes():
+    v = DataVariable("v")
+    whole = [make_lifetime("v", 1, 5)]
+    split = [
+        Segment(v, 0, 1, 3, reads=(3,), is_last=False),
+        Segment(v, 1, 3, 5, reads=(5,), is_first=False),
+    ]
+    assert density_profile(whole, 5) == density_profile(split, 5)
+
+
+def test_max_density_regions():
+    profile = [0, 2, 2, 1, 2, 0]
+    assert max_density_regions(profile) == [(1, 2), (4, 4)]
+
+
+def test_max_density_regions_all_zero():
+    assert max_density_regions([0, 0, 0]) == []
+    assert max_density_regions([]) == []
+
+
+def test_max_density_regions_run_to_end():
+    assert max_density_regions([1, 3, 3]) == [(1, 2)]

@@ -1,0 +1,94 @@
+"""Hypothesis properties of lifetime splitting (section 5.2 rules)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lifetimes.splitting import periodic_access_times, split_lifetime
+from tests.conftest import make_lifetime
+
+HORIZON = 14
+
+
+@st.composite
+def lifetime_and_access(draw):
+    write = draw(st.integers(min_value=1, max_value=HORIZON - 1))
+    read_pool = list(range(write + 1, HORIZON + 2))
+    read_count = draw(
+        st.integers(min_value=1, max_value=min(4, len(read_pool)))
+    )
+    reads = tuple(
+        sorted(
+            draw(
+                st.lists(
+                    st.sampled_from(read_pool),
+                    min_size=read_count,
+                    max_size=read_count,
+                    unique=True,
+                )
+            )
+        )
+    )
+    live_out = reads[-1] == HORIZON + 1
+    period = draw(st.integers(min_value=1, max_value=5))
+    offset = draw(st.integers(min_value=0, max_value=period))
+    lifetime = make_lifetime("v", write, reads, live_out=live_out)
+    access = periodic_access_times(period, HORIZON, offset)
+    return lifetime, access
+
+
+@given(lifetime_and_access(), st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_segments_tile_the_lifetime(case, split_at_reads):
+    lifetime, access = case
+    segments = split_lifetime(
+        lifetime, access_times=access, split_at_reads=split_at_reads
+    )
+    assert segments[0].start == lifetime.start
+    assert segments[-1].end == lifetime.end
+    for earlier, later in zip(segments, segments[1:]):
+        assert earlier.end == later.start
+    assert [s.index for s in segments] == list(range(len(segments)))
+    assert segments[0].is_first and segments[-1].is_last
+    assert not any(s.is_first for s in segments[1:])
+    assert not any(s.is_last for s in segments[:-1])
+
+
+@given(lifetime_and_access(), st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_every_read_served_exactly_once(case, split_at_reads):
+    lifetime, access = case
+    segments = split_lifetime(
+        lifetime, access_times=access, split_at_reads=split_at_reads
+    )
+    served = [r for seg in segments for r in seg.reads]
+    assert sorted(served) == list(lifetime.read_times)
+    for seg in segments:
+        for read in seg.reads:
+            assert seg.start < read <= seg.end
+
+
+@given(lifetime_and_access())
+@settings(max_examples=150, deadline=None)
+def test_forced_rules(case):
+    lifetime, access = case
+    segments = split_lifetime(lifetime, access_times=access)
+    for seg in segments:
+        reaches_memory = any(
+            lifetime.write_time <= m <= seg.start for m in access
+        )
+        reads_ok = all(
+            r in access or (lifetime.live_out and r == lifetime.end)
+            for r in seg.reads
+        )
+        assert seg.forced == (not (reaches_memory and reads_ok))
+
+
+@given(lifetime_and_access())
+@settings(max_examples=100, deadline=None)
+def test_unrestricted_never_forces(case):
+    lifetime, _ = case
+    for seg in split_lifetime(lifetime, access_times=None):
+        assert not seg.forced
+        assert not seg.starts_at_access_cut

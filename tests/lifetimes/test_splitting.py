@@ -1,0 +1,122 @@
+"""Tests for lifetime splitting and forced-segment rules (section 5.2)."""
+
+import pytest
+
+from repro.exceptions import LifetimeError
+from repro.lifetimes.splitting import (
+    periodic_access_times,
+    split_all,
+    split_lifetime,
+)
+from tests.conftest import make_lifetime
+
+
+def test_periodic_access_times():
+    # Figure 1c: period 2 starting at 1 over 7 steps -> 1,3,5,7 and the
+    # block-boundary slot.
+    times = periodic_access_times(2, 7, offset=1)
+    assert times == frozenset({1, 3, 5, 7})
+
+
+def test_periodic_access_validation():
+    with pytest.raises(LifetimeError):
+        periodic_access_times(0, 7)
+    with pytest.raises(LifetimeError):
+        periodic_access_times(2, 7, offset=-1)
+
+
+def test_single_read_no_access_one_segment():
+    lt = make_lifetime("v", 1, 5)
+    segs = split_lifetime(lt)
+    assert len(segs) == 1
+    seg = segs[0]
+    assert (seg.start, seg.end) == (1, 5)
+    assert seg.is_first and seg.is_last
+    assert seg.reads == (5,)
+    assert not seg.forced
+
+
+def test_multi_read_splits_at_interior_reads():
+    lt = make_lifetime("v", 1, (3, 5, 8))
+    segs = split_lifetime(lt)
+    assert [(s.start, s.end) for s in segs] == [(1, 3), (3, 5), (5, 8)]
+    assert [s.reads for s in segs] == [(3,), (5,), (8,)]
+    assert segs[0].is_first and not segs[0].is_last
+    assert segs[-1].is_last and not segs[-1].is_first
+    assert [s.index for s in segs] == [0, 1, 2]
+
+
+def test_multi_read_unsplit_mode():
+    lt = make_lifetime("v", 1, (3, 5, 8))
+    segs = split_lifetime(lt, split_at_reads=False)
+    assert len(segs) == 1
+    assert segs[0].reads == (3, 5, 8)
+
+
+def test_access_cut_segments():
+    lt = make_lifetime("v", 2, 8)
+    segs = split_lifetime(lt, access_times=frozenset({1, 3, 5, 7}))
+    assert [(s.start, s.end) for s in segs] == [(2, 3), (3, 5), (5, 7), (7, 8)]
+    # Only the final segment serves the read.
+    assert [s.reads for s in segs] == [(), (), (), (8,)]
+    assert [s.starts_at_access_cut for s in segs] == [
+        False, True, True, True,
+    ]
+
+
+def test_forced_rules_under_restricted_access():
+    access = frozenset({1, 3, 5, 7})
+    # Written at 2 (not an access step): the head segment cannot reach
+    # memory -> forced.
+    head = split_lifetime(make_lifetime("v", 2, 8), access_times=access)
+    assert head[0].forced
+    assert not head[1].forced  # [3,5] lies between access steps
+
+    # Read at 6 (not an access step): the tail segment is forced.
+    tail = split_lifetime(make_lifetime("w", 1, 6), access_times=access)
+    assert not tail[0].forced  # [1,5] can live in memory
+    assert tail[-1].forced  # [5,6] must be in a register for the read
+
+    # Fully aligned lifetime: nothing forced.
+    ok = split_lifetime(make_lifetime("u", 1, 5), access_times=access)
+    assert not any(s.forced for s in ok)
+
+
+def test_fully_interior_lifetime_forced_whole():
+    # Entirely between two access steps: must stay in a register.
+    access = frozenset({1, 5})
+    segs = split_lifetime(make_lifetime("v", 2, 4), access_times=access)
+    assert len(segs) == 1
+    assert segs[0].forced
+
+
+def test_read_at_access_cut_not_marked_access_start():
+    # A cut point that is both a read and an access step counts as a read
+    # boundary (the reload piggybacks on the consumer read).
+    lt = make_lifetime("v", 1, (3, 7))
+    segs = split_lifetime(lt, access_times=frozenset({1, 3, 5, 7}))
+    assert [(s.start, s.end) for s in segs] == [(1, 3), (3, 5), (5, 7)]
+    assert not segs[1].starts_at_access_cut  # starts at the read at 3
+    assert segs[2].starts_at_access_cut
+
+
+def test_segments_tile_lifetime():
+    lt = make_lifetime("v", 2, (4, 9))
+    segs = split_lifetime(lt, access_times=frozenset({3, 6}))
+    assert segs[0].start == lt.start
+    assert segs[-1].end == lt.end
+    for earlier, later in zip(segs, segs[1:]):
+        assert earlier.end == later.start
+    assert sum(s.read_count for s in segs) == lt.read_count
+
+
+def test_split_all_mapping_and_iterable():
+    lifetimes = {
+        "a": make_lifetime("a", 1, 3),
+        "b": make_lifetime("b", 2, (4, 6)),
+    }
+    by_map = split_all(lifetimes)
+    by_iter = split_all(lifetimes.values())
+    assert set(by_map) == {"a", "b"}
+    assert [s.key for s in by_map["b"]] == [s.key for s in by_iter["b"]]
+    assert len(by_map["b"]) == 2

@@ -1,0 +1,80 @@
+"""Tests for multiple offset assignment."""
+
+import random
+
+import pytest
+
+from repro.exceptions import AllocationError
+from repro.moa.cost import CostWeights, sequence_cost
+from repro.moa.moa import moa_assign, moa_cost, moa_optimal_partition
+from repro.moa.soa import soa_liao
+
+
+def test_single_ar_equals_soa():
+    sequence = list("abacbdcd")
+    result = moa_assign(sequence, 1)
+    assert result.cost == pytest.approx(
+        sequence_cost(sequence, soa_liao(sequence))
+    )
+    assert result.partition[0] == {"a", "b", "c", "d"}
+
+
+def test_more_ars_never_hurt():
+    rng = random.Random(11)
+    for _ in range(8):
+        variables = "abcdef"[: rng.randint(4, 6)]
+        sequence = [rng.choice(variables) for _ in range(16)]
+        costs = [moa_assign(sequence, k).cost for k in (1, 2, 3)]
+        assert costs[1] <= costs[0] + 1e-9
+        assert costs[2] <= costs[1] + 1e-9
+
+
+def test_two_interleaved_streams_split_cleanly():
+    # The streams {a,c} and {b,d} interleave: one AR pays on (almost)
+    # every transition, two ARs serve each stream with pure
+    # auto-increment (subsequences a,c,a,c,... and b,d,b,d,...).
+    sequence = ["a", "c", "b", "d"] * 4
+    one = moa_assign(sequence, 1)
+    two = moa_assign(sequence, 2)
+    assert two.cost < one.cost
+    assert two.cost == 0.0
+    assert two.register_of("a") == two.register_of("c")
+    assert two.register_of("b") == two.register_of("d")
+
+
+def test_heuristic_close_to_optimal_on_small_instances():
+    rng = random.Random(3)
+    for _ in range(6):
+        variables = "abcde"[: rng.randint(3, 5)]
+        sequence = [rng.choice(variables) for _ in range(12)]
+        heuristic = moa_assign(sequence, 2).cost
+        exact = moa_optimal_partition(sequence, 2)
+        assert heuristic >= exact - 1e-9
+        assert heuristic <= exact + 2 * CostWeights().update_cost()
+
+
+def test_weights_scale_cost():
+    sequence = ["a", "c", "a", "c"]
+    offsets_cost = moa_cost(
+        sequence, [{"a", "c"}], CostWeights(cycles=2, words=0, energy=0)
+    )
+    base = moa_cost(
+        sequence, [{"a", "c"}], CostWeights(cycles=1, words=0, energy=0)
+    )
+    assert offsets_cost == pytest.approx(2 * base)
+
+
+def test_register_of_unknown_raises():
+    result = moa_assign(["a", "b"], 2)
+    with pytest.raises(AllocationError):
+        result.register_of("zzz")
+
+
+def test_zero_ars_rejected():
+    with pytest.raises(AllocationError):
+        moa_assign(["a"], 0)
+
+
+def test_empty_sequence():
+    result = moa_assign([], 2)
+    assert result.cost == 0.0

@@ -1,0 +1,82 @@
+"""Tests for simple offset assignment."""
+
+import random
+
+import pytest
+
+from repro.exceptions import AllocationError
+from repro.moa.access import access_graph
+from repro.moa.cost import CostWeights, sequence_cost, transition_cost
+from repro.moa.soa import soa_liao, soa_naive, soa_optimal
+
+
+def test_transition_cost():
+    assert transition_cost(3, 4) == 0
+    assert transition_cost(4, 3) == 0
+    assert transition_cost(3, 3) == 0
+    assert transition_cost(3, 5) == 1
+
+
+def test_sequence_cost_counts_jumps():
+    offsets = {"a": 0, "b": 1, "c": 5}
+    weights = CostWeights(cycles=1.0, words=0.0, energy=0.0)
+    assert sequence_cost(["a", "b", "c", "b"], offsets, weights) == 2.0
+
+
+def test_sequence_cost_unplaced_variable():
+    with pytest.raises(AllocationError):
+        sequence_cost(["a", "b"], {"a": 0})
+
+
+def test_access_graph_counts_adjacencies():
+    graph = access_graph(["a", "b", "a", "b", "c", "c"])
+    assert graph[frozenset(("a", "b"))] == 3
+    assert graph[frozenset(("b", "c"))] == 1
+    assert frozenset(("c",)) not in graph  # self-transitions free
+
+
+def test_liao_handles_classic_example():
+    # The textbook example: frequent a-b adjacency must be covered.
+    sequence = list("ababcadd")
+    offsets = soa_liao(sequence)
+    assert abs(offsets["a"] - offsets["b"]) == 1
+    liao_cost = sequence_cost(sequence, offsets)
+    naive_cost = sequence_cost(sequence, soa_naive(sequence))
+    assert liao_cost <= naive_cost
+
+
+def test_offsets_are_a_permutation():
+    sequence = list("abcdeabce")
+    offsets = soa_liao(sequence)
+    assert sorted(offsets.values()) == list(range(5))
+
+
+def test_optimal_no_worse_than_liao():
+    rng = random.Random(5)
+    for _ in range(10):
+        variables = "abcdef"[: rng.randint(3, 6)]
+        sequence = [rng.choice(variables) for _ in range(14)]
+        exact = sequence_cost(sequence, soa_optimal(sequence))
+        liao = sequence_cost(sequence, soa_liao(sequence))
+        naive = sequence_cost(sequence, soa_naive(sequence))
+        assert exact <= liao + 1e-9
+        assert liao <= naive + 1e-9
+
+
+def test_optimal_limit():
+    sequence = [f"v{i}" for i in range(12)]
+    with pytest.raises(AllocationError):
+        soa_optimal(sequence)
+
+
+def test_empty_and_single():
+    assert soa_liao([]) == {}
+    assert soa_optimal([]) == {}
+    assert soa_liao(["x", "x"]) == {"x": 0}
+    assert sequence_cost(["x", "x"], {"x": 0}) == 0.0
+
+
+def test_zero_cost_when_sequence_is_a_walk():
+    sequence = ["a", "b", "c", "b", "a"]
+    offsets = soa_liao(sequence)
+    assert sequence_cost(sequence, offsets) == 0.0

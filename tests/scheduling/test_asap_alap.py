@@ -1,0 +1,78 @@
+"""Tests for ASAP/ALAP scheduling and mobility."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.ir.builder import BlockBuilder
+from repro.ir.operations import OpCode
+from repro.scheduling.asap_alap import alap_schedule, asap_schedule, mobility
+
+
+def diamond_block():
+    b = BlockBuilder("d")
+    x = b.input("x")
+    y = b.input("y")
+    p = b.mul(x, y, name="p")
+    q = b.add(x, y, name="q")
+    r = b.add(p, q, name="r")
+    b.output(r)
+    return b.build()
+
+
+def test_asap_earliest_starts():
+    s = asap_schedule(diamond_block())
+    assert s.start_of("op_x") == 1
+    assert s.start_of("op_p") == 2
+    assert s.start_of("op_r") == 3
+    assert s.length == 4  # output sink reads r at step 4
+
+
+def test_alap_defaults_to_critical_path():
+    block = diamond_block()
+    asap = asap_schedule(block)
+    alap = alap_schedule(block)
+    assert alap.length == asap.length
+
+
+def test_alap_pushes_slack_late():
+    block = diamond_block()
+    alap = alap_schedule(block, deadline=10)
+    asap = asap_schedule(block)
+    # Everything shifts as late as the deadline allows.
+    assert alap.start_of("op_r") > asap.start_of("op_r")
+    assert alap.length == 10
+
+
+def test_alap_infeasible_deadline():
+    with pytest.raises(ScheduleError, match="deadline"):
+        alap_schedule(diamond_block(), deadline=2)
+
+
+def test_mobility_zero_on_critical_path():
+    block = diamond_block()
+    slack = mobility(block)
+    # The chain x -> p -> r -> out is critical (all mobilities 0).
+    assert slack["op_p"] == 0
+    assert slack["op_r"] == 0
+    # With equal-length parallel chains, q is also critical here.
+    assert all(value >= 0 for value in slack.values())
+
+
+def test_mobility_grows_with_deadline():
+    block = diamond_block()
+    tight = mobility(block)
+    loose = mobility(block, deadline=10)
+    assert all(loose[k] >= tight[k] for k in tight)
+
+
+def test_asap_multicycle_delays():
+    b = BlockBuilder("m")
+    x = b.input("x")
+    z = b.input("z")
+    y = b.op(OpCode.MUL, (x, z), name="y", delay=3)
+    b.output(y)
+    block = b.build()
+    s = asap_schedule(block)
+    # y starts at 2, writes at bottom of 4, sink reads at 5.
+    assert s.write_step("op_y") == 4
+    assert s.length == 5

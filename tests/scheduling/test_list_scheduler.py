@@ -1,0 +1,98 @@
+"""Tests for the resource-constrained list scheduler."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.ir.builder import BlockBuilder
+from repro.scheduling.asap_alap import asap_schedule
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.resources import ResourceSet
+from repro.workloads.random_blocks import random_dfg
+
+
+def many_muls_block(n: int = 6):
+    b = BlockBuilder("muls")
+    pairs = [(b.input(f"x{i}"), b.input(f"y{i}")) for i in range(n)]
+    outs = [b.mul(x, y, name=f"p{i}") for i, (x, y) in enumerate(pairs)]
+    acc = outs[0]
+    for i, o in enumerate(outs[1:], 1):
+        acc = b.add(acc, o, name=f"s{i}")
+    b.output(acc)
+    return b.build()
+
+
+def test_respects_multiplier_budget():
+    block = many_muls_block(6)
+    schedule = list_schedule(block, ResourceSet({"mult": 2, "alu": 2}))
+    for step in range(1, schedule.length + 1):
+        started = [
+            op
+            for op in block
+            if schedule.start_of(op) == step
+            and op.opcode.unit_class == "mult"
+        ]
+        assert len(started) <= 2
+
+
+def test_unlimited_resources_match_asap_length():
+    block = many_muls_block(4)
+    asap = asap_schedule(block)
+    listed = list_schedule(block, ResourceSet.unlimited())
+    assert listed.length == asap.length
+
+
+def test_tighter_resources_never_shorter():
+    block = many_muls_block(6)
+    loose = list_schedule(block, ResourceSet({"mult": 4, "alu": 4}))
+    tight = list_schedule(block, ResourceSet({"mult": 1, "alu": 1}))
+    assert tight.length >= loose.length
+
+
+def test_deterministic():
+    block = many_muls_block(5)
+    a = list_schedule(block, ResourceSet.typical_dsp())
+    b = list_schedule(block, ResourceSet.typical_dsp())
+    assert a.start == b.start
+
+
+def test_empty_block():
+    b = BlockBuilder("empty")
+    schedule = list_schedule(b.build())
+    assert schedule.length == 0
+
+
+def test_random_blocks_schedule_validly():
+    rng = random.Random(5)
+    for _ in range(5):
+        block = random_dfg(rng, operations=20)
+        schedule = list_schedule(block, ResourceSet.typical_dsp())
+        schedule.validate()  # precedence and completeness
+
+
+def test_bad_resources_rejected():
+    with pytest.raises(ScheduleError):
+        ResourceSet({"mult": 0})
+
+
+def test_lazy_mode_keeps_length_and_shortens_lifetimes():
+    from repro.lifetimes import extract_lifetimes, max_density
+
+    block = many_muls_block(5)
+    eager = list_schedule(block, ResourceSet.unlimited())
+    lazy = list_schedule(block, ResourceSet.unlimited(), lazy=True)
+    assert lazy.length == eager.length
+    d_eager = max_density(
+        extract_lifetimes(eager).values(), eager.length
+    )
+    d_lazy = max_density(extract_lifetimes(lazy).values(), lazy.length)
+    assert d_lazy <= d_eager
+
+
+def test_lazy_mode_valid_under_tight_resources():
+    block = many_muls_block(6)
+    schedule = list_schedule(
+        block, ResourceSet({"mult": 1, "alu": 1}), lazy=True
+    )
+    schedule.validate()

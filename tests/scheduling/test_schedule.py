@@ -1,0 +1,82 @@
+"""Tests for the Schedule type and its timing conventions."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+from repro.scheduling.schedule import Schedule
+
+
+def block() -> BasicBlock:
+    return BasicBlock.from_operations(
+        "blk",
+        [
+            Operation("i0", OpCode.INPUT, output="a"),
+            Operation("i1", OpCode.INPUT, output="b"),
+            Operation("m", OpCode.MUL, inputs=("a", "b"), output="c",
+                      delay=2),
+            Operation("n", OpCode.NEG, inputs=("c",), output="d"),
+        ],
+    )
+
+
+def test_valid_schedule():
+    s = Schedule(block(), {"i0": 1, "i1": 1, "m": 2, "n": 4})
+    assert s.length == 4
+    assert s.write_step("m") == 3  # delay 2: starts 2, writes bottom of 3
+    assert s.read_step("n") == 4
+
+
+def test_read_write_convention_enforced():
+    # n reads c at step 3 but m writes it at the bottom of step 3.
+    with pytest.raises(ScheduleError, match="before it is written"):
+        Schedule(block(), {"i0": 1, "i1": 1, "m": 2, "n": 3})
+
+
+def test_missing_operation_rejected():
+    with pytest.raises(ScheduleError, match="missing"):
+        Schedule(block(), {"i0": 1, "i1": 1, "m": 2})
+
+
+def test_unknown_operation_rejected():
+    with pytest.raises(ScheduleError, match="unknown"):
+        Schedule(
+            block(), {"i0": 1, "i1": 1, "m": 2, "n": 4, "ghost": 1}
+        )
+
+
+def test_step_below_one_rejected():
+    with pytest.raises(ScheduleError, match="< 1"):
+        Schedule(block(), {"i0": 0, "i1": 1, "m": 2, "n": 4})
+
+
+def test_operations_at():
+    s = Schedule(block(), {"i0": 1, "i1": 1, "m": 2, "n": 4})
+    busy_at_3 = {op.name for op in s.operations_at(3)}
+    assert busy_at_3 == {"m"}  # multi-cycle op still busy
+    assert {op.name for op in s.operations_at(1)} == {"i0", "i1"}
+
+
+def test_as_ordered_list():
+    s = Schedule(block(), {"i0": 1, "i1": 1, "m": 2, "n": 4})
+    names = [op.name for op in s.as_ordered_list()]
+    assert names == ["i0", "i1", "m", "n"]
+
+
+def test_start_of_unscheduled_raises():
+    s = Schedule(block(), {"i0": 1, "i1": 1, "m": 2, "n": 4})
+    with pytest.raises(ScheduleError):
+        s.start_of("ghost")
+
+
+def test_empty_block_schedule():
+    empty = BasicBlock.from_operations("e", [])
+    s = Schedule(empty, {})
+    assert s.length == 0
+
+
+def test_iteration():
+    s = Schedule(block(), {"i0": 1, "i1": 1, "m": 2, "n": 4})
+    mapping = {op.name: step for op, step in s}
+    assert mapping == {"i0": 1, "i1": 1, "m": 2, "n": 4}

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo(capsys):
+    assert main(["demo", "--kernel", "dct", "-R", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "dct4" in out
+    assert "registers used" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "--kernel", "fir", "--taps", "5", "-R", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "two-phase" in out
+    assert "improvement over best baseline" in out
+
+
+def test_table1(capsys):
+    assert main(["table1", "-R", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "f/4" in out
+
+
+def test_figures(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "figure 3" in out
+    assert "figure 4" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_activity_model_option(capsys):
+    assert main(
+        ["compare", "--kernel", "dct", "-R", "3", "--model", "activity"]
+    ) == 0
+
+
+def test_chart(capsys):
+    assert main(["chart", "--kernel", "dct", "-R", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "step" in out
+    assert "legend" in out
+
+
+def test_diagnose_feasible(capsys):
+    assert (
+        main(["diagnose", "--kernel", "dct", "-R", "9", "--divisor", "1"])
+        == 0
+    )
+    assert "feasible" in capsys.readouterr().out
+
+
+def test_diagnose_infeasible_exit_code(capsys):
+    code = main(
+        ["diagnose", "--kernel", "fir", "--taps", "6", "-R", "2",
+         "--divisor", "4"]
+    )
+    assert code == 1
+    assert "needs R>=" in capsys.readouterr().out
+
+
+def test_offsets(capsys):
+    assert main(["offsets", "--kernel", "fir", "--taps", "5", "-R", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "AR update cost" in out
+    assert "MOA with 2 address registers" in out
+
+
+def test_offsets_no_memory_traffic(capsys):
+    assert main(["offsets", "--kernel", "dct", "-R", "16"]) == 0
+    assert "no memory traffic" in capsys.readouterr().out
+
+
+def test_explore(capsys):
+    assert main(["explore", "--kernel", "dct"]) == 0
+    out = capsys.readouterr().out
+    assert "design space" in out
+    assert "pareto frontier" in out
+
+
+def test_cli_docstring_mentions_all_commands():
+    import repro.cli as cli
+
+    for command in (
+        "demo", "compare", "table1", "figures", "chart", "diagnose",
+        "offsets",
+    ):
+        assert command in cli.__doc__

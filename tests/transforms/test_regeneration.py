@@ -1,0 +1,152 @@
+"""Tests for the data-regeneration transformation."""
+
+import pytest
+
+from repro.core import AllocationProblem, allocate
+from repro.core.pipeline import allocate_block
+from repro.energy import StaticEnergyModel
+from repro.exceptions import GraphError
+from repro.ir.builder import BlockBuilder
+from repro.lifetimes import extract_lifetimes, max_density
+from repro.scheduling import list_schedule
+from repro.transforms.regeneration import (
+    apply_regeneration,
+    regenerate,
+    regeneration_candidates,
+)
+
+
+def dead_operand_block():
+    """v's operands die immediately: regeneration would backfire."""
+    b = BlockBuilder("k")
+    x = b.input("x")
+    c = b.const("c")
+    v = b.add(x, c, name="v")
+    o1 = b.neg(v, name="o1")
+    o2 = b.shift(v, name="o2")
+    o3 = b.add(o1, o2, name="o3")
+    o4 = b.add(o3, v, name="o4")
+    b.output(o4)
+    b.live_out(o4)
+    return b.build()
+
+
+def coefficient_reuse_block():
+    """v = x + c with x and c reused late: the profitable regime."""
+    b = BlockBuilder("coef")
+    x = b.input("x")
+    c = b.const("c")
+    v = b.add(x, c, name="v")
+    a = b.neg(v, name="a")
+    t = a
+    for i in range(4):
+        t = b.shift(t, name=f"p{i}")
+    u = b.neg(a, name="u0")
+    for i in range(4):
+        u = b.shift(u, name=f"u{i + 1}")
+    m = b.add(t, u, name="m")
+    xl = b.add(m, x, name="xl")
+    cl = b.add(xl, c, name="cl")
+    z = b.add(cl, v, name="z")
+    b.output(z)
+    b.live_out(z)
+    return b.build()
+
+
+def test_candidates_found_when_operands_reused():
+    block = coefficient_reuse_block()
+    savings = regeneration_candidates(block, StaticEnergyModel())
+    assert "v" in savings
+    assert savings["v"] > 0
+    assert "x" not in savings  # sources never qualify
+    assert "a" not in savings  # computed operand downstream
+
+
+def test_dead_operand_value_not_a_candidate():
+    block = dead_operand_block()
+    assert regeneration_candidates(block, StaticEnergyModel()) == {}
+    assert regenerate(block, StaticEnergyModel()) is block
+
+
+def test_multiply_sits_at_the_break_even():
+    # With the [14] ratios a 16-bit multiply (4x an add) plus two operand
+    # reads costs exactly one memory read — not strictly cheaper, so it
+    # is not regenerated even with late operand reuse.
+    b = BlockBuilder("k")
+    x = b.input("x")
+    c = b.const("c")
+    v = b.mul(x, c, name="v")
+    o1 = b.neg(v, name="o1")
+    o2 = b.shift(o1, name="o2")
+    xl = b.add(o2, x, name="xl")
+    cl = b.add(xl, c, name="cl")
+    z = b.add(cl, v, name="z")
+    b.live_out(z)
+    b.output(z)
+    block = b.build()
+    assert "v" not in regeneration_candidates(block, StaticEnergyModel())
+
+
+def test_live_out_values_excluded():
+    b = BlockBuilder("k")
+    x = b.input("x")
+    c = b.const("c")
+    v = b.add(x, c, name="v")
+    b.neg(v, name="o1")
+    b.shift(v, name="o2")
+    b.live_out(v, "o1", "o2")
+    block = b.build()
+    assert "v" not in regeneration_candidates(block, StaticEnergyModel())
+
+
+def test_apply_creates_single_use_clones():
+    block = coefficient_reuse_block()
+    transformed = apply_regeneration(block, ["v"])
+    assert len(transformed.consumers("v")) == 1
+    assert "v__regen1" in transformed.variables
+    assert len(transformed.consumers("v__regen1")) == 1
+    assert (
+        transformed.variable("v__regen1").width == block.variable("v").width
+    )
+
+
+def test_apply_validates_inputs():
+    block = coefficient_reuse_block()
+    with pytest.raises(GraphError, match="fewer than two"):
+        apply_regeneration(block, ["z"])
+
+
+def test_transformed_block_schedules_and_allocates():
+    block = regenerate(coefficient_reuse_block(), StaticEnergyModel())
+    result = allocate_block(block, register_count=2)
+    assert result.total_energy > 0
+
+
+def test_regeneration_cuts_density_and_energy_with_lazy_schedule():
+    """With clones scheduled lazily (next to their consumers) the long
+    lifetime disappears and the allocation gets strictly cheaper when
+    registers are scarce."""
+    model = StaticEnergyModel()
+    original = coefficient_reuse_block()
+    transformed = regenerate(original, model)
+    assert transformed is not original
+
+    s_orig = list_schedule(original, lazy=True)
+    s_tr = list_schedule(transformed, lazy=True)
+    d_orig = max_density(extract_lifetimes(s_orig).values(), s_orig.length)
+    d_tr = max_density(extract_lifetimes(s_tr).values(), s_tr.length)
+    assert d_tr < d_orig
+
+    for registers in (2, 3):
+        before = allocate(
+            AllocationProblem.from_schedule(
+                s_orig, registers, energy_model=model
+            )
+        )
+        after = allocate(
+            AllocationProblem.from_schedule(
+                s_tr, registers, energy_model=model
+            )
+        )
+        assert after.report.mem_accesses < before.report.mem_accesses
+        assert after.objective < before.objective

@@ -1,0 +1,141 @@
+"""Tests for the DSP kernel workloads."""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import allocate_block
+from repro.exceptions import WorkloadError
+from repro.ir.operations import OpCode
+from repro.workloads.dsp_kernels import (
+    dct4,
+    elliptic_wave_filter,
+    fir_filter,
+    iir_biquad,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: fir_filter(6),
+        lambda: iir_biquad(2),
+        elliptic_wave_filter,
+        dct4,
+    ],
+)
+def test_kernels_build_and_allocate(factory):
+    block = factory()
+    result = allocate_block(block, register_count=4)
+    assert result.total_energy > 0
+    assert result.allocation.report.reg_accesses > 0
+
+
+def test_fir_structure():
+    block = fir_filter(5)
+    muls = [op for op in block if op.opcode is OpCode.MUL]
+    adds = [op for op in block if op.opcode is OpCode.ADD]
+    assert len(muls) == 5
+    assert len(adds) == 4
+    assert len(block.live_out) == 1
+
+
+def test_fir_tap_validation():
+    with pytest.raises(WorkloadError):
+        fir_filter(1)
+
+
+def test_iir_sections_validation():
+    with pytest.raises(WorkloadError):
+        iir_biquad(0)
+
+
+def test_iir_state_live_out():
+    block = iir_biquad(2)
+    assert {"nz1_0", "nz2_0", "nz1_1", "nz2_1"} <= block.live_out
+
+
+def test_ewf_operation_mix():
+    block = elliptic_wave_filter()
+    muls = [op for op in block if op.opcode is OpCode.MUL]
+    adds = [op for op in block if op.opcode is OpCode.ADD]
+    assert len(muls) == 8  # the benchmark's 8 multiplications
+    assert len(adds) == 26  # and 26 additions
+    assert len(block.live_out) == 9  # 8 states + output
+
+
+def test_dct_outputs():
+    block = dct4()
+    assert {"y0", "y1", "y2", "y3"} <= block.live_out
+
+
+def test_traces_only_with_rng():
+    rng = random.Random(11)
+    traced = fir_filter(4, rng)
+    plain = fir_filter(4)
+    assert traced.variable("x0").trace
+    assert not plain.variable("x0").trace
+
+
+def test_diffeq_structure():
+    from repro.workloads.dsp_kernels import diffeq
+
+    block = diffeq()
+    muls = [op for op in block if op.opcode is OpCode.MUL]
+    assert len(muls) == 6
+    assert {"x1", "y1", "u1", "c"} <= block.live_out
+    allocate_result = allocate_block(block, register_count=4)
+    assert allocate_result.total_energy > 0
+
+
+def test_fft_butterfly_sizes():
+    from repro.exceptions import WorkloadError
+    from repro.workloads.dsp_kernels import fft_butterfly
+
+    block = fft_butterfly(stages=2)
+    assert block.name == "fft4"
+    # 4 outputs x 2 components live out.
+    assert len(block.live_out) == 8
+    with pytest.raises(WorkloadError):
+        fft_butterfly(stages=0)
+
+
+def test_fft_butterfly_simulates_correctly():
+    import random as _random
+
+    from repro.codegen import lower, verify_program
+    from repro.workloads.dsp_kernels import fft_butterfly
+
+    block = fft_butterfly(stages=2)
+    result = allocate_block(block, register_count=6)
+    program = lower(result)
+    rng = _random.Random(77)
+    inputs = {
+        op.output: rng.getrandbits(16)
+        for op in block
+        if op.output and op.opcode in (OpCode.INPUT, OpCode.CONST)
+    }
+    verify_program(program, block, result.allocation, inputs)
+
+
+def test_lattice_filter_sections():
+    from repro.exceptions import WorkloadError
+    from repro.workloads.dsp_kernels import lattice_filter
+
+    block = lattice_filter(3)
+    muls = [op for op in block if op.opcode is OpCode.MUL]
+    assert len(muls) == 6  # two per section
+    assert len(block.live_out) == 4  # 3 g-states + final f
+    with pytest.raises(WorkloadError):
+        lattice_filter(0)
+
+
+def test_matmul2_structure():
+    from repro.workloads.dsp_kernels import matmul2
+
+    block = matmul2()
+    muls = [op for op in block if op.opcode is OpCode.MUL]
+    adds = [op for op in block if op.opcode is OpCode.ADD]
+    assert len(muls) == 8
+    assert len(adds) == 4
+    assert len(block.live_out) == 4

@@ -1,0 +1,73 @@
+"""Tests for the random workload generators."""
+
+import random
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.scheduling import list_schedule
+from repro.workloads.random_blocks import random_dfg, random_lifetimes
+
+
+def test_random_lifetimes_shape():
+    rng = random.Random(1)
+    lifetimes = random_lifetimes(rng, count=20, horizon=12)
+    assert len(lifetimes) == 20
+    for lt in lifetimes.values():
+        assert 1 <= lt.start < lt.end <= 13
+        if lt.live_out:
+            assert lt.end == 13
+
+
+def test_random_lifetimes_reproducible():
+    a = random_lifetimes(random.Random(7), 10, 10)
+    b = random_lifetimes(random.Random(7), 10, 10)
+    assert {n: (lt.start, lt.read_times) for n, lt in a.items()} == {
+        n: (lt.start, lt.read_times) for n, lt in b.items()
+    }
+
+
+def test_random_lifetimes_multi_read():
+    rng = random.Random(3)
+    lifetimes = random_lifetimes(
+        rng, count=40, horizon=15, multi_read_fraction=1.0
+    )
+    assert any(lt.read_count > 1 for lt in lifetimes.values())
+
+
+def test_random_lifetimes_traced():
+    lifetimes = random_lifetimes(
+        random.Random(5), 5, 10, traced=True, trace_samples=8
+    )
+    assert all(len(lt.variable.trace) == 8 for lt in lifetimes.values())
+
+
+def test_random_lifetimes_validation():
+    rng = random.Random(0)
+    with pytest.raises(WorkloadError):
+        random_lifetimes(rng, 0, 10)
+    with pytest.raises(WorkloadError):
+        random_lifetimes(rng, 5, 1)
+
+
+def test_random_dfg_schedulable():
+    rng = random.Random(9)
+    block = random_dfg(rng, operations=25)
+    schedule = list_schedule(block)
+    schedule.validate()
+    assert len(block) >= 25
+
+
+def test_random_dfg_no_dead_variables():
+    rng = random.Random(13)
+    block = random_dfg(rng, operations=15)
+    for name in block.variable_names():
+        assert not block.is_dead(name), name
+
+
+def test_random_dfg_validation():
+    rng = random.Random(0)
+    with pytest.raises(WorkloadError):
+        random_dfg(rng, operations=0)
+    with pytest.raises(WorkloadError):
+        random_dfg(rng, inputs=1)

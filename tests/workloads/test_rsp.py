@@ -1,0 +1,78 @@
+"""Tests for the synthetic RSP application (table-1 substrate)."""
+
+import random
+
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import MemoryConfig, StaticEnergyModel
+from repro.exceptions import WorkloadError
+from repro.lifetimes import extract_lifetimes, max_density
+from repro.workloads.rsp import (
+    RSP_MAX_DENSITY,
+    RSP_RESOURCES,
+    rsp_block,
+    rsp_schedule,
+)
+
+
+def test_default_density_is_26():
+    # The only structural fact the paper reports about its RSP example.
+    schedule = rsp_schedule()
+    lifetimes = extract_lifetimes(schedule)
+    assert max_density(lifetimes.values(), schedule.length) == RSP_MAX_DENSITY
+
+
+def test_block_is_valid_and_sized():
+    block = rsp_block()
+    assert len(block) > 50
+    assert {"det", "dop_r", "dop_i"} <= block.live_out
+
+
+def test_traces_attach_when_rng_given():
+    block = rsp_block(rng=random.Random(7))
+    assert block.variable("xr0").trace
+    untraced = rsp_block()
+    assert not untraced.variable("xr0").trace
+
+
+def test_taps_validation():
+    with pytest.raises(WorkloadError):
+        rsp_block(taps=1)
+
+
+def test_deterministic_schedule():
+    a = rsp_schedule()
+    b = rsp_schedule()
+    assert a.start == b.start
+
+
+def test_table1_sweep_feasible_at_16_registers():
+    schedule = rsp_schedule()
+    for divisor, voltage in ((1, 5.0), (2, 3.16), (4, 2.19)):
+        problem = AllocationProblem.from_schedule(
+            schedule,
+            register_count=16,
+            energy_model=StaticEnergyModel().with_voltages(voltage, 5.0),
+            memory=MemoryConfig(divisor=divisor, voltage=voltage),
+        )
+        allocation = allocate(problem)
+        assert allocation.report.mem_accesses > 0
+        assert allocation.report.reg_accesses > 0
+
+
+def test_slower_memory_means_lower_energy():
+    # The table-1 headline: restricting access and scaling voltage saves
+    # energy despite the forced register residency.
+    schedule = rsp_schedule()
+    energies = []
+    for divisor, voltage in ((1, 5.0), (2, 3.16), (4, 2.19)):
+        problem = AllocationProblem.from_schedule(
+            schedule,
+            register_count=16,
+            energy_model=StaticEnergyModel().with_voltages(voltage, 5.0),
+            memory=MemoryConfig(divisor=divisor, voltage=voltage),
+        )
+        energies.append(allocate(problem).objective)
+    assert energies[0] > energies[1] > energies[2]

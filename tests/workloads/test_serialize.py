@@ -1,0 +1,92 @@
+"""Tests for instance serialisation."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import allocate
+from repro.energy import ActivityEnergyModel, MemoryConfig
+from repro.exceptions import WorkloadError
+from repro.core.problem import AllocationProblem
+from repro.workloads.random_blocks import random_lifetimes
+from repro.workloads.serialize import (
+    dumps,
+    lifetimes_from_dict,
+    lifetimes_to_dict,
+    loads,
+    problem_from_dict,
+)
+from tests.conftest import make_lifetime
+
+
+def sample_problem() -> AllocationProblem:
+    lifetimes = random_lifetimes(
+        random.Random(4), count=8, horizon=10, traced=True
+    )
+    return AllocationProblem(
+        lifetimes,
+        5,
+        10,
+        memory=MemoryConfig(divisor=2, voltage=3.3),
+        graph_style="all_pairs",
+        split_at_reads=False,
+        forced_segments=frozenset({("v0", 0)}),
+    )
+
+
+def test_lifetime_round_trip():
+    original = {
+        "a": make_lifetime("a", 1, (3, 5), live_out=False, width=8,
+                           trace=(1, 2, 3)),
+        "b": make_lifetime("b", 2, 11, live_out=True),
+    }
+    rebuilt = lifetimes_from_dict(lifetimes_to_dict(original))
+    assert list(rebuilt) == ["a", "b"]
+    assert rebuilt["a"].read_times == (3, 5)
+    assert rebuilt["a"].variable.width == 8
+    assert rebuilt["a"].variable.trace == (1, 2, 3)
+    assert rebuilt["b"].live_out
+
+
+def test_problem_round_trip_preserves_solution():
+    problem = sample_problem()
+    rebuilt = loads(dumps(problem))
+    assert rebuilt.register_count == problem.register_count
+    assert rebuilt.horizon == problem.horizon
+    assert rebuilt.graph_style == problem.graph_style
+    assert rebuilt.split_at_reads == problem.split_at_reads
+    assert rebuilt.forced_segments == problem.forced_segments
+    assert rebuilt.memory.divisor == 2
+    # Same optimum (default static model on both sides).
+    assert allocate(rebuilt).objective == pytest.approx(
+        allocate(problem).objective
+    )
+
+
+def test_energy_model_attached_at_load():
+    problem = sample_problem()
+    rebuilt = loads(dumps(problem), energy_model=ActivityEnergyModel())
+    assert isinstance(rebuilt.energy_model, ActivityEnergyModel)
+
+
+def test_json_is_plain_data():
+    payload = json.loads(dumps(sample_problem()))
+    assert payload["schema"] == "repro-instance-v1"
+    assert isinstance(payload["lifetimes"], list)
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(WorkloadError, match="schema"):
+        problem_from_dict({"schema": "nope"})
+
+
+def test_missing_field_rejected():
+    with pytest.raises(WorkloadError, match="missing field"):
+        lifetimes_from_dict([{"name": "x"}])
+
+
+def test_duplicate_lifetime_rejected():
+    data = lifetimes_to_dict({"a": make_lifetime("a", 1, 2)}) * 2
+    with pytest.raises(WorkloadError, match="duplicate"):
+        lifetimes_from_dict(data)
