@@ -6,9 +6,24 @@ computation (pytest-benchmark) and *assert the reproduced shape* of the
 paper's claim; the regenerated tables are printed so that
 ``pytest benchmarks/ --benchmark-only -s`` shows them, and EXPERIMENTS.md
 records the measured numbers.
+
+Any bench can additionally opt into emitting a ``repro.obs`` run report —
+the same ``repro.obs/run-report/v1`` schema ``repro-alloc profile``
+produces — by wrapping its measured computation in the ``bench_report``
+fixture.  When ``REPRO_BENCH_REPORT_DIR`` is set, the captured trace is
+written to ``$REPRO_BENCH_REPORT_DIR/BENCH_<name>.json``, seeding the
+perf-trajectory files future PRs regress against::
+
+    REPRO_BENCH_REPORT_DIR=. pytest benchmarks/test_bench_solver_scaling.py
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
 
 import pytest
 
@@ -23,3 +38,37 @@ def show(capsys):
             print(text)
 
     return _show
+
+
+@pytest.fixture
+def bench_report():
+    """Opt-in run-report capture: ``with bench_report(name, **params): ...``.
+
+    Collects an observability trace (spans + solver counters) around the
+    ``with`` body and, when ``REPRO_BENCH_REPORT_DIR`` is set, writes it as
+    ``BENCH_<name>.json`` in the run-report schema of
+    :mod:`repro.obs.profile`.  Without the environment variable the trace
+    is still collected (so counters stay exercised) but nothing is written.
+    """
+    from repro.obs import trace as obs
+    from repro.obs.profile import build_report
+
+    @contextmanager
+    def _capture(name: str, **params):
+        start = time.perf_counter()
+        with obs.collect() as trace:
+            yield trace
+        wall = time.perf_counter() - start
+        out_dir = os.environ.get("REPRO_BENCH_REPORT_DIR")
+        if not out_dir:
+            return
+        report = build_report(
+            workload=name, trace=trace, params=params, wall_time_s=wall
+        )
+        path = Path(out_dir) / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    return _capture

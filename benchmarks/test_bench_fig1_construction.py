@@ -27,9 +27,10 @@ def make_problem(restricted: bool) -> AllocationProblem:
 
 
 @pytest.mark.benchmark(group="fig1-construction")
-def test_fig1_network_construction(benchmark, show):
+def test_fig1_network_construction(benchmark, show, bench_report):
     problem = make_problem(restricted=False)
-    built = benchmark(lambda: build_network(problem))
+    with bench_report("fig1_construction"):
+        built = benchmark(lambda: build_network(problem))
     pairs = {
         (a.data[1].name if a.data[1] else "s",
          a.data[2].name if a.data[2] else "t")

@@ -40,8 +40,9 @@ def timings():
     return rows
 
 
-def test_scaling_is_polynomial(show):
-    rows = timings()
+def test_scaling_is_polynomial(show, bench_report):
+    with bench_report("solver_scaling", sizes=list(SIZES)):
+        rows = timings()
     show(
         format_table(
             ("variables", "registers", "arcs", "seconds"),

@@ -22,9 +22,12 @@ Package map:
 * :mod:`repro.baselines` — prior-art allocators;
 * :mod:`repro.workloads` — paper examples, DSP kernels, the RSP
   application, random generators;
-* :mod:`repro.analysis` — metrics and comparison harness.
+* :mod:`repro.analysis` — metrics and comparison harness;
+* :mod:`repro.obs` — structured tracing, solver counters and run
+  reports (``repro-alloc profile``).
 """
 
+from repro import obs
 from repro.core import (
     Allocation,
     AllocationProblem,
@@ -80,6 +83,7 @@ __all__ = [
     "fir_filter",
     "iir_biquad",
     "list_schedule",
+    "obs",
     "reallocate_memory",
     "rsp_block",
     "rsp_schedule",

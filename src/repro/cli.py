@@ -9,13 +9,20 @@ Subcommands:
 * ``figures`` — the figure-3 and figure-4 worked examples;
 * ``chart`` — ASCII lifetime chart of a kernel's allocation;
 * ``diagnose`` — feasibility analysis under a restricted memory;
-* ``offsets`` — SOA/MOA offset assignment for the memory traffic.
+* ``offsets`` — SOA/MOA offset assignment for the memory traffic;
+* ``explore`` — design-space grid over register counts and memory
+  operating points;
+* ``profile`` — run the full pipeline on a workload under tracing and
+  emit a run report (JSON by default) with per-stage wall times and
+  solver counters (see :mod:`repro.obs`).
 
 Examples::
 
     repro-alloc demo --kernel fir --taps 8 --registers 4
     repro-alloc compare --kernel ewf --registers 6 --model activity
     repro-alloc table1
+    repro-alloc profile fir --taps 8 -R 4
+    repro-alloc profile ewf --format table
 """
 
 from __future__ import annotations
@@ -250,6 +257,42 @@ def _cmd_offsets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import format_report, profile_block, report_to_csv, report_to_json
+
+    block = _kernel(args)
+    report = profile_block(
+        block,
+        register_count=args.registers,
+        energy_model=_model(args.model),
+        workload=args.kernel,
+        params={
+            "kernel": args.kernel,
+            "registers": args.registers,
+            "taps": args.taps,
+            "seed": args.seed,
+            "model": args.model,
+        },
+    )
+    if args.format == "table":
+        text = format_report(report) + "\n"
+    elif args.format == "csv":
+        text = report_to_csv(report)
+    else:
+        text = report_to_json(report)
+    if args.output and args.output != "-":
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.format} run report to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-alloc`` console script."""
     parser = argparse.ArgumentParser(
@@ -308,6 +351,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_common(explore)
     explore.set_defaults(func=_cmd_explore)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a workload under tracing, emit a run report",
+    )
+    profile.add_argument(
+        "kernel",
+        nargs="?",
+        choices=("fir", "iir", "ewf", "dct", "rsp", "random"),
+        default="fir",
+        help="workload to profile (default: the quickstart fir kernel)",
+    )
+    profile.add_argument("--taps", type=int, default=8)
+    profile.add_argument("--registers", "-R", type=int, default=4)
+    profile.add_argument("--seed", type=int, default=2024)
+    profile.add_argument(
+        "--model", choices=("static", "activity"), default="static"
+    )
+    profile.add_argument(
+        "--format",
+        choices=("json", "table", "csv"),
+        default="json",
+        help="report format (default: json)",
+    )
+    profile.add_argument(
+        "--output",
+        "-o",
+        default="-",
+        help="write the report to a file instead of stdout",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     args = parser.parse_args(argv)
     try:

@@ -42,6 +42,7 @@ from repro.core.problem import AllocationProblem
 from repro.exceptions import GraphError
 from repro.flow.graph import Arc, FlowNetwork
 from repro.lifetimes.intervals import Segment
+from repro.obs import trace as obs
 
 __all__ = ["SOURCE", "SINK", "BuiltNetwork", "build_network"]
 
@@ -130,6 +131,11 @@ def build_network(problem: AllocationProblem) -> BuiltNetwork:
             cost=0.0,
             data=("bypass",),
         )
+    obs.count("network.builds")
+    obs.count("network.nodes_built", network.num_nodes)
+    obs.count("network.arcs_built", network.num_arcs)
+    if obs.enabled():
+        obs.gauge("network.density_regions", len(problem.density_regions))
     return BuiltNetwork(problem, network, SOURCE, SINK, segment_arcs)
 
 

@@ -21,6 +21,7 @@ from repro.core.allocation import Allocation
 from repro.energy.models import EnergyModel, StaticEnergyModel
 from repro.energy.voltage import MemoryConfig
 from repro.ir.basic_block import BasicBlock
+from repro.obs import trace as obs
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.resources import ResourceSet
 from repro.scheduling.schedule import Schedule
@@ -92,17 +93,20 @@ def allocate_schedule(
     Returns:
         The :class:`PipelineResult`.
     """
-    problem = AllocationProblem.from_schedule(
-        schedule,
-        register_count=register_count,
-        energy_model=energy_model or StaticEnergyModel(),
-        memory=memory or MemoryConfig(),
-        **options,
-    )
-    allocation = allocate(problem)
+    with obs.span("pipeline.build_problem"):
+        problem = AllocationProblem.from_schedule(
+            schedule,
+            register_count=register_count,
+            energy_model=energy_model or StaticEnergyModel(),
+            memory=memory or MemoryConfig(),
+            **options,
+        )
+    with obs.span("pipeline.allocate"):
+        allocation = allocate(problem)
     layout = None
     if reallocate and allocation.memory_addresses:
-        layout = reallocate_memory(allocation)
+        with obs.span("pipeline.reallocate"):
+            layout = reallocate_memory(allocation)
     return PipelineResult(schedule, problem, allocation, layout)
 
 
@@ -116,7 +120,8 @@ def allocate_block(
     **options,
 ) -> PipelineResult:
     """Schedule *block* (list scheduling) and run the allocation pipeline."""
-    schedule = list_schedule(block, resources)
+    with obs.span("pipeline.schedule"):
+        schedule = list_schedule(block, resources)
     return allocate_schedule(
         schedule,
         register_count=register_count,

@@ -20,6 +20,7 @@ from repro.core.problem import AllocationProblem
 from repro.exceptions import AllocationError
 from repro.flow.lower_bounds import solve as flow_solve
 from repro.flow.validate import check_flow
+from repro.obs import trace as obs
 
 __all__ = ["allocate", "solve_built"]
 
@@ -44,29 +45,33 @@ def allocate(
             more simultaneous registers than available.
         AllocationError: If internal invariants are violated (a bug).
     """
-    built = build_network(problem)
+    with obs.span("solver.build_network"):
+        built = build_network(problem)
     return solve_built(built, validate=validate)
 
 
 def solve_built(built: BuiltNetwork, validate: bool = True) -> Allocation:
     """Solve an already-constructed network (used by ablation benches)."""
     problem = built.problem
-    flow = flow_solve(
-        built.network, built.source, built.sink, built.flow_value
-    )
+    with obs.span("solver.flow_solve"):
+        flow = flow_solve(
+            built.network, built.source, built.sink, built.flow_value
+        )
     if validate:
-        check_flow(flow, built.source, built.sink, built.flow_value)
+        with obs.span("solver.validate"):
+            check_flow(flow, built.source, built.sink, built.flow_value)
 
-    chains, bypass_units = decompose_chains(built, flow)
-    residency: dict[tuple[str, int], int] = {}
-    for register, chain in enumerate(chains):
-        for seg in chain:
-            residency[seg.key] = register
+    with obs.span("solver.extract"):
+        chains, bypass_units = decompose_chains(built, flow)
+        residency: dict[tuple[str, int], int] = {}
+        for register, chain in enumerate(chains):
+            for seg in chain:
+                residency[seg.key] = register
 
-    report = compute_report(problem, chains)
-    intervals = memory_intervals(problem, residency)
-    addresses = assign_addresses(intervals)
-    objective = problem.constant_energy() + flow.cost
+        report = compute_report(problem, chains)
+        intervals = memory_intervals(problem, residency)
+        addresses = assign_addresses(intervals)
+        objective = problem.constant_energy() + flow.cost
 
     if validate:
         recomputed = report.total_energy

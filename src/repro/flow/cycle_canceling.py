@@ -16,6 +16,7 @@ from typing import Hashable
 from repro.exceptions import GraphError, InfeasibleFlowError
 from repro.flow.graph import FlowNetwork, FlowResult
 from repro.flow.residual import Residual
+from repro.obs import trace as obs
 
 __all__ = ["solve_by_cycle_canceling"]
 
@@ -25,6 +26,7 @@ _EPS = 1e-9
 def _establish_flow(residual: Residual, s: int, t: int, flow_value: int) -> None:
     """Push *flow_value* units from ``s`` to ``t`` ignoring costs (BFS)."""
     shipped = 0
+    augmentations = 0
     while shipped < flow_value:
         pred = [-1] * residual.num_nodes
         pred[s] = -2
@@ -54,6 +56,8 @@ def _establish_flow(residual: Residual, s: int, t: int, flow_value: int) -> None
             residual.push(rid, bottleneck)
             v = residual.tail(rid)
         shipped += bottleneck
+        augmentations += 1
+    obs.count("cycle_canceling.augmentations", augmentations)
 
 
 def _find_negative_cycle(residual: Residual) -> list[int] | None:
@@ -68,7 +72,7 @@ def _find_negative_cycle(residual: Residual) -> list[int] | None:
     pred_arc = [-1] * n
     pred_node = [-1] * n
     updated = -1
-    for _ in range(n):
+    for iteration in range(n):
         updated = -1
         for u in range(n):
             du = dist[u]
@@ -83,7 +87,9 @@ def _find_negative_cycle(residual: Residual) -> list[int] | None:
                     pred_node[v] = u
                     updated = v
         if updated == -1:
+            obs.count("cycle_canceling.bellman_ford_passes", iteration + 1)
             return None
+    obs.count("cycle_canceling.bellman_ford_passes", n)
     # Walk back n steps to land inside the cycle, then collect it.
     node = updated
     for _ in range(n):
@@ -126,6 +132,7 @@ def solve_by_cycle_canceling(
     t = residual.node_of(sink)
     if flow_value and s != t:
         _establish_flow(residual, s, t, flow_value)
+    cycles = 0
     while True:
         cycle = _find_negative_cycle(residual)
         if cycle is None:
@@ -133,4 +140,7 @@ def solve_by_cycle_canceling(
         bottleneck = min(residual.cap[rid] for rid in cycle)
         for rid in cycle:
             residual.push(rid, bottleneck)
+        cycles += 1
+    obs.count("cycle_canceling.solves")
+    obs.count("cycle_canceling.cycles_canceled", cycles)
     return FlowResult(network, residual.flows(), flow_value)

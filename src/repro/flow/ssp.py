@@ -30,6 +30,7 @@ from typing import Hashable
 from repro.exceptions import GraphError, InfeasibleFlowError
 from repro.flow.graph import FlowNetwork, FlowResult
 from repro.flow.residual import Residual
+from repro.obs import trace as obs
 
 __all__ = ["solve_min_cost_flow", "max_flow_value"]
 
@@ -60,7 +61,7 @@ def _initial_potentials(residual: Residual, source: int) -> list[float]:
                     continue
                 v = residual.head[rid]
                 nd = du + residual.cost[rid]
-                if nd < dist[v]:
+                if nd < dist[v] - _EPS:
                     dist[v] = nd
         return dist
     # Bellman-Ford fallback for cyclic networks.
@@ -107,17 +108,24 @@ def _topological_order(residual: Residual) -> list[int] | None:
 
 def _dijkstra(
     residual: Residual, source: int, potential: list[float]
-) -> tuple[list[float], list[int]]:
-    """Shortest distances on reduced costs plus predecessor residual arcs."""
+) -> tuple[list[float], list[int], int, int]:
+    """Shortest distances on reduced costs plus predecessor residual arcs.
+
+    Also returns the number of settled heap pops and of successful edge
+    relaxations, for the solver counters (see :mod:`repro.obs`).
+    """
     n = residual.num_nodes
     dist = [_INF] * n
     pred = [-1] * n
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    relaxations = 0
     while heap:
         d, u = heapq.heappop(heap)
         if d > dist[u]:
             continue
+        pops += 1
         pot_u = potential[u]
         for rid in residual.adj[u]:
             if residual.cap[rid] <= 0:
@@ -133,10 +141,11 @@ def _dijkstra(
                 reduced = 0.0
             nd = d + reduced
             if nd < dist[v]:
+                relaxations += 1
                 dist[v] = nd
                 pred[v] = rid
                 heapq.heappush(heap, (nd, v))
-    return dist, pred
+    return dist, pred, pops, relaxations
 
 
 def solve_min_cost_flow(
@@ -185,8 +194,14 @@ def solve_min_cost_flow(
             f"sink {sink!r} unreachable from source {source!r}"
         )
     shipped = 0
+    pops = 0
+    relaxations = 0
+    paths = 0
+    potential_updates = 0
     while shipped < flow_value:
-        dist, pred = _dijkstra(residual, s, potential)
+        dist, pred, round_pops, round_relax = _dijkstra(residual, s, potential)
+        pops += round_pops
+        relaxations += round_relax
         if dist[t] == _INF:
             raise InfeasibleFlowError(
                 f"only {shipped} of {flow_value} flow units fit "
@@ -205,12 +220,19 @@ def solve_min_cost_flow(
             residual.push(rid, bottleneck)
             v = residual.tail(rid)
         shipped += bottleneck
+        paths += 1
         for u in range(residual.num_nodes):
             if dist[u] != _INF and potential[u] != _INF:
                 potential[u] += dist[u]
+                potential_updates += 1
             elif potential[u] != _INF:
                 # Unreached this round: now permanently unreachable.
                 potential[u] = _INF
+    obs.count("ssp.solves")
+    obs.count("ssp.dijkstra_pops", pops)
+    obs.count("ssp.dijkstra_relaxations", relaxations)
+    obs.count("ssp.augmenting_paths", paths)
+    obs.count("ssp.potential_updates", potential_updates)
     return FlowResult(network, residual.flows(), shipped)
 
 

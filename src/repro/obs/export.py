@@ -1,0 +1,113 @@
+"""Trace exporters: JSON, CSV, and a human-readable table.
+
+All exporters consume a :class:`~repro.obs.trace.TraceCollector` after its
+traced region ended and produce pure data (dicts of names and numbers) or
+plain text, so downstream tools never need this package's types.  Span
+trees flatten to slash-joined paths (``pipeline.allocate/solver.flow_solve``)
+in the tabular formats and stay nested in the dict/JSON form.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Iterator
+
+from repro.obs.trace import Span, TraceCollector
+
+__all__ = [
+    "flatten_spans",
+    "format_trace",
+    "trace_to_csv",
+    "trace_to_dict",
+    "trace_to_json",
+]
+
+
+def trace_to_dict(trace: TraceCollector) -> dict[str, Any]:
+    """JSON-ready dict with nested ``spans``, ``counters`` and ``gauges``."""
+    return {
+        "spans": [root.to_dict() for root in trace.roots],
+        "counters": dict(sorted(trace.counters.items())),
+        "gauges": dict(sorted(trace.gauges.items())),
+    }
+
+
+def trace_to_json(trace: TraceCollector, indent: int = 2) -> str:
+    """Render :func:`trace_to_dict` as JSON text."""
+    return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
+
+
+def flatten_spans(trace: TraceCollector) -> list[tuple[str, float]]:
+    """``(path, duration_s)`` pairs for every span, depth-first.
+
+    Paths join nested span names with ``/`` so sibling repeats stay
+    distinguishable by position in the ordered list.
+    """
+
+    def visit(node: Span, prefix: str) -> Iterator[tuple[str, float]]:
+        path = f"{prefix}/{node.name}" if prefix else node.name
+        yield path, node.duration
+        for child in node.children:
+            yield from visit(child, path)
+
+    rows: list[tuple[str, float]] = []
+    for root in trace.roots:
+        rows.extend(visit(root, ""))
+    return rows
+
+
+def trace_to_csv(trace: TraceCollector) -> str:
+    """CSV with one ``kind,name,value`` row per span, counter and gauge."""
+    import csv
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(("kind", "name", "value"))
+    for path, duration in flatten_spans(trace):
+        writer.writerow(("span", path, f"{duration:.9f}"))
+    for name, value in sorted(trace.counters.items()):
+        writer.writerow(("counter", name, value))
+    for name, value in sorted(trace.gauges.items()):
+        writer.writerow(("gauge", name, value))
+    return buffer.getvalue()
+
+
+def format_trace(trace: TraceCollector) -> str:
+    """Human-readable report: an indented span tree plus value tables."""
+    from repro.analysis.tables import format_table
+
+    lines: list[str] = []
+    roots = trace.roots
+    if roots:
+        lines.append("spans (wall time):")
+        for root in roots:
+            for depth, node in root.walk():
+                indent = "  " * (depth + 1)
+                lines.append(
+                    f"{indent}{node.name:<{max(1, 40 - 2 * depth)}}"
+                    f"{node.duration * 1e3:10.3f} ms"
+                )
+    counters = trace.counters
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append(
+            format_table(
+                ("counter", "value"),
+                sorted(counters.items()),
+            )
+        )
+    gauges = trace.gauges
+    if gauges:
+        if lines:
+            lines.append("")
+        lines.append(
+            format_table(
+                ("gauge", "value"),
+                sorted(gauges.items()),
+            )
+        )
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Exporters: dict/JSON round-trip, CSV shape, human-readable table."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import trace as obs
+from repro.obs.export import (
+    flatten_spans,
+    format_trace,
+    trace_to_csv,
+    trace_to_dict,
+    trace_to_json,
+)
+
+
+def sample_trace() -> obs.TraceCollector:
+    with obs.collect() as trace:
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.count("widgets", 3)
+        obs.gauge("depth", 2)
+    return trace
+
+
+def test_dict_shape():
+    data = trace_to_dict(sample_trace())
+    assert set(data) == {"spans", "counters", "gauges"}
+    assert data["counters"] == {"widgets": 3}
+    assert data["gauges"] == {"depth": 2}
+    (outer,) = data["spans"]
+    assert outer["name"] == "outer"
+    assert outer["children"][0]["name"] == "inner"
+    assert outer["duration_s"] >= outer["children"][0]["duration_s"]
+
+
+def test_json_round_trip():
+    trace = sample_trace()
+    assert json.loads(trace_to_json(trace)) == trace_to_dict(trace)
+
+
+def test_flatten_spans_paths():
+    paths = [path for path, _ in flatten_spans(sample_trace())]
+    assert paths == ["outer", "outer/inner"]
+
+
+def test_csv_rows():
+    lines = trace_to_csv(sample_trace()).splitlines()
+    assert lines[0] == "kind,name,value"
+    kinds = {line.split(",")[0] for line in lines[1:]}
+    assert kinds == {"span", "counter", "gauge"}
+    assert any(line.startswith("span,outer/inner,") for line in lines)
+    assert "counter,widgets,3" in lines
+
+
+def test_format_trace_mentions_everything():
+    text = format_trace(sample_trace())
+    for token in ("outer", "inner", "widgets", "depth", "ms"):
+        assert token in text
+
+
+def test_format_empty_trace():
+    with obs.collect() as trace:
+        pass
+    assert format_trace(trace) == "(empty trace)"

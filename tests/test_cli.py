@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -87,11 +89,59 @@ def test_explore(capsys):
     assert "pareto frontier" in out
 
 
+def test_profile_emits_json_run_report(capsys):
+    assert main(["profile", "fir", "--taps", "5", "-R", "3"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "repro.obs/run-report/v1"
+    assert report["workload"] == "fir"
+    assert "pipeline.allocate" in report["stages"]
+    counters = report["trace"]["counters"]
+    assert counters["ssp.dijkstra_pops"] > 0
+    assert counters["ssp.augmenting_paths"] > 0
+    assert counters["network.arcs_built"] > 0
+    assert report["allocation"]["registers_used"] >= 1
+
+
+def test_profile_defaults_to_quickstart_workload(capsys):
+    assert main(["profile"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["workload"] == "fir"
+    assert report["params"]["registers"] == 4
+
+
+def test_profile_table_format(capsys):
+    assert main(["profile", "dct", "-R", "3", "--format", "table"]) == 0
+    out = capsys.readouterr().out
+    assert "run report" in out
+    assert "ssp.dijkstra_pops" in out
+
+
+def test_profile_csv_to_file(tmp_path, capsys):
+    target = tmp_path / "report.csv"
+    assert main(
+        ["profile", "fir", "--taps", "4", "-R", "2",
+         "--format", "csv", "--output", str(target)]
+    ) == 0
+    assert "wrote csv run report" in capsys.readouterr().out
+    lines = target.read_text().splitlines()
+    assert lines[0] == "kind,name,value"
+    assert any(line.startswith("counter,ssp.augmenting_paths,") for line in lines)
+
+
+def test_profile_unwritable_output_is_a_clean_error(capsys):
+    code = main(
+        ["profile", "fir", "--taps", "4", "-R", "2",
+         "--output", "/nonexistent-dir/report.json"]
+    )
+    assert code == 1
+    assert "cannot write" in capsys.readouterr().err
+
+
 def test_cli_docstring_mentions_all_commands():
     import repro.cli as cli
 
     for command in (
         "demo", "compare", "table1", "figures", "chart", "diagnose",
-        "offsets",
+        "offsets", "explore", "profile",
     ):
         assert command in cli.__doc__

@@ -50,6 +50,43 @@ def test_every_public_class_and_function_documented():
     assert sorted(set(missing)) == []
 
 
+def test_obs_package_is_walked():
+    """The docstring gate must cover the observability layer."""
+    names = {module.__name__ for module in iter_modules()}
+    for expected in (
+        "repro.obs",
+        "repro.obs.trace",
+        "repro.obs.export",
+        "repro.obs.profile",
+    ):
+        assert expected in names
+
+
+def test_obs_public_api_documented():
+    """Everything re-exported by repro.obs — including the methods of the
+    span/collector classes — must carry a real docstring."""
+    import repro.obs as obs
+
+    missing: list[str] = []
+    for name in obs.__all__:
+        obj = getattr(obs, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        doc = inspect.getdoc(obj)
+        if not doc or len(doc.strip()) < 10:
+            missing.append(f"repro.obs.{name}")
+    for cls in (obs.Span, obs.TraceCollector):
+        for attr_name, attr in vars(cls).items():
+            if attr_name.startswith("_"):
+                continue
+            func = attr.fget if isinstance(attr, property) else attr
+            if inspect.isfunction(func):
+                doc = inspect.getdoc(func)
+                if not doc or len(doc.strip()) < 5:
+                    missing.append(f"{cls.__name__}.{attr_name}")
+    assert sorted(set(missing)) == []
+
+
 def test_core_entry_points_fully_documented():
     """The user-facing entry points must document every public method.
 
