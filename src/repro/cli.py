@@ -14,7 +14,11 @@ Subcommands:
   operating points;
 * ``profile`` — run the full pipeline on a workload under tracing and
   emit a run report (JSON by default) with per-stage wall times and
-  solver counters (see :mod:`repro.obs`).
+  solver counters (see :mod:`repro.obs`);
+* ``fuzz`` — seeded differential fuzzing of the allocator: random
+  instances through the oracle battery, solver cross-checks and baseline
+  dominance, with greedy shrinking of any failure into a minimal
+  reproducer (see :mod:`repro.verify`).
 
 Examples::
 
@@ -23,6 +27,7 @@ Examples::
     repro-alloc table1
     repro-alloc profile fir --taps 8 -R 4
     repro-alloc profile ewf --format table
+    repro-alloc fuzz --seed 0 --iters 100 -o fuzz-report.json
 """
 
 from __future__ import annotations
@@ -293,6 +298,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import render_report, run_fuzz
+
+    use_lp = False if args.no_lp else None
+    report = run_fuzz(
+        args.seed,
+        args.iters,
+        use_lp=use_lp,
+        shrink=not args.no_shrink,
+    )
+    text = render_report(report)
+    if args.output and args.output != "-":
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote fuzz report to {args.output}")
+    else:
+        sys.stdout.write(text)
+    statuses = report["statuses"]
+    summary = (
+        f"fuzz: {report['iterations']} cases, {statuses['ok']} ok, "
+        f"{statuses['infeasible']} infeasible, "
+        f"{statuses['violation']} violations (seed {args.seed})"
+    )
+    print(summary, file=sys.stderr)
+    return 1 if statuses["violation"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-alloc`` console script."""
     parser = argparse.ArgumentParser(
@@ -382,6 +418,32 @@ def main(argv: list[str] | None = None) -> int:
         help="write the report to a file instead of stdout",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing with oracle checks and shrinking",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--iters", "-n", type=int, default=100, help="number of fuzz cases"
+    )
+    fuzz.add_argument(
+        "--no-lp",
+        action="store_true",
+        help="skip the scipy LP cross-check",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimising them",
+    )
+    fuzz.add_argument(
+        "--output",
+        "-o",
+        default="-",
+        help="write the fuzz report JSON to a file instead of stdout",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     try:

@@ -30,7 +30,7 @@ _ENERGY_TOLERANCE = 1e-6
 
 
 def allocate(
-    problem: AllocationProblem, validate: bool = True
+    problem: AllocationProblem, validate: bool = True, certify: bool = False
 ) -> Allocation:
     """Solve *problem* and return the optimal :class:`Allocation`.
 
@@ -38,6 +38,11 @@ def allocate(
         problem: The instance to solve.
         validate: Run the flow validator and the energy cross-check on the
             solution (cheap; disable only in tight benchmarking loops).
+        certify: Additionally construct and verify an optimality
+            certificate (node potentials + complementary slackness, see
+            :mod:`repro.verify.certificates`) before returning — turns
+            "the solver said so" into a machine-checked proof at the cost
+            of one Bellman-Ford pass.
 
     Raises:
         InfeasibleFlowError: If the register count cannot be realised — in
@@ -47,10 +52,12 @@ def allocate(
     """
     with obs.span("solver.build_network"):
         built = build_network(problem)
-    return solve_built(built, validate=validate)
+    return solve_built(built, validate=validate, certify=certify)
 
 
-def solve_built(built: BuiltNetwork, validate: bool = True) -> Allocation:
+def solve_built(
+    built: BuiltNetwork, validate: bool = True, certify: bool = False
+) -> Allocation:
     """Solve an already-constructed network (used by ablation benches)."""
     problem = built.problem
     with obs.span("solver.flow_solve"):
@@ -60,6 +67,13 @@ def solve_built(built: BuiltNetwork, validate: bool = True) -> Allocation:
     if validate:
         with obs.span("solver.validate"):
             check_flow(flow, built.source, built.sink, built.flow_value)
+    if certify:
+        # Lazy import: repro.verify.certificates depends only on
+        # repro.flow, so this cannot cycle back into the core package.
+        from repro.verify.certificates import certify_flow
+
+        with obs.span("solver.certify"):
+            certify_flow(flow)
 
     with obs.span("solver.extract"):
         chains, bypass_units = decompose_chains(built, flow)

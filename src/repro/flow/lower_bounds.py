@@ -20,46 +20,103 @@ Because the transformation only *removes* the ``t -> s`` arc (its residual
 capacity is zero) and adds arcs incident to the fresh super terminals, an
 acyclic input network stays acyclic, so the successive-shortest-path solver
 remains exact despite negative arc costs.
+
+The transformation is exposed as :func:`transform_lower_bounds` so that
+independent solvers (e.g. the cycle-cancelling cross-check used by
+:mod:`repro.verify.differential`) can be run on the very same transformed
+instance and mapped back with :meth:`LowerBoundTransform.recover`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Hashable
 
 from repro.exceptions import InfeasibleFlowError
 from repro.flow.graph import FlowNetwork, FlowResult
 from repro.flow.ssp import solve_min_cost_flow
 
-__all__ = ["solve_with_lower_bounds", "solve"]
+__all__ = [
+    "LowerBoundTransform",
+    "transform_lower_bounds",
+    "solve_with_lower_bounds",
+    "solve",
+]
 
 _SUPER_SOURCE = ("__repro_super__", "source")
 _SUPER_SINK = ("__repro_super__", "sink")
 
 
-def solve_with_lower_bounds(
+@dataclass(frozen=True)
+class LowerBoundTransform:
+    """The excess/deficit reduction of one lower-bounded instance.
+
+    Attributes:
+        original: The lower-bounded input network.
+        source / sink: Terminals of the original fixed-value problem.
+        flow_value: The fixed source→sink value of the original problem.
+        network: The transformed network (no lower bounds; original arcs
+            carry their original index in ``data``).
+        super_source / super_sink: Terminals of the transformed problem.
+        demand: Flow value the transformed problem must ship (the total
+            excess); shipping less means the original bounds are
+            infeasible.
+    """
+
+    original: FlowNetwork
+    source: Hashable
+    sink: Hashable
+    flow_value: int
+    network: FlowNetwork
+    super_source: Hashable
+    super_sink: Hashable
+    demand: int
+
+    def recover(self, inner: FlowResult) -> FlowResult:
+        """Map a solution of the transformed problem back to the original.
+
+        Args:
+            inner: A flow of :attr:`demand` units on :attr:`network`.
+
+        Returns:
+            A :class:`FlowResult` over :attr:`original` with the lower
+            bounds added back in.
+
+        Raises:
+            InfeasibleFlowError: If the recovered flow does not ship
+                :attr:`flow_value` units (the bounds are unsatisfiable).
+        """
+        flows = [0] * self.original.num_arcs
+        for t_arc in self.network.arcs:
+            if isinstance(t_arc.data, int):
+                flows[t_arc.data] = inner.flows[t_arc.index]
+        for arc in self.original.arcs:
+            flows[arc.index] += arc.lower
+        result = FlowResult(self.original, flows, self.flow_value)
+        _check_value(
+            result, self.original, self.source, self.sink, self.flow_value
+        )
+        return result
+
+
+def transform_lower_bounds(
     network: FlowNetwork,
     source: Hashable,
     sink: Hashable,
     flow_value: int,
-) -> FlowResult:
-    """Minimum-cost flow of exactly *flow_value* units honouring lower bounds.
+) -> LowerBoundTransform:
+    """Build the excess/deficit reduction of a lower-bounded instance.
 
     Args:
         network: Network whose arcs may carry lower bounds.
-        source: Source node.
-        sink: Sink node.
+        source: Source node of the fixed-value problem.
+        sink: Sink node of the fixed-value problem.
         flow_value: Exact source→sink flow value.
 
     Returns:
-        A :class:`FlowResult` over the *original* network (lower bounds
-        already added back into the reported flows).
-
-    Raises:
-        InfeasibleFlowError: If no feasible flow meets the bounds and value.
+        The :class:`LowerBoundTransform` describing the equivalent
+        plain minimum-cost flow problem.
     """
-    if not network.has_lower_bounds():
-        return solve_min_cost_flow(network, source, sink, flow_value)
-
     excess: dict[Hashable, int] = {}
     transformed = FlowNetwork()
     for node in network.nodes:
@@ -88,18 +145,49 @@ def solve_with_lower_bounds(
             demand += value
         elif value < 0:
             transformed.add_arc(node, _SUPER_SINK, capacity=-value, cost=0.0)
+    return LowerBoundTransform(
+        original=network,
+        source=source,
+        sink=sink,
+        flow_value=flow_value,
+        network=transformed,
+        super_source=_SUPER_SOURCE,
+        super_sink=_SUPER_SINK,
+        demand=demand,
+    )
 
-    inner = solve_min_cost_flow(transformed, _SUPER_SOURCE, _SUPER_SINK, demand)
 
-    flows = [0] * network.num_arcs
-    for t_arc in transformed.arcs:
-        if isinstance(t_arc.data, int):
-            flows[t_arc.data] = inner.flows[t_arc.index]
-    for arc in network.arcs:
-        flows[arc.index] += arc.lower
-    result = FlowResult(network, flows, flow_value)
-    _check_value(result, network, source, sink, flow_value)
-    return result
+def solve_with_lower_bounds(
+    network: FlowNetwork,
+    source: Hashable,
+    sink: Hashable,
+    flow_value: int,
+) -> FlowResult:
+    """Minimum-cost flow of exactly *flow_value* units honouring lower bounds.
+
+    Args:
+        network: Network whose arcs may carry lower bounds.
+        source: Source node.
+        sink: Sink node.
+        flow_value: Exact source→sink flow value.
+
+    Returns:
+        A :class:`FlowResult` over the *original* network (lower bounds
+        already added back into the reported flows).
+
+    Raises:
+        InfeasibleFlowError: If no feasible flow meets the bounds and value.
+    """
+    if not network.has_lower_bounds():
+        return solve_min_cost_flow(network, source, sink, flow_value)
+    transform = transform_lower_bounds(network, source, sink, flow_value)
+    inner = solve_min_cost_flow(
+        transform.network,
+        transform.super_source,
+        transform.super_sink,
+        transform.demand,
+    )
+    return transform.recover(inner)
 
 
 def _check_value(

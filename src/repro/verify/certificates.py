@@ -1,0 +1,214 @@
+"""Optimality certificates for fixed-value minimum-cost flows.
+
+A feasible flow of fixed value is minimum-cost **iff** its residual
+network contains no negative-cost directed cycle (Klein's optimality
+condition).  The classic constructive witness is a vector of *node
+potentials* ``pi`` under which every residual arc has non-negative
+reduced cost ``c + pi(tail) - pi(head)`` — equivalently, the
+complementary-slackness conditions of the section-4 LP hold:
+
+* an arc with residual capacity left (``flow < capacity``) must have
+  reduced cost ``>= 0`` (otherwise pushing more flow would be cheaper);
+* an arc with retractable flow (``flow > lower``) must have reduced cost
+  ``<= 0`` (otherwise pushing the flow back would be cheaper).
+
+:func:`compute_potentials` *constructs* the witness by running
+Bellman-Ford over the residual network from a virtual super source; a
+relaxation surviving ``n`` passes exposes a negative residual cycle,
+which is recovered and reported — the flow is provably suboptimal.
+:func:`check_certificate` then *verifies* the witness by pure
+per-arc arithmetic: no search, no trust in the construction.  Together
+they let any caller (tests, the fuzz harness, the ``certify`` switch of
+:func:`repro.core.solver.allocate`) turn "the solver said so" into a
+machine-checked proof of optimality.
+
+Everything here depends only on :mod:`repro.flow`, so the solver core
+can import it lazily without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from repro.exceptions import ReproError
+from repro.flow.graph import Arc, FlowNetwork, FlowResult
+
+__all__ = [
+    "CertificateError",
+    "compute_potentials",
+    "check_certificate",
+    "certify_optimal",
+    "certify_flow",
+]
+
+#: Absolute slack allowed on reduced costs (floating-point drift along a
+#: path accumulates a few ULPs per hop; allocation networks are small).
+DEFAULT_TOLERANCE = 1e-6
+
+
+class CertificateError(ReproError):
+    """A flow failed certification: it is provably not minimum-cost
+    (negative residual cycle found) or the offered potentials do not
+    satisfy complementary slackness."""
+
+
+def _residual_arcs(
+    network: FlowNetwork, flows: Sequence[int]
+) -> Iterator[tuple[Hashable, Hashable, float, Arc, bool]]:
+    """Yield residual arcs ``(tail, head, cost, original_arc, forward)``.
+
+    A forward residual arc exists while the original arc has capacity
+    left; a backward residual arc (negated cost) exists while flow can be
+    pushed back down to the arc's lower bound.
+    """
+    for arc in network.arcs:
+        f = flows[arc.index]
+        if f < arc.capacity:
+            yield arc.tail, arc.head, arc.cost, arc, True
+        if f > arc.lower:
+            yield arc.head, arc.tail, -arc.cost, arc, False
+
+
+def compute_potentials(
+    network: FlowNetwork,
+    flows: Sequence[int],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict[Hashable, float]:
+    """Construct certifying node potentials for *flows*, or prove none exist.
+
+    Runs Bellman-Ford on the residual network with every node seeded at
+    distance zero (a virtual super source).  The resulting distances are
+    valid potentials exactly when no negative residual cycle exists.
+
+    Args:
+        network: The network the flow lives on.
+        flows: Integer flow per arc, indexed by ``arc.index``.
+        tolerance: Absolute slack before a relaxation counts as real.
+
+    Returns:
+        Node → potential mapping satisfying complementary slackness.
+
+    Raises:
+        CertificateError: If the residual network contains a
+            negative-cost cycle — i.e. the flow is provably suboptimal
+            for its value.  The message names the cycle's arcs and its
+            total cost.
+    """
+    nodes = list(network.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    residual = [
+        (index[tail], index[head], cost, arc, forward)
+        for tail, head, cost, arc, forward in _residual_arcs(network, flows)
+    ]
+    dist = [0.0] * n
+    pred: list[tuple[int, Arc, bool] | None] = [None] * n
+    last_relaxed = -1
+    for _ in range(n):
+        last_relaxed = -1
+        for u, v, cost, arc, forward in residual:
+            if dist[u] + cost < dist[v] - tolerance:
+                dist[v] = dist[u] + cost
+                pred[v] = (u, arc, forward)
+                last_relaxed = v
+        if last_relaxed == -1:
+            return {node: dist[index[node]] for node in nodes}
+    # A relaxation on the n-th pass: walk predecessors into the cycle.
+    node = last_relaxed
+    for _ in range(n):
+        entry = pred[node]
+        assert entry is not None
+        node = entry[0]
+    cycle: list[tuple[Arc, bool]] = []
+    current = node
+    while True:
+        entry = pred[current]
+        assert entry is not None
+        prev, arc, forward = entry
+        cycle.append((arc, forward))
+        current = prev
+        if current == node:
+            break
+    cycle.reverse()
+    total = sum(arc.cost if forward else -arc.cost for arc, forward in cycle)
+    steps = ", ".join(
+        f"{arc.tail}->{arc.head}" if forward else f"{arc.head}<-{arc.tail}"
+        for arc, forward in cycle
+    )
+    raise CertificateError(
+        f"flow is not optimal: residual cycle of cost {total:.6g} "
+        f"({steps})"
+    )
+
+
+def check_certificate(
+    network: FlowNetwork,
+    flows: Sequence[int],
+    potentials: dict[Hashable, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> None:
+    """Verify complementary slackness of *potentials* by pure arithmetic.
+
+    For every arc ``u -> v`` with cost ``c`` and reduced cost
+    ``rc = c + pi(u) - pi(v)``:
+
+    * ``flow < capacity`` requires ``rc >= -tolerance``;
+    * ``flow > lower`` requires ``rc <= tolerance``.
+
+    Args:
+        network: The network the flow lives on.
+        flows: Integer flow per arc, indexed by ``arc.index``.
+        potentials: Candidate witness (every network node must appear).
+        tolerance: Absolute slack allowed per condition.
+
+    Raises:
+        CertificateError: Naming the first violated condition, or a node
+            missing from the witness.
+    """
+    for node in network.nodes:
+        if node not in potentials:
+            raise CertificateError(f"certificate misses node {node!r}")
+    for arc in network.arcs:
+        f = flows[arc.index]
+        reduced = arc.cost + potentials[arc.tail] - potentials[arc.head]
+        if f < arc.capacity and reduced < -tolerance:
+            raise CertificateError(
+                f"slackness violated on {arc}: flow {f} below capacity but "
+                f"reduced cost {reduced:.6g} < 0 (cheaper flow exists)"
+            )
+        if f > arc.lower and reduced > tolerance:
+            raise CertificateError(
+                f"slackness violated on {arc}: flow {f} above lower bound "
+                f"but reduced cost {reduced:.6g} > 0 (retracting is cheaper)"
+            )
+
+
+def certify_optimal(
+    network: FlowNetwork,
+    flows: Sequence[int],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict[Hashable, float]:
+    """Construct **and** verify an optimality certificate for *flows*.
+
+    Args:
+        network: The network the flow lives on (lower bounds allowed).
+        flows: Integer flow per arc, indexed by ``arc.index``.
+        tolerance: Absolute reduced-cost slack.
+
+    Returns:
+        The verified potentials — a reusable witness that the flow is
+        minimum-cost among all feasible flows of the same value.
+
+    Raises:
+        CertificateError: If the flow is provably suboptimal.
+    """
+    potentials = compute_potentials(network, flows, tolerance)
+    check_certificate(network, flows, potentials, tolerance)
+    return potentials
+
+
+def certify_flow(
+    result: FlowResult, tolerance: float = DEFAULT_TOLERANCE
+) -> dict[Hashable, float]:
+    """Convenience wrapper: certify a solver's :class:`FlowResult`."""
+    return certify_optimal(result.network, result.flows, tolerance)

@@ -1,0 +1,396 @@
+"""Seeded, coverage-minded fuzz harness over the allocation pipeline.
+
+One fuzz *case* is a randomly drawn Problem 1 instance — lifetime set,
+register count ``R``, memory access divisor ``c``, split density knobs —
+run through the full oracle battery (:mod:`repro.verify.oracles`), the
+multi-solver differential check and, on unrestricted memory, the baseline
+dominance check (:mod:`repro.verify.differential`).  The generator
+deliberately oversamples the paper's edge cases: ``R = 0``, ``R >=
+|vars|``, minimal-length lifetimes (read immediately after write) and
+every access period ``c`` in {1, 2, 3, 5}.
+
+Reproducibility is byte-for-byte: each case derives its own
+:class:`random.Random` from ``(seed, index)`` via
+:func:`repro.workloads.random_blocks.spawn_rng`, so case 2317 of seed 9
+can be replayed alone without re-running cases 0..2316.
+
+Failures are greedily *shrunk*: the minimizer repeatedly drops variables
+and lowers ``R``/``horizon`` while the failure persists, and the minimal
+reproducer is embedded in the report as a
+:func:`repro.workloads.serialize.problem_to_dict` instance so it can be
+replayed from the JSON alone (see EXPERIMENTS.md).  The report follows
+the versioned-schema conventions of :mod:`repro.obs.profile` under the
+id ``repro.verify/fuzz-report/v1``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy.voltage import MemoryConfig
+from repro.exceptions import InfeasibleFlowError, ReproError
+from repro.core.network_builder import SINK, SOURCE, build_network
+from repro.verify.differential import baseline_dominance, cross_check
+from repro.verify.oracles import Violation, check_allocation
+from repro.workloads.random_blocks import random_lifetimes, spawn_rng
+from repro.workloads.serialize import problem_to_dict
+
+__all__ = [
+    "SCHEMA",
+    "FuzzCase",
+    "CaseResult",
+    "draw_case",
+    "run_case",
+    "run_problem",
+    "shrink_case",
+    "run_fuzz",
+    "render_report",
+]
+
+#: Versioned schema id stamped on every fuzz report.
+SCHEMA = "repro.verify/fuzz-report/v1"
+
+#: Memory access divisors the generator draws from (paper section 5.2
+#: studies c = 2; c = 1 is unrestricted memory, the dominance regime).
+#: Unrestricted and c = 2 are weighted up because large divisors at low R
+#: are mostly infeasible, which exercises only the agreement-on-
+#: infeasibility path.
+_DIVISORS = (1, 1, 2, 2, 3, 5)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """The drawn parameters of one fuzz iteration (pure data).
+
+    Attributes:
+        index: Case number within the run.
+        count: Number of variables.
+        horizon: Block length in control steps.
+        register_count: Register file size ``R``.
+        divisor: Memory access period ``c``.
+        multi_read_fraction: Split-lifetime density knob.
+        live_out_fraction: Fraction of variables live past the block.
+        degenerate: Which edge-case family this case targets, or ``""``.
+    """
+
+    index: int
+    count: int
+    horizon: int
+    register_count: int
+    divisor: int
+    multi_read_fraction: float
+    live_out_fraction: float
+    degenerate: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view of the drawn parameters."""
+        return {
+            "index": self.index,
+            "count": self.count,
+            "horizon": self.horizon,
+            "register_count": self.register_count,
+            "divisor": self.divisor,
+            "multi_read_fraction": self.multi_read_fraction,
+            "live_out_fraction": self.live_out_fraction,
+            "degenerate": self.degenerate,
+        }
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one fuzz case.
+
+    Attributes:
+        case: The parameters the case was drawn with.
+        status: ``"ok"``, ``"infeasible"`` or ``"violation"``.
+        violations: Oracle/differential violations (empty unless
+            ``status == "violation"``).
+        problem: The failing instance (kept only on violation, for the
+            shrinker and the report).
+    """
+
+    case: FuzzCase
+    status: str
+    violations: list[Violation] = field(default_factory=list)
+    problem: AllocationProblem | None = None
+
+
+def draw_case(rng: random.Random, index: int) -> FuzzCase:
+    """Draw the parameters of fuzz case *index* from *rng*.
+
+    Cycles the degenerate families every few iterations so even short
+    runs cover ``R = 0``, ``R >= |vars|``, minimal-length lifetimes and
+    split-heavy blocks; the remaining iterations draw freely.
+    """
+    degenerate = ("", "zero-registers", "", "surplus-registers",
+                  "", "minimal-lifetimes", "", "split-heavy")[index % 8]
+    count = rng.randint(2, 14)
+    horizon = rng.randint(4, 16)
+    multi_read = rng.uniform(0.1, 0.5)
+    live_out = rng.uniform(0.0, 0.3)
+    if degenerate == "zero-registers":
+        register_count = 0
+    elif degenerate == "surplus-registers":
+        register_count = count + rng.randint(0, 3)
+    else:
+        register_count = rng.randint(1, max(1, count - 1))
+    if degenerate == "minimal-lifetimes":
+        horizon = rng.randint(2, 4)
+        multi_read = 0.0
+    if degenerate == "split-heavy":
+        multi_read = 0.9
+    return FuzzCase(
+        index=index,
+        count=count,
+        horizon=horizon,
+        register_count=register_count,
+        divisor=rng.choice(_DIVISORS),
+        multi_read_fraction=multi_read,
+        live_out_fraction=live_out,
+        degenerate=degenerate,
+    )
+
+
+def build_problem(case: FuzzCase, rng: random.Random) -> AllocationProblem:
+    """Materialise the :class:`AllocationProblem` a case describes."""
+    lifetimes = random_lifetimes(
+        rng,
+        count=case.count,
+        horizon=case.horizon,
+        multi_read_fraction=case.multi_read_fraction,
+        live_out_fraction=case.live_out_fraction,
+    )
+    return AllocationProblem(
+        lifetimes,
+        register_count=case.register_count,
+        horizon=case.horizon + 1,
+        memory=MemoryConfig(divisor=case.divisor),
+    )
+
+
+def run_problem(
+    problem: AllocationProblem, use_lp: bool | None = None
+) -> tuple[str, list[Violation]]:
+    """Run the full verification battery on one instance.
+
+    Returns:
+        ``(status, violations)`` where status is ``"ok"``,
+        ``"infeasible"`` (all solvers must agree on infeasibility) or
+        ``"violation"``.
+    """
+    violations: list[Violation] = []
+    try:
+        allocation = allocate(problem)
+    except InfeasibleFlowError:
+        # Restricted memory can make the bounds unsatisfiable; the
+        # independent solvers must agree that it is.
+        built = build_network(problem)
+        outcome = cross_check(
+            built.network, SOURCE, SINK, problem.register_count, use_lp=use_lp
+        )
+        if outcome.costs:
+            violations.append(
+                Violation(
+                    oracle="differential",
+                    message="primary solver reported infeasible but "
+                    + outcome.message
+                    if outcome.message
+                    else "primary solver reported infeasible yet "
+                    f"{sorted(outcome.costs)} found solutions",
+                )
+            )
+            return "violation", violations
+        return "infeasible", violations
+
+    violations.extend(check_allocation(allocation))
+    outcome = cross_check(
+        allocation.flow.network,
+        SOURCE,
+        SINK,
+        problem.register_count,
+        use_lp=use_lp,
+    )
+    if not outcome.agreed:
+        violations.append(
+            Violation(oracle="differential", message=outcome.message)
+        )
+    if not problem.memory.restricted:
+        dominance = baseline_dominance(allocation)
+        if not dominance.dominated:
+            violations.append(
+                Violation(oracle="dominance", message=dominance.message)
+            )
+    return ("violation" if violations else "ok"), violations
+
+
+def run_case(
+    seed: int, case: FuzzCase, use_lp: bool | None = None
+) -> CaseResult:
+    """Replay fuzz case *case* of run *seed* (independently of the run).
+
+    The per-case RNG is derived from ``(seed, case.index)``, so any case
+    from a report can be reproduced without re-running its predecessors.
+    """
+    rng = spawn_rng(seed, "fuzz-case", case.index)
+    try:
+        problem = build_problem(case, rng)
+    except ReproError as exc:
+        return CaseResult(
+            case,
+            "violation",
+            [Violation(oracle="generator", message=str(exc))],
+        )
+    status, violations = run_problem(problem, use_lp=use_lp)
+    return CaseResult(
+        case,
+        status,
+        violations,
+        problem=problem if status == "violation" else None,
+    )
+
+
+def _still_fails(problem: AllocationProblem, use_lp: bool | None) -> bool:
+    """Whether the verification battery still flags *problem*."""
+    try:
+        status, _ = run_problem(problem, use_lp=use_lp)
+    except ReproError:
+        # A crash during shrinking is still a failure worth keeping.
+        return True
+    return status == "violation"
+
+
+def shrink_case(
+    problem: AllocationProblem,
+    use_lp: bool | None = None,
+    max_rounds: int = 8,
+) -> AllocationProblem:
+    """Greedily minimise a failing instance while it keeps failing.
+
+    Three reduction moves, applied to a fixed point (or *max_rounds*):
+    drop one variable, drop one register, shorten the horizon to the
+    latest lifetime end.  Every candidate is re-verified with the same
+    battery; only candidates that still fail are kept.
+    """
+    current = problem
+    for _ in range(max_rounds):
+        shrunk = False
+        for name in sorted(current.lifetimes):
+            remaining = {
+                k: v for k, v in current.lifetimes.items() if k != name
+            }
+            if not remaining:
+                continue
+            candidate = AllocationProblem(
+                remaining,
+                register_count=min(
+                    current.register_count, len(remaining)
+                ),
+                horizon=current.horizon,
+                energy_model=current.energy_model,
+                memory=current.memory,
+                graph_style=current.graph_style,
+                split_at_reads=current.split_at_reads,
+                allow_unused_registers=current.allow_unused_registers,
+            )
+            if _still_fails(candidate, use_lp):
+                current = candidate
+                shrunk = True
+        if current.register_count > 0:
+            candidate = current.with_options(
+                register_count=current.register_count - 1
+            )
+            if _still_fails(candidate, use_lp):
+                current = candidate
+                shrunk = True
+        tail = max(
+            (l.end for l in current.lifetimes.values()), default=0
+        )
+        if tail < current.horizon:
+            candidate = current.with_options(horizon=tail)
+            if _still_fails(candidate, use_lp):
+                current = candidate
+                shrunk = True
+        if not shrunk:
+            break
+    return current
+
+
+def run_fuzz(
+    seed: int,
+    iters: int,
+    use_lp: bool | None = None,
+    shrink: bool = True,
+) -> dict[str, Any]:
+    """Run *iters* fuzz cases from *seed*; return the fuzz report.
+
+    Args:
+        seed: Master seed; every case derives its own stable sub-seed.
+        iters: Number of cases to run.
+        use_lp: Force the LP cross-check on/off (``None`` = autodetect).
+        shrink: Greedily minimise failing instances before reporting.
+
+    Returns:
+        A ``repro.verify/fuzz-report/v1`` dict: coverage counters,
+        per-status totals and one entry per failure with the (minimised)
+        reproducer instance inline.
+    """
+    plan_rng = spawn_rng(seed, "fuzz-plan")
+    statuses = {"ok": 0, "infeasible": 0, "violation": 0}
+    coverage: dict[str, dict[str, int]] = {
+        "divisor": {},
+        "degenerate": {},
+        "register_count": {},
+    }
+    failures: list[dict[str, Any]] = []
+    for index in range(iters):
+        case = draw_case(plan_rng, index)
+        result = run_case(seed, case, use_lp=use_lp)
+        statuses[result.status] += 1
+        for axis, value in (
+            ("divisor", case.divisor),
+            ("degenerate", case.degenerate or "none"),
+            ("register_count", case.register_count),
+        ):
+            bucket = coverage[axis]
+            bucket[str(value)] = bucket.get(str(value), 0) + 1
+        if result.status != "violation":
+            continue
+        entry: dict[str, Any] = {
+            "case": case.to_dict(),
+            "seed": seed,
+            "violations": [
+                {"oracle": v.oracle, "message": v.message}
+                for v in result.violations
+            ],
+        }
+        if result.problem is not None:
+            reproducer = (
+                shrink_case(result.problem, use_lp=use_lp)
+                if shrink
+                else result.problem
+            )
+            entry["minimized"] = problem_to_dict(reproducer)
+            entry["minimized_size"] = {
+                "variables": len(reproducer.lifetimes),
+                "register_count": reproducer.register_count,
+                "horizon": reproducer.horizon,
+            }
+        failures.append(entry)
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "iterations": iters,
+        "statuses": statuses,
+        "coverage": coverage,
+        "failures": failures,
+    }
+
+
+def render_report(report: dict[str, Any], indent: int = 2) -> str:
+    """Serialise a fuzz report with the shared obs JSON conventions."""
+    return json.dumps(report, indent=indent, sort_keys=True) + "\n"

@@ -1,0 +1,330 @@
+"""Invariant oracles over solved allocation instances.
+
+Every oracle takes a solved :class:`~repro.core.allocation.Allocation`
+(or, for the code-generation oracle, a full
+:class:`~repro.core.pipeline.PipelineResult`) and re-derives one paper
+invariant *independently* of the code that produced the solution:
+
+* ``flow_conservation`` — bounds, conservation and source/sink balance of
+  the flow vector (section 4 constraints);
+* ``total_flow`` — the shipped value equals the register count ``R``
+  (eq. 5) and the chains plus bypass units account for every unit;
+* ``split_lower_bounds`` — section 5.2's must-be-register rule,
+  re-derived from scratch: a segment may sit in memory only if the value
+  can reach memory by the segment start and every served read is a
+  memory-access step; the network's arc lower bounds and the solution's
+  residency must both agree with the re-derivation;
+* ``optimality_certificate`` — constructs and verifies node potentials
+  proving the flow minimum-cost (see :mod:`repro.verify.certificates`);
+* ``energy_agreement`` — the flow objective (plus the constant
+  all-in-memory term) equals the energy recomputed from the extracted
+  chains by independent accounting;
+* ``codegen_agreement`` — the lowered program's memory traffic reconciles
+  exactly with the allocation report, and simulated execution matches the
+  reference dataflow evaluation on random inputs.
+
+Oracles raise :class:`OracleViolation`; :func:`check_allocation` runs a
+battery and returns the violations as data (the fuzz harness consumes
+them, tests usually assert the list is empty).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.allocation import Allocation, compute_report
+from repro.core.network_builder import SINK, SOURCE
+from repro.exceptions import ReproError
+from repro.flow.validate import FlowValidationError, check_flow, flow_cost
+from repro.verify.certificates import CertificateError, certify_flow
+
+__all__ = [
+    "OracleViolation",
+    "Violation",
+    "ALLOCATION_ORACLES",
+    "check_allocation",
+    "oracle_flow_conservation",
+    "oracle_total_flow",
+    "oracle_split_lower_bounds",
+    "oracle_optimality_certificate",
+    "oracle_energy_agreement",
+    "oracle_codegen_agreement",
+]
+
+#: Relative tolerance for energy comparisons.
+_ENERGY_TOL = 1e-6
+
+
+class OracleViolation(ReproError):
+    """A solved instance broke one of the verification invariants.
+
+    Attributes:
+        oracle: Name of the violated oracle.
+    """
+
+    def __init__(self, oracle: str, message: str) -> None:
+        super().__init__(f"[{oracle}] {message}")
+        self.oracle = oracle
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded oracle violation (pure data, JSON-friendly).
+
+    Attributes:
+        oracle: Name of the violated oracle.
+        message: Human-readable description of the broken invariant.
+    """
+
+    oracle: str
+    message: str
+
+
+def oracle_flow_conservation(allocation: Allocation) -> None:
+    """Flow bounds, conservation and terminal balance (section 4)."""
+    try:
+        check_flow(
+            allocation.flow,
+            SOURCE,
+            SINK,
+            allocation.problem.register_count,
+        )
+    except FlowValidationError as exc:
+        raise OracleViolation("flow_conservation", str(exc)) from exc
+
+
+def oracle_total_flow(allocation: Allocation) -> None:
+    """Total flow equals ``R`` and decomposes into chains + bypass units."""
+    problem = allocation.problem
+    value = allocation.flow.value
+    if value != problem.register_count:
+        raise OracleViolation(
+            "total_flow",
+            f"flow ships {value} units, register count is "
+            f"{problem.register_count}",
+        )
+    accounted = len(allocation.chains) + allocation.unused_registers
+    if accounted != problem.register_count:
+        raise OracleViolation(
+            "total_flow",
+            f"{len(allocation.chains)} chains + "
+            f"{allocation.unused_registers} bypass units != R = "
+            f"{problem.register_count}",
+        )
+
+
+def _memory_legal(problem, segment) -> bool:
+    """Independent re-derivation of section 5.2 memory-residency legality."""
+    access = problem.access_times
+    if access is None:
+        return True
+    lifetime = problem.lifetimes[segment.name]
+    reaches_memory = any(
+        lifetime.write_time <= m <= segment.start for m in access
+    )
+    reads_legal = all(
+        r in access or (lifetime.live_out and r == lifetime.end)
+        for r in segment.reads
+    )
+    return reaches_memory and reads_legal
+
+
+def oracle_split_lower_bounds(allocation: Allocation) -> None:
+    """Section 5.2 must-be-register segments carry lower bound 1 and flow 1.
+
+    Re-derives memory-residency legality from the paper's rules (without
+    calling the splitter's own ``forced`` logic) and checks three facts
+    per segment arc: the arc's lower bound matches the re-derivation plus
+    any explicit pins, the flow respects the bound, and every forced
+    segment is register-resident in the extracted solution.
+    """
+    problem = allocation.problem
+    network = allocation.flow.network
+    seen: set[tuple[str, int]] = set()
+    for arc in network.arcs:
+        if not (isinstance(arc.data, tuple) and arc.data[0] == "segment"):
+            continue
+        segment = arc.data[1]
+        seen.add(segment.key)
+        pinned = segment.key in problem.forced_segments
+        expected_lower = 0 if _memory_legal(problem, segment) and not pinned else 1
+        if arc.lower != expected_lower:
+            raise OracleViolation(
+                "split_lower_bounds",
+                f"segment {segment.key} has arc lower bound {arc.lower}, "
+                f"re-derived legality demands {expected_lower}",
+            )
+        flow = allocation.flow.flows[arc.index]
+        if flow < expected_lower:
+            raise OracleViolation(
+                "split_lower_bounds",
+                f"forced segment {segment.key} carries flow {flow}",
+            )
+        if expected_lower == 1 and segment.key not in allocation.residency:
+            raise OracleViolation(
+                "split_lower_bounds",
+                f"forced segment {segment.key} is not register-resident",
+            )
+    expected_keys = {
+        seg.key for segs in problem.segments.values() for seg in segs
+    }
+    if seen != expected_keys:
+        missing = sorted(expected_keys - seen)
+        raise OracleViolation(
+            "split_lower_bounds",
+            f"network lacks segment arcs for {missing}",
+        )
+
+
+def oracle_optimality_certificate(allocation: Allocation) -> None:
+    """Machine-checked proof that the flow is minimum-cost for value R."""
+    try:
+        certify_flow(allocation.flow)
+    except CertificateError as exc:
+        raise OracleViolation("optimality_certificate", str(exc)) from exc
+
+
+def oracle_energy_agreement(allocation: Allocation) -> None:
+    """Flow objective == chain-recomputed energy == reported objective."""
+    problem = allocation.problem
+    objective = problem.constant_energy() + flow_cost(allocation.flow)
+    recomputed = compute_report(problem, allocation.chains).total_energy
+    scale = 1.0 + abs(objective)
+    if abs(recomputed - objective) > _ENERGY_TOL * scale:
+        raise OracleViolation(
+            "energy_agreement",
+            f"flow objective {objective:.6f} vs chain accounting "
+            f"{recomputed:.6f}",
+        )
+    if abs(allocation.objective - objective) > _ENERGY_TOL * scale:
+        raise OracleViolation(
+            "energy_agreement",
+            f"stored objective {allocation.objective:.6f} vs recomputed "
+            f"{objective:.6f}",
+        )
+
+
+def oracle_codegen_agreement(
+    result, rng: random.Random | None = None, trials: int = 3
+) -> None:
+    """Lowered program ⇄ allocation report ⇄ simulator agreement.
+
+    Three independent checks on a full
+    :class:`~repro.core.pipeline.PipelineResult`:
+
+    * the program's memory writes (``Mem`` destinations) equal the
+      report's memory-write count;
+    * the program's distinct memory read samples — ``(variable, step)``
+      pairs over non-piggyback operands — plus the live-out pseudo-reads
+      the block boundary leaves to the consuming task equal the report's
+      memory-read count;
+    * simulating the program on *trials* random input vectors reproduces
+      the reference dataflow evaluation for every output and live-out
+      value.
+
+    Args:
+        result: The pipeline result (schedule + allocation) to verify.
+        rng: Seeded generator for the input vectors (default seed 0).
+        trials: Number of random input vectors to simulate.
+
+    Raises:
+        OracleViolation: On any reconciliation or simulation mismatch.
+    """
+    from repro.codegen.lower import lower
+    from repro.codegen.program import Kind, Mem
+    from repro.codegen.simulator import verify_program
+    from repro.exceptions import AllocationError
+    from repro.ir.operations import OpCode
+
+    rng = rng if rng is not None else random.Random(0)
+    allocation = result.allocation
+    problem = allocation.problem
+    program = lower(result, use_layout=False)
+
+    mem_writes = sum(
+        1 for ins in program.instructions if isinstance(ins.dest, Mem)
+    )
+    read_samples: set[tuple[str, int]] = set()
+    for ins in program.instructions:
+        if ins.kind is Kind.MOVE and ins.piggyback:
+            continue
+        for operand in ins.operands:
+            if isinstance(operand, Mem):
+                read_samples.add((operand.variable, ins.step))
+    pseudo_reads = 0
+    boundary = problem.horizon + 1
+    for name, segments in problem.segments.items():
+        lifetime = problem.lifetimes[name]
+        if not lifetime.live_out:
+            continue
+        for seg in segments:
+            if seg.key in allocation.residency:
+                continue
+            for r in seg.reads:
+                if r == boundary and (name, r) not in read_samples:
+                    pseudo_reads += 1
+    report = allocation.report
+    if mem_writes != report.mem_writes:
+        raise OracleViolation(
+            "codegen_agreement",
+            f"program performs {mem_writes} memory writes, report counts "
+            f"{report.mem_writes}",
+        )
+    total_reads = len(read_samples) + pseudo_reads
+    if total_reads != report.mem_reads:
+        raise OracleViolation(
+            "codegen_agreement",
+            f"program samples {len(read_samples)} memory reads "
+            f"(+{pseudo_reads} block-boundary pseudo-reads), report counts "
+            f"{report.mem_reads}",
+        )
+
+    block = result.schedule.block
+    sources = [
+        op.output
+        for op in block
+        if op.output and op.opcode in (OpCode.INPUT, OpCode.CONST)
+    ]
+    for _ in range(trials):
+        inputs = {
+            name: rng.getrandbits(block.variable(name).width)
+            for name in sources
+        }
+        try:
+            verify_program(program, block, allocation, inputs)
+        except AllocationError as exc:
+            raise OracleViolation("codegen_agreement", str(exc)) from exc
+
+
+#: The oracle battery applicable to any solved allocation.
+ALLOCATION_ORACLES: dict[str, Callable[[Allocation], None]] = {
+    "flow_conservation": oracle_flow_conservation,
+    "total_flow": oracle_total_flow,
+    "split_lower_bounds": oracle_split_lower_bounds,
+    "optimality_certificate": oracle_optimality_certificate,
+    "energy_agreement": oracle_energy_agreement,
+}
+
+
+def check_allocation(
+    allocation: Allocation,
+    oracles: tuple[str, ...] = tuple(ALLOCATION_ORACLES),
+) -> list[Violation]:
+    """Run the named oracles on *allocation*; return violations as data.
+
+    Args:
+        allocation: The solved instance to verify.
+        oracles: Names from :data:`ALLOCATION_ORACLES` to run, in order.
+
+    Returns:
+        One :class:`Violation` per failed oracle (empty = fully verified).
+    """
+    violations: list[Violation] = []
+    for name in oracles:
+        try:
+            ALLOCATION_ORACLES[name](allocation)
+        except OracleViolation as exc:
+            violations.append(Violation(oracle=name, message=str(exc)))
+    return violations

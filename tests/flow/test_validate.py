@@ -67,3 +67,62 @@ def test_wrong_vector_length_detected():
     result.flows = [2]  # truncate after construction
     with pytest.raises(FlowValidationError, match="entries"):
         check_flow(result, "s", "t", 2)
+
+
+# ---------------------------------------------------------------------------
+# Lower-bounded and degenerate networks.
+# ---------------------------------------------------------------------------
+
+def test_valid_lower_bounded_flow_passes():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=2, cost=1.0, lower=1)
+    net.add_arc("a", "t", capacity=2, cost=1.0, lower=1)
+    check_flow(FlowResult(net, [1, 1], 1), "s", "t", 1)
+    check_flow(FlowResult(net, [2, 2], 2), "s", "t", 2)
+
+
+def test_solver_output_respects_lower_bounds():
+    from repro.flow.lower_bounds import solve_with_lower_bounds
+
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=1, cost=5.0, lower=1)
+    net.add_arc("a", "t", capacity=1, cost=5.0, lower=1)
+    net.add_arc("s", "t", capacity=1, cost=0.0)
+    result = solve_with_lower_bounds(net, "s", "t", 2)
+    check_flow(result, "s", "t", 2)
+    assert flow_cost(result) == pytest.approx(10.0)
+
+
+def test_empty_network_zero_flow():
+    net = FlowNetwork()
+    net.add_node("s")
+    net.add_node("t")
+    check_flow(FlowResult(net, [], 0), "s", "t", 0)
+
+
+def test_empty_problem_network_validates():
+    from repro.core.network_builder import SINK, SOURCE, build_network
+    from repro.core.problem import AllocationProblem
+    from repro.flow.lower_bounds import solve
+
+    problem = AllocationProblem({}, register_count=2, horizon=3)
+    built = build_network(problem)
+    result = solve(built.network, SOURCE, SINK, 2)
+    check_flow(result, SOURCE, SINK, 2)
+
+
+def test_single_variable_network_validates():
+    from repro.core.network_builder import SINK, SOURCE, build_network
+    from repro.core.problem import AllocationProblem
+    from repro.flow.lower_bounds import solve
+    from tests.conftest import make_lifetime
+
+    problem = AllocationProblem(
+        {"a": make_lifetime("a", 1, (2,), live_out=False)},
+        register_count=1,
+        horizon=3,
+    )
+    built = build_network(problem)
+    result = solve(built.network, SOURCE, SINK, 1)
+    check_flow(result, SOURCE, SINK, 1)
+    assert result.value == 1

@@ -92,3 +92,75 @@ def test_unrestricted_never_forces(case):
     for seg in split_lifetime(lifetime, access_times=None):
         assert not seg.forced
         assert not seg.starts_at_access_cut
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 end-to-end: forced segments carry flow lower bound 1 in the
+# constructed network, for every studied access period c.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def lifetime_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    lifetimes = {}
+    for i in range(count):
+        write = draw(st.integers(min_value=1, max_value=HORIZON - 1))
+        read_pool = list(range(write + 1, HORIZON + 2))
+        reads = tuple(
+            sorted(
+                draw(
+                    st.lists(
+                        st.sampled_from(read_pool),
+                        min_size=1,
+                        max_size=min(3, len(read_pool)),
+                        unique=True,
+                    )
+                )
+            )
+        )
+        name = f"v{i}"
+        lifetimes[name] = make_lifetime(
+            name, write, reads, live_out=reads[-1] == HORIZON + 1
+        )
+    return lifetimes
+
+
+@given(lifetime_sets(), st.sampled_from((1, 2, 3, 5)))
+@settings(max_examples=120, deadline=None)
+def test_network_lower_bounds_match_forced_segments(lifetimes, period):
+    from repro.core.network_builder import build_network
+    from repro.core.problem import AllocationProblem
+    from repro.energy import MemoryConfig
+
+    problem = AllocationProblem(
+        lifetimes,
+        register_count=len(lifetimes),
+        horizon=HORIZON + 1,
+        memory=MemoryConfig(divisor=period),
+    )
+    built = build_network(problem)
+    access = problem.access_times
+    bounds = {}
+    for arc in built.network.arcs:
+        if arc.data and arc.data[0] == "segment":
+            bounds[arc.data[1].key] = (arc.lower, arc.data[1])
+    for name, segments in problem.segments.items():
+        lifetime = lifetimes[name]
+        for seg in segments:
+            lower, _ = bounds[seg.key]
+            if access is None:
+                # c = 1: memory is always reachable, nothing is forced.
+                assert lower == 0
+                continue
+            # A segment beginning or ending strictly between access
+            # times (so memory cannot serve it) must be pinned to the
+            # register file with flow lower bound 1.
+            reaches_memory = any(
+                lifetime.write_time <= m <= seg.start for m in access
+            )
+            reads_ok = all(
+                r in access or (lifetime.live_out and r == lifetime.end)
+                for r in seg.reads
+            )
+            assert lower == (0 if reaches_memory and reads_ok else 1)
+            assert lower == (1 if problem.is_forced(seg) else 0)

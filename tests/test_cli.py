@@ -142,6 +142,37 @@ def test_cli_docstring_mentions_all_commands():
 
     for command in (
         "demo", "compare", "table1", "figures", "chart", "diagnose",
-        "offsets", "explore", "profile",
+        "offsets", "explore", "profile", "fuzz",
     ):
         assert command in cli.__doc__
+
+
+def test_fuzz_smoke(capsys):
+    assert main(["fuzz", "--seed", "0", "--iters", "5", "--no-lp"]) == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)
+    assert report["schema"] == "repro.verify/fuzz-report/v1"
+    assert report["statuses"]["violation"] == 0
+    assert report["failures"] == []
+    assert "5 cases" in captured.err
+
+
+def test_fuzz_to_file(tmp_path, capsys):
+    target = tmp_path / "fuzz.json"
+    assert main(
+        ["fuzz", "--seed", "1", "--iters", "4", "--no-lp",
+         "--output", str(target)]
+    ) == 0
+    assert "wrote fuzz report" in capsys.readouterr().out
+    report = json.loads(target.read_text())
+    assert report["seed"] == 1
+    assert report["iterations"] == 4
+
+
+def test_fuzz_unwritable_output_is_a_clean_error(capsys):
+    code = main(
+        ["fuzz", "--iters", "1", "--no-lp",
+         "--output", "/nonexistent-dir/fuzz.json"]
+    )
+    assert code == 1
+    assert "cannot write" in capsys.readouterr().err

@@ -1,0 +1,128 @@
+"""Tests for multi-solver cross-checking and baseline dominance."""
+
+import random
+
+from repro.core.network_builder import SINK, SOURCE, build_network
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import MemoryConfig
+from repro.flow import FlowNetwork
+from repro.verify.differential import (
+    baseline_dominance,
+    cross_check,
+    run_baselines,
+)
+from repro.workloads.random_blocks import random_lifetimes
+
+
+def instance(seed=5, count=9, horizon=11, registers=3, divisor=1):
+    lifetimes = random_lifetimes(
+        random.Random(seed), count=count, horizon=horizon
+    )
+    return AllocationProblem(
+        lifetimes,
+        register_count=registers,
+        horizon=max(l.end for l in lifetimes.values()),
+        memory=MemoryConfig(divisor=divisor),
+    )
+
+
+def test_solvers_agree_plain_network():
+    problem = instance()
+    built = build_network(problem)
+    outcome = cross_check(
+        built.network, SOURCE, SINK, problem.register_count
+    )
+    assert outcome.agreed, outcome.message
+    assert set(outcome.costs) >= {"ssp", "cycle_canceling"}
+    assert outcome.spread <= 1e-6 * (
+        1 + max(abs(c) for c in outcome.costs.values())
+    )
+
+
+def test_solvers_agree_with_lower_bounds():
+    problem = instance(seed=8, registers=5, divisor=2)
+    built = build_network(problem)
+    assert built.network.has_lower_bounds()
+    outcome = cross_check(
+        built.network, SOURCE, SINK, problem.register_count
+    )
+    assert outcome.agreed, outcome.message
+    assert "cycle_canceling" in outcome.costs
+
+
+def test_lp_can_be_skipped():
+    problem = instance()
+    built = build_network(problem)
+    outcome = cross_check(
+        built.network, SOURCE, SINK, problem.register_count, use_lp=False
+    )
+    assert outcome.skipped == ["lp"]
+    assert "lp" not in outcome.costs
+    assert outcome.agreed
+
+
+def test_unanimous_infeasibility_agrees():
+    net = FlowNetwork()
+    net.add_arc("s", "t", capacity=1)
+    outcome = cross_check(net, "s", "t", 5)
+    assert outcome.agreed
+    assert not outcome.costs
+    assert set(outcome.infeasible) >= {"ssp", "cycle_canceling"}
+
+
+def test_outcome_serialises():
+    problem = instance()
+    built = build_network(problem)
+    outcome = cross_check(
+        built.network, SOURCE, SINK, problem.register_count
+    )
+    data = outcome.to_dict()
+    assert data["agreed"] is True
+    assert set(data) == {
+        "costs",
+        "infeasible",
+        "skipped",
+        "agreed",
+        "spread",
+        "message",
+    }
+
+
+def test_dominance_over_all_baselines():
+    for seed in (1, 2, 3):
+        problem = instance(seed=seed, registers=4)
+        outcome = baseline_dominance(allocate(problem))
+        assert outcome.dominated, outcome.message
+        ran = set(outcome.baselines) | set(outcome.skipped)
+        assert ran == {
+            "two-phase",
+            "left-edge",
+            "graph-coloring",
+            "greedy",
+            "chang-pedram",
+        }
+
+
+def test_chang_pedram_runs_above_density():
+    problem = instance(seed=6, registers=9, count=9)
+    if problem.register_count < problem.max_density:
+        problem = problem.with_options(
+            register_count=problem.max_density
+        )
+    outcome = baseline_dominance(allocate(problem))
+    assert "chang-pedram" in outcome.baselines
+    assert outcome.dominated, outcome.message
+
+
+def test_run_baselines_skips_chang_pedram_below_density():
+    problem = instance(seed=7, registers=1, count=10)
+    objectives, skipped = run_baselines(
+        problem.lifetimes,
+        problem.horizon,
+        problem.register_count,
+        problem.energy_model,
+    )
+    if problem.max_density > 1:
+        assert skipped == ["chang-pedram"]
+    assert set(objectives) >= {"two-phase", "left-edge"}

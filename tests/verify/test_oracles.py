@@ -1,0 +1,133 @@
+"""Tests for the allocation-level invariant oracles."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pipeline import allocate_block
+from repro.core.problem import AllocationProblem
+from repro.core.solver import allocate
+from repro.energy import MemoryConfig
+from repro.flow.graph import FlowResult
+from repro.verify.oracles import (
+    ALLOCATION_ORACLES,
+    OracleViolation,
+    check_allocation,
+    oracle_codegen_agreement,
+    oracle_energy_agreement,
+    oracle_split_lower_bounds,
+    oracle_total_flow,
+)
+from repro.workloads.random_blocks import random_dfg, random_lifetimes
+from tests.conftest import make_lifetime
+
+
+def solved(register_count=3, divisor=1, seed=11, count=8, horizon=10):
+    lifetimes = random_lifetimes(
+        random.Random(seed), count=count, horizon=horizon
+    )
+    problem = AllocationProblem(
+        lifetimes,
+        register_count=register_count,
+        horizon=max(l.end for l in lifetimes.values()),
+        memory=MemoryConfig(divisor=divisor),
+    )
+    return allocate(problem)
+
+
+def test_clean_allocation_passes_battery():
+    assert check_allocation(solved()) == []
+
+
+def test_restricted_memory_allocation_passes_battery():
+    assert check_allocation(solved(register_count=5, divisor=2)) == []
+
+
+def test_zero_registers_pass_battery():
+    assert check_allocation(solved(register_count=0)) == []
+
+
+def test_battery_names_are_oracle_keys():
+    allocation = solved()
+    for name, oracle in ALLOCATION_ORACLES.items():
+        oracle(allocation)  # each runs standalone
+        assert check_allocation(allocation, oracles=(name,)) == []
+
+
+def test_total_flow_rejects_wrong_value():
+    allocation = solved(register_count=2)
+    tampered = replace(
+        allocation,
+        flow=FlowResult(
+            allocation.flow.network, list(allocation.flow.flows), 3
+        ),
+    )
+    with pytest.raises(OracleViolation, match="total_flow"):
+        oracle_total_flow(tampered)
+
+
+def test_split_lower_bounds_rejects_dropped_residency():
+    # Force restricted memory so at least one segment is must-register,
+    # then claim it lives in memory: the oracle must object.
+    allocation = solved(register_count=5, divisor=2, seed=4)
+    forced_keys = [
+        seg.key
+        for segs in allocation.problem.segments.values()
+        for seg in segs
+        if allocation.problem.is_forced(seg)
+    ]
+    if not forced_keys:
+        pytest.skip("instance drew no forced segments")
+    residency = dict(allocation.residency)
+    residency.pop(forced_keys[0])
+    with pytest.raises(OracleViolation, match="split_lower_bounds"):
+        oracle_split_lower_bounds(replace(allocation, residency=residency))
+
+
+def test_energy_agreement_rejects_tampered_objective():
+    allocation = solved()
+    tampered = replace(allocation, objective=allocation.objective + 1.0)
+    with pytest.raises(OracleViolation, match="energy_agreement"):
+        oracle_energy_agreement(tampered)
+
+
+def test_violations_returned_as_data():
+    allocation = solved()
+    tampered = replace(allocation, objective=allocation.objective + 1.0)
+    violations = check_allocation(tampered)
+    assert [v.oracle for v in violations] == ["energy_agreement"]
+    assert "energy_agreement" in violations[0].message
+
+
+def test_forced_pin_reflected_in_bounds():
+    # An explicit forced_segments pin must raise the re-derived bound.
+    lifetimes = {
+        "a": make_lifetime("a", 1, (4,)),
+        "b": make_lifetime("b", 2, (5,)),
+    }
+    problem = AllocationProblem(
+        lifetimes,
+        register_count=1,
+        horizon=5,
+        forced_segments=frozenset({("a", 0)}),
+    )
+    allocation = allocate(problem)
+    assert check_allocation(allocation) == []
+    assert ("a", 0) in allocation.residency
+
+
+def test_codegen_agreement_on_random_blocks():
+    rng = random.Random(21)
+    for _ in range(3):
+        block = random_dfg(rng, operations=rng.randint(8, 20))
+        result = allocate_block(block, register_count=rng.randint(2, 4))
+        oracle_codegen_agreement(result, rng=random.Random(5))
+
+
+def test_codegen_agreement_restricted_memory():
+    block = random_dfg(random.Random(9), operations=15)
+    result = allocate_block(
+        block, register_count=6, memory=MemoryConfig(divisor=2)
+    )
+    oracle_codegen_agreement(result)
