@@ -12,6 +12,10 @@ Subcommands:
 * ``offsets`` — SOA/MOA offset assignment for the memory traffic;
 * ``explore`` — design-space grid over register counts and memory
   operating points;
+* ``lint`` — pre-solve static analysis of an instance: run the
+  :mod:`repro.lint` rule set (RA1xx–RA5xx) over a paper example or
+  kernel without solving, print text/JSON findings, optionally export
+  SARIF 2.1.0, and exit non-zero at a configurable severity threshold;
 * ``profile`` — run the full pipeline on a workload under tracing and
   emit a run report (JSON by default) with per-stage wall times and
   solver counters (see :mod:`repro.obs`);
@@ -25,6 +29,8 @@ Examples::
     repro-alloc demo --kernel fir --taps 8 --registers 4
     repro-alloc compare --kernel ewf --registers 6 --model activity
     repro-alloc table1
+    repro-alloc lint fig3 --sarif fig3.sarif
+    repro-alloc lint fir --divisor 2 --fail-on warning
     repro-alloc profile fir --taps 8 -R 4
     repro-alloc profile ewf --format table
     repro-alloc fuzz --seed 0 --iters 100 -o fuzz-report.json
@@ -47,16 +53,19 @@ from repro.energy import (
     StaticEnergyModel,
 )
 from repro.energy.voltage import max_divisor_supply
+from repro.exceptions import InfeasibleFlowError
 from repro.ir.basic_block import BasicBlock
 from repro.lifetimes import extract_lifetimes
 from repro.scheduling import list_schedule
 from repro.workloads import (
+    FIGURE1_HORIZON,
     FIGURE3_ACTIVITIES,
     FIGURE3_HORIZON,
     FIGURE4_ACTIVITIES,
     FIGURE4_HORIZON,
     dct4,
     elliptic_wave_filter,
+    figure1_lifetimes,
     figure3_lifetimes,
     figure4_lifetimes,
     fir_filter,
@@ -262,6 +271,108 @@ def _cmd_offsets(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Lintable workloads: the paper's worked examples (pre-built lifetime
+#: sets, no schedule) plus every synthesised kernel (scheduled, so the
+#: RA1xx schedule rules participate).
+_LINT_WORKLOADS = (
+    "fig1",
+    "fig3",
+    "fig4",
+    "fir",
+    "iir",
+    "ewf",
+    "dct",
+    "rsp",
+    "random",
+)
+
+
+def _lint_target(args: argparse.Namespace):
+    """Build the (problem, schedule, label) triple the lint run analyses."""
+    from repro.lifetimes import max_density
+
+    memory = MemoryConfig()
+    model = _model(args.model)
+    if args.divisor > 1:
+        memory = MemoryConfig.scaled(args.divisor)
+        # Keep the energy model at the same operating point as the
+        # memory so RA405 checks the user's instance, not our defaults.
+        model = model.with_voltages(memory.voltage, model.reg_voltage)
+
+    figures = {
+        "fig1": (figure1_lifetimes, FIGURE1_HORIZON, None),
+        "fig3": (figure3_lifetimes, FIGURE3_HORIZON, FIGURE3_ACTIVITIES),
+        "fig4": (figure4_lifetimes, FIGURE4_HORIZON, FIGURE4_ACTIVITIES),
+    }
+    if args.workload in figures:
+        factory, horizon, activities = figures[args.workload]
+        lifetimes = factory()
+        if activities is not None:
+            model = PairwiseSwitchingModel(activities)
+            if args.divisor > 1:
+                model = model.with_voltages(memory.voltage, model.reg_voltage)
+        registers = args.registers
+        if registers is None:
+            registers = max_density(lifetimes.values(), horizon)
+        problem = AllocationProblem(
+            lifetimes,
+            registers,
+            horizon,
+            energy_model=model,
+            memory=memory,
+        )
+        return problem, None, f"{args.workload} (R={registers})"
+
+    args.kernel = args.workload
+    block = _kernel(args)
+    schedule = list_schedule(block)
+    registers = args.registers
+    if registers is None:
+        lifetimes = extract_lifetimes(schedule)
+        registers = max_density(lifetimes.values(), schedule.length)
+    problem = AllocationProblem.from_schedule(
+        schedule,
+        register_count=registers,
+        energy_model=model,
+        memory=memory,
+    )
+    return problem, schedule, f"{block.name} (R={registers})"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        Severity,
+        render_text,
+        report_to_json,
+        run_lint,
+        sarif_to_json,
+    )
+
+    problem, schedule, label = _lint_target(args)
+    config = LintConfig(
+        select=tuple(p for p in (args.select or "").split(",") if p),
+        ignore=tuple(p for p in (args.ignore or "").split(",") if p),
+    )
+    report = run_lint(problem, schedule=schedule, config=config)
+    if args.format == "json":
+        sys.stdout.write(report_to_json(report))
+    else:
+        sys.stdout.write(render_text(report, title=f"lint {label}"))
+    if args.sarif:
+        try:
+            with open(args.sarif, "w", encoding="utf-8") as handle:
+                handle.write(sarif_to_json(report))
+        except OSError as exc:
+            print(f"cannot write {args.sarif}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote SARIF report to {args.sarif}", file=sys.stderr)
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.from_name(args.fail_on)
+    return 1 if report.at_least(threshold) else 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import format_report, profile_block, report_to_csv, report_to_json
 
@@ -378,6 +489,65 @@ def main(argv: list[str] | None = None) -> int:
     diagnose_cmd.add_argument("--divisor", type=int, default=2)
     diagnose_cmd.set_defaults(func=_cmd_diagnose)
 
+    lint = sub.add_parser(
+        "lint",
+        help="pre-solve static analysis (rule codes RA1xx-RA5xx)",
+    )
+    lint.add_argument(
+        "workload",
+        nargs="?",
+        choices=_LINT_WORKLOADS,
+        default="fig3",
+        help="paper example or kernel to analyse (default: fig3)",
+    )
+    lint.add_argument(
+        "--registers",
+        "-R",
+        type=int,
+        default=None,
+        help="register count R (default: the instance's maximum density)",
+    )
+    lint.add_argument(
+        "--divisor",
+        type=int,
+        default=1,
+        help="memory frequency divisor (restricted access times, sec 5.2)",
+    )
+    lint.add_argument("--taps", type=int, default=8)
+    lint.add_argument("--seed", type=int, default=2024)
+    lint.add_argument(
+        "--model", choices=("static", "activity"), default="static"
+    )
+    lint.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule-code prefixes to run (e.g. RA3,RA501)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated rule-code prefixes to skip",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings format on stdout (default: text)",
+    )
+    lint.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write a SARIF 2.1.0 report to PATH",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "note", "never"),
+        default="error",
+        help="exit 1 when findings reach this severity (default: error)",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
     offsets = sub.add_parser("offsets", help="SOA/MOA offset assignment")
     add_common(offsets)
     offsets.set_defaults(func=_cmd_offsets)
@@ -450,6 +620,16 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except BrokenPipeError:  # e.g. piping into `head`
         return 0
+    except InfeasibleFlowError as exc:
+        # Any solving subcommand can hit an infeasible instance (e.g. a
+        # table1/explore sweep at a too-small R under restricted access
+        # times).  Explain the overload instead of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.problem is not None:
+            from repro.core import diagnose
+
+            print(diagnose(exc.problem).summary(), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

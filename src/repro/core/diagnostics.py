@@ -18,7 +18,39 @@ from repro.core.solver import allocate
 from repro.exceptions import InfeasibleFlowError
 from repro.lifetimes.intervals import density_profile
 
-__all__ = ["FeasibilityReport", "diagnose", "minimum_feasible_registers"]
+__all__ = [
+    "FeasibilityReport",
+    "ForcedDensity",
+    "diagnose",
+    "forced_density_profile",
+    "minimum_feasible_registers",
+]
+
+
+@dataclass(frozen=True)
+class ForcedDensity:
+    """Forced-segment density analysis of one instance (no solving).
+
+    Shared between :func:`diagnose` and the lint engine's RA301 rule —
+    the pure-arithmetic half of feasibility checking: restricted access
+    times (and explicit pins) force segments into the register file,
+    and wherever the forced density exceeds ``R`` the flow cannot
+    exist.
+
+    Attributes:
+        profile: Forced-segment density at each half-point ``k + 0.5``.
+        density: Peak of the profile — a lower bound on the registers
+            the instance needs.
+        overload_steps: Half-point steps where the profile exceeds the
+            instance's register count.
+        peak_variables: Variables of forced segments alive at the worst
+            overload step (empty when nothing overloads).
+    """
+
+    profile: tuple[int, ...]
+    density: int
+    overload_steps: tuple[int, ...]
+    peak_variables: tuple[str, ...]
 
 
 @dataclass(frozen=True)
@@ -68,8 +100,8 @@ def _forced_segments(problem: AllocationProblem):
     ]
 
 
-def diagnose(problem: AllocationProblem) -> FeasibilityReport:
-    """Analyse the feasibility of *problem* and explain any overload."""
+def forced_density_profile(problem: AllocationProblem) -> ForcedDensity:
+    """Pure forced-density analysis of *problem* — never solves a flow."""
     forced = _forced_segments(problem)
     profile = density_profile(forced, problem.horizon)
     forced_density = max(profile, default=0)
@@ -84,13 +116,24 @@ def diagnose(problem: AllocationProblem) -> FeasibilityReport:
         peak_names = tuple(
             sorted({seg.name for seg in forced if seg.alive_at(worst)})
         )
+    return ForcedDensity(
+        profile=tuple(profile),
+        density=forced_density,
+        overload_steps=overload,
+        peak_variables=peak_names,
+    )
+
+
+def diagnose(problem: AllocationProblem) -> FeasibilityReport:
+    """Analyse the feasibility of *problem* and explain any overload."""
+    forced = forced_density_profile(problem)
     feasible = _solves(problem)
     return FeasibilityReport(
         feasible=feasible,
         register_count=problem.register_count,
-        forced_density=forced_density,
-        overload_steps=overload,
-        forced_at_peak=peak_names,
+        forced_density=forced.density,
+        overload_steps=forced.overload_steps,
+        forced_at_peak=forced.peak_variables,
         minimum_registers=minimum_feasible_registers(problem),
     )
 
@@ -109,8 +152,7 @@ def minimum_feasible_registers(problem: AllocationProblem) -> int:
     Binary-searches between the forced-density lower bound and the total
     lifetime density (always sufficient).
     """
-    forced = _forced_segments(problem)
-    low = max(density_profile(forced, problem.horizon), default=0)
+    low = forced_density_profile(problem).density
     high = max(problem.max_density, low)
     if _solves(problem.with_options(register_count=low)):
         return low

@@ -77,6 +77,7 @@ def allocate_schedule(
     energy_model: EnergyModel | None = None,
     memory: MemoryConfig | None = None,
     reallocate: bool = True,
+    lint: str | None = None,
     **options,
 ) -> PipelineResult:
     """Run the allocation pipeline on a scheduled block.
@@ -87,11 +88,18 @@ def allocate_schedule(
         energy_model: Defaults to the static model at nominal voltage.
         memory: Memory operating point; defaults to full-speed memory.
         reallocate: Run the second (memory reallocation) flow pass.
+        lint: Opt-in pre-solve static analysis gate (severity name, see
+            :func:`repro.core.solver.allocate`).  Run here rather than in
+            the solver so the RA1xx schedule rules see the schedule.
         **options: Forwarded to :class:`AllocationProblem` (``graph_style``,
             ``split_at_reads``, ``allow_unused_registers``).
 
     Returns:
         The :class:`PipelineResult`.
+
+    Raises:
+        LintGateError: If *lint* is set and the static analysis finds
+            defects at or above the requested severity.
     """
     with obs.span("pipeline.build_problem"):
         problem = AllocationProblem.from_schedule(
@@ -101,6 +109,10 @@ def allocate_schedule(
             memory=memory or MemoryConfig(),
             **options,
         )
+    if lint is not None:
+        from repro.lint import gate_problem
+
+        gate_problem(problem, schedule=schedule, fail_on=lint)
     with obs.span("pipeline.allocate"):
         allocation = allocate(problem)
     layout = None
@@ -117,6 +129,7 @@ def allocate_block(
     energy_model: EnergyModel | None = None,
     memory: MemoryConfig | None = None,
     reallocate: bool = True,
+    lint: str | None = None,
     **options,
 ) -> PipelineResult:
     """Schedule *block* (list scheduling) and run the allocation pipeline."""
@@ -128,5 +141,6 @@ def allocate_block(
         energy_model=energy_model,
         memory=memory,
         reallocate=reallocate,
+        lint=lint,
         **options,
     )

@@ -17,7 +17,7 @@ from repro.core.allocation import (
 )
 from repro.core.network_builder import BuiltNetwork, build_network
 from repro.core.problem import AllocationProblem
-from repro.exceptions import AllocationError
+from repro.exceptions import AllocationError, InfeasibleFlowError
 from repro.flow.lower_bounds import solve as flow_solve
 from repro.flow.validate import check_flow
 from repro.obs import trace as obs
@@ -30,7 +30,10 @@ _ENERGY_TOLERANCE = 1e-6
 
 
 def allocate(
-    problem: AllocationProblem, validate: bool = True, certify: bool = False
+    problem: AllocationProblem,
+    validate: bool = True,
+    certify: bool = False,
+    lint: str | None = None,
 ) -> Allocation:
     """Solve *problem* and return the optimal :class:`Allocation`.
 
@@ -43,13 +46,26 @@ def allocate(
             :mod:`repro.verify.certificates`) before returning — turns
             "the solver said so" into a machine-checked proof at the cost
             of one Bellman-Ford pass.
+        lint: Opt-in pre-solve static analysis gate: a severity name
+            (``"error"``, ``"warning"``, ``"note"``) at or above which
+            :mod:`repro.lint` findings abort the solve with
+            :class:`~repro.exceptions.LintGateError`.  ``None`` (default)
+            skips linting entirely.
 
     Raises:
+        LintGateError: If *lint* is set and the static analysis finds
+            defects at or above the requested severity.
         InfeasibleFlowError: If the register count cannot be realised — in
             practice only when forced (restricted-access) segments demand
             more simultaneous registers than available.
         AllocationError: If internal invariants are violated (a bug).
     """
+    if lint is not None:
+        # Lazy import: repro.lint depends on repro.core.problem and the
+        # network builder only, so this cannot cycle at import time.
+        from repro.lint import gate_problem
+
+        gate_problem(problem, fail_on=lint)
     with obs.span("solver.build_network"):
         built = build_network(problem)
     return solve_built(built, validate=validate, certify=certify)
@@ -61,9 +77,15 @@ def solve_built(
     """Solve an already-constructed network (used by ablation benches)."""
     problem = built.problem
     with obs.span("solver.flow_solve"):
-        flow = flow_solve(
-            built.network, built.source, built.sink, built.flow_value
-        )
+        try:
+            flow = flow_solve(
+                built.network, built.source, built.sink, built.flow_value
+            )
+        except InfeasibleFlowError as exc:
+            # Attach the instance so catchers (e.g. the CLI) can run
+            # repro.core.diagnostics.diagnose without re-deriving it.
+            exc.problem = problem
+            raise
     if validate:
         with obs.span("solver.validate"):
             check_flow(flow, built.source, built.sink, built.flow_value)

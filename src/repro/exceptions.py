@@ -12,7 +12,17 @@ class GraphError(ReproError):
 
 
 class InfeasibleFlowError(ReproError):
-    """No flow satisfying the requested value and bounds exists."""
+    """No flow satisfying the requested value and bounds exists.
+
+    Attributes:
+        problem: The :class:`~repro.core.problem.AllocationProblem` the
+            infeasible network was built from, when the solver knows it
+            (``None`` for bare flow-level callers).  Lets catchers run
+            :func:`repro.core.diagnostics.diagnose` without re-deriving
+            the instance.
+    """
+
+    problem = None
 
 
 class ScheduleError(ReproError):
@@ -33,3 +43,16 @@ class EnergyModelError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received invalid parameters."""
+
+
+class LintGateError(ReproError):
+    """The pre-solve lint gate found findings at or above its threshold.
+
+    Attributes:
+        report: The full :class:`~repro.lint.diagnostics.LintReport`
+            behind the failure (``None`` only for hand-raised copies).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report

@@ -14,11 +14,28 @@ from typing import Hashable
 from repro.exceptions import ReproError
 from repro.flow.graph import FlowResult
 
-__all__ = ["FlowValidationError", "check_flow", "flow_cost"]
+__all__ = ["FlowValidationError", "check_flow", "flow_cost", "node_balances"]
 
 
 class FlowValidationError(ReproError):
     """A flow violates conservation, bounds, or the required value."""
+
+
+def node_balances(result: FlowResult) -> dict[Hashable, int]:
+    """Net flow into each node of *result* (negative = net shipper).
+
+    The single place the conservation arithmetic lives: both
+    :func:`check_flow` and the :mod:`repro.verify` oracles (via
+    ``check_flow``) consume this, so the sign convention cannot drift
+    between the solver-side validator and the independent verifier.
+    """
+    network = result.network
+    balance: dict[Hashable, int] = {node: 0 for node in network.nodes}
+    for arc in network.arcs:
+        f = result.flows[arc.index]
+        balance[arc.tail] -= f
+        balance[arc.head] += f
+    return balance
 
 
 def check_flow(
@@ -53,12 +70,7 @@ def check_flow(
             raise FlowValidationError(
                 f"flow {f} outside bounds [{arc.lower}, {arc.capacity}] on {arc}"
             )
-    balance: dict[Hashable, int] = {node: 0 for node in network.nodes}
-    for arc in network.arcs:
-        f = result.flows[arc.index]
-        balance[arc.tail] -= f
-        balance[arc.head] += f
-    for node, net in balance.items():
+    for node, net in node_balances(result).items():
         if node == source:
             if net != -expected:
                 raise FlowValidationError(

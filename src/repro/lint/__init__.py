@@ -1,0 +1,76 @@
+"""Pre-solve static analysis of allocation instances.
+
+A rule-based engine that checks an
+:class:`~repro.core.problem.AllocationProblem` — and everything beneath
+it: the schedule, the (split) lifetimes, the restricted-memory
+configuration, the energy model and the constructed flow network —
+*without solving*, emitting structured
+:class:`~repro.lint.diagnostics.Diagnostic` records with stable rule
+codes:
+
+=======  ==============================================================
+family   checks
+=======  ==============================================================
+RA1xx    schedule consistency (use-before-def, missing/unknown ops,
+         nonpositive steps, horizon mismatch)
+RA2xx    lifetime anomalies (dead writes, zero-length/inverted
+         intervals, past-horizon reads, key mismatches, segment tiling)
+RA3xx    section-5.2 restricted memory (forced density vs R, access
+         period pathologies, unknown pins)
+RA4xx    energy-model sanity (negative energies, evaluation failures,
+         voltage/frequency consistency, operating-point mismatches)
+RA5xx    network structure (construction failures, inverted arc
+         bounds, non-adjacent density-region handoffs, unreachable
+         segments, insufficient source capacity)
+RA9xx    engine-internal (a rule crashed)
+=======  ==============================================================
+
+Entry points: :func:`run_lint` for a report, :func:`gate_problem` for
+the opt-in pre-solve gate (``allocate(..., lint="error")``), text/JSON
+reporters, and a SARIF 2.1.0 exporter for CI consumption.  The dynamic
+post-solve counterpart — oracles that check *solutions* — lives in
+:mod:`repro.verify`.
+"""
+
+from repro.lint.context import Finding, LintContext
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    NO_LOCATION,
+    Severity,
+)
+from repro.lint.engine import gate_problem, run_lint
+from repro.lint.registry import (
+    LintConfig,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    rule,
+)
+from repro.lint.reporters import describe_rules, render_text, report_to_json
+from repro.lint.sarif import sarif_to_json, to_sarif
+
+__all__ = [
+    "Diagnostic",
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "Location",
+    "NO_LOCATION",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "describe_rules",
+    "gate_problem",
+    "get_rule",
+    "register",
+    "render_text",
+    "report_to_json",
+    "rule",
+    "run_lint",
+    "sarif_to_json",
+    "to_sarif",
+]

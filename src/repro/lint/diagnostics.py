@@ -1,0 +1,253 @@
+"""Diagnostic data model of the static analysis engine.
+
+A lint run produces :class:`Diagnostic` records: one finding per violated
+rule instance, carrying a stable rule code (``RA101`` …), a severity, a
+:class:`Location` anchoring the finding to an operation, control step,
+variable or segment of the analysed instance, and a fix-it hint.  The
+:class:`LintReport` aggregates the findings of one run and knows how to
+filter and summarise them; serialisation lives in
+:mod:`repro.lint.reporters` (text/JSON) and :mod:`repro.lint.sarif`
+(SARIF 2.1.0).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "Severity",
+    "Location",
+    "Diagnostic",
+    "LintReport",
+    "NO_LOCATION",
+]
+
+
+class Severity(enum.IntEnum):
+    """Ordered finding severities (``NOTE < WARNING < ERROR``).
+
+    The integer ordering makes threshold comparisons (``--fail-on``)
+    direct; :attr:`label` gives the SARIF-compatible lowercase name.
+    """
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lowercase name, identical to the SARIF ``level`` vocabulary."""
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Parse ``"note"`` / ``"warning"`` / ``"error"`` (case-blind)."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ReproError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Location:
+    """Anchor of a finding inside an allocation instance.
+
+    All fields are optional; rules fill in whatever the finding is about.
+
+    Attributes:
+        variable: Data-variable name the finding concerns.
+        segment: Segment index of the variable (section 5.2 splits).
+        op: Operation name (schedule-level findings).
+        step: Control step (or half-point index for density findings).
+        detail: Free-form anchor for findings without a natural
+            variable/op home, e.g. an arc description.
+    """
+
+    variable: str | None = None
+    segment: int | None = None
+    op: str | None = None
+    step: int | None = None
+    detail: str | None = None
+
+    def describe(self) -> str:
+        """Compact human-readable rendering (empty string if unanchored)."""
+        parts: list[str] = []
+        if self.variable is not None:
+            name = self.variable
+            if self.segment is not None:
+                name += f"#{self.segment}"
+            parts.append(f"variable {name}")
+        elif self.segment is not None:
+            parts.append(f"segment {self.segment}")
+        if self.op is not None:
+            parts.append(f"op {self.op}")
+        if self.step is not None:
+            parts.append(f"step {self.step}")
+        if self.detail is not None:
+            parts.append(self.detail)
+        return ", ".join(parts)
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (``None`` fields sort first)."""
+        return (
+            self.step if self.step is not None else -1,
+            self.variable or "",
+            self.segment if self.segment is not None else -1,
+            self.op or "",
+            self.detail or "",
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view with ``None`` fields dropped."""
+        return {
+            key: value
+            for key, value in (
+                ("variable", self.variable),
+                ("segment", self.segment),
+                ("op", self.op),
+                ("step", self.step),
+                ("detail", self.detail),
+            )
+            if value is not None
+        }
+
+
+#: Shared empty location for findings about the instance as a whole.
+NO_LOCATION = Location()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule.
+
+    Attributes:
+        code: Stable rule code (``RA101`` …); the rule-family prefix is
+            the first three characters (``RA1`` = schedule, ``RA2`` =
+            lifetimes, ``RA3`` = restricted memory, ``RA4`` = energy
+            model, ``RA5`` = network structure, ``RA9`` = engine).
+        rule: Kebab-case rule slug (``schedule-use-before-def``).
+        severity: Effective severity (after any per-run override).
+        message: What is wrong, concretely, for this instance.
+        location: Where (op/step/variable/segment anchor).
+        hint: Fix-it suggestion, or ``None`` when no generic fix applies.
+    """
+
+    code: str
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default=NO_LOCATION)
+    hint: str | None = None
+
+    @property
+    def family(self) -> str:
+        """Rule-family prefix, e.g. ``"RA3"``."""
+        return self.code[:3]
+
+    def format(self) -> str:
+        """One- or two-line text rendering."""
+        where = self.location.describe()
+        suffix = f" [{where}]" if where else ""
+        line = f"{self.code} {self.severity.label} {self.rule}: {self.message}{suffix}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the finding."""
+        payload = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings of one lint run, in deterministic order.
+
+    Attributes:
+        diagnostics: Findings sorted by (code, location, message).
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(
+                self.diagnostics,
+                key=lambda d: (d.code, d.location.sort_key(), d.message),
+            )
+        )
+        object.__setattr__(self, "diagnostics", ordered)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def at_least(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """Findings at or above *severity*."""
+        return tuple(d for d in self.diagnostics if d.severity >= severity)
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at exactly *severity*."""
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity == Severity.ERROR
+        )
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """Sorted distinct rule codes that fired."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def worst(self) -> Severity | None:
+        """Highest severity present, or ``None`` on a clean run."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line totals, e.g. ``lint: 1 error, 2 warnings (RA201, …)``."""
+        if not self.diagnostics:
+            return "lint: clean (no findings)"
+        counts = []
+        for severity in (Severity.ERROR, Severity.WARNING, Severity.NOTE):
+            n = self.count(severity)
+            if n:
+                plural = "" if n == 1 else "s"
+                counts.append(f"{n} {severity.label}{plural}")
+        return f"lint: {', '.join(counts)} ({', '.join(self.codes)})"
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready view of the whole report."""
+        return {
+            "schema": "repro.lint/report/v1",
+            "counts": {
+                severity.label: self.count(severity) for severity in Severity
+            },
+            "codes": list(self.codes),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

@@ -1,0 +1,165 @@
+"""Rule registry and per-run configuration.
+
+Rules self-register at import time through the :func:`rule` decorator;
+:func:`all_rules` returns them in stable code order.  A
+:class:`LintConfig` narrows a run to a rule subset (``select`` /
+``ignore`` prefixes, mirroring the familiar flake8/ruff semantics),
+overrides severities, and carries free-form per-rule options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
+
+from repro.exceptions import ReproError
+from repro.lint.diagnostics import Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.lint.context import Finding, LintContext
+
+__all__ = ["Rule", "LintConfig", "rule", "register", "all_rules", "get_rule"]
+
+#: Signature of a rule body: findings for one instance, possibly none.
+RuleCheck = Callable[["LintContext"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule.
+
+    Attributes:
+        code: Stable code (``RA101`` …); unique across the registry.
+        name: Kebab-case slug (``schedule-use-before-def``).
+        severity: Default severity (overridable per run).
+        summary: One-line description for ``--help`` output and the SARIF
+            rule table.
+        check: Rule body, or ``None`` for codes the engine emits itself
+            (e.g. the internal-error code).
+        hint: Default fix-it hint applied when a finding carries none.
+    """
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    check: RuleCheck | None = None
+    hint: str | None = None
+
+    @property
+    def family(self) -> str:
+        """Rule-family prefix, e.g. ``"RA1"``."""
+        return self.code[:3]
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(entry: Rule) -> Rule:
+    """Add *entry* to the registry (codes must be unique)."""
+    if entry.code in _REGISTRY:
+        raise ReproError(f"duplicate lint rule code {entry.code}")
+    _REGISTRY[entry.code] = entry
+    return entry
+
+
+def rule(
+    code: str,
+    name: str,
+    severity: Severity,
+    summary: str,
+    hint: str | None = None,
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Decorator registering *fn* as the body of rule *code*."""
+
+    def decorate(fn: RuleCheck) -> RuleCheck:
+        register(
+            Rule(
+                code=code,
+                name=name,
+                severity=severity,
+                summary=summary,
+                check=fn,
+                hint=hint,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule in stable code order."""
+    _load_builtin_rules()
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by code (raises :class:`ReproError` if unknown)."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise ReproError(f"unknown lint rule code {code!r}") from None
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules exactly once (self-registering)."""
+    import repro.lint.rules_energy  # noqa: F401
+    import repro.lint.rules_lifetimes  # noqa: F401
+    import repro.lint.rules_memory  # noqa: F401
+    import repro.lint.rules_network  # noqa: F401
+    import repro.lint.rules_schedule  # noqa: F401
+
+
+#: Engine-emitted code for a rule body that raised; has no body of its
+#: own, but lives in the registry so reporters and SARIF can describe it.
+INTERNAL_ERROR = register(
+    Rule(
+        code="RA900",
+        name="lint-internal-error",
+        severity=Severity.ERROR,
+        summary="A lint rule crashed while analysing the instance.",
+        hint="report the traceback; a rule must never raise, even on "
+        "malformed input",
+    )
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run configuration of the rule set.
+
+    Attributes:
+        select: Code prefixes to run (``("RA3", "RA501")``); empty means
+            every registered rule.
+        ignore: Code prefixes to skip; applied after *select*.
+        severity_overrides: Code → severity replacing the rule default.
+        options: Code → free-form option mapping consumed by individual
+            rules (e.g. tolerances).
+    """
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+    def enabled(self, code: str) -> bool:
+        """Whether rule *code* participates in this run."""
+        if self.select and not any(code.startswith(p) for p in self.select):
+            return False
+        return not any(code.startswith(p) for p in self.ignore)
+
+    def severity_of(self, entry: Rule) -> Severity:
+        """Effective severity of *entry* under this configuration."""
+        return self.severity_overrides.get(entry.code, entry.severity)
+
+    def option(self, code: str, key: str, default: Any = None) -> Any:
+        """Per-rule option lookup with a default."""
+        return self.options.get(code, {}).get(key, default)
+
+    def active_rules(self) -> Iterator[Rule]:
+        """Registered rules enabled by this configuration, code order."""
+        for entry in all_rules():
+            if entry.check is not None and self.enabled(entry.code):
+                yield entry

@@ -1,0 +1,42 @@
+"""Text and JSON renderings of a :class:`~repro.lint.diagnostics.LintReport`.
+
+The text reporter is for humans at a terminal; the JSON reporter emits
+the versioned ``repro.lint/report/v1`` document (the same shape as
+``LintReport.to_dict``).  The SARIF 2.1.0 exporter lives in
+:mod:`repro.lint.sarif`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import LintReport
+from repro.lint.registry import all_rules
+
+__all__ = ["render_text", "report_to_json", "describe_rules"]
+
+
+def render_text(report: LintReport, title: str | None = None) -> str:
+    """Multi-line human-readable rendering ending in the summary line."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.extend(d.format() for d in report.diagnostics)
+    lines.append(report.summary())
+    return "\n".join(lines) + "\n"
+
+
+def report_to_json(report: LintReport, indent: int = 2) -> str:
+    """The versioned ``repro.lint/report/v1`` JSON document."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+
+def describe_rules() -> str:
+    """Rule-code table (code, default severity, slug, summary)."""
+    lines = ["code   severity  rule"]
+    for entry in all_rules():
+        lines.append(
+            f"{entry.code:6} {entry.severity.label:9} {entry.name}\n"
+            f"       {entry.summary}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,173 @@
+"""RA4xx — energy-model sanity rules.
+
+The flow costs are energies; a model returning a negative access energy
+or charging the memory at a supply inconsistent with its operating
+point quietly skews every arc cost while the solver still reports a
+"globally optimal" allocation.  These rules evaluate the model on the
+instance's own variables and cross-check the voltage/frequency pairing
+against the CMOS delay relation of :mod:`repro.energy.voltage`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import Finding, LintContext
+from repro.lint.diagnostics import Location, Severity
+from repro.lint.registry import rule
+
+__all__: list[str] = []
+
+#: Relative slack on the delay-factor check (RA403): operating points are
+#: usually rounded voltages, so demand a clear miss before flagging.
+_DELAY_SLACK = 0.05
+
+
+def _access_energies(model, variable):
+    """The four per-access energies of *variable* under *model*."""
+    return (
+        ("mem_read", model.mem_read(variable)),
+        ("mem_write", model.mem_write(variable)),
+        ("reg_read", model.reg_read(variable)),
+        ("reg_write", model.reg_write(variable, None)),
+    )
+
+
+@rule(
+    "RA401",
+    "negative-access-energy",
+    Severity.ERROR,
+    "The energy model returns a negative per-access energy; flow costs "
+    "would reward extra accesses.",
+    hint="access energies are C * V^2 terms and must be >= 0; check the "
+    "capacitance table and any custom model",
+)
+def check_negative_energy(ctx: LintContext) -> Iterator[Finding]:
+    """RA401: flag negative per-access energies from the model."""
+    model = ctx.problem.energy_model
+    for name, lifetime in ctx.problem.lifetimes.items():
+        try:
+            energies = _access_energies(model, lifetime.variable)
+        except Exception:
+            return  # RA402 reports the evaluation failure
+        for kind, value in energies:
+            if value < 0:
+                yield Finding(
+                    f"{kind}({name!r}) = {value:g} < 0",
+                    Location(variable=name, detail=kind),
+                )
+
+
+@rule(
+    "RA402",
+    "energy-model-evaluation-failed",
+    Severity.ERROR,
+    "The energy model raised while being evaluated on the instance's "
+    "variables.",
+    hint="every variable of the instance must be costable before the "
+    "network can be built",
+)
+def check_model_evaluates(ctx: LintContext) -> Iterator[Finding]:
+    """RA402: flag energy models that raise on the instance's variables."""
+    model = ctx.problem.energy_model
+    for name, lifetime in ctx.problem.lifetimes.items():
+        try:
+            _access_energies(model, lifetime.variable)
+        except Exception as exc:
+            yield Finding(
+                f"evaluating the model on {name!r} raised "
+                f"{type(exc).__name__}: {exc}",
+                Location(variable=name),
+            )
+            return  # one representative failure is enough
+
+
+@rule(
+    "RA403",
+    "memory-supply-below-frequency",
+    Severity.WARNING,
+    "The memory supply voltage is too low to meet the configured "
+    "frequency divisor under the CMOS delay relation.",
+    hint="pick the supply with max_divisor_supply(divisor) (or "
+    "MemoryConfig.scaled) so voltage and access period stay consistent",
+)
+def check_supply_meets_divisor(ctx: LintContext) -> Iterator[Finding]:
+    """RA403: flag memory supplies too slow for the access period."""
+    from repro.energy.voltage import cmos_delay_factor
+
+    memory = ctx.problem.memory
+    if not memory.restricted:
+        return
+    slack = float(ctx.option("RA403", "delay_slack", _DELAY_SLACK))
+    try:
+        factor = cmos_delay_factor(memory.voltage)
+    except Exception as exc:
+        yield Finding(
+            f"supply {memory.voltage} V is not operable: {exc}",
+            Location(detail=f"voltage {memory.voltage}"),
+            severity=Severity.ERROR,
+        )
+        return
+    if factor > memory.divisor * (1.0 + slack):
+        yield Finding(
+            f"at {memory.voltage} V the memory is {factor:.2f}x slower "
+            f"than nominal but the divisor only allows {memory.divisor}x",
+            Location(detail=f"voltage {memory.voltage}"),
+        )
+
+
+@rule(
+    "RA404",
+    "registers-never-beneficial",
+    Severity.NOTE,
+    "Register accesses cost at least as much energy as memory accesses "
+    "for every variable; the optimum will leave the register file "
+    "empty.",
+    hint="check the capacitance table / voltages if register residency "
+    "was expected to save energy",
+)
+def check_registers_beneficial(ctx: LintContext) -> Iterator[Finding]:
+    """RA404: note instances where registers never beat memory on energy."""
+    model = ctx.problem.energy_model
+    if not ctx.problem.lifetimes:
+        return
+    try:
+        for lifetime in ctx.problem.lifetimes.values():
+            v = lifetime.variable
+            reg = model.reg_write(v, None) + model.reg_read(v)
+            mem = model.mem_write(v) + model.mem_read(v)
+            if reg < mem:
+                return
+    except Exception:
+        return  # RA402 reports the evaluation failure
+    yield Finding(
+        "a register round-trip costs at least as much as a memory "
+        "round-trip for every variable",
+    )
+
+
+@rule(
+    "RA405",
+    "model-operating-point-mismatch",
+    Severity.WARNING,
+    "The energy model charges memory accesses at a different supply "
+    "than the memory operating point.",
+    hint="rebuild the model with "
+    "energy_model.with_voltages(memory.voltage, reg_voltage)",
+)
+def check_model_matches_memory(ctx: LintContext) -> Iterator[Finding]:
+    """RA405: flag model/memory operating-point voltage mismatches."""
+    model = ctx.problem.energy_model
+    memory = ctx.problem.memory
+    model_voltage = getattr(model, "mem_voltage", None)
+    if model_voltage is None:
+        return
+    if abs(model_voltage - memory.voltage) > 1e-9:
+        yield Finding(
+            f"model charges memory at {model_voltage} V, operating "
+            f"point is {memory.voltage} V",
+            Location(
+                detail=f"model {model_voltage} V vs memory "
+                f"{memory.voltage} V"
+            ),
+        )

@@ -1,0 +1,161 @@
+"""RA2xx — lifetime and segment anomaly rules.
+
+Lifetimes are the allocator's real input: a dead write, an inverted or
+zero-length interval, or segments that fail to tile their lifetime make
+the flow encoding solve the wrong problem while still returning a
+"globally optimal" answer.  These rules re-check the invariants the
+:mod:`repro.lifetimes` constructors normally enforce — deliberately
+without trusting them, so hand-built or mutated instances are caught
+too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import Finding, LintContext
+from repro.lint.diagnostics import Location, Severity
+from repro.lint.registry import rule
+
+__all__: list[str] = []
+
+
+def _last_read(lifetime) -> int | None:
+    """Final read time without trusting ``Lifetime.end`` (may be empty)."""
+    reads = tuple(lifetime.read_times)
+    return max(reads) if reads else None
+
+
+@rule(
+    "RA201",
+    "lifetime-zero-length",
+    Severity.ERROR,
+    "A lifetime's last read does not come after its write (empty or "
+    "inverted interval).",
+    hint="a value written at the bottom of step w is readable from step "
+    "w + 1; fix the extraction or the hand-built interval",
+)
+def check_zero_length(ctx: LintContext) -> Iterator[Finding]:
+    """RA201: flag lifetimes whose last read is at or before the write."""
+    for name, lifetime in ctx.problem.lifetimes.items():
+        last = _last_read(lifetime)
+        if last is not None and last <= lifetime.write_time:
+            yield Finding(
+                f"lifetime of {name!r} is written at step "
+                f"{lifetime.write_time} but last read at step {last}",
+                Location(variable=name, step=lifetime.write_time),
+            )
+
+
+@rule(
+    "RA202",
+    "lifetime-dead-write",
+    Severity.ERROR,
+    "A lifetime has no reads at all: the value is written and never "
+    "consumed.",
+    hint="drop the dead write, or add the block-end pseudo-read and mark "
+    "the variable live-out if a later task consumes it",
+)
+def check_dead_write(ctx: LintContext) -> Iterator[Finding]:
+    """RA202: flag written-but-never-read, non-live-out lifetimes."""
+    for name, lifetime in ctx.problem.lifetimes.items():
+        if not tuple(lifetime.read_times):
+            yield Finding(
+                f"lifetime of {name!r} (written at step "
+                f"{lifetime.write_time}) is never read",
+                Location(variable=name, step=lifetime.write_time),
+            )
+
+
+@rule(
+    "RA203",
+    "lifetime-past-horizon",
+    Severity.ERROR,
+    "A lifetime is read after the block boundary x + 1.",
+    hint="live-out values are read at most at the block-end pseudo-read "
+    "x + 1; later reads belong to the consuming task's block",
+)
+def check_past_horizon(ctx: LintContext) -> Iterator[Finding]:
+    """RA203: flag reads beyond the block boundary (horizon + 1)."""
+    boundary = ctx.problem.horizon + 1
+    for name, lifetime in ctx.problem.lifetimes.items():
+        last = _last_read(lifetime)
+        if last is not None and last > boundary:
+            yield Finding(
+                f"lifetime of {name!r} is read at step {last}, past the "
+                f"block boundary {boundary}",
+                Location(variable=name, step=last),
+            )
+
+
+@rule(
+    "RA204",
+    "lifetime-key-mismatch",
+    Severity.ERROR,
+    "A lifetime-map key does not match the variable it stores.",
+    hint="key the mapping by Lifetime.name; mismatched keys break "
+    "segment/residency lookups silently",
+)
+def check_key_mismatch(ctx: LintContext) -> Iterator[Finding]:
+    """RA204: flag lifetime-map keys that differ from the variable name."""
+    for key, lifetime in ctx.problem.lifetimes.items():
+        if key != lifetime.name:
+            yield Finding(
+                f"lifetime map key {key!r} stores variable "
+                f"{lifetime.name!r}",
+                Location(variable=lifetime.name, detail=f"map key {key!r}"),
+            )
+
+
+@rule(
+    "RA205",
+    "segment-tiling-broken",
+    Severity.ERROR,
+    "Split segments fail to tile their lifetime exactly (gap, overlap, "
+    "empty segment, or the splitter crashed).",
+    hint="segments must partition [write_time, last read] back-to-back; "
+    "rebuild them with repro.lifetimes.splitting.split_all",
+)
+def check_segment_tiling(ctx: LintContext) -> Iterator[Finding]:
+    """RA205: flag split segments that fail to tile the lifetime."""
+    if ctx.segments_error is not None:
+        yield Finding(
+            f"lifetime splitting failed: {ctx.segments_error}",
+        )
+        return
+    segments = ctx.segments
+    if segments is None:
+        return
+    for name, segs in segments.items():
+        lifetime = ctx.problem.lifetimes.get(name)
+        last = _last_read(lifetime) if lifetime is not None else None
+        if lifetime is None or last is None or last <= lifetime.write_time:
+            continue  # RA201/RA202 report the underlying defect
+        if not segs:
+            yield Finding(
+                f"variable {name!r} produced no segments",
+                Location(variable=name),
+            )
+            continue
+        if segs[0].start != lifetime.write_time or segs[-1].end != last:
+            yield Finding(
+                f"segments of {name!r} cover [{segs[0].start}, "
+                f"{segs[-1].end}] but the lifetime spans "
+                f"[{lifetime.write_time}, {last}]",
+                Location(variable=name, segment=0),
+            )
+        for earlier, later in zip(segs, segs[1:]):
+            if earlier.end != later.start:
+                yield Finding(
+                    f"segments {earlier.index} and {later.index} of "
+                    f"{name!r} meet at {earlier.end} vs {later.start} "
+                    f"(gap or overlap)",
+                    Location(variable=name, segment=later.index),
+                )
+        for seg in segs:
+            if seg.end <= seg.start:
+                yield Finding(
+                    f"segment {seg.index} of {name!r} is empty "
+                    f"([{seg.start}, {seg.end}])",
+                    Location(variable=name, segment=seg.index),
+                )

@@ -1,0 +1,119 @@
+"""RA3xx — restricted-memory (section 5.2) configuration rules.
+
+A memory running at ``f / c`` is only reachable at a subset of control
+steps; segments that cannot legally sit in memory are forced into the
+register file.  When the forced segments alone exceed the register
+count, the flow is infeasible — something the solver only discovers
+after constructing and failing the whole lower-bounded flow.  These
+rules predict that (and related access-period pathologies) statically,
+sharing the forced-density arithmetic with
+:mod:`repro.core.diagnostics`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import Finding, LintContext
+from repro.lint.diagnostics import Location, Severity
+from repro.lint.registry import rule
+
+__all__: list[str] = []
+
+
+@rule(
+    "RA301",
+    "forced-density-exceeds-registers",
+    Severity.ERROR,
+    "Restricted access times (or explicit pins) force more segments "
+    "into the register file than it holds; the flow is provably "
+    "infeasible before solving.",
+    hint="raise the register count to at least the forced density, "
+    "shorten the access period (smaller divisor), or unpin segments",
+)
+def check_forced_density(ctx: LintContext) -> Iterator[Finding]:
+    """RA301: flag forced-segment density exceeding the register count."""
+    from repro.core.diagnostics import forced_density_profile
+
+    if ctx.segments is None:
+        return  # RA2xx reports why the segments are underivable
+    forced = forced_density_profile(ctx.problem)
+    if not forced.overload_steps:
+        return
+    worst = max(forced.overload_steps, key=lambda k: forced.profile[k])
+    steps = ", ".join(str(s) for s in forced.overload_steps)
+    names = ", ".join(forced.peak_variables)
+    yield Finding(
+        f"{forced.density} forced segments are simultaneously live "
+        f"(steps {steps}; variables {names}) but R = "
+        f"{ctx.problem.register_count}; needs R >= {forced.density}",
+        Location(step=worst, detail=f"variables {names}"),
+    )
+
+
+@rule(
+    "RA302",
+    "no-access-step-in-block",
+    Severity.WARNING,
+    "The restricted memory has no access step inside the block: every "
+    "value is forced register-resident.",
+    hint="lower the access offset below the block length, or drop the "
+    "restriction (divisor 1)",
+)
+def check_no_access_step(ctx: LintContext) -> Iterator[Finding]:
+    """RA302: flag restricted memories with no access step in the block."""
+    memory = ctx.problem.memory
+    if not memory.restricted:
+        return
+    access = ctx.access_times
+    boundary = ctx.problem.horizon + 1
+    if access is not None and not any(0 <= m <= boundary for m in access):
+        yield Finding(
+            f"memory at f/{memory.divisor} with offset {memory.offset} "
+            f"has no access step in [0, {boundary}]",
+            Location(detail=f"offset {memory.offset}"),
+        )
+
+
+@rule(
+    "RA303",
+    "forced-pin-unknown-segment",
+    Severity.ERROR,
+    "An explicit forced-segment pin names a (variable, index) pair that "
+    "does not exist after splitting.",
+    hint="pin keys must match Segment.key values produced by the "
+    "splitter for this memory configuration",
+)
+def check_unknown_pin(ctx: LintContext) -> Iterator[Finding]:
+    """RA303: flag forced_segments pins naming nonexistent segments."""
+    segments = ctx.segments
+    if segments is None:
+        return
+    known = {seg.key for segs in segments.values() for seg in segs}
+    for key in sorted(ctx.problem.forced_segments - known):
+        name, index = key
+        yield Finding(
+            f"forced_segments pins unknown segment {key!r}",
+            Location(variable=name, segment=index),
+        )
+
+
+@rule(
+    "RA304",
+    "access-period-exceeds-block",
+    Severity.NOTE,
+    "The memory access period is longer than the block: at most one "
+    "access step falls inside it, so almost everything is forced "
+    "register-resident.",
+    hint="such operating points rarely make sense for a single block; "
+    "check the divisor against the schedule length",
+)
+def check_access_period(ctx: LintContext) -> Iterator[Finding]:
+    """RA304: note access periods longer than the whole block."""
+    memory = ctx.problem.memory
+    if memory.restricted and memory.divisor > max(ctx.problem.horizon, 1):
+        yield Finding(
+            f"access period {memory.divisor} exceeds the block length "
+            f"{ctx.problem.horizon}",
+            Location(detail=f"divisor {memory.divisor}"),
+        )

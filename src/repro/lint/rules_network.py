@@ -1,0 +1,187 @@
+"""RA5xx — flow-network structure rules.
+
+The constructed network *is* the formulation: an arc with inverted
+bounds, a handoff that crosses a maximum-density region (illegal under
+the paper's section-5.1 graph), a segment node unreachable from the
+source, or a source cut too small for the flow value all mean the
+solver is optimising the wrong (or an infeasible) problem.  The
+adjacency check re-derives the era index from the density profile
+independently of the builder, in the same spirit as the post-solve
+oracles of :mod:`repro.verify`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import Finding, LintContext
+from repro.lint.diagnostics import Location, Severity
+from repro.lint.registry import rule
+
+__all__: list[str] = []
+
+
+def _era_index(density: list[int], horizon: int) -> list[int]:
+    """Independent re-derivation of the builder's era compression.
+
+    ``era[k]`` counts the maximum-density half-points strictly before
+    step ``k``; a handoff from a read at ``b`` to a write at ``a`` is
+    adjacent-legal iff ``era[b] == era[a]``.
+    """
+    peak = max(density, default=0)
+    era = [0] * (horizon + 2)
+    count = 0
+    for k in range(horizon + 1):
+        era[k] = count
+        if peak > 0 and k < len(density) and density[k] == peak:
+            count += 1
+    era[horizon + 1] = count
+    return era
+
+
+def _arc_label(arc) -> str:
+    return f"{arc.tail}->{arc.head}"
+
+
+@rule(
+    "RA500",
+    "network-construction-failed",
+    Severity.ERROR,
+    "The flow network could not be constructed from the instance.",
+    hint="fix the underlying lifetime/pin defects reported by the other "
+    "rules; the builder rejects what the solver would crash on",
+)
+def check_construction(ctx: LintContext) -> Iterator[Finding]:
+    """RA500: flag instances whose flow network fails to build."""
+    if ctx.built is None and ctx.network_error is not None:
+        yield Finding(f"network construction failed: {ctx.network_error}")
+
+
+@rule(
+    "RA501",
+    "arc-bounds-inverted",
+    Severity.ERROR,
+    "A network arc carries inconsistent flow bounds (lower > upper, a "
+    "negative lower bound, or non-integer bounds).",
+    hint="arc bounds come from segment forcing; inverted bounds mean "
+    "the network was mutated or built outside FlowNetwork.add_arc",
+)
+def check_arc_bounds(ctx: LintContext) -> Iterator[Finding]:
+    """RA501: flag arcs with non-integer, negative, or inverted bounds."""
+    if ctx.built is None:
+        return
+    for arc in ctx.built.network.arcs:
+        problems = []
+        if not isinstance(arc.capacity, int) or not isinstance(arc.lower, int):
+            problems.append("non-integer bounds")
+        else:
+            if arc.lower < 0:
+                problems.append(f"negative lower bound {arc.lower}")
+            if arc.capacity < arc.lower:
+                problems.append(
+                    f"lower {arc.lower} exceeds capacity {arc.capacity}"
+                )
+        for defect in problems:
+            yield Finding(
+                f"arc {_arc_label(arc)} has {defect}",
+                Location(detail=_arc_label(arc)),
+            )
+
+
+@rule(
+    "RA502",
+    "non-adjacent-handoff",
+    Severity.ERROR,
+    "Under the paper's adjacent graph style, a handoff arc idles a "
+    "register across a maximum-density point (section 5.1 forbids it).",
+    hint="adjacent handoffs must connect segments within the same "
+    "window between regions of maximum lifetime density",
+)
+def check_adjacent_handoffs(ctx: LintContext) -> Iterator[Finding]:
+    """RA502: flag adjacent-style handoffs crossing a density region."""
+    problem = ctx.problem
+    if problem.graph_style != "adjacent" or ctx.built is None:
+        return
+    density = ctx.density
+    if density is None:
+        return
+    era = _era_index(density, problem.horizon)
+    boundary = problem.horizon + 1
+    for arc in ctx.built.network.arcs:
+        data = arc.data
+        if not (isinstance(data, tuple) and data and data[0] == "handoff"):
+            continue
+        src, dst = data[1], data[2]
+        read_time = src.end if src is not None else 0
+        write_time = dst.start if dst is not None else boundary
+        if not (0 <= read_time <= boundary and 0 <= write_time <= boundary):
+            continue  # RA2xx reports out-of-range segment times
+        if era[read_time] != era[write_time]:
+            src_name = f"{src.name}#{src.index}" if src is not None else "s"
+            dst_name = f"{dst.name}#{dst.index}" if dst is not None else "t"
+            yield Finding(
+                f"handoff {src_name} -> {dst_name} idles a register from "
+                f"step {read_time} to step {write_time} across a "
+                f"maximum-density point",
+                Location(
+                    step=read_time, detail=f"{src_name} -> {dst_name}"
+                ),
+            )
+
+
+@rule(
+    "RA503",
+    "segment-unreachable-from-source",
+    Severity.WARNING,
+    "A segment's write node cannot be reached from the source: the "
+    "segment can never be register-resident.",
+    hint="if the segment is forced, the instance is infeasible; "
+    "otherwise it silently degenerates to memory residency",
+)
+def check_reachability(ctx: LintContext) -> Iterator[Finding]:
+    """RA503: flag segment arcs unreachable from the source node."""
+    if ctx.built is None:
+        return
+    built = ctx.built
+    network = built.network
+    reached = {built.source}
+    frontier = [built.source]
+    while frontier:
+        node = frontier.pop()
+        for arc in network.arcs_from(node):
+            if arc.head not in reached:
+                reached.add(arc.head)
+                frontier.append(arc.head)
+    for key, arc in sorted(built.segment_arcs.items()):
+        if arc.tail not in reached:
+            name, index = key
+            yield Finding(
+                f"write node of segment {name}#{index} is unreachable "
+                f"from the source",
+                Location(variable=name, segment=index),
+            )
+
+
+@rule(
+    "RA504",
+    "insufficient-source-capacity",
+    Severity.ERROR,
+    "The total capacity leaving the source is below the required flow "
+    "value R; the instance cannot ship R units.",
+    hint="enable allow_unused_registers (the zero-cost bypass) or lower "
+    "the register count to the shippable flow",
+)
+def check_source_capacity(ctx: LintContext) -> Iterator[Finding]:
+    """RA504: flag source capacity below the required flow value."""
+    if ctx.built is None:
+        return
+    built = ctx.built
+    capacity = sum(
+        arc.capacity for arc in built.network.arcs_from(built.source)
+    )
+    if capacity < built.flow_value:
+        yield Finding(
+            f"source cut capacity {capacity} is below the flow value "
+            f"R = {built.flow_value}",
+            Location(detail=f"capacity {capacity} < R {built.flow_value}"),
+        )

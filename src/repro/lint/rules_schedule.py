@@ -1,0 +1,141 @@
+"""RA1xx — schedule consistency rules.
+
+These rules only run when the caller supplies the schedule the lifetimes
+were extracted from (e.g. the pipeline entry points and ``repro-alloc
+lint`` on kernel workloads).  They re-check the dataflow-precedence and
+completeness facts :meth:`repro.scheduling.schedule.Schedule.validate`
+asserts at construction time — but as structured diagnostics over a
+possibly hand-built or mutated schedule, instead of a one-shot
+exception.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import Finding, LintContext
+from repro.lint.diagnostics import Location, Severity
+from repro.lint.registry import rule
+
+__all__: list[str] = []
+
+
+@rule(
+    "RA101",
+    "schedule-use-before-def",
+    Severity.ERROR,
+    "An operation reads its input before the producing operation has "
+    "written it.",
+    hint="delay the consumer to start after the producer's write step "
+    "(start >= producer start + delay)",
+)
+def check_use_before_def(ctx: LintContext) -> Iterator[Finding]:
+    """RA101: flag consumers scheduled at or before their producer's write."""
+    schedule = ctx.schedule
+    if schedule is None:
+        return
+    start = schedule.start
+    for producer, consumer in schedule.block.dependence_edges():
+        ps = start.get(producer.name)
+        cs = start.get(consumer.name)
+        if ps is None or cs is None:
+            continue  # RA102 reports the missing assignment
+        write_step = ps + producer.delay - 1
+        if cs <= write_step:
+            yield Finding(
+                f"{consumer.name!r} starts at step {cs} but its input "
+                f"{producer.output!r} is written at the bottom of step "
+                f"{write_step} by {producer.name!r}",
+                Location(
+                    variable=producer.output, op=consumer.name, step=cs
+                ),
+            )
+
+
+@rule(
+    "RA102",
+    "schedule-missing-operation",
+    Severity.ERROR,
+    "A block operation has no start step in the schedule.",
+    hint="assign every operation of the block a start step >= 1",
+)
+def check_missing_operation(ctx: LintContext) -> Iterator[Finding]:
+    """RA102: flag block operations the schedule never assigns a step."""
+    schedule = ctx.schedule
+    if schedule is None:
+        return
+    for op in schedule.block:
+        if op.name not in schedule.start:
+            yield Finding(
+                f"operation {op.name!r} of block "
+                f"{schedule.block.name!r} is unscheduled",
+                Location(op=op.name, variable=op.output),
+            )
+
+
+@rule(
+    "RA103",
+    "schedule-unknown-operation",
+    Severity.WARNING,
+    "The schedule assigns a start step to an operation the block does "
+    "not contain.",
+    hint="drop stale entries when rescheduling a transformed block",
+)
+def check_unknown_operation(ctx: LintContext) -> Iterator[Finding]:
+    """RA103: flag schedule entries naming operations outside the block."""
+    schedule = ctx.schedule
+    if schedule is None:
+        return
+    known = {op.name for op in schedule.block}
+    for name in sorted(set(schedule.start) - known):
+        yield Finding(
+            f"schedule mentions unknown operation {name!r}",
+            Location(op=name, step=schedule.start[name]),
+        )
+
+
+@rule(
+    "RA104",
+    "schedule-nonpositive-step",
+    Severity.ERROR,
+    "An operation starts before control step 1.",
+    hint="control steps are 1-based; shift the schedule forward",
+)
+def check_nonpositive_step(ctx: LintContext) -> Iterator[Finding]:
+    """RA104: flag operations starting before control step 1."""
+    schedule = ctx.schedule
+    if schedule is None:
+        return
+    for name, step in sorted(schedule.start.items()):
+        if step < 1:
+            yield Finding(
+                f"operation {name!r} starts at step {step} (< 1)",
+                Location(op=name, step=step),
+            )
+
+
+@rule(
+    "RA105",
+    "schedule-horizon-mismatch",
+    Severity.WARNING,
+    "The problem's horizon disagrees with the schedule length.",
+    hint="build the problem with AllocationProblem.from_schedule so the "
+    "horizon tracks the schedule",
+)
+def check_horizon_mismatch(ctx: LintContext) -> Iterator[Finding]:
+    """RA105: flag a problem horizon disagreeing with the schedule length."""
+    schedule = ctx.schedule
+    if schedule is None:
+        return
+    start = schedule.start
+    if any(op.name not in start for op in schedule.block):
+        return  # length is undefined; RA102 reports the real defect
+    length = max(
+        (start[op.name] + op.delay - 1 for op in schedule.block), default=0
+    )
+    if ctx.problem.horizon != length:
+        yield Finding(
+            f"problem horizon is {ctx.problem.horizon} but the schedule "
+            f"occupies {length} control steps",
+            Location(step=length),
+        )

@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 export of lint reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what CI surfaces — GitHub code scanning, VS Code SARIF viewers — ingest.
+:func:`to_sarif` maps the report onto one SARIF ``run``: every
+registered rule becomes a ``reportingDescriptor`` (so consumers can
+show rule metadata even for rules that did not fire), every diagnostic
+becomes a ``result`` with a logical location (this analyser checks
+in-memory allocation instances, not source files, so anchors are
+logical — variable/segment/operation/step — rather than physical).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import __version__ as _package_version
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.registry import all_rules
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif", "sarif_to_json"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/repro/repro"
+
+
+def _logical_location(diagnostic: Diagnostic) -> dict:
+    loc = diagnostic.location
+    if loc.variable is not None:
+        name = loc.variable
+        kind = "variable"
+        if loc.segment is not None:
+            name = f"{loc.variable}#{loc.segment}"
+    elif loc.op is not None:
+        name = loc.op
+        kind = "function"
+    else:
+        name = "problem"
+        kind = "module"
+    qualified = loc.describe() or name
+    return {
+        "name": name,
+        "fullyQualifiedName": qualified,
+        "kind": kind,
+    }
+
+
+def _result(diagnostic: Diagnostic, rule_index: dict[str, int]) -> dict:
+    result = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index[diagnostic.code],
+        "level": diagnostic.severity.label,
+        "message": {"text": diagnostic.message},
+        "locations": [{"logicalLocations": [_logical_location(diagnostic)]}],
+        "properties": dict(diagnostic.location.to_dict()),
+    }
+    if diagnostic.hint:
+        result["properties"]["hint"] = diagnostic.hint
+    return result
+
+
+def to_sarif(report: LintReport) -> dict:
+    """Render *report* as a SARIF 2.1.0 log (a JSON-ready dict)."""
+    rules = all_rules()
+    rule_index = {entry.code: i for i, entry in enumerate(rules)}
+    descriptors = []
+    for entry in rules:
+        descriptor = {
+            "id": entry.code,
+            "name": entry.name,
+            "shortDescription": {"text": entry.summary},
+            "defaultConfiguration": {"level": entry.severity.label},
+        }
+        if entry.hint:
+            descriptor["help"] = {"text": entry.hint}
+        descriptors.append(descriptor)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": _package_version,
+                        "informationUri": _TOOL_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "results": [
+                    _result(d, rule_index) for d in report.diagnostics
+                ],
+            }
+        ],
+    }
+
+
+def sarif_to_json(report: LintReport, indent: int = 2) -> str:
+    """Serialise :func:`to_sarif` output to a JSON string."""
+    return json.dumps(to_sarif(report), indent=indent, sort_keys=True) + "\n"

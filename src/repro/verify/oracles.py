@@ -83,7 +83,13 @@ class Violation:
 
 
 def oracle_flow_conservation(allocation: Allocation) -> None:
-    """Flow bounds, conservation and terminal balance (section 4)."""
+    """Flow bounds, conservation and terminal balance (section 4).
+
+    Delegates to :func:`repro.flow.validate.check_flow` (which itself
+    sits on the shared :func:`~repro.flow.validate.node_balances`
+    arithmetic) rather than re-implementing conservation here — one
+    balance computation, two consumers.
+    """
     try:
         check_flow(
             allocation.flow,

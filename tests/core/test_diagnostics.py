@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.diagnostics import diagnose, minimum_feasible_registers
+from repro.core.diagnostics import (
+    diagnose,
+    forced_density_profile,
+    minimum_feasible_registers,
+)
 from repro.core.problem import AllocationProblem
 from repro.energy import MemoryConfig
 from tests.conftest import make_lifetime
@@ -54,6 +58,62 @@ def test_minimum_registers_matches_forced_density_when_connectable():
     assert minimum_feasible_registers(problem) == 2
     fixed = problem.with_options(register_count=2)
     assert diagnose(fixed).feasible
+
+
+def test_minimum_registers_single_variable():
+    # A lone forced lifetime: the minimum is exactly one register.
+    lifetimes = {"u": make_lifetime("u", 2, 4)}
+    problem = AllocationProblem(
+        lifetimes,
+        0,
+        6,
+        memory=MemoryConfig(divisor=6, voltage=2.0, offset=1),
+    )
+    assert minimum_feasible_registers(problem) == 1
+    assert not diagnose(problem).feasible
+
+
+def test_minimum_registers_on_already_feasible_instance():
+    # R=2 satisfies the forced density of 2; the lower bound is returned
+    # without any binary search above it.
+    problem = overloaded_problem(2)
+    assert minimum_feasible_registers(problem) == 2
+    report = diagnose(problem)
+    assert report.feasible
+    assert report.minimum_registers == 2
+
+
+def test_diagnose_without_forced_segments():
+    # Unrestricted memory, no pins: nothing is forced, any R works.
+    lifetimes = {
+        "a": make_lifetime("a", 1, 4),
+        "b": make_lifetime("b", 2, 5),
+    }
+    problem = AllocationProblem(lifetimes, 1, 5)
+    report = diagnose(problem)
+    assert report.feasible
+    assert report.forced_density == 0
+    assert report.overload_steps == ()
+    assert report.forced_at_peak == ()
+    assert report.minimum_registers == 0
+
+
+def test_forced_density_profile_is_pure_and_complete():
+    forced = forced_density_profile(overloaded_problem(1))
+    assert forced.density == 2
+    assert max(forced.profile) == 2
+    assert forced.overload_steps == tuple(
+        k for k, v in enumerate(forced.profile) if v > 1
+    )
+    assert forced.peak_variables == ("u", "v")
+
+
+def test_forced_density_profile_empty_when_unrestricted():
+    problem = AllocationProblem({"a": make_lifetime("a", 1, 3)}, 1, 3)
+    forced = forced_density_profile(problem)
+    assert forced.density == 0
+    assert forced.overload_steps == ()
+    assert forced.peak_variables == ()
 
 
 def test_diagnose_counts_explicit_pins():

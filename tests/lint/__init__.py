@@ -1,0 +1,1 @@
+"""Tests for the pre-solve static analysis engine (:mod:`repro.lint`)."""

@@ -1,0 +1,144 @@
+"""Tests for the ``repro-alloc lint`` subcommand and infeasibility exits."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_lint_paper_examples_are_clean(capsys):
+    for workload in ("fig1", "fig3", "fig4"):
+        assert main(["lint", workload]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+
+def test_lint_defaults_to_fig3(capsys):
+    assert main(["lint"]) == 0
+    assert "fig3" in capsys.readouterr().out
+
+
+def test_lint_kernel_with_schedule(capsys):
+    assert main(["lint", "fir", "--taps", "4"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_finds_forced_overload(capsys):
+    code = main(["lint", "fir", "--taps", "4", "--divisor", "4", "-R", "1"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RA301" in out
+    assert "hint:" in out
+
+
+def test_lint_fail_on_never_reports_but_passes(capsys):
+    code = main(
+        [
+            "lint",
+            "fir",
+            "--taps",
+            "4",
+            "--divisor",
+            "4",
+            "-R",
+            "1",
+            "--fail-on",
+            "never",
+        ]
+    )
+    assert code == 0
+    assert "RA301" in capsys.readouterr().out
+
+
+def test_lint_ignore_silences_a_rule(capsys):
+    code = main(
+        [
+            "lint",
+            "fir",
+            "--taps",
+            "4",
+            "--divisor",
+            "4",
+            "-R",
+            "1",
+            "--ignore",
+            "RA301",
+        ]
+    )
+    assert code == 0
+
+
+def test_lint_select_family(capsys):
+    code = main(
+        [
+            "lint",
+            "fir",
+            "--taps",
+            "4",
+            "--divisor",
+            "4",
+            "-R",
+            "1",
+            "--select",
+            "RA4",
+        ]
+    )
+    assert code == 0
+    assert "RA301" not in capsys.readouterr().out
+
+
+def test_lint_json_format(capsys):
+    assert main(["lint", "fig4", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.lint/report/v1"
+    assert payload["counts"]["error"] == 0
+
+
+def test_lint_writes_sarif(tmp_path, capsys):
+    target = tmp_path / "report.sarif"
+    assert main(["lint", "fig3", "--sarif", str(target)]) == 0
+    doc = json.loads(target.read_text())
+    assert doc["version"] == "2.1.0"
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert doc["runs"][0]["results"] == []
+
+
+def test_lint_sarif_records_findings(tmp_path):
+    target = tmp_path / "dirty.sarif"
+    code = main(
+        [
+            "lint",
+            "fir",
+            "--taps",
+            "4",
+            "--divisor",
+            "4",
+            "-R",
+            "1",
+            "--sarif",
+            str(target),
+        ]
+    )
+    assert code == 1
+    doc = json.loads(target.read_text())
+    results = doc["runs"][0]["results"]
+    assert any(r["ruleId"] == "RA301" for r in results)
+
+
+def test_lint_sarif_unwritable_path_fails(capsys):
+    code = main(["lint", "fig3", "--sarif", "/nonexistent/dir/x.sarif"])
+    assert code == 1
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_infeasible_solve_exits_2_with_diagnosis(capsys):
+    # R=1 under the table-1 restricted operating points is infeasible;
+    # the CLI must explain the overload instead of dumping a traceback.
+    code = main(["table1", "-R", "1"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "infeasible at R=1" in err
+    assert "needs R>=" in err

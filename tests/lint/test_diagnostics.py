@@ -1,0 +1,120 @@
+"""Tests for the lint diagnostic data model."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.lint import Diagnostic, LintReport, Location, NO_LOCATION, Severity
+
+
+def diag(code, severity, message="something is off", **loc):
+    return Diagnostic(
+        code=code,
+        rule="some-rule",
+        severity=severity,
+        message=message,
+        location=Location(**loc) if loc else NO_LOCATION,
+    )
+
+
+def test_severity_is_ordered():
+    assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+
+def test_severity_labels_match_sarif_levels():
+    assert [s.label for s in Severity] == ["note", "warning", "error"]
+
+
+def test_severity_from_name_round_trips():
+    for severity in Severity:
+        assert Severity.from_name(severity.label) is severity
+    assert Severity.from_name("ERROR") is Severity.ERROR
+
+
+def test_severity_from_name_rejects_unknown():
+    with pytest.raises(ReproError, match="unknown severity"):
+        Severity.from_name("fatal")
+
+
+def test_location_describe_variants():
+    assert NO_LOCATION.describe() == ""
+    assert Location(variable="a").describe() == "variable a"
+    assert Location(variable="a", segment=1).describe() == "variable a#1"
+    loc = Location(op="m", step=3, detail="extra")
+    assert loc.describe() == "op m, step 3, extra"
+
+
+def test_location_to_dict_drops_none_fields():
+    assert NO_LOCATION.to_dict() == {}
+    assert Location(variable="a", step=2).to_dict() == {
+        "variable": "a",
+        "step": 2,
+    }
+
+
+def test_diagnostic_family_and_format():
+    d = diag("RA301", Severity.ERROR, variable="u", step=4)
+    assert d.family == "RA3"
+    text = d.format()
+    assert text.startswith("RA301 error some-rule: something is off")
+    assert "variable u" in text and "step 4" in text
+
+
+def test_diagnostic_format_includes_hint():
+    d = Diagnostic(
+        code="RA101",
+        rule="r",
+        severity=Severity.NOTE,
+        message="m",
+        hint="do the thing",
+    )
+    assert "hint: do the thing" in d.format()
+
+
+def test_report_sorts_deterministically():
+    report = LintReport(
+        (
+            diag("RA501", Severity.ERROR),
+            diag("RA101", Severity.ERROR, step=9),
+            diag("RA101", Severity.ERROR, step=2),
+        )
+    )
+    assert [d.code for d in report] == ["RA101", "RA101", "RA501"]
+    assert report.diagnostics[0].location.step == 2
+
+
+def test_report_filters_and_counts():
+    report = LintReport(
+        (
+            diag("RA101", Severity.ERROR),
+            diag("RA304", Severity.NOTE),
+            diag("RA403", Severity.WARNING),
+        )
+    )
+    assert len(report) == 3
+    assert report.worst() is Severity.ERROR
+    assert report.count(Severity.NOTE) == 1
+    assert {d.code for d in report.at_least(Severity.WARNING)} == {
+        "RA101",
+        "RA403",
+    }
+    assert [d.code for d in report.errors] == ["RA101"]
+    assert report.codes == ("RA101", "RA304", "RA403")
+
+
+def test_report_summary():
+    assert "clean" in LintReport(()).summary()
+    assert LintReport(()).worst() is None
+    report = LintReport(
+        (diag("RA101", Severity.ERROR), diag("RA102", Severity.ERROR))
+    )
+    summary = report.summary()
+    assert "2 errors" in summary and "RA101" in summary
+
+
+def test_report_to_dict_is_versioned():
+    report = LintReport((diag("RA101", Severity.ERROR, variable="a"),))
+    payload = report.to_dict()
+    assert payload["schema"] == "repro.lint/report/v1"
+    assert payload["counts"] == {"note": 0, "warning": 0, "error": 1}
+    assert payload["codes"] == ["RA101"]
+    assert payload["diagnostics"][0]["location"] == {"variable": "a"}

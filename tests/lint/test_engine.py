@@ -1,0 +1,151 @@
+"""Tests for the lint engine: clean runs, selection, overrides, gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AllocationProblem, allocate
+from repro.core.pipeline import allocate_block, allocate_schedule
+from repro.energy import MemoryConfig, PairwiseSwitchingModel
+from repro.exceptions import LintGateError
+from repro.lint import LintConfig, Severity, all_rules, get_rule, run_lint
+from repro.obs import trace as obs
+from repro.scheduling import list_schedule
+from repro.workloads import (
+    FIGURE1_HORIZON,
+    FIGURE3_ACTIVITIES,
+    FIGURE3_HORIZON,
+    FIGURE4_ACTIVITIES,
+    FIGURE4_HORIZON,
+    figure1_lifetimes,
+    figure3_lifetimes,
+    figure4_lifetimes,
+    fir_filter,
+)
+from tests.conftest import make_lifetime
+
+
+def paper_problems():
+    for lifetimes, horizon, activities in (
+        (figure1_lifetimes(), FIGURE1_HORIZON, None),
+        (figure3_lifetimes(), FIGURE3_HORIZON, FIGURE3_ACTIVITIES),
+        (figure4_lifetimes(), FIGURE4_HORIZON, FIGURE4_ACTIVITIES),
+    ):
+        kwargs = {}
+        if activities is not None:
+            kwargs["energy_model"] = PairwiseSwitchingModel(activities)
+        yield AllocationProblem(lifetimes, 2, horizon, **kwargs)
+
+
+def overloaded_problem():
+    lifetimes = {
+        "u": make_lifetime("u", 2, 4),
+        "v": make_lifetime("v", 2, 4),
+    }
+    return AllocationProblem(
+        lifetimes, 1, 6, memory=MemoryConfig(divisor=6, voltage=2.0)
+    )
+
+
+def test_paper_examples_lint_clean():
+    for problem in paper_problems():
+        report = run_lint(problem)
+        assert report.errors == (), report.summary()
+
+
+def test_scheduled_kernel_lints_clean(rng):
+    block = fir_filter(4, rng)
+    schedule = list_schedule(block)
+    problem = AllocationProblem.from_schedule(schedule, register_count=4)
+    report = run_lint(problem, schedule=schedule)
+    assert len(report) == 0
+
+
+def test_rule_registry_is_complete_and_stable():
+    rules = all_rules()
+    codes = [entry.code for entry in rules]
+    assert codes == sorted(codes)
+    assert len(set(codes)) == len(codes)
+    families = {entry.family for entry in rules}
+    assert {"RA1", "RA2", "RA3", "RA4", "RA5", "RA9"} <= families
+    assert get_rule("RA900").check is None
+
+
+def test_select_restricts_rule_families():
+    problem = overloaded_problem()
+    report = run_lint(problem, config=LintConfig(select=("RA4",)))
+    assert all(d.family == "RA4" for d in report)
+
+
+def test_ignore_drops_selected_codes():
+    problem = overloaded_problem()
+    full = run_lint(problem)
+    assert "RA301" in full.codes
+    filtered = run_lint(problem, config=LintConfig(ignore=("RA301",)))
+    assert "RA301" not in filtered.codes
+
+
+def test_severity_override_applies():
+    problem = overloaded_problem()
+    report = run_lint(
+        problem,
+        config=LintConfig(
+            select=("RA301",),
+            severity_overrides={"RA301": Severity.NOTE},
+        ),
+    )
+    assert [d.severity for d in report] == [Severity.NOTE]
+
+
+def test_run_emits_obs_counters():
+    with obs.collect() as trace:
+        run_lint(overloaded_problem())
+    assert trace.counter("lint.rules_run") >= 20
+    assert trace.counter("lint.diagnostics") >= 1
+    assert trace.counter("lint.errors") >= 1
+    assert trace.find("lint.run") is not None
+
+
+# ----------------------------------------------------------------------
+# the opt-in gate
+# ----------------------------------------------------------------------
+def test_gate_passes_clean_instance():
+    problem = next(iter(paper_problems()))
+    report = allocate(problem, lint="error")
+    assert report.objective == allocate(problem).objective
+
+
+def test_gate_raises_with_report_attached():
+    with pytest.raises(LintGateError) as excinfo:
+        allocate(overloaded_problem(), lint="error")
+    exc = excinfo.value
+    assert "RA301" in str(exc)
+    assert exc.report is not None
+    assert "RA301" in exc.report.codes
+
+
+def test_gate_threshold_is_respected():
+    # The overload is an ERROR; gating only on nothing ("note" finds the
+    # error too, so use a config that silences the family instead).
+    problem = overloaded_problem()
+    from repro.lint import gate_problem
+
+    report = gate_problem(
+        problem, fail_on="error", config=LintConfig(ignore=("RA301",))
+    )
+    assert "RA301" not in report.codes
+
+
+def test_pipeline_gate_sees_schedule(rng):
+    block = fir_filter(4, rng)
+    result = allocate_block(block, register_count=4, lint="warning")
+    assert result.allocation.objective == result.total_energy
+    schedule = list_schedule(block)
+    result = allocate_schedule(schedule, register_count=4, lint="error")
+    assert result.problem.register_count == 4
+
+
+def test_allocate_without_lint_never_gates():
+    # The default path must not even import the lint machinery's gate.
+    allocation = allocate(next(iter(paper_problems())))
+    assert allocation.objective is not None

@@ -1,0 +1,107 @@
+"""Shape tests for the SARIF 2.1.0 exporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+    all_rules,
+    sarif_to_json,
+    to_sarif,
+)
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+
+def sample_report():
+    return LintReport(
+        (
+            Diagnostic(
+                code="RA301",
+                rule="forced-density-exceeds-registers",
+                severity=Severity.ERROR,
+                message="too dense",
+                location=Location(step=4, detail="variables u, v"),
+                hint="raise R",
+            ),
+            Diagnostic(
+                code="RA201",
+                rule="lifetime-zero-length",
+                severity=Severity.ERROR,
+                message="empty interval",
+                location=Location(variable="u", segment=0, step=2),
+            ),
+            Diagnostic(
+                code="RA101",
+                rule="schedule-use-before-def",
+                severity=Severity.WARNING,
+                message="early read",
+                location=Location(op="n", step=2),
+            ),
+        )
+    )
+
+
+def test_sarif_top_level_shape():
+    doc = to_sarif(sample_report())
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"] == SARIF_SCHEMA
+    assert len(doc["runs"]) == 1
+
+
+def test_sarif_driver_lists_every_registered_rule():
+    doc = to_sarif(LintReport(()))
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert driver["version"]
+    ids = [entry["id"] for entry in driver["rules"]]
+    assert ids == [entry.code for entry in all_rules()]
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["defaultConfiguration"]["level"] in (
+            "note",
+            "warning",
+            "error",
+        )
+
+
+def test_sarif_results_reference_rules_by_index():
+    doc = to_sarif(sample_report())
+    run = doc["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert len(run["results"]) == 3
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+        assert result["message"]["text"]
+        assert result["level"] in ("note", "warning", "error")
+
+
+def test_sarif_logical_locations():
+    doc = to_sarif(sample_report())
+    by_rule = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    var = by_rule["RA201"]["locations"][0]["logicalLocations"][0]
+    assert var == {
+        "name": "u#0",
+        "fullyQualifiedName": "variable u#0, step 2",
+        "kind": "variable",
+    }
+    op = by_rule["RA101"]["locations"][0]["logicalLocations"][0]
+    assert op["name"] == "n" and op["kind"] == "function"
+    inst = by_rule["RA301"]["locations"][0]["logicalLocations"][0]
+    assert inst["name"] == "problem" and inst["kind"] == "module"
+
+
+def test_sarif_properties_carry_hint():
+    doc = to_sarif(sample_report())
+    by_rule = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    assert by_rule["RA301"]["properties"]["hint"] == "raise R"
+
+
+def test_sarif_json_round_trips():
+    text = sarif_to_json(sample_report())
+    doc = json.loads(text)
+    assert doc["version"] == "2.1.0"
+    assert text.endswith("\n")
