@@ -22,7 +22,12 @@ Subcommands:
 * ``fuzz`` — seeded differential fuzzing of the allocator: random
   instances through the oracle battery, solver cross-checks and baseline
   dominance, with greedy shrinking of any failure into a minimal
-  reproducer (see :mod:`repro.verify`).
+  reproducer (see :mod:`repro.verify`);
+* ``batch`` — solve a manifest of instances through the batch service:
+  canonical-form result cache (in-memory + optional on-disk), parallel
+  workers with per-job timeouts, retry with exponential backoff and the
+  SSP → cycle-cancelling → two-phase fallback ladder, emitting a
+  versioned batch report (see :mod:`repro.service`).
 
 Examples::
 
@@ -34,6 +39,7 @@ Examples::
     repro-alloc profile fir --taps 8 -R 4
     repro-alloc profile ewf --format table
     repro-alloc fuzz --seed 0 --iters 100 -o fuzz-report.json
+    repro-alloc batch examples/manifests/paper.json --workers 4
 """
 
 from __future__ import annotations
@@ -41,7 +47,6 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import Callable
 
 from repro.analysis import compare_allocators, format_table, improvement_factor
 from repro.baselines import two_phase_allocate
@@ -58,37 +63,42 @@ from repro.ir.basic_block import BasicBlock
 from repro.lifetimes import extract_lifetimes
 from repro.scheduling import list_schedule
 from repro.workloads import (
-    FIGURE1_HORIZON,
     FIGURE3_ACTIVITIES,
     FIGURE3_HORIZON,
     FIGURE4_ACTIVITIES,
     FIGURE4_HORIZON,
-    dct4,
-    elliptic_wave_filter,
-    figure1_lifetimes,
     figure3_lifetimes,
     figure4_lifetimes,
-    fir_filter,
-    iir_biquad,
-    random_dfg,
-    rsp_block,
     rsp_schedule,
 )
+from repro.workloads.registry import KERNEL_NAMES, figure_example, kernel_block
 
 __all__ = ["main"]
 
 
 def _kernel(args: argparse.Namespace) -> BasicBlock:
-    rng = random.Random(args.seed)
-    factories: dict[str, Callable[[], BasicBlock]] = {
-        "fir": lambda: fir_filter(args.taps, rng),
-        "iir": lambda: iir_biquad(2, rng),
-        "ewf": lambda: elliptic_wave_filter(rng),
-        "dct": lambda: dct4(rng),
-        "rsp": lambda: rsp_block(rng=rng),
-        "random": lambda: random_dfg(rng, operations=40, traced=True),
-    }
-    return factories[args.kernel]()
+    """Build the kernel named by the parsed arguments (shared registry)."""
+    return kernel_block(args.kernel, taps=args.taps, seed=args.seed)
+
+
+def _write_output(path: str, text: str, what: str) -> int:
+    """Write *text* to *path* (or stdout for ``-``); returns exit code.
+
+    The shared output tail of every report-emitting subcommand (lint
+    ``--sarif``, profile, fuzz, batch): file errors become a message on
+    stderr and exit code 1 instead of a traceback.
+    """
+    if path and path != "-":
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"cannot write {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {what} to {path}")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def _model(name: str):
@@ -299,14 +309,8 @@ def _lint_target(args: argparse.Namespace):
         # memory so RA405 checks the user's instance, not our defaults.
         model = model.with_voltages(memory.voltage, model.reg_voltage)
 
-    figures = {
-        "fig1": (figure1_lifetimes, FIGURE1_HORIZON, None),
-        "fig3": (figure3_lifetimes, FIGURE3_HORIZON, FIGURE3_ACTIVITIES),
-        "fig4": (figure4_lifetimes, FIGURE4_HORIZON, FIGURE4_ACTIVITIES),
-    }
-    if args.workload in figures:
-        factory, horizon, activities = figures[args.workload]
-        lifetimes = factory()
+    if args.workload in ("fig1", "fig3", "fig4"):
+        lifetimes, horizon, activities = figure_example(args.workload)
         if activities is not None:
             model = PairwiseSwitchingModel(activities)
             if args.divisor > 1:
@@ -360,13 +364,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(render_text(report, title=f"lint {label}"))
     if args.sarif:
-        try:
-            with open(args.sarif, "w", encoding="utf-8") as handle:
-                handle.write(sarif_to_json(report))
-        except OSError as exc:
-            print(f"cannot write {args.sarif}: {exc}", file=sys.stderr)
-            return 1
-        print(f"wrote SARIF report to {args.sarif}", file=sys.stderr)
+        code = _write_output(args.sarif, sarif_to_json(report), "SARIF report")
+        if code:
+            return code
     if args.fail_on == "never":
         return 0
     threshold = Severity.from_name(args.fail_on)
@@ -396,17 +396,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         text = report_to_csv(report)
     else:
         text = report_to_json(report)
-    if args.output and args.output != "-":
-        try:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        except OSError as exc:
-            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
-            return 1
-        print(f"wrote {args.format} run report to {args.output}")
-    else:
-        sys.stdout.write(text)
-    return 0
+    return _write_output(args.output, text, f"{args.format} run report")
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -420,16 +410,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
     )
     text = render_report(report)
-    if args.output and args.output != "-":
-        try:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        except OSError as exc:
-            print(f"cannot write {args.output}: {exc}", file=sys.stderr)
-            return 1
-        print(f"wrote fuzz report to {args.output}")
-    else:
-        sys.stdout.write(text)
+    code = _write_output(args.output, text, "fuzz report")
+    if code:
+        return code
     statuses = report["statuses"]
     summary = (
         f"fuzz: {report['iterations']} cases, {statuses['ok']} ok, "
@@ -438,6 +421,76 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     print(summary, file=sys.stderr)
     return 1 if statuses["violation"] else 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.exceptions import ServiceError
+    from repro.service import (
+        BatchExecutor,
+        ResultCache,
+        build_batch_report,
+        load_manifest,
+        render_batch_text,
+        report_to_json,
+    )
+
+    inject: dict[str, int] = {}
+    for item in args.inject_fault or ():
+        rung, _, budget = item.partition("=")
+        try:
+            inject[rung] = int(budget) if budget else -1
+        except ValueError:
+            print(f"bad --inject-fault {item!r}", file=sys.stderr)
+            return 2
+    try:
+        manifest = load_manifest(args.manifest)
+        workloads = manifest.build()
+        cache = None
+        if not args.no_cache:
+            cache = ResultCache(directory=args.cache_dir)
+        executor = BatchExecutor(
+            workers=args.workers,
+            cache=cache,
+            max_retries=args.retries,
+            timeout=args.timeout,
+            chunksize=args.chunksize,
+            lint=args.lint,
+            certify_fraction=args.certify_fraction,
+            seed=args.seed,
+            inject_faults=inject,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    results = executor.map_blocks(
+        [w.problem for w in workloads], ids=[w.label for w in workloads]
+    )
+    wall = time.perf_counter() - start
+    report = build_batch_report(
+        results,
+        cache=cache,
+        wall_time_s=wall,
+        workers=args.workers,
+        manifest=str(args.manifest),
+    )
+    if args.format == "text":
+        text = render_batch_text(report)
+    else:
+        text = report_to_json(report)
+    code = _write_output(args.output, text, "batch report")
+    if code:
+        return code
+    totals = report["totals"]
+    print(
+        f"batch: {totals['jobs']} jobs, {totals['ok']} ok, "
+        f"{totals['failed']} failed, {totals['timeout']} timeout, "
+        f"{totals['cached']} cache-served in {wall:.2f}s",
+        file=sys.stderr,
+    )
+    return 1 if totals["failed"] or totals["timeout"] else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -450,11 +503,7 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--kernel",
-            choices=("fir", "iir", "ewf", "dct", "rsp", "random"),
-            default="fir",
-        )
+        p.add_argument("--kernel", choices=KERNEL_NAMES, default="fir")
         p.add_argument("--taps", type=int, default=8)
         p.add_argument("--registers", "-R", type=int, default=4)
         p.add_argument("--seed", type=int, default=2024)
@@ -565,7 +614,7 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument(
         "kernel",
         nargs="?",
-        choices=("fir", "iir", "ewf", "dct", "rsp", "random"),
+        choices=KERNEL_NAMES,
         default="fir",
         help="workload to profile (default: the quickstart fir kernel)",
     )
@@ -614,6 +663,85 @@ def main(argv: list[str] | None = None) -> int:
         help="write the fuzz report JSON to a file instead of stdout",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    batch = sub.add_parser(
+        "batch",
+        help="solve a manifest of instances through the cache + "
+        "parallel executor",
+    )
+    batch.add_argument(
+        "manifest",
+        help="path to a repro.service/manifest/v1 JSON document",
+    )
+    batch.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (1 = solve in-process; default: 1)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache directory (shared between runs)",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching entirely",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job time budget in seconds (needs --workers > 1)",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="same-solver retries before falling back (default: 1)",
+    )
+    batch.add_argument(
+        "--chunksize",
+        type=int,
+        default=1,
+        help="jobs dispatched per worker task (default: 1)",
+    )
+    batch.add_argument(
+        "--lint",
+        choices=("error", "warning", "note"),
+        default=None,
+        help="pre-solve lint gate severity per job (default: off)",
+    )
+    batch.add_argument(
+        "--certify-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of jobs whose optimality certificate is "
+        "spot-checked (seeded sample; default: 0)",
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--inject-fault",
+        action="append",
+        metavar="RUNG[=N]",
+        help="chaos-test: force N failures (default: always) of a "
+        "solver rung, e.g. ssp=2 (repeatable)",
+    )
+    batch.add_argument(
+        "--format",
+        choices=("json", "text"),
+        default="json",
+        help="batch report format (default: json)",
+    )
+    batch.add_argument(
+        "--output",
+        "-o",
+        default="-",
+        help="write the batch report to a file instead of stdout",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     args = parser.parse_args(argv)
     try:

@@ -78,6 +78,7 @@ def allocate_schedule(
     memory: MemoryConfig | None = None,
     reallocate: bool = True,
     lint: str | None = None,
+    certify: bool = False,
     **options,
 ) -> PipelineResult:
     """Run the allocation pipeline on a scheduled block.
@@ -91,6 +92,10 @@ def allocate_schedule(
         lint: Opt-in pre-solve static analysis gate (severity name, see
             :func:`repro.core.solver.allocate`).  Run here rather than in
             the solver so the RA1xx schedule rules see the schedule.
+        certify: Additionally construct and verify an optimality
+            certificate on the flow solution (see
+            :func:`repro.core.solver.allocate`); the batch service uses
+            this for sampled spot-checks.
         **options: Forwarded to :class:`AllocationProblem` (``graph_style``,
             ``split_at_reads``, ``allow_unused_registers``).
 
@@ -114,7 +119,7 @@ def allocate_schedule(
 
         gate_problem(problem, schedule=schedule, fail_on=lint)
     with obs.span("pipeline.allocate"):
-        allocation = allocate(problem)
+        allocation = allocate(problem, certify=certify)
     layout = None
     if reallocate and allocation.memory_addresses:
         with obs.span("pipeline.reallocate"):
@@ -130,6 +135,7 @@ def allocate_block(
     memory: MemoryConfig | None = None,
     reallocate: bool = True,
     lint: str | None = None,
+    certify: bool = False,
     **options,
 ) -> PipelineResult:
     """Schedule *block* (list scheduling) and run the allocation pipeline."""
@@ -142,5 +148,6 @@ def allocate_block(
         memory=memory,
         reallocate=reallocate,
         lint=lint,
+        certify=certify,
         **options,
     )

@@ -22,7 +22,7 @@ from repro.flow.lower_bounds import solve as flow_solve
 from repro.flow.validate import check_flow
 from repro.obs import trace as obs
 
-__all__ = ["allocate", "solve_built"]
+__all__ = ["allocate", "extract_allocation", "solve_built"]
 
 #: Absolute tolerance when cross-checking the recomputed energy against the
 #: flow objective.
@@ -97,6 +97,33 @@ def solve_built(
         with obs.span("solver.certify"):
             certify_flow(flow)
 
+    return extract_allocation(built, flow, validate=validate)
+
+
+def extract_allocation(
+    built: BuiltNetwork, flow, validate: bool = True
+) -> Allocation:
+    """Turn a solved flow over *built* into a full :class:`Allocation`.
+
+    Decomposes the flow into register chains, derives segment residency,
+    assigns memory addresses and re-accounts the energy independently of
+    the flow objective.  Exposed separately from :func:`solve_built` so
+    alternative solving strategies (e.g. the cycle-cancelling fallback in
+    :mod:`repro.service.solvers`) share one extraction and one
+    energy-accounting cross-check with the production path.
+
+    Args:
+        built: The constructed network the flow was solved on.
+        flow: A feasible minimum-cost :class:`~repro.flow.graph.FlowResult`
+            over ``built.network``.
+        validate: Cross-check the recomputed energy against the flow
+            objective.
+
+    Raises:
+        AllocationError: If the energy accounting disagrees with the flow
+            objective (a bug in either path).
+    """
+    problem = built.problem
     with obs.span("solver.extract"):
         chains, bypass_units = decompose_chains(built, flow)
         residency: dict[tuple[str, int], int] = {}

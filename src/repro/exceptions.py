@@ -56,3 +56,8 @@ class LintGateError(ReproError):
     def __init__(self, message: str, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+class ServiceError(ReproError):
+    """The batch allocation service was misconfigured or fed bad input
+    (malformed manifest, invalid executor parameters, bad cache store)."""

@@ -1,0 +1,76 @@
+"""Batch allocation service: canonical caching + parallel execution.
+
+This package turns the single-shot solver into a high-throughput serving
+layer (the ROADMAP's production-scale direction).  Three pillars:
+
+* :mod:`repro.service.canonical` — a deterministic canonical form for
+  :class:`~repro.core.problem.AllocationProblem` (stable, name-free
+  variable ordering; normalised energy-model parameters) hashed into a
+  content-addressed cache key, so instances identical up to variable
+  renaming share one key;
+* :mod:`repro.service.cache` — an in-memory LRU over canonical results
+  with an optional on-disk JSON store, returning cached allocations with
+  provenance (which solver produced them, when they were inserted);
+* :mod:`repro.service.executor` — a batch executor
+  (``submit``/``map_blocks``/``gather``) over a ``ProcessPoolExecutor``
+  with per-job timeouts, bounded exponential-backoff retry, and the
+  graceful-degradation solver ladder of :mod:`repro.service.solvers`
+  (SSP → cycle-cancelling → two-phase baseline).
+
+:mod:`repro.service.manifest` loads JSON workload manifests and
+:mod:`repro.service.report` emits the versioned
+``repro.service/batch-report/v1`` document the ``repro-alloc batch``
+subcommand prints.
+"""
+
+from repro.service.cache import CachedResult, ResultCache
+from repro.service.canonical import (
+    CanonicalInstance,
+    cache_key,
+    canonical_form,
+    canonicalize,
+)
+from repro.service.executor import BatchExecutor, JobResult
+from repro.service.manifest import (
+    BuiltWorkload,
+    Manifest,
+    WorkloadSpec,
+    load_manifest,
+)
+from repro.service.report import (
+    REPORT_SCHEMA,
+    build_batch_report,
+    render_batch_text,
+    report_to_json,
+)
+from repro.service.solvers import (
+    DEFAULT_LADDER,
+    LadderOutcome,
+    SolverFault,
+    SolveSummary,
+    run_ladder,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "BuiltWorkload",
+    "CachedResult",
+    "CanonicalInstance",
+    "DEFAULT_LADDER",
+    "JobResult",
+    "LadderOutcome",
+    "Manifest",
+    "REPORT_SCHEMA",
+    "ResultCache",
+    "SolveSummary",
+    "SolverFault",
+    "WorkloadSpec",
+    "build_batch_report",
+    "cache_key",
+    "canonical_form",
+    "canonicalize",
+    "load_manifest",
+    "render_batch_text",
+    "report_to_json",
+    "run_ladder",
+]

@@ -1,0 +1,229 @@
+"""Result cache: in-memory LRU + optional on-disk JSON store.
+
+Caches solved allocations under their canonical cache key (see
+:mod:`repro.service.canonical`).  Entries are stored in *canonical*
+variable space — residency and memory addresses use the canonical names
+``x0, x1, ...`` — so one entry serves every instance isomorphic to the
+canonical form; :meth:`CachedResult.remap` translates an entry back into
+a specific instance's variable names through the inverse renaming.
+
+Layers:
+
+* a bounded in-memory LRU (an :class:`collections.OrderedDict` in
+  move-to-end discipline) for hot keys;
+* an optional on-disk store (one ``<digest>.json`` file per key under a
+  directory) shared between processes and runs — the CI batch-smoke job
+  relies on a second run over the same manifest being served from disk.
+
+Every lookup bumps the ``service.cache.hit`` / ``service.cache.miss``
+observability counters (:mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ServiceError
+from repro.obs import trace as obs
+
+__all__ = ["CachedResult", "ResultCache"]
+
+#: Schema identifier of one serialised cache entry.
+ENTRY_SCHEMA = "repro.service/cache-entry/v1"
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cached allocation outcome, in canonical variable space.
+
+    Attributes:
+        key: Canonical cache key the entry is stored under.
+        solver: Ladder rung that produced the result (provenance).
+        exact: Whether the producing solver is exact (``False`` for the
+            two-phase baseline fallback).
+        objective: Absolute storage energy of the solution.
+        mem_accesses: Memory accesses of the solution.
+        reg_accesses: Register-file accesses of the solution.
+        registers_used: Registers actually holding values.
+        unused_registers: Bypass (empty-register) flow units.
+        address_count: Distinct memory addresses used.
+        residency: ``(canonical name, segment index, register)`` triples
+            for register-resident segments.
+        memory_addresses: ``(canonical name, address)`` pairs for
+            memory-resident variables.
+    """
+
+    key: str
+    solver: str
+    exact: bool
+    objective: float
+    mem_accesses: int
+    reg_accesses: int
+    registers_used: int
+    unused_registers: int
+    address_count: int
+    residency: tuple[tuple[str, int, int], ...] = ()
+    memory_addresses: tuple[tuple[str, int], ...] = ()
+
+    def remap(self, inverse: Mapping[str, str]) -> "CachedResult":
+        """The same result expressed in an instance's own variable names.
+
+        Args:
+            inverse: Canonical name → instance name (see
+                :meth:`repro.service.canonical.CanonicalInstance.inverse`).
+        """
+        return replace(
+            self,
+            residency=tuple(
+                (inverse.get(name, name), index, register)
+                for name, index, register in self.residency
+            ),
+            memory_addresses=tuple(
+                (inverse.get(name, name), address)
+                for name, address in self.memory_addresses
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view of the entry."""
+        return {
+            "schema": ENTRY_SCHEMA,
+            "key": self.key,
+            "solver": self.solver,
+            "exact": self.exact,
+            "objective": self.objective,
+            "mem_accesses": self.mem_accesses,
+            "reg_accesses": self.reg_accesses,
+            "registers_used": self.registers_used,
+            "unused_registers": self.unused_registers,
+            "address_count": self.address_count,
+            "residency": [list(item) for item in self.residency],
+            "memory_addresses": [
+                list(item) for item in self.memory_addresses
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CachedResult":
+        """Rebuild an entry serialised by :meth:`to_dict`."""
+        if data.get("schema") != ENTRY_SCHEMA:
+            raise ServiceError(
+                f"unknown cache entry schema {data.get('schema')!r}"
+            )
+        try:
+            return cls(
+                key=str(data["key"]),
+                solver=str(data["solver"]),
+                exact=bool(data["exact"]),
+                objective=float(data["objective"]),
+                mem_accesses=int(data["mem_accesses"]),
+                reg_accesses=int(data["reg_accesses"]),
+                registers_used=int(data["registers_used"]),
+                unused_registers=int(data["unused_registers"]),
+                address_count=int(data["address_count"]),
+                residency=tuple(
+                    (str(name), int(index), int(register))
+                    for name, index, register in data.get("residency", ())
+                ),
+                memory_addresses=tuple(
+                    (str(name), int(address))
+                    for name, address in data.get("memory_addresses", ())
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed cache entry: {exc}") from None
+
+
+@dataclass
+class ResultCache:
+    """LRU result cache with an optional on-disk JSON store.
+
+    Attributes:
+        capacity: Maximum in-memory entries (least recently used entries
+            are evicted first; the disk store, when configured, is
+            unbounded).
+        directory: On-disk store directory, or ``None`` for memory-only
+            operation.  Created on first write.
+        hits: Number of successful lookups so far.
+        misses: Number of failed lookups so far.
+    """
+
+    capacity: int = 1024
+    directory: Path | str | None = None
+    hits: int = 0
+    misses: int = 0
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {self.capacity}")
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, key: str) -> Path:
+        # Keys are "sha256:<hex>"; the digest part is filename-safe.
+        assert self.directory is not None
+        return Path(self.directory) / f"{key.split(':', 1)[-1]}.json"
+
+    def get(self, key: str) -> CachedResult | None:
+        """Look up *key*; promote on hit, fall back to the disk store."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            obs.count("service.cache.hit")
+            return entry
+        if self.directory is not None:
+            path = self._path(key)
+            if path.is_file():
+                try:
+                    entry = CachedResult.from_dict(
+                        json.loads(path.read_text(encoding="utf-8"))
+                    )
+                except (OSError, ValueError, ServiceError):
+                    entry = None  # corrupt entries count as misses
+                if entry is not None and entry.key == key:
+                    self._remember(key, entry)
+                    self.hits += 1
+                    obs.count("service.cache.hit")
+                    return entry
+        self.misses += 1
+        obs.count("service.cache.miss")
+        return None
+
+    def put(self, entry: CachedResult) -> None:
+        """Insert *entry* under its own key (memory and, if set, disk)."""
+        self._remember(entry.key, entry)
+        if self.directory is not None:
+            directory = Path(self.directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = self._path(entry.key)
+            text = json.dumps(entry.to_dict(), indent=2, sort_keys=True)
+            # Write-then-rename so concurrent readers never see a torn
+            # entry (corrupt files degrade to misses anyway).
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(text + "\n", encoding="utf-8")
+            tmp.replace(path)
+
+    def _remember(self, key: str, entry: CachedResult) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int | float]:
+        """Hit/miss counters plus the current hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "hit_rate": self.hits / total if total else 0.0,
+        }

@@ -1,0 +1,175 @@
+"""Canonical instance form and content-addressed cache keys.
+
+Two allocation problems that differ only in variable *names* have the
+same optimal energy, the same register/memory split and isomorphic
+bindings — serving layers should solve them once.  This module computes a
+deterministic canonical form for an
+:class:`~repro.core.problem.AllocationProblem`:
+
+* every variable is reduced to a name-free record (write time, read
+  times, live-out flag, width, value trace, forced-segment pins) and the
+  records are sorted by content, which yields a stable renaming
+  ``original name -> x0, x1, ...`` that is invariant under renaming of
+  the input;
+* the energy model is reduced to its normalised parameter fingerprint
+  (via :func:`repro.workloads.serialize.energy_model_to_dict`), with
+  pairwise switching activities remapped through the same renaming;
+* the memory operating point and every modelling switch are embedded
+  verbatim.
+
+The canonical form is serialised to compact, key-sorted JSON and hashed
+with SHA-256 into the cache key :class:`repro.service.cache.ResultCache`
+indexes on.  Any perturbation of an energy-model parameter, the memory
+operating point, the register count or a lifetime changes the key; pure
+renames do not.
+
+Correctness over recall: equal keys always denote isomorphic instances
+(the canonical form *is* an instance, and every problem hashing to it is
+a pure renaming of it), so a cache hit can never serve wrong energies.
+The reverse is almost — not perfectly — true: under a
+:class:`~repro.energy.models.PairwiseSwitchingModel`, variables with
+*identical lifetimes* but different activity rows tie in the content
+sort, and a rename may then produce a different key.  Such a miss is
+conservative (the instance is simply re-solved); name-free models
+(static, trace-based activity) are exactly renaming-invariant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.problem import AllocationProblem
+from repro.energy.models import PairwiseSwitchingModel
+from repro.workloads.serialize import energy_model_to_dict
+
+__all__ = [
+    "CanonicalInstance",
+    "cache_key",
+    "canonical_form",
+    "canonicalize",
+]
+
+#: Schema identifier embedded in (and hashed with) every canonical form.
+SCHEMA = "repro.service/canonical/v1"
+
+
+@dataclass(frozen=True)
+class CanonicalInstance:
+    """A problem's canonical form, cache key and variable renaming.
+
+    Attributes:
+        key: Content hash (``sha256:`` + hex digest) of the canonical
+            form — the cache key.
+        form: The canonical JSON-ready dict (name-free variable records
+            in canonical order).
+        renaming: Original variable name → canonical name (``x0``,
+            ``x1``, ... in canonical order).
+    """
+
+    key: str
+    form: Mapping[str, Any]
+    renaming: Mapping[str, str]
+
+    def inverse(self) -> dict[str, str]:
+        """Canonical name → original variable name."""
+        return {canon: name for name, canon in self.renaming.items()}
+
+
+def _variable_record(
+    problem: AllocationProblem, name: str
+) -> dict[str, Any]:
+    """Name-free content record of one variable (sort unit)."""
+    lifetime = problem.lifetimes[name]
+    forced = sorted(
+        index
+        for forced_name, index in problem.forced_segments
+        if forced_name == name
+    )
+    return {
+        "write": lifetime.write_time,
+        "reads": list(lifetime.read_times),
+        "live_out": lifetime.live_out,
+        "width": lifetime.variable.width,
+        "trace": list(lifetime.variable.trace),
+        "forced": forced,
+    }
+
+
+def _model_fingerprint(
+    problem: AllocationProblem, renaming: Mapping[str, str]
+) -> dict[str, Any]:
+    """Normalised energy-model parameters, renaming-invariant.
+
+    Built-in models serialise to their parameter dicts; pairwise
+    switching activities are remapped through *renaming* (pairs naming
+    unknown variables are kept verbatim — they can never be charged).
+    Custom model classes fall back to an opaque ``repr`` fingerprint:
+    correct (distinct reprs never collide into one key) though not
+    renaming-invariant.
+    """
+    model = problem.energy_model
+    data = energy_model_to_dict(model)
+    if data is None:
+        return {"kind": "opaque", "repr": repr(model)}
+    if isinstance(model, PairwiseSwitchingModel):
+        data["activities"] = sorted(
+            [renaming.get(v1, v1), renaming.get(v2, v2), activity]
+            for v1, v2, activity in data["activities"]
+        )
+    return data
+
+
+def canonicalize(problem: AllocationProblem) -> CanonicalInstance:
+    """Compute the canonical form, cache key and renaming of *problem*.
+
+    The renaming sorts variables by their name-free content record
+    (ties — truly interchangeable variables — broken by original name,
+    which cannot affect the canonical form).
+    """
+    records = {
+        name: _variable_record(problem, name) for name in problem.lifetimes
+    }
+    ordered = sorted(
+        records,
+        key=lambda name: (
+            json.dumps(records[name], sort_keys=True, separators=(",", ":")),
+            name,
+        ),
+    )
+    renaming = {name: f"x{i}" for i, name in enumerate(ordered)}
+    form: dict[str, Any] = {
+        "schema": SCHEMA,
+        "register_count": problem.register_count,
+        "horizon": problem.horizon,
+        "graph_style": problem.graph_style,
+        "split_at_reads": problem.split_at_reads,
+        "allow_unused_registers": problem.allow_unused_registers,
+        "memory": {
+            "divisor": problem.memory.divisor,
+            "voltage": problem.memory.voltage,
+            "offset": problem.memory.offset,
+        },
+        "energy_model": _model_fingerprint(problem, renaming),
+        "variables": [records[name] for name in ordered],
+    }
+    digest = hashlib.sha256(
+        json.dumps(form, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    ).hexdigest()
+    return CanonicalInstance(
+        key=f"sha256:{digest}", form=form, renaming=renaming
+    )
+
+
+def canonical_form(problem: AllocationProblem) -> dict[str, Any]:
+    """The canonical JSON-ready dict of *problem* (see module docs)."""
+    return dict(canonicalize(problem).form)
+
+
+def cache_key(problem: AllocationProblem) -> str:
+    """The content-addressed cache key of *problem*."""
+    return canonicalize(problem).key

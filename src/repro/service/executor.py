@@ -1,0 +1,488 @@
+"""Parallel batch executor over the cache and the solver ladder.
+
+:class:`BatchExecutor` is the serving engine: jobs are submitted as
+:class:`~repro.core.problem.AllocationProblem` instances, deduplicated
+through the canonical cache (:mod:`repro.service.canonical` /
+:mod:`repro.service.cache`), and the remaining misses are solved — in
+process for ``workers == 1``, or fanned out over a
+``concurrent.futures.ProcessPoolExecutor`` with configurable chunking —
+through the retry/fallback ladder of :mod:`repro.service.solvers`.
+
+Observability: a ``service.batch`` span wraps each gather;
+``service.jobs`` / ``service.failures`` / ``service.retry`` /
+``service.fallback`` and the cache hit/miss counters accumulate, the
+``service.queue_depth`` gauge tracks outstanding work while the pool
+drains, and each worker process's wall time accumulates into
+``service.worker.<pid>.wall_s``.
+
+Timeouts are enforced per dispatched chunk (``timeout * chunk length``
+seconds) on the parent side; a chunk that blows its deadline marks its
+jobs ``"timeout"`` without sinking the batch.  The in-process path
+cannot preempt a running solve, so timeouts require ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.problem import AllocationProblem
+from repro.exceptions import ServiceError
+from repro.obs import trace as obs
+from repro.service.cache import ResultCache
+from repro.service.canonical import canonicalize
+from repro.service.solvers import (
+    DEFAULT_LADDER,
+    SolveSummary,
+    run_ladder,
+)
+from repro.workloads.random_blocks import spawn_rng
+
+__all__ = ["BatchExecutor", "JobResult"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one batch job.
+
+    Attributes:
+        job_id: Caller-visible job identifier.
+        index: 0-based submission position within the batch.
+        key: Canonical cache key of the instance.
+        status: ``"ok"``, ``"infeasible"``, ``"failed"`` or
+            ``"timeout"``.
+        cached: Whether the result was served from the cache.
+        solver: Ladder rung (or cached provenance) that produced the
+            result; ``None`` when no rung succeeded.
+        summary: Full solution summary in the instance's own variable
+            names (``None`` unless ``status == "ok"``).
+        attempts: Chronological ladder attempt log (empty for hits).
+        retries: Same-rung retries spent on the job.
+        fallbacks: Rung transitions spent on the job.
+        certified: Whether an optimality certificate was spot-checked.
+        wall_time_s: Solve wall time (0 for cache hits).
+        worker: PID of the process that solved the job, if any.
+        error: Failure message when the job did not succeed.
+    """
+
+    job_id: str
+    index: int
+    key: str
+    status: str
+    cached: bool = False
+    solver: str | None = None
+    summary: SolveSummary | None = None
+    attempts: list[dict] = field(default_factory=list)
+    retries: int = 0
+    fallbacks: int = 0
+    certified: bool = False
+    wall_time_s: float = 0.0
+    worker: int | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a solution."""
+        return self.status == "ok"
+
+    @property
+    def objective(self) -> float | None:
+        """Absolute storage energy, when solved."""
+        return self.summary.objective if self.summary else None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view for the batch report.
+
+        Summaries are flattened to their headline numbers; the full
+        residency/address maps stay on the in-memory object only.
+        """
+        data: dict[str, Any] = {
+            "job_id": self.job_id,
+            "index": self.index,
+            "key": self.key,
+            "status": self.status,
+            "cached": self.cached,
+            "solver": self.solver,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "certified": self.certified,
+            "attempts": list(self.attempts),
+            "wall_time_s": self.wall_time_s,
+            "worker": self.worker,
+            "error": self.error,
+        }
+        if self.summary is not None:
+            data.update(
+                {
+                    "exact": self.summary.exact,
+                    "objective": self.summary.objective,
+                    "mem_accesses": self.summary.mem_accesses,
+                    "reg_accesses": self.summary.reg_accesses,
+                    "registers_used": self.summary.registers_used,
+                    "address_count": self.summary.address_count,
+                }
+            )
+        return data
+
+
+def _execute_job(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Worker entry point: lint gate + ladder walk for one job.
+
+    Runs in the worker process (or inline for ``workers == 1``); both
+    arguments and the returned record are plain picklable data.
+    """
+    start = time.perf_counter()
+    problem: AllocationProblem = payload["problem"]
+    record: dict[str, Any] = {
+        "status": "failed",
+        "summary": None,
+        "attempts": [],
+        "retries": 0,
+        "fallbacks": 0,
+        "certified": False,
+        "error": None,
+        "worker": os.getpid(),
+    }
+    lint = payload.get("lint")
+    try:
+        if lint is not None:
+            from repro.lint import gate_problem
+
+            gate_problem(problem, fail_on=lint)
+        outcome = run_ladder(
+            problem,
+            ladder=tuple(payload.get("ladder", DEFAULT_LADDER)),
+            max_retries=int(payload.get("max_retries", 1)),
+            backoff_base=float(payload.get("backoff_base", 0.0)),
+            backoff_cap=float(payload.get("backoff_cap", 1.0)),
+            inject_faults=payload.get("inject_faults"),
+            certify=bool(payload.get("certify", False)),
+        )
+        record.update(
+            {
+                "status": outcome.status,
+                "summary": (
+                    outcome.summary.to_dict() if outcome.summary else None
+                ),
+                "attempts": outcome.attempts,
+                "retries": outcome.retries,
+                "fallbacks": outcome.fallbacks,
+                "certified": outcome.certified,
+                "error": outcome.error,
+            }
+        )
+    except Exception as exc:  # noqa: BLE001 - worker boundary: failures
+        # become job records, never batch-level crashes.
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    record["wall_time_s"] = time.perf_counter() - start
+    return record
+
+
+def _execute_chunk(
+    payloads: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Worker entry point for one chunk of jobs (amortises IPC)."""
+    return [_execute_job(payload) for payload in payloads]
+
+
+class BatchExecutor:
+    """High-throughput batch front end of the allocator.
+
+    Usage::
+
+        executor = BatchExecutor(workers=4, cache=ResultCache())
+        executor.submit(problem_a, job_id="fir-8")
+        executor.submit(problem_b)
+        results = executor.gather()          # submission order
+
+    or, in one call, ``executor.map_blocks(problems)``.
+
+    Args:
+        workers: Worker processes; 1 solves in-process (no pool).
+        cache: Shared :class:`~repro.service.cache.ResultCache`
+            (``None`` disables caching entirely).
+        ladder: Solver rung order (see
+            :data:`repro.service.solvers.DEFAULT_LADDER`).
+        max_retries: Same-rung retries per job.
+        backoff_base: First retry delay, seconds (exponential after).
+        backoff_cap: Upper bound on any retry delay, seconds.
+        timeout: Per-job time budget, seconds (enforced per chunk on the
+            pool path; ``None`` disables).
+        chunksize: Jobs dispatched per worker task.
+        lint: Optional per-job pre-solve lint gate severity
+            (``"error"``, ``"warning"``, ``"note"``).
+        certify_fraction: Fraction of jobs (seeded sample) whose
+            solutions get an optimality-certificate spot-check.
+        seed: Seed of the certify sampler.
+        inject_faults: Rung → forced-failure budget, forwarded to
+            :func:`repro.service.solvers.run_ladder` (chaos testing).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        ladder: tuple[str, ...] = DEFAULT_LADDER,
+        max_retries: int = 1,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        timeout: float | None = None,
+        chunksize: int = 1,
+        lint: str | None = None,
+        certify_fraction: float = 0.0,
+        seed: int = 0,
+        inject_faults: Mapping[str, int] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if chunksize < 1:
+            raise ServiceError(f"chunksize must be >= 1, got {chunksize}")
+        if max_retries < 0:
+            raise ServiceError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if not 0.0 <= certify_fraction <= 1.0:
+            raise ServiceError(
+                f"certify fraction {certify_fraction} outside [0, 1]"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ServiceError(f"timeout must be positive, got {timeout}")
+        self.workers = workers
+        self.cache = cache
+        self.ladder = tuple(ladder)
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self.chunksize = chunksize
+        self.lint = lint
+        self.certify_fraction = certify_fraction
+        self.seed = seed
+        self.inject_faults = dict(inject_faults or {})
+        self._pending: list[tuple[int, str, AllocationProblem]] = []
+        self._submitted = 0
+
+    def submit(
+        self, problem: AllocationProblem, job_id: str | None = None
+    ) -> str:
+        """Queue one instance; returns its (possibly generated) job id."""
+        if job_id is None:
+            job_id = f"job-{self._submitted}"
+        self._pending.append((self._submitted, job_id, problem))
+        self._submitted += 1
+        return job_id
+
+    def map_blocks(
+        self,
+        problems: Iterable[AllocationProblem],
+        ids: Sequence[str] | None = None,
+    ) -> list[JobResult]:
+        """Submit every instance and gather; results in input order."""
+        for position, problem in enumerate(problems):
+            self.submit(
+                problem, ids[position] if ids is not None else None
+            )
+        return self.gather()
+
+    def gather(self) -> list[JobResult]:
+        """Run all pending jobs; return results in submission order.
+
+        Cache hits are resolved in the parent without touching a worker;
+        misses are solved (and, when successful, inserted into the
+        cache).  Never raises for job-level failures — inspect each
+        :class:`JobResult`.
+        """
+        pending, self._pending = self._pending, []
+        results: dict[int, JobResult] = {}
+        misses: list[tuple[int, str, AllocationProblem, Any]] = []
+        with obs.span("service.batch"):
+            with obs.span("service.canonicalize"):
+                canonicals = [
+                    (index, job_id, problem, canonicalize(problem))
+                    for index, job_id, problem in pending
+                ]
+            for index, job_id, problem, canonical in canonicals:
+                entry = (
+                    self.cache.get(canonical.key)
+                    if self.cache is not None
+                    else None
+                )
+                if entry is not None:
+                    results[index] = JobResult(
+                        job_id=job_id,
+                        index=index,
+                        key=canonical.key,
+                        status="ok",
+                        cached=True,
+                        solver=entry.solver,
+                        summary=SolveSummary.from_cached(entry, canonical),
+                    )
+                else:
+                    misses.append((index, job_id, problem, canonical))
+
+            payloads = [
+                (
+                    index,
+                    {
+                        "problem": problem,
+                        "ladder": self.ladder,
+                        "max_retries": self.max_retries,
+                        "backoff_base": self.backoff_base,
+                        "backoff_cap": self.backoff_cap,
+                        "inject_faults": self.inject_faults,
+                        "lint": self.lint,
+                        "certify": self._certify(job_id),
+                    },
+                )
+                for index, job_id, problem, _ in misses
+            ]
+            if payloads:
+                if self.workers == 1:
+                    records = self._run_inline(payloads)
+                else:
+                    records = self._run_pool(payloads)
+            else:
+                records = {}
+
+            by_index = {
+                index: (job_id, canonical)
+                for index, job_id, _, canonical in misses
+            }
+            for index, record in records.items():
+                job_id, canonical = by_index[index]
+                result = self._to_result(index, job_id, canonical, record)
+                results[index] = result
+                if (
+                    result.ok
+                    and self.cache is not None
+                    and result.summary is not None
+                ):
+                    self.cache.put(result.summary.to_cached(canonical))
+
+            obs.count("service.jobs", len(pending))
+            failures = sum(
+                1 for result in results.values() if not result.ok
+            )
+            if failures:
+                obs.count("service.failures", failures)
+        return [results[index] for index, _, _ in pending]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _certify(self, job_id: str) -> bool:
+        """Seeded per-job spot-check decision."""
+        if self.certify_fraction <= 0.0:
+            return False
+        if self.certify_fraction >= 1.0:
+            return True
+        rng = spawn_rng(self.seed, "certify", job_id)
+        return rng.random() < self.certify_fraction
+
+    def _run_inline(
+        self, payloads: list[tuple[int, dict]]
+    ) -> dict[int, dict]:
+        """Solve misses in-process (``workers == 1``)."""
+        records: dict[int, dict] = {}
+        remaining = len(payloads)
+        for index, payload in payloads:
+            obs.gauge("service.queue_depth", remaining)
+            records[index] = _execute_job(payload)
+            remaining -= 1
+        obs.gauge("service.queue_depth", 0)
+        return records
+
+    def _run_pool(
+        self, payloads: list[tuple[int, dict]]
+    ) -> dict[int, dict]:
+        """Fan misses out over a process pool, chunked, with deadlines."""
+        records: dict[int, dict] = {}
+        chunks = [
+            payloads[start:start + self.chunksize]
+            for start in range(0, len(payloads), self.chunksize)
+        ]
+        remaining = len(payloads)
+        obs.gauge("service.queue_depth", remaining)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                (chunk, pool.submit(
+                    _execute_chunk, [payload for _, payload in chunk]
+                ))
+                for chunk in chunks
+            ]
+            for chunk, future in futures:
+                deadline = (
+                    self.timeout * len(chunk)
+                    if self.timeout is not None
+                    else None
+                )
+                try:
+                    chunk_records = future.result(timeout=deadline)
+                except FutureTimeout:
+                    future.cancel()
+                    for index, _ in chunk:
+                        records[index] = {
+                            "status": "timeout",
+                            "summary": None,
+                            "attempts": [],
+                            "retries": 0,
+                            "fallbacks": 0,
+                            "certified": False,
+                            "error": (
+                                f"chunk exceeded its "
+                                f"{deadline:.3f}s deadline"
+                            ),
+                            "wall_time_s": deadline or 0.0,
+                            "worker": None,
+                        }
+                except Exception as exc:  # noqa: BLE001 - pool failures
+                    # (e.g. BrokenProcessPool) degrade to job failures.
+                    for index, _ in chunk:
+                        records[index] = {
+                            "status": "failed",
+                            "summary": None,
+                            "attempts": [],
+                            "retries": 0,
+                            "fallbacks": 0,
+                            "certified": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "wall_time_s": 0.0,
+                            "worker": None,
+                        }
+                else:
+                    for (index, _), record in zip(chunk, chunk_records):
+                        records[index] = record
+                remaining -= len(chunk)
+                obs.gauge("service.queue_depth", remaining)
+        return records
+
+    def _to_result(
+        self, index: int, job_id: str, canonical, record: Mapping[str, Any]
+    ) -> JobResult:
+        """Build a :class:`JobResult` from a worker record."""
+        summary = None
+        if record.get("summary") is not None:
+            summary = SolveSummary.from_dict(record["summary"])
+        worker = record.get("worker")
+        wall = float(record.get("wall_time_s", 0.0))
+        if worker is not None:
+            obs.count(f"service.worker.{worker}.wall_s", wall)
+        return JobResult(
+            job_id=job_id,
+            index=index,
+            key=canonical.key,
+            status=str(record.get("status", "failed")),
+            cached=False,
+            solver=summary.solver if summary else None,
+            summary=summary,
+            attempts=list(record.get("attempts", ())),
+            retries=int(record.get("retries", 0)),
+            fallbacks=int(record.get("fallbacks", 0)),
+            certified=bool(record.get("certified", False)),
+            wall_time_s=wall,
+            worker=worker,
+            error=record.get("error"),
+        )

@@ -1,0 +1,301 @@
+"""Batch manifests: declarative job lists for the allocation service.
+
+A manifest is a JSON document (schema ``repro.service/manifest/v1``)
+naming the instances a batch should solve::
+
+    {
+      "schema": "repro.service/manifest/v1",
+      "defaults": {"registers": 4, "model": "static"},
+      "jobs": [
+        {"kind": "figure", "name": "fig3"},
+        {"kind": "kernel", "name": "fir", "taps": 8},
+        {"kind": "random", "count": 100, "variables": 10, "horizon": 12},
+        {"kind": "instance", "path": "cases/fir8.json"}
+      ]
+    }
+
+Job kinds:
+
+* ``kernel`` — a synthesised DSP kernel from the shared registry
+  (:func:`repro.workloads.registry.kernel_block`), scheduled with the
+  list scheduler.  ``count > 1`` replicates the job with derived seeds.
+* ``figure`` — a paper worked example (``fig1``/``fig3``/``fig4``);
+  figures 3 and 4 carry their pairwise switching-activity tables.
+* ``instance`` — a serialised ``repro-instance-v1`` document
+  (:mod:`repro.workloads.serialize`), path relative to the manifest.
+* ``random`` — seeded random lifetime sets
+  (:func:`repro.workloads.random_blocks.random_lifetimes`); ``count``
+  independent instances derived from one seed.
+
+Per-job keys override ``defaults``; both recognise ``registers``,
+``model`` (``static``/``activity``), ``divisor`` (restricted memory
+operating point — the supply voltage follows the divisor), ``seed``,
+``taps``, and for random jobs ``variables``, ``horizon``, ``traced``.
+When ``registers`` is omitted the instance's maximum lifetime density is
+used (every variable can be register-resident if the flow wants it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.problem import AllocationProblem
+from repro.energy import (
+    ActivityEnergyModel,
+    MemoryConfig,
+    PairwiseSwitchingModel,
+    StaticEnergyModel,
+)
+from repro.exceptions import ReproError, ServiceError
+from repro.lifetimes import extract_lifetimes, max_density
+from repro.scheduling import list_schedule
+from repro.workloads.random_blocks import derive_seed, random_lifetimes, spawn_rng
+from repro.workloads.registry import figure_example, kernel_block
+from repro.workloads.serialize import problem_from_dict
+
+__all__ = ["BuiltWorkload", "Manifest", "WorkloadSpec", "load_manifest"]
+
+#: Schema identifier of a batch manifest document.
+SCHEMA = "repro.service/manifest/v1"
+
+_KINDS = ("kernel", "figure", "instance", "random")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One manifest job line (declarative, not yet built).
+
+    Attributes:
+        kind: ``kernel``, ``figure``, ``instance`` or ``random``.
+        name: Workload name (kernel/figure kinds).
+        path: Instance file path (instance kind).
+        count: Replication factor (seeds are derived per replica).
+        label: Display label override (auto-generated when empty).
+        params: Remaining per-job keys, merged over manifest defaults.
+    """
+
+    kind: str
+    name: str = ""
+    path: str | None = None
+    count: int = 1
+    label: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BuiltWorkload:
+    """A manifest job materialised into a solvable instance."""
+
+    label: str
+    problem: AllocationProblem
+
+
+def _operating_point(params: Mapping[str, Any]):
+    """Energy model + memory config for a job's parameter set."""
+    divisor = int(params.get("divisor", 1))
+    model_name = str(params.get("model", "static"))
+    if model_name == "activity":
+        model = ActivityEnergyModel()
+    elif model_name == "static":
+        model = StaticEnergyModel()
+    else:
+        raise ServiceError(
+            f"unknown energy model {model_name!r} (static/activity)"
+        )
+    memory = MemoryConfig()
+    if divisor > 1:
+        memory = MemoryConfig.scaled(divisor)
+        model = model.with_voltages(memory.voltage, model.reg_voltage)
+    return model, memory
+
+
+def _registers(params: Mapping[str, Any], lifetimes, horizon: int) -> int:
+    explicit = params.get("registers")
+    if explicit is not None:
+        return int(explicit)
+    return max(1, max_density(lifetimes.values(), horizon))
+
+
+def _build_kernel(spec: WorkloadSpec, params: Mapping[str, Any], index: int):
+    seed = int(params.get("seed", 2024))
+    if spec.count > 1:
+        seed = derive_seed(seed, spec.name, index)
+    block = kernel_block(
+        spec.name, taps=int(params.get("taps", 8)), seed=seed
+    )
+    schedule = list_schedule(block)
+    model, memory = _operating_point(params)
+    lifetimes = extract_lifetimes(schedule)
+    problem = AllocationProblem.from_schedule(
+        schedule,
+        register_count=_registers(params, lifetimes, schedule.length),
+        energy_model=model,
+        memory=memory,
+    )
+    label = spec.label or spec.name
+    if spec.count > 1:
+        label = f"{label}#{index}"
+    return BuiltWorkload(label, problem)
+
+
+def _build_figure(spec: WorkloadSpec, params: Mapping[str, Any]):
+    lifetimes, horizon, activities = figure_example(spec.name)
+    model, memory = _operating_point(params)
+    if activities is not None:
+        model = PairwiseSwitchingModel(activities)
+        if memory.restricted:
+            model = model.with_voltages(memory.voltage, model.reg_voltage)
+    problem = AllocationProblem(
+        lifetimes,
+        _registers(params, lifetimes, horizon),
+        horizon,
+        energy_model=model,
+        memory=memory,
+    )
+    return BuiltWorkload(spec.label or spec.name, problem)
+
+
+def _build_instance(spec: WorkloadSpec, base: Path):
+    assert spec.path is not None
+    path = Path(spec.path)
+    if not path.is_absolute():
+        path = base / path
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        problem = problem_from_dict(data)
+    except OSError as exc:
+        raise ServiceError(f"cannot read instance {path}: {exc}") from None
+    except (ValueError, ReproError) as exc:
+        raise ServiceError(f"bad instance {path}: {exc}") from None
+    return BuiltWorkload(spec.label or path.stem, problem)
+
+
+def _build_random(spec: WorkloadSpec, params: Mapping[str, Any], index: int):
+    seed = int(params.get("seed", 0))
+    label = spec.label or spec.name or "random"
+    rng = spawn_rng(seed, "manifest", label, index)
+    horizon = int(params.get("horizon", 12))
+    lifetimes = random_lifetimes(
+        rng,
+        int(params.get("variables", 8)),
+        horizon,
+        traced=bool(params.get("traced", False)),
+    )
+    model, memory = _operating_point(params)
+    problem = AllocationProblem(
+        lifetimes,
+        _registers(params, lifetimes, horizon),
+        horizon,
+        energy_model=model,
+        memory=memory,
+    )
+    suffix = f"#{index}" if spec.count > 1 else ""
+    return BuiltWorkload(f"{label}{suffix}", problem)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A parsed batch manifest: defaults plus job specs.
+
+    Attributes:
+        specs: Declarative job lines, in document order.
+        defaults: Manifest-wide parameter defaults.
+        base: Directory relative instance paths resolve against.
+    """
+
+    specs: tuple[WorkloadSpec, ...]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    base: Path = Path(".")
+
+    def build(self) -> list[BuiltWorkload]:
+        """Materialise every job into a labelled problem instance.
+
+        Replicated jobs (``count > 1``) expand in place, so the result
+        order matches the manifest's job order.
+        """
+        built: list[BuiltWorkload] = []
+        for spec in self.specs:
+            params = {**self.defaults, **spec.params}
+            for index in range(spec.count):
+                if spec.kind == "kernel":
+                    built.append(_build_kernel(spec, params, index))
+                elif spec.kind == "figure":
+                    built.append(_build_figure(spec, params))
+                elif spec.kind == "instance":
+                    built.append(_build_instance(spec, self.base))
+                else:
+                    built.append(_build_random(spec, params, index))
+        return built
+
+
+def _parse_spec(data: Mapping[str, Any], position: int) -> WorkloadSpec:
+    """Validate and normalise one ``jobs[]`` entry."""
+    if not isinstance(data, Mapping):
+        raise ServiceError(f"jobs[{position}] is not an object")
+    kind = str(data.get("kind", ""))
+    if kind not in _KINDS:
+        raise ServiceError(
+            f"jobs[{position}]: unknown kind {kind!r}; expected {_KINDS}"
+        )
+    name = str(data.get("name", ""))
+    path = data.get("path")
+    count = int(data.get("count", 1))
+    if count < 1:
+        raise ServiceError(f"jobs[{position}]: count must be >= 1")
+    if kind in ("kernel", "figure") and not name:
+        raise ServiceError(f"jobs[{position}]: {kind} jobs need a name")
+    if kind == "instance" and not path:
+        raise ServiceError(f"jobs[{position}]: instance jobs need a path")
+    if kind == "figure" and count != 1:
+        raise ServiceError(
+            f"jobs[{position}]: figure jobs are deterministic; count "
+            "must be 1"
+        )
+    params = {
+        key: value
+        for key, value in data.items()
+        if key not in ("kind", "name", "path", "count", "label")
+    }
+    return WorkloadSpec(
+        kind=kind,
+        name=name,
+        path=str(path) if path is not None else None,
+        count=count,
+        label=str(data.get("label", "")),
+        params=params,
+    )
+
+
+def load_manifest(path: str | Path) -> Manifest:
+    """Parse and validate the manifest document at *path*.
+
+    Raises:
+        ServiceError: Unreadable file, bad JSON, wrong schema or a
+            malformed job line.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ServiceError(f"cannot read manifest {path}: {exc}") from None
+    except ValueError as exc:
+        raise ServiceError(f"manifest {path} is not JSON: {exc}") from None
+    if not isinstance(data, Mapping):
+        raise ServiceError(f"manifest {path} must be a JSON object")
+    if data.get("schema") != SCHEMA:
+        raise ServiceError(
+            f"manifest {path}: schema {data.get('schema')!r} is not {SCHEMA}"
+        )
+    jobs = data.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ServiceError(f"manifest {path}: jobs must be a non-empty list")
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, Mapping):
+        raise ServiceError(f"manifest {path}: defaults must be an object")
+    specs = tuple(
+        _parse_spec(job, position) for position, job in enumerate(jobs)
+    )
+    return Manifest(specs=specs, defaults=dict(defaults), base=path.parent)

@@ -1,0 +1,404 @@
+"""Graceful-degradation solver ladder with retry and fault injection.
+
+The batch executor never fails a whole batch because one solve went
+wrong: each job walks a *ladder* of solving strategies, retrying each
+rung with bounded exponential backoff before falling through to the
+next, and records exactly which rung produced its result:
+
+1. ``ssp`` — the production successive-shortest-path allocator
+   (:func:`repro.core.solver.allocate`), exact;
+2. ``cycle_canceling`` — the independent Klein cycle-cancelling solver
+   run over the same network (through the lower-bound transformation
+   when segments are forced), exact;
+3. ``two_phase`` — the Chang–Pedram-style two-phase baseline, an
+   *approximate* last resort (skipped when the instance has restricted
+   access times or forced segments, which baselines cannot honour).
+
+Infeasibility is not retried or degraded: every rung agrees on it, so
+the first :class:`~repro.exceptions.InfeasibleFlowError` settles the
+job.  For tests and chaos drills, *inject_faults* forces named rungs to
+raise :class:`SolverFault` for a configurable number of attempts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.problem import AllocationProblem
+from repro.core.network_builder import build_network
+from repro.core.solver import allocate, extract_allocation
+from repro.exceptions import InfeasibleFlowError, ServiceError
+from repro.flow.cycle_canceling import solve_by_cycle_canceling
+from repro.flow.lower_bounds import transform_lower_bounds
+from repro.flow.validate import check_flow
+from repro.obs import trace as obs
+from repro.service.cache import CachedResult
+from repro.service.canonical import CanonicalInstance
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "LadderOutcome",
+    "SolveSummary",
+    "SolverFault",
+    "run_ladder",
+]
+
+#: Rung order of the graceful-degradation ladder.
+DEFAULT_LADDER = ("ssp", "cycle_canceling", "two_phase")
+
+
+class SolverFault(ServiceError):
+    """An (injected or simulated) solver failure on one ladder rung."""
+
+
+@dataclass(frozen=True)
+class SolveSummary:
+    """Solution summary in *instance* variable space.
+
+    The plain-data result the executor ships between processes and the
+    report serialises; :meth:`to_cached` / :meth:`from_cached` convert
+    to and from the canonical-space cache entry.
+
+    Attributes:
+        solver: Ladder rung that produced the solution.
+        exact: Whether that rung is an exact optimiser.
+        objective: Absolute storage energy.
+        mem_accesses: Memory accesses of the solution.
+        reg_accesses: Register-file accesses of the solution.
+        registers_used: Registers actually holding values.
+        unused_registers: Registers the solution leaves empty.
+        address_count: Distinct memory addresses used.
+        residency: ``(variable, segment index, register)`` triples.
+        memory_addresses: ``(variable, address)`` pairs.
+    """
+
+    solver: str
+    exact: bool
+    objective: float
+    mem_accesses: int
+    reg_accesses: int
+    registers_used: int
+    unused_registers: int
+    address_count: int
+    residency: tuple[tuple[str, int, int], ...] = ()
+    memory_addresses: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def from_allocation(cls, allocation, solver: str) -> "SolveSummary":
+        """Summarise a flow :class:`~repro.core.allocation.Allocation`."""
+        return cls(
+            solver=solver,
+            exact=True,
+            objective=allocation.objective,
+            mem_accesses=allocation.report.mem_accesses,
+            reg_accesses=allocation.report.reg_accesses,
+            registers_used=allocation.registers_used,
+            unused_registers=allocation.unused_registers,
+            address_count=allocation.address_count,
+            residency=tuple(
+                sorted(
+                    (name, index, register)
+                    for (name, index), register in allocation.residency.items()
+                )
+            ),
+            memory_addresses=tuple(
+                sorted(allocation.memory_addresses.items())
+            ),
+        )
+
+    @classmethod
+    def from_baseline(cls, result, register_count: int) -> "SolveSummary":
+        """Summarise a two-phase baseline result (approximate rung)."""
+        return cls(
+            solver="two_phase",
+            exact=False,
+            objective=result.objective,
+            mem_accesses=result.report.mem_accesses,
+            reg_accesses=result.report.reg_accesses,
+            registers_used=result.registers_used,
+            unused_registers=max(0, register_count - result.registers_used),
+            address_count=result.address_count,
+            residency=tuple(
+                sorted(
+                    (lifetime.name, 0, register)
+                    for register, chain in enumerate(result.chains)
+                    for lifetime in chain
+                )
+            ),
+            memory_addresses=tuple(
+                sorted(result.memory_addresses.items())
+            ),
+        )
+
+    def to_cached(self, canonical: CanonicalInstance) -> CachedResult:
+        """The canonical-space cache entry of this summary."""
+        renaming = canonical.renaming
+        return CachedResult(
+            key=canonical.key,
+            solver=self.solver,
+            exact=self.exact,
+            objective=self.objective,
+            mem_accesses=self.mem_accesses,
+            reg_accesses=self.reg_accesses,
+            registers_used=self.registers_used,
+            unused_registers=self.unused_registers,
+            address_count=self.address_count,
+            residency=tuple(
+                (renaming.get(name, name), index, register)
+                for name, index, register in self.residency
+            ),
+            memory_addresses=tuple(
+                (renaming.get(name, name), address)
+                for name, address in self.memory_addresses
+            ),
+        )
+
+    @classmethod
+    def from_cached(
+        cls, entry: CachedResult, canonical: CanonicalInstance
+    ) -> "SolveSummary":
+        """Rebuild a summary, remapped into an instance's own names."""
+        remapped = entry.remap(canonical.inverse())
+        return cls(
+            solver=entry.solver,
+            exact=entry.exact,
+            objective=entry.objective,
+            mem_accesses=entry.mem_accesses,
+            reg_accesses=entry.reg_accesses,
+            registers_used=entry.registers_used,
+            unused_registers=entry.unused_registers,
+            address_count=entry.address_count,
+            residency=remapped.residency,
+            memory_addresses=remapped.memory_addresses,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (tuples become lists)."""
+        return {
+            "solver": self.solver,
+            "exact": self.exact,
+            "objective": self.objective,
+            "mem_accesses": self.mem_accesses,
+            "reg_accesses": self.reg_accesses,
+            "registers_used": self.registers_used,
+            "unused_registers": self.unused_registers,
+            "address_count": self.address_count,
+            "residency": [list(item) for item in self.residency],
+            "memory_addresses": [
+                list(item) for item in self.memory_addresses
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveSummary":
+        """Rebuild a summary serialised by :meth:`to_dict`."""
+        return cls(
+            solver=str(data["solver"]),
+            exact=bool(data["exact"]),
+            objective=float(data["objective"]),
+            mem_accesses=int(data["mem_accesses"]),
+            reg_accesses=int(data["reg_accesses"]),
+            registers_used=int(data["registers_used"]),
+            unused_registers=int(data["unused_registers"]),
+            address_count=int(data["address_count"]),
+            residency=tuple(
+                (str(name), int(index), int(register))
+                for name, index, register in data.get("residency", ())
+            ),
+            memory_addresses=tuple(
+                (str(name), int(address))
+                for name, address in data.get("memory_addresses", ())
+            ),
+        )
+
+
+@dataclass
+class LadderOutcome:
+    """Everything one walk of the ladder produced.
+
+    Attributes:
+        status: ``"ok"``, ``"infeasible"`` or ``"failed"`` (every rung
+            exhausted).
+        summary: The solution summary when ``status == "ok"``.
+        attempts: Chronological attempt log — one entry per try with the
+            rung name, 1-based attempt number and error (``None`` on
+            success).
+        retries: Same-rung re-tries performed.
+        fallbacks: Rung transitions taken after a rung was exhausted.
+        error: Message of the last failure when the ladder failed.
+        certified: Whether an optimality certificate was checked on the
+            returned solution.
+    """
+
+    status: str
+    summary: SolveSummary | None = None
+    attempts: list[dict] = field(default_factory=list)
+    retries: int = 0
+    fallbacks: int = 0
+    error: str | None = None
+    certified: bool = False
+
+
+def _solve_ssp(problem: AllocationProblem, certify: bool) -> SolveSummary:
+    """Rung 1: the production SSP allocator."""
+    return SolveSummary.from_allocation(
+        allocate(problem, certify=certify), "ssp"
+    )
+
+
+def _solve_cycle_canceling(
+    problem: AllocationProblem, certify: bool
+) -> SolveSummary:
+    """Rung 2: independent cycle-cancelling solve of the same network."""
+    built = build_network(problem)
+    if built.network.has_lower_bounds():
+        transform = transform_lower_bounds(
+            built.network, built.source, built.sink, built.flow_value
+        )
+        inner = solve_by_cycle_canceling(
+            transform.network,
+            transform.super_source,
+            transform.super_sink,
+            transform.demand,
+        )
+        flow = transform.recover(inner)
+    else:
+        flow = solve_by_cycle_canceling(
+            built.network, built.source, built.sink, built.flow_value
+        )
+    check_flow(flow, built.source, built.sink, built.flow_value)
+    if certify:
+        from repro.verify.certificates import certify_flow
+
+        certify_flow(flow)
+    return SolveSummary.from_allocation(
+        extract_allocation(built, flow), "cycle_canceling"
+    )
+
+
+def _solve_two_phase(
+    problem: AllocationProblem, certify: bool
+) -> SolveSummary:
+    """Rung 3: approximate two-phase baseline (graceful degradation)."""
+    if problem.memory.restricted or problem.forced_segments:
+        raise SolverFault(
+            "two-phase baseline cannot honour restricted access times "
+            "or forced segments"
+        )
+    from repro.baselines.two_phase import two_phase_allocate
+
+    result = two_phase_allocate(
+        problem.lifetimes,
+        problem.horizon,
+        problem.register_count,
+        problem.energy_model,
+    )
+    return SolveSummary.from_baseline(result, problem.register_count)
+
+
+_RUNGS: dict[str, Callable[[AllocationProblem, bool], SolveSummary]] = {
+    "ssp": _solve_ssp,
+    "cycle_canceling": _solve_cycle_canceling,
+    "two_phase": _solve_two_phase,
+}
+
+
+def run_ladder(
+    problem: AllocationProblem,
+    *,
+    ladder: tuple[str, ...] = DEFAULT_LADDER,
+    max_retries: int = 1,
+    backoff_base: float = 0.0,
+    backoff_cap: float = 1.0,
+    inject_faults: Mapping[str, int] | None = None,
+    certify: bool = False,
+    sleep: Callable[[float], None] = time.sleep,
+) -> LadderOutcome:
+    """Solve *problem* down the degradation ladder.
+
+    Each rung is tried up to ``max_retries + 1`` times with bounded
+    exponential backoff (``min(backoff_cap, backoff_base * 2**attempt)``
+    seconds between tries) before falling through to the next rung.
+
+    Args:
+        problem: The instance to solve.
+        ladder: Rung names to walk, in order (subset of
+            :data:`DEFAULT_LADDER`).
+        max_retries: Same-rung retries after the first attempt.
+        backoff_base: First retry delay in seconds (0 disables sleeping).
+        backoff_cap: Upper bound on any single retry delay.
+        inject_faults: Rung name → number of leading attempts to fail
+            with :class:`SolverFault` (negative = every attempt).  Used
+            by tests and the ``--inject-fault`` chaos option.
+        certify: Verify an optimality certificate on exact-rung
+            solutions (approximate rungs are never certified).
+        sleep: Backoff sleeper (injectable for tests).
+
+    Returns:
+        The :class:`LadderOutcome`; ``status`` is ``"failed"`` only when
+        every rung was exhausted.
+
+    Raises:
+        ServiceError: If *ladder* names an unknown rung.
+    """
+    for name in ladder:
+        if name not in _RUNGS:
+            raise ServiceError(
+                f"unknown ladder rung {name!r}; expected one of "
+                f"{sorted(_RUNGS)}"
+            )
+    faults = dict(inject_faults or {})
+    fault_counts: dict[str, int] = {}
+    outcome = LadderOutcome(status="failed")
+
+    for rung_index, name in enumerate(ladder):
+        rung = _RUNGS[name]
+        if rung_index > 0:
+            outcome.fallbacks += 1
+            obs.count("service.fallback")
+        for attempt in range(max_retries + 1):
+            if attempt > 0:
+                outcome.retries += 1
+                obs.count("service.retry")
+                delay = min(backoff_cap, backoff_base * (2 ** (attempt - 1)))
+                if delay > 0:
+                    sleep(delay)
+            try:
+                budget = faults.get(name, 0)
+                used = fault_counts.get(name, 0)
+                if budget < 0 or used < budget:
+                    fault_counts[name] = used + 1
+                    raise SolverFault(f"injected fault in {name!r}")
+                certify_here = certify and name != "two_phase"
+                with obs.span(f"service.solve.{name}"):
+                    summary = rung(problem, certify_here)
+            except InfeasibleFlowError as exc:
+                # Infeasibility is a property of the instance; no rung
+                # can do better, so settle the job immediately.
+                outcome.attempts.append(
+                    {"solver": name, "attempt": attempt + 1,
+                     "error": f"infeasible: {exc}"}
+                )
+                outcome.status = "infeasible"
+                outcome.error = str(exc)
+                return outcome
+            except Exception as exc:  # noqa: BLE001 - the ladder is the
+                # error boundary: any rung failure must degrade, not
+                # propagate and kill the batch.
+                outcome.attempts.append(
+                    {"solver": name, "attempt": attempt + 1,
+                     "error": f"{type(exc).__name__}: {exc}"}
+                )
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                continue
+            outcome.attempts.append(
+                {"solver": name, "attempt": attempt + 1, "error": None}
+            )
+            outcome.status = "ok"
+            outcome.summary = summary
+            outcome.error = None
+            outcome.certified = certify_here
+            return outcome
+    return outcome

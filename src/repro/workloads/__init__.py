@@ -25,6 +25,8 @@ from repro.workloads.paper_examples import (
 from repro.workloads.random_blocks import random_dfg, random_lifetimes
 from repro.workloads.serialize import (
     dumps,
+    energy_model_from_dict,
+    energy_model_to_dict,
     lifetimes_from_dict,
     lifetimes_to_dict,
     loads,
@@ -51,6 +53,8 @@ __all__ = [
     "diffeq",
     "dumps",
     "elliptic_wave_filter",
+    "energy_model_from_dict",
+    "energy_model_to_dict",
     "fft_butterfly",
     "figure1_lifetimes",
     "figure3_lifetimes",

@@ -1,0 +1,97 @@
+"""Named workload registry shared by the CLI and the batch service.
+
+Every front end that accepts a workload *name* — ``repro-alloc demo``,
+``lint``, ``profile``, the batch manifests of
+:mod:`repro.service.manifest` — used to carry its own copy of the
+name → factory table.  This module is the single source of truth:
+
+* :func:`kernel_block` builds a synthesised DSP kernel by name;
+* :func:`figure_example` returns a paper worked example (pre-built
+  lifetime set, horizon and, where defined, switching activities).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.ir.basic_block import BasicBlock
+from repro.lifetimes.intervals import Lifetime
+from repro.workloads.dsp_kernels import (
+    dct4,
+    elliptic_wave_filter,
+    fir_filter,
+    iir_biquad,
+)
+from repro.workloads.paper_examples import (
+    FIGURE1_HORIZON,
+    FIGURE3_ACTIVITIES,
+    FIGURE3_HORIZON,
+    FIGURE4_ACTIVITIES,
+    FIGURE4_HORIZON,
+    figure1_lifetimes,
+    figure3_lifetimes,
+    figure4_lifetimes,
+)
+from repro.workloads.random_blocks import random_dfg
+from repro.workloads.rsp import rsp_block
+
+__all__ = ["FIGURE_NAMES", "KERNEL_NAMES", "figure_example", "kernel_block"]
+
+#: Kernel names accepted by :func:`kernel_block` (CLI choices reuse this).
+KERNEL_NAMES: tuple[str, ...] = ("fir", "iir", "ewf", "dct", "rsp", "random")
+
+#: Worked-example names accepted by :func:`figure_example`.
+FIGURE_NAMES: tuple[str, ...] = ("fig1", "fig3", "fig4")
+
+
+def kernel_block(name: str, taps: int = 8, seed: int = 2024) -> BasicBlock:
+    """Build the named synthesised kernel with its own seeded generator.
+
+    Args:
+        name: One of :data:`KERNEL_NAMES`.
+        taps: Tap count (``fir`` only; others ignore it).
+        seed: Seed of the kernel's private generator.
+
+    Raises:
+        WorkloadError: Unknown kernel name.
+    """
+    rng = random.Random(seed)
+    factories = {
+        "fir": lambda: fir_filter(taps, rng),
+        "iir": lambda: iir_biquad(2, rng),
+        "ewf": lambda: elliptic_wave_filter(rng),
+        "dct": lambda: dct4(rng),
+        "rsp": lambda: rsp_block(rng=rng),
+        "random": lambda: random_dfg(rng, operations=40, traced=True),
+    }
+    if name not in factories:
+        raise WorkloadError(
+            f"unknown kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+    return factories[name]()
+
+
+def figure_example(
+    name: str,
+) -> Tuple[dict[str, Lifetime], int, Mapping[tuple[str, str], float] | None]:
+    """Return the named paper example: (lifetimes, horizon, activities).
+
+    ``activities`` is ``None`` for figure 1 (which has no switching
+    data) and the pairwise activity table for figures 3 and 4.
+
+    Raises:
+        WorkloadError: Unknown figure name.
+    """
+    figures = {
+        "fig1": (figure1_lifetimes, FIGURE1_HORIZON, None),
+        "fig3": (figure3_lifetimes, FIGURE3_HORIZON, FIGURE3_ACTIVITIES),
+        "fig4": (figure4_lifetimes, FIGURE4_HORIZON, FIGURE4_ACTIVITIES),
+    }
+    if name not in figures:
+        raise WorkloadError(
+            f"unknown figure {name!r}; expected one of {FIGURE_NAMES}"
+        )
+    factory, horizon, activities = figures[name]
+    return factory(), horizon, activities

@@ -5,6 +5,15 @@ production compiler) and archive instances for regression: a compact,
 versioned JSON schema with full round-tripping of variables (width,
 value traces), lifetimes (write/read times, live-out) and the problem's
 knobs (register count, memory operating point, graph options).
+
+Energy models round-trip too, for the three built-in model classes:
+an instance solved against a scaled memory supply (a restricted
+:class:`~repro.energy.voltage.MemoryConfig` paired with a model at the
+matching ``mem_voltage``) must reload to the *same* energies — the batch
+service's canonical cache key (:mod:`repro.service.canonical`) depends on
+that.  Custom model classes are not embedded (models are code); attach
+them at load time via the ``energy_model`` argument, which always wins
+over the embedded parameters.
 """
 
 from __future__ import annotations
@@ -13,12 +22,20 @@ import json
 from typing import Any, Mapping
 
 from repro.core.problem import AllocationProblem
+from repro.energy.capacitance import CapacitanceTable
+from repro.energy.models import (
+    ActivityEnergyModel,
+    PairwiseSwitchingModel,
+    StaticEnergyModel,
+)
 from repro.energy.voltage import MemoryConfig
 from repro.exceptions import WorkloadError
 from repro.ir.values import DataVariable
 from repro.lifetimes.intervals import Lifetime
 
 __all__ = [
+    "energy_model_to_dict",
+    "energy_model_from_dict",
     "lifetimes_to_dict",
     "lifetimes_from_dict",
     "problem_to_dict",
@@ -28,6 +45,91 @@ __all__ = [
 ]
 
 _SCHEMA = "repro-instance-v1"
+
+#: Field names of :class:`~repro.energy.capacitance.CapacitanceTable`.
+_TABLE_FIELDS = (
+    "mem_read",
+    "mem_write",
+    "reg_read",
+    "reg_write",
+    "reg_bit",
+    "offchip",
+)
+
+
+def energy_model_to_dict(model: Any) -> dict[str, Any] | None:
+    """Serialise a built-in energy model's parameters, or ``None``.
+
+    Supports :class:`StaticEnergyModel`, :class:`ActivityEnergyModel` and
+    :class:`PairwiseSwitchingModel` (voltages, capacitance table,
+    activity knobs).  Custom model classes return ``None`` — they are
+    code, not data, and must be re-attached at load time.
+    """
+    common = {
+        "mem_voltage": model.mem_voltage,
+        "reg_voltage": model.reg_voltage,
+        "table": {
+            name: getattr(model.table, name) for name in _TABLE_FIELDS
+        },
+    }
+    if type(model) is StaticEnergyModel:
+        return {"kind": "static", **common}
+    if type(model) is ActivityEnergyModel:
+        return {
+            "kind": "activity",
+            **common,
+            "start_activity": model.start_activity,
+        }
+    if type(model) is PairwiseSwitchingModel:
+        return {
+            "kind": "pairwise",
+            **common,
+            "start_activity": model.start_activity,
+            "default_activity": model.default_activity,
+            "activities": sorted(
+                [v1, v2, activity]
+                for (v1, v2), activity in model.activities.items()
+            ),
+        }
+    return None
+
+
+def energy_model_from_dict(data: Mapping[str, Any]) -> Any:
+    """Rebuild an energy model serialised by :func:`energy_model_to_dict`."""
+    try:
+        kind = data["kind"]
+    except KeyError:
+        raise WorkloadError("energy model entry missing field 'kind'") from None
+    table = CapacitanceTable(
+        **{
+            name: float(value)
+            for name, value in data.get("table", {}).items()
+            if name in _TABLE_FIELDS
+        }
+    )
+    common = {
+        "table": table,
+        "mem_voltage": float(data.get("mem_voltage", 5.0)),
+        "reg_voltage": float(data.get("reg_voltage", 5.0)),
+    }
+    if kind == "static":
+        return StaticEnergyModel(**common)
+    if kind == "activity":
+        return ActivityEnergyModel(
+            **common,
+            start_activity=float(data.get("start_activity", 0.5)),
+        )
+    if kind == "pairwise":
+        return PairwiseSwitchingModel(
+            **common,
+            activities={
+                (str(v1), str(v2)): float(activity)
+                for v1, v2, activity in data.get("activities", ())
+            },
+            start_activity=float(data.get("start_activity", 0.5)),
+            default_activity=float(data.get("default_activity", 0.5)),
+        )
+    raise WorkloadError(f"unknown energy model kind {kind!r}")
 
 
 def lifetimes_to_dict(
@@ -75,9 +177,12 @@ def lifetimes_from_dict(
 
 
 def problem_to_dict(problem: AllocationProblem) -> dict[str, Any]:
-    """Serialise an instance (energy model parameters are not embedded —
-    models are code; attach them at load time)."""
-    return {
+    """Serialise an instance, embedding built-in energy-model parameters.
+
+    Custom (non built-in) energy models are omitted from the document and
+    must be re-attached when loading.
+    """
+    data = {
         "schema": _SCHEMA,
         "horizon": problem.horizon,
         "register_count": problem.register_count,
@@ -94,6 +199,10 @@ def problem_to_dict(problem: AllocationProblem) -> dict[str, Any]:
         },
         "lifetimes": lifetimes_to_dict(problem.lifetimes),
     }
+    model = energy_model_to_dict(problem.energy_model)
+    if model is not None:
+        data["energy_model"] = model
+    return data
 
 
 def problem_from_dict(
@@ -103,7 +212,9 @@ def problem_from_dict(
 
     Args:
         data: The parsed JSON object.
-        energy_model: Model to attach (defaults to the static model).
+        energy_model: Model to attach; wins over any parameters embedded
+            in the document.  When ``None``, the embedded parameters are
+            used, falling back to the default static model.
     """
     if data.get("schema") != _SCHEMA:
         raise WorkloadError(
@@ -113,6 +224,8 @@ def problem_from_dict(
     kwargs: dict[str, Any] = {}
     if energy_model is not None:
         kwargs["energy_model"] = energy_model
+    elif "energy_model" in data:
+        kwargs["energy_model"] = energy_model_from_dict(data["energy_model"])
     return AllocationProblem(
         lifetimes=lifetimes_from_dict(data["lifetimes"]),
         register_count=int(data["register_count"]),

@@ -1,0 +1,1 @@
+"""Tests for the batch allocation service (:mod:`repro.service`)."""

@@ -1,0 +1,102 @@
+"""Result cache: LRU discipline, disk store, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.cache import CachedResult, ResultCache
+
+
+def entry(key: str, objective: float = 10.0) -> CachedResult:
+    return CachedResult(
+        key=key,
+        solver="ssp",
+        exact=True,
+        objective=objective,
+        mem_accesses=2,
+        reg_accesses=3,
+        registers_used=1,
+        unused_registers=0,
+        address_count=1,
+        residency=(("x0", 0, 0),),
+        memory_addresses=(("x1", 0),),
+    )
+
+
+def test_get_put_and_stats():
+    cache = ResultCache()
+    assert cache.get("sha256:aa") is None
+    cache.put(entry("sha256:aa"))
+    hit = cache.get("sha256:aa")
+    assert hit is not None and hit.objective == 10.0
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(capacity=2)
+    cache.put(entry("sha256:aa"))
+    cache.put(entry("sha256:bb"))
+    assert cache.get("sha256:aa") is not None  # promote aa
+    cache.put(entry("sha256:cc"))  # evicts bb
+    assert cache.get("sha256:bb") is None
+    assert cache.get("sha256:aa") is not None
+    assert cache.get("sha256:cc") is not None
+    assert len(cache) == 2
+
+
+def test_disk_store_round_trip(tmp_path):
+    first = ResultCache(directory=tmp_path / "store")
+    first.put(entry("sha256:aa", objective=42.5))
+    # A fresh cache over the same directory serves the entry from disk.
+    second = ResultCache(directory=tmp_path / "store")
+    hit = second.get("sha256:aa")
+    assert hit is not None
+    assert hit.objective == 42.5
+    assert hit.residency == (("x0", 0, 0),)
+    assert second.stats()["hits"] == 1
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    store = tmp_path / "store"
+    cache = ResultCache(directory=store)
+    cache.put(entry("sha256:aa"))
+    path = store / "aa.json"
+    path.write_text("{not json", encoding="utf-8")
+    fresh = ResultCache(directory=store)
+    assert fresh.get("sha256:aa") is None
+    assert fresh.stats()["misses"] == 1
+
+
+def test_mismatched_key_on_disk_is_a_miss(tmp_path):
+    store = tmp_path / "store"
+    store.mkdir()
+    data = entry("sha256:other").to_dict()
+    (store / "aa.json").write_text(json.dumps(data), encoding="utf-8")
+    cache = ResultCache(directory=store)
+    assert cache.get("sha256:aa") is None
+
+
+def test_entry_round_trip_and_remap():
+    original = entry("sha256:aa")
+    rebuilt = CachedResult.from_dict(original.to_dict())
+    assert rebuilt == original
+    remapped = original.remap({"x0": "alpha", "x1": "beta"})
+    assert remapped.residency == (("alpha", 0, 0),)
+    assert remapped.memory_addresses == (("beta", 0),)
+
+
+def test_malformed_entry_rejected():
+    with pytest.raises(ServiceError, match="schema"):
+        CachedResult.from_dict({"schema": "nope"})
+    bad = entry("sha256:aa").to_dict()
+    del bad["objective"]
+    with pytest.raises(ServiceError, match="malformed"):
+        CachedResult.from_dict(bad)
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ServiceError, match="capacity"):
+        ResultCache(capacity=0)

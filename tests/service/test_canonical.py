@@ -1,0 +1,177 @@
+"""Cache-key invariance: renames collide, any parameter change doesn't."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.energy import (
+    ActivityEnergyModel,
+    MemoryConfig,
+    PairwiseSwitchingModel,
+    StaticEnergyModel,
+)
+from repro.energy.capacitance import CapacitanceTable
+from repro.ir.values import DataVariable
+from repro.lifetimes.intervals import Lifetime
+from repro.service import cache_key, canonical_form, canonicalize
+from repro.workloads.random_blocks import random_lifetimes, spawn_rng
+from tests.conftest import make_lifetime
+
+
+def base_problem(**overrides) -> AllocationProblem:
+    lifetimes = {
+        "alpha": make_lifetime("alpha", 1, (3, 5), trace=(1, 2, 3)),
+        "beta": make_lifetime("beta", 2, 4, trace=(4, 5, 6)),
+        "gamma": make_lifetime("gamma", 3, 6, live_out=True),
+    }
+    defaults = dict(
+        lifetimes=lifetimes,
+        register_count=2,
+        horizon=6,
+        energy_model=StaticEnergyModel(),
+    )
+    defaults.update(overrides)
+    return AllocationProblem(**defaults)
+
+
+def renamed(problem: AllocationProblem, prefix: str) -> AllocationProblem:
+    """The same instance with every variable renamed (reverse order)."""
+    mapping = {
+        name: f"{prefix}{i}"
+        for i, name in enumerate(sorted(problem.lifetimes, reverse=True))
+    }
+    lifetimes = {
+        mapping[name]: Lifetime(
+            DataVariable(
+                mapping[name], lt.variable.width, lt.variable.trace
+            ),
+            lt.write_time,
+            lt.read_times,
+            lt.live_out,
+        )
+        for name, lt in problem.lifetimes.items()
+    }
+    forced = frozenset(
+        (mapping[name], index) for name, index in problem.forced_segments
+    )
+    return dataclasses.replace(
+        problem, lifetimes=lifetimes, forced_segments=forced
+    )
+
+
+def test_rename_identical_instances_share_a_key():
+    problem = base_problem()
+    assert cache_key(problem) == cache_key(renamed(problem, "zz"))
+    assert cache_key(problem) == cache_key(renamed(problem, "q_"))
+
+
+def test_random_instances_are_renaming_invariant():
+    for case in range(10):
+        lifetimes = random_lifetimes(
+            spawn_rng(3, "canon", case), 9, 11, traced=True
+        )
+        problem = AllocationProblem(
+            lifetimes, 3, 11, energy_model=ActivityEnergyModel()
+        )
+        assert cache_key(problem) == cache_key(renamed(problem, "r"))
+
+
+def test_inverse_renaming_round_trips():
+    canonical = canonicalize(base_problem())
+    inverse = canonical.inverse()
+    assert sorted(inverse) == [f"x{i}" for i in range(3)]
+    assert sorted(inverse.values()) == ["alpha", "beta", "gamma"]
+    for original, canon in canonical.renaming.items():
+        assert inverse[canon] == original
+
+
+def test_canonical_form_is_name_free():
+    form = canonical_form(base_problem())
+    text = str(form)
+    for name in ("alpha", "beta", "gamma"):
+        assert name not in text
+
+
+@pytest.mark.parametrize(
+    "perturbation",
+    [
+        lambda p: dataclasses.replace(p, register_count=3),
+        lambda p: dataclasses.replace(p, horizon=7),
+        lambda p: dataclasses.replace(p, graph_style="all_pairs"),
+        lambda p: dataclasses.replace(p, split_at_reads=False),
+        lambda p: dataclasses.replace(p, allow_unused_registers=False),
+        lambda p: dataclasses.replace(
+            p, forced_segments=frozenset({("alpha", 0)})
+        ),
+        lambda p: dataclasses.replace(
+            p, memory=MemoryConfig(divisor=2, voltage=3.3)
+        ),
+        lambda p: dataclasses.replace(
+            p, memory=MemoryConfig(divisor=2, voltage=3.3, offset=0)
+        ),
+        lambda p: dataclasses.replace(
+            p, energy_model=StaticEnergyModel().with_voltages(3.3, 5.0)
+        ),
+        lambda p: dataclasses.replace(
+            p, energy_model=StaticEnergyModel().with_voltages(5.0, 3.3)
+        ),
+        lambda p: dataclasses.replace(
+            p,
+            energy_model=StaticEnergyModel(
+                table=CapacitanceTable(mem_read=99.0)
+            ),
+        ),
+        lambda p: dataclasses.replace(
+            p, energy_model=ActivityEnergyModel()
+        ),
+        lambda p: dataclasses.replace(
+            p, energy_model=ActivityEnergyModel(start_activity=0.9)
+        ),
+        lambda p: dataclasses.replace(
+            p,
+            energy_model=PairwiseSwitchingModel({("alpha", "beta"): 0.4}),
+        ),
+    ],
+)
+def test_any_parameter_perturbation_changes_the_key(perturbation):
+    problem = base_problem()
+    assert cache_key(problem) != cache_key(perturbation(problem))
+
+
+def test_lifetime_perturbations_change_the_key():
+    problem = base_problem()
+    shifted = dict(problem.lifetimes)
+    shifted["beta"] = make_lifetime("beta", 2, 5, trace=(4, 5, 6))
+    assert cache_key(problem) != cache_key(
+        dataclasses.replace(problem, lifetimes=shifted)
+    )
+    extra = dict(problem.lifetimes)
+    extra["delta"] = make_lifetime("delta", 4, 6)
+    assert cache_key(problem) != cache_key(
+        dataclasses.replace(problem, lifetimes=extra)
+    )
+
+
+def test_pairwise_activities_follow_the_renaming():
+    model = PairwiseSwitchingModel(
+        {("alpha", "beta"): 0.2, ("beta", "gamma"): 0.7}
+    )
+    problem = base_problem(energy_model=model)
+    other = renamed(base_problem(), "n")
+    # Rebuild the same activities under the new names: alpha->n2,
+    # beta->n1, gamma->n0 (reverse-sorted rename).
+    other = dataclasses.replace(
+        other,
+        energy_model=PairwiseSwitchingModel(
+            {("n2", "n1"): 0.2, ("n1", "n0"): 0.7}
+        ),
+    )
+    assert cache_key(problem) == cache_key(other)
+
+
+def test_key_format_and_determinism():
+    problem = base_problem()
+    key = cache_key(problem)
+    assert key.startswith("sha256:") and len(key) == 7 + 64
+    assert key == cache_key(base_problem())

@@ -1,0 +1,185 @@
+"""Batch executor: caching, fault tolerance, the parallel path."""
+
+import pytest
+
+from repro.core import allocate
+from repro.core.problem import AllocationProblem
+from repro.exceptions import ServiceError
+from repro.service import BatchExecutor, ResultCache
+from repro.workloads.random_blocks import random_lifetimes, spawn_rng
+from tests.conftest import make_lifetime
+
+
+def small_problem() -> AllocationProblem:
+    lifetimes = {
+        "a": make_lifetime("a", 1, (3, 5)),
+        "b": make_lifetime("b", 2, 4),
+        "c": make_lifetime("c", 3, 6, live_out=True),
+    }
+    return AllocationProblem(lifetimes, 2, 6)
+
+
+def random_batch(count: int, seed: int = 7) -> list[AllocationProblem]:
+    problems = []
+    for case in range(count):
+        rng = spawn_rng(seed, "batch", case)
+        lifetimes = random_lifetimes(rng, 8, 12)
+        problems.append(AllocationProblem(lifetimes, 3, 12))
+    return problems
+
+
+def test_serial_batch_matches_direct_solve():
+    problem = small_problem()
+    executor = BatchExecutor(workers=1, cache=ResultCache())
+    job_id = executor.submit(problem, job_id="small")
+    assert job_id == "small"
+    result = executor.gather()[0]
+    assert result.ok and not result.cached
+    assert result.solver == "ssp"
+    assert result.objective == pytest.approx(allocate(problem).objective)
+    assert result.worker is not None
+
+
+def test_repeat_batch_is_cache_served_with_identical_energies():
+    problems = random_batch(20)
+    cache = ResultCache()
+    executor = BatchExecutor(workers=1, cache=cache)
+    first = executor.map_blocks(problems)
+    hits_before = cache.stats()["hits"]
+    second = executor.map_blocks(problems)
+    assert all(result.ok for result in first + second)
+    assert all(result.cached for result in second)
+    second_run_rate = (cache.stats()["hits"] - hits_before) / len(problems)
+    assert second_run_rate >= 0.9
+    for before, after in zip(first, second):
+        assert before.objective == after.objective  # byte-identical
+        assert before.summary.residency == after.summary.residency
+
+
+def test_fault_injected_batch_completes_via_fallback():
+    problems = random_batch(100)
+    executor = BatchExecutor(
+        workers=2,
+        cache=ResultCache(),
+        chunksize=10,
+        inject_faults={"ssp": -1},
+        backoff_base=0.0,
+    )
+    results = executor.map_blocks(problems)
+    assert len(results) == 100
+    assert all(result.status in ("ok", "infeasible") for result in results)
+    solved = [result for result in results if result.ok]
+    assert solved, "batch produced no solutions at all"
+    assert all(result.solver == "cycle_canceling" for result in solved)
+    assert all(result.fallbacks >= 1 for result in solved)
+
+
+def test_pool_and_serial_paths_agree():
+    problems = random_batch(12, seed=11)
+    serial = BatchExecutor(workers=1, cache=None).map_blocks(problems)
+    pooled = BatchExecutor(
+        workers=2, cache=None, chunksize=4
+    ).map_blocks(problems)
+    assert [r.status for r in serial] == [r.status for r in pooled]
+    for left, right in zip(serial, pooled):
+        assert left.objective == right.objective
+
+
+def test_results_keep_submission_order_and_ids():
+    problems = random_batch(6, seed=3)
+    executor = BatchExecutor(workers=1, cache=ResultCache())
+    results = executor.map_blocks(
+        problems, ids=[f"case-{i}" for i in range(6)]
+    )
+    assert [result.job_id for result in results] == [
+        f"case-{i}" for i in range(6)
+    ]
+    assert [result.index for result in results] == list(range(6))
+
+
+def test_duplicate_instances_inside_one_batch_hit_the_cache():
+    problem = small_problem()
+    executor = BatchExecutor(workers=1, cache=ResultCache())
+    results = executor.map_blocks([problem, problem, problem])
+    # The first gather resolves all three; the first solve populates the
+    # cache only after the batch, so hits land on identical keys via the
+    # canonical lookup in the *next* gather.
+    assert all(result.ok for result in results)
+    repeat = executor.map_blocks([problem])
+    assert repeat[0].cached
+
+
+def test_exhausted_ladder_is_a_job_failure_not_a_crash():
+    executor = BatchExecutor(
+        workers=1,
+        cache=None,
+        inject_faults={"ssp": -1, "cycle_canceling": -1, "two_phase": -1},
+        max_retries=0,
+    )
+    result = executor.map_blocks([small_problem()])[0]
+    assert result.status == "failed"
+    assert result.summary is None
+    assert "injected fault" in result.error
+
+
+def test_failed_jobs_are_not_cached():
+    cache = ResultCache()
+    executor = BatchExecutor(
+        workers=1,
+        cache=cache,
+        inject_faults={"ssp": -1, "cycle_canceling": -1, "two_phase": -1},
+        max_retries=0,
+    )
+    executor.map_blocks([small_problem()])
+    assert len(cache) == 0
+
+
+def test_certify_fraction_samples_jobs():
+    executor = BatchExecutor(
+        workers=1, cache=None, certify_fraction=1.0, seed=5
+    )
+    result = executor.map_blocks([small_problem()])[0]
+    assert result.ok and result.certified
+
+
+def test_lint_gate_failure_becomes_a_job_failure():
+    from repro.energy import MemoryConfig
+
+    # RA405: restricted memory at 3.3 V while the model still charges
+    # memory at the nominal 5 V — a warning-severity finding.
+    problem = AllocationProblem(
+        {
+            "a": make_lifetime("a", 1, 3),
+            "b": make_lifetime("b", 2, 5),
+        },
+        1,
+        6,
+        memory=MemoryConfig(divisor=2, voltage=3.3),
+    )
+    executor = BatchExecutor(workers=1, cache=None, lint="warning")
+    result = executor.map_blocks([problem])[0]
+    assert result.status == "failed"
+    assert "lint" in (result.error or "").lower()
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ServiceError, match="workers"):
+        BatchExecutor(workers=0)
+    with pytest.raises(ServiceError, match="chunksize"):
+        BatchExecutor(chunksize=0)
+    with pytest.raises(ServiceError, match="fraction"):
+        BatchExecutor(certify_fraction=1.5)
+    with pytest.raises(ServiceError, match="timeout"):
+        BatchExecutor(timeout=-1.0)
+    with pytest.raises(ServiceError, match="retries"):
+        BatchExecutor(max_retries=-1)
+
+
+def test_job_result_to_dict_is_json_ready():
+    import json
+
+    executor = BatchExecutor(workers=1, cache=None)
+    result = executor.map_blocks([small_problem()])[0]
+    data = json.loads(json.dumps(result.to_dict()))
+    assert data["status"] == "ok"
+    assert data["objective"] == pytest.approx(result.objective)

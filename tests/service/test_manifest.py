@@ -1,0 +1,170 @@
+"""Manifest parsing, validation and workload materialisation."""
+
+import json
+
+import pytest
+
+from repro.energy import PairwiseSwitchingModel
+from repro.exceptions import ServiceError
+from repro.service import load_manifest
+from repro.workloads import dumps
+from repro.workloads.registry import kernel_block
+from repro.core.problem import AllocationProblem
+from repro.scheduling import list_schedule
+
+
+def write_manifest(tmp_path, document) -> str:
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+def test_kernel_and_figure_jobs_build(tmp_path):
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": "repro.service/manifest/v1",
+            "defaults": {"seed": 2024},
+            "jobs": [
+                {"kind": "kernel", "name": "fir", "taps": 8,
+                 "registers": 4},
+                {"kind": "figure", "name": "fig3"},
+            ],
+        },
+    )
+    workloads = load_manifest(path).build()
+    assert [w.label for w in workloads] == ["fir", "fig3"]
+    assert workloads[0].problem.register_count == 4
+    assert isinstance(
+        workloads[1].problem.energy_model, PairwiseSwitchingModel
+    )
+
+
+def test_random_jobs_replicate_with_derived_seeds(tmp_path):
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": "repro.service/manifest/v1",
+            "jobs": [
+                {"kind": "random", "count": 3, "variables": 6,
+                 "horizon": 10, "seed": 1, "registers": 2},
+            ],
+        },
+    )
+    workloads = load_manifest(path).build()
+    assert [w.label for w in workloads] == [
+        "random#0", "random#1", "random#2",
+    ]
+    # Replicas are independent draws, not copies.
+    lifetime_sets = [
+        tuple(
+            (lt.write_time, lt.read_times)
+            for lt in w.problem.lifetimes.values()
+        )
+        for w in workloads
+    ]
+    assert len(set(lifetime_sets)) > 1
+    # Deterministic: re-building yields the same instances.
+    again = load_manifest(path).build()
+    assert [
+        tuple(
+            (lt.write_time, lt.read_times)
+            for lt in w.problem.lifetimes.values()
+        )
+        for w in again
+    ] == lifetime_sets
+
+
+def test_instance_jobs_resolve_relative_to_the_manifest(tmp_path):
+    block = kernel_block("fir", taps=4, seed=1)
+    schedule = list_schedule(block)
+    problem = AllocationProblem.from_schedule(schedule, register_count=3)
+    (tmp_path / "cases").mkdir()
+    (tmp_path / "cases" / "fir4.json").write_text(
+        dumps(problem), encoding="utf-8"
+    )
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": "repro.service/manifest/v1",
+            "jobs": [{"kind": "instance", "path": "cases/fir4.json"}],
+        },
+    )
+    workloads = load_manifest(path).build()
+    assert workloads[0].label == "fir4"
+    assert workloads[0].problem.register_count == 3
+
+
+def test_defaults_merge_under_job_overrides(tmp_path):
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": "repro.service/manifest/v1",
+            "defaults": {"registers": 2, "divisor": 2},
+            "jobs": [
+                {"kind": "random", "variables": 4, "horizon": 8,
+                 "seed": 0},
+                {"kind": "random", "variables": 4, "horizon": 8,
+                 "seed": 0, "registers": 5, "divisor": 1},
+            ],
+        },
+    )
+    first, second = load_manifest(path).build()
+    assert first.problem.register_count == 2
+    assert first.problem.memory.restricted
+    assert second.problem.register_count == 5
+    assert not second.problem.memory.restricted
+
+
+@pytest.mark.parametrize(
+    "document, match",
+    [
+        ({"schema": "nope", "jobs": [{"kind": "figure", "name": "fig3"}]},
+         "schema"),
+        ({"schema": "repro.service/manifest/v1", "jobs": []}, "non-empty"),
+        ({"schema": "repro.service/manifest/v1",
+          "jobs": [{"kind": "mystery"}]}, "unknown kind"),
+        ({"schema": "repro.service/manifest/v1",
+          "jobs": [{"kind": "kernel"}]}, "need a name"),
+        ({"schema": "repro.service/manifest/v1",
+          "jobs": [{"kind": "instance"}]}, "need a path"),
+        ({"schema": "repro.service/manifest/v1",
+          "jobs": [{"kind": "figure", "name": "fig3", "count": 2}]},
+         "deterministic"),
+        ({"schema": "repro.service/manifest/v1",
+          "jobs": [{"kind": "random", "count": 0}]}, "count"),
+    ],
+)
+def test_malformed_manifests_rejected(tmp_path, document, match):
+    path = write_manifest(tmp_path, document)
+    with pytest.raises(ServiceError, match=match):
+        load_manifest(path)
+
+
+def test_missing_file_and_bad_json_rejected(tmp_path):
+    with pytest.raises(ServiceError, match="cannot read"):
+        load_manifest(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{", encoding="utf-8")
+    with pytest.raises(ServiceError, match="not JSON"):
+        load_manifest(bad)
+
+
+def test_missing_instance_file_rejected_at_build(tmp_path):
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": "repro.service/manifest/v1",
+            "jobs": [{"kind": "instance", "path": "absent.json"}],
+        },
+    )
+    with pytest.raises(ServiceError, match="cannot read instance"):
+        load_manifest(path).build()
+
+
+def test_repo_example_manifest_loads():
+    manifest = load_manifest("examples/manifests/paper.json")
+    workloads = manifest.build()
+    assert len(workloads) >= 10
+    labels = [w.label for w in workloads]
+    assert "fig3" in labels and "rsp" in labels

@@ -142,7 +142,7 @@ def test_cli_docstring_mentions_all_commands():
 
     for command in (
         "demo", "compare", "table1", "figures", "chart", "diagnose",
-        "offsets", "explore", "profile", "fuzz",
+        "offsets", "explore", "profile", "fuzz", "batch",
     ):
         assert command in cli.__doc__
 
@@ -176,3 +176,89 @@ def test_fuzz_unwritable_output_is_a_clean_error(capsys):
     )
     assert code == 1
     assert "cannot write" in capsys.readouterr().err
+
+
+def _batch_manifest(tmp_path, jobs=None):
+    manifest = {
+        "schema": "repro.service/manifest/v1",
+        "defaults": {"seed": 2024},
+        "jobs": jobs
+        or [
+            {"kind": "figure", "name": "fig3"},
+            {"kind": "kernel", "name": "fir", "taps": 6, "registers": 3},
+            {"kind": "random", "count": 3, "variables": 6, "horizon": 10,
+             "seed": 4, "registers": 2},
+        ],
+    }
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(manifest), encoding="utf-8")
+    return str(path)
+
+
+def test_batch_json_report(tmp_path, capsys):
+    assert main(["batch", _batch_manifest(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)
+    assert report["schema"] == "repro.service/batch-report/v1"
+    assert report["totals"]["jobs"] == 5
+    assert report["totals"]["ok"] == 5
+    assert "5 jobs, 5 ok" in captured.err
+
+
+def test_batch_second_run_is_cache_served(tmp_path, capsys):
+    manifest = _batch_manifest(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    assert main(["batch", manifest, "--cache-dir", cache_dir]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(["batch", manifest, "--cache-dir", cache_dir]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert first["totals"]["cached"] == 0
+    assert second["totals"]["cached"] == second["totals"]["jobs"]
+    assert second["totals"]["cache"]["hit_rate"] >= 0.9
+    # Byte-identical energies across runs.
+    assert [j["objective"] for j in second["jobs"]] == [
+        j["objective"] for j in first["jobs"]
+    ]
+
+
+def test_batch_inject_fault_falls_back(tmp_path, capsys):
+    assert main(
+        ["batch", _batch_manifest(tmp_path), "--inject-fault", "ssp"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["totals"]["failed"] == 0
+    assert report["totals"]["fallbacks"] >= report["totals"]["jobs"]
+    assert set(report["totals"]["by_solver"]) == {"cycle_canceling"}
+
+
+def test_batch_text_format_to_file(tmp_path, capsys):
+    target = tmp_path / "report.txt"
+    assert main(
+        ["batch", _batch_manifest(tmp_path), "--format", "text",
+         "--output", str(target)]
+    ) == 0
+    assert "wrote batch report" in capsys.readouterr().out
+    text = target.read_text()
+    assert "batch report" in text and "fig3" in text
+
+
+def test_batch_bad_manifest_is_a_clean_error(tmp_path, capsys):
+    missing = str(tmp_path / "absent.json")
+    assert main(["batch", missing]) == 2
+    assert "cannot read manifest" in capsys.readouterr().err
+
+
+def test_batch_exhausted_ladder_exits_nonzero(tmp_path, capsys):
+    manifest = _batch_manifest(
+        tmp_path,
+        jobs=[{"kind": "random", "variables": 5, "horizon": 8, "seed": 1,
+               "registers": 2}],
+    )
+    code = main(
+        ["batch", manifest, "--inject-fault", "ssp",
+         "--inject-fault", "cycle_canceling",
+         "--inject-fault", "two_phase", "--retries", "0"]
+    )
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["totals"]["failed"] == 1

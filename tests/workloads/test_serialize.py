@@ -90,3 +90,106 @@ def test_duplicate_lifetime_rejected():
     data = lifetimes_to_dict({"a": make_lifetime("a", 1, 2)}) * 2
     with pytest.raises(WorkloadError, match="duplicate"):
         lifetimes_from_dict(data)
+
+
+def test_restricted_config_round_trips_with_scaled_model():
+    # A section-5.2 operating point: access period c=2, scaled supply.
+    memory = MemoryConfig.scaled(2)
+    model = ActivityEnergyModel().with_voltages(memory.voltage, 5.0)
+    lifetimes = random_lifetimes(
+        random.Random(9), count=6, horizon=10, traced=True
+    )
+    problem = AllocationProblem(
+        lifetimes, 4, 10, energy_model=model, memory=memory
+    )
+    rebuilt = loads(dumps(problem))
+    assert rebuilt.memory == problem.memory
+    assert isinstance(rebuilt.energy_model, ActivityEnergyModel)
+    assert rebuilt.energy_model.mem_voltage == pytest.approx(memory.voltage)
+    # The reloaded instance yields the same optimum under the *embedded*
+    # model — no silent reversion to the nominal 5 V static default.
+    assert allocate(rebuilt).objective == pytest.approx(
+        allocate(problem).objective
+    )
+
+
+def test_energy_model_round_trip_property():
+    from repro.energy import PairwiseSwitchingModel, StaticEnergyModel
+    from repro.energy.capacitance import CapacitanceTable
+    from repro.workloads.serialize import (
+        energy_model_from_dict,
+        energy_model_to_dict,
+    )
+
+    rng = random.Random(31)
+    for _ in range(25):
+        table = CapacitanceTable(
+            mem_read=rng.uniform(1, 50),
+            mem_write=rng.uniform(1, 50),
+            reg_read=rng.uniform(0.1, 5),
+            reg_write=rng.uniform(0.1, 5),
+            reg_bit=rng.uniform(0.01, 1),
+        )
+        mem_v = rng.choice((5.0, 3.3, 2.5, 1.8))
+        kind = rng.choice(("static", "activity", "pairwise"))
+        if kind == "static":
+            model = StaticEnergyModel(table, mem_v, 5.0)
+        elif kind == "activity":
+            model = ActivityEnergyModel(
+                table, mem_v, 5.0, start_activity=rng.random()
+            )
+        else:
+            model = PairwiseSwitchingModel(
+                activities={
+                    ("a", "b"): rng.random(),
+                    ("b", "c"): rng.random(),
+                },
+                table=table,
+                mem_voltage=mem_v,
+                start_activity=rng.random(),
+                default_activity=rng.random(),
+            )
+        data = energy_model_to_dict(model)
+        rebuilt = energy_model_from_dict(data)
+        assert rebuilt == model
+        # Serialisation is a fixpoint (stable embedded form).
+        assert energy_model_to_dict(rebuilt) == data
+
+
+def test_custom_model_is_not_embedded():
+    from repro.workloads.serialize import energy_model_to_dict
+
+    class Custom(ActivityEnergyModel):
+        """A user-defined subclass: code, not data."""
+
+    assert energy_model_to_dict(Custom()) is None
+    payload = json.loads(
+        dumps(
+            AllocationProblem(
+                {"a": make_lifetime("a", 1, 3)}, 1, 4, energy_model=Custom()
+            )
+        )
+    )
+    assert "energy_model" not in payload
+
+
+def test_unknown_energy_model_kind_rejected():
+    from repro.workloads.serialize import energy_model_from_dict
+
+    with pytest.raises(WorkloadError, match="unknown energy model"):
+        energy_model_from_dict({"kind": "quantum"})
+    with pytest.raises(WorkloadError, match="missing field"):
+        energy_model_from_dict({})
+
+
+def test_explicit_model_wins_over_embedded_parameters():
+    memory = MemoryConfig.scaled(4)
+    problem = AllocationProblem(
+        {"a": make_lifetime("a", 1, 3)},
+        1,
+        4,
+        energy_model=ActivityEnergyModel().with_voltages(memory.voltage, 5.0),
+        memory=memory,
+    )
+    rebuilt = loads(dumps(problem), energy_model=ActivityEnergyModel())
+    assert rebuilt.energy_model == ActivityEnergyModel()
