@@ -16,12 +16,15 @@ from typing import Iterable, Mapping
 
 from repro.analysis.metrics import SolutionMetrics, metrics_of
 from repro.analysis.tables import format_table
+from repro.core.network_builder import BuiltNetwork, build_network, recost_network
 from repro.core.problem import AllocationProblem
-from repro.core.solver import allocate
+from repro.core.solver import allocate, solve_built
 from repro.energy.models import EnergyModel, StaticEnergyModel
 from repro.energy.voltage import MemoryConfig
-from repro.exceptions import InfeasibleFlowError
+from repro.exceptions import GraphError, InfeasibleFlowError
+from repro.flow.warm_start import WarmStartCache
 from repro.lifetimes.intervals import Lifetime
+from repro.obs import trace as obs
 
 __all__ = ["DesignPoint", "ExplorationResult", "explore_design_space"]
 
@@ -131,15 +134,28 @@ def explore_design_space(
     register_counts: Iterable[int],
     memory_configs: Iterable[MemoryConfig],
     energy_model: EnergyModel | None = None,
+    warm_start: bool = True,
     **problem_options,
 ) -> ExplorationResult:
     """Evaluate every (register count x memory config) grid point.
 
     The energy model's memory voltage is rescaled per point to the
     config's supply (register file stays at its own voltage).
+
+    With ``warm_start`` (the default) the sweep exploits that changing
+    the memory operating point is a *cost-only* perturbation: per
+    register count the flow network is built once and re-costed in place
+    (:func:`~repro.core.network_builder.recost_network`), and a shared
+    :class:`~repro.flow.warm_start.WarmStartCache` turns every re-solve
+    after the first into an incremental re-optimisation whose work is
+    proportional to the perturbation, not the instance (1 cold solve +
+    N deltas instead of N cold solves).  Results are identical either
+    way; set ``warm_start=False`` to force independent cold solves.
     """
     base_model = energy_model or StaticEnergyModel()
     points: list[DesignPoint] = []
+    cache = WarmStartCache() if warm_start else None
+    built_by_registers: dict[int, BuiltNetwork] = {}
     for memory in memory_configs:
         model = base_model.with_voltages(
             memory.voltage, getattr(base_model, "reg_voltage", 5.0)
@@ -154,7 +170,22 @@ def explore_design_space(
                 **problem_options,
             )
             try:
-                metrics = metrics_of(allocate(problem), name="flow")
+                if cache is None:
+                    metrics = metrics_of(allocate(problem), name="flow")
+                else:
+                    built = built_by_registers.get(registers)
+                    if built is not None:
+                        try:
+                            built = recost_network(built, problem)
+                        except GraphError:
+                            built = None  # topology moved: rebuild below
+                    if built is None:
+                        with obs.span("solver.build_network"):
+                            built = build_network(problem)
+                    built_by_registers[registers] = built
+                    metrics = metrics_of(
+                        solve_built(built, warm_cache=cache), name="flow"
+                    )
             except InfeasibleFlowError:
                 metrics = None
             points.append(DesignPoint(registers, memory, metrics))

@@ -34,10 +34,84 @@ Cost components, for an energy model ``E``:
 
 from __future__ import annotations
 
-from repro.energy.models import EnergyModel
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.energy.models import EnergyModel, StaticEnergyModel
 from repro.lifetimes.intervals import Segment
 
-__all__ = ["segment_cost", "handoff_cost", "intra_cost"]
+__all__ = [
+    "SeparableCostTerms",
+    "segment_cost",
+    "handoff_cost",
+    "intra_cost",
+    "separable_cost_terms",
+]
+
+
+@dataclass(frozen=True)
+class SeparableCostTerms:
+    """Vectorized per-segment cost components of a *separable* model.
+
+    A model is separable when ``reg_write`` does not depend on the
+    previously held value, so every handoff arc cost splits into a pure
+    per-source term plus a pure per-target term:
+
+    * ``segment[i]`` — cost of segment ``i``'s ``w -> r`` arc;
+    * ``exit[i]`` — spill term charged when a handoff *leaves* segment
+      ``i`` (zero on last segments, and for the flow source);
+    * ``enter[i]`` — entry term charged when a handoff *enters* segment
+      ``i`` (register write, definition-write credit or reload), the
+      same whether the arc comes from another segment or from ``s``.
+
+    ``cost(src -> dst) = exit[src] + enter[dst]`` with the source/sink
+    contributing zero — exactly :func:`handoff_cost` restricted to
+    separable models (the vectorization tests pin this equivalence).
+    All arrays are ``float64`` indexed by flattened segment position.
+    """
+
+    segment: np.ndarray
+    exit: np.ndarray
+    enter: np.ndarray
+
+
+def separable_cost_terms(
+    model: EnergyModel, segments: Sequence[Segment]
+) -> SeparableCostTerms | None:
+    """The vector cost tables of *model*, or ``None`` if not separable.
+
+    Only the exact :class:`~repro.energy.models.StaticEnergyModel` class
+    is separable today (its ``reg_write`` ignores the previous value and
+    every energy is a per-access constant); activity-based models couple
+    handoff costs to the (source, target) variable pair and take the
+    per-arc fallback path in the network builder.  Subclasses are
+    excluded deliberately — they may override any method.
+    """
+    if type(model) is not StaticEnergyModel:
+        return None
+    k = len(segments)
+    if k == 0:
+        empty = np.zeros(0)
+        return SeparableCostTerms(empty, empty.copy(), empty.copy())
+    probe = segments[0].variable
+    mem_read = model.mem_read(probe)
+    mem_write = model.mem_write(probe)
+    reg_read = model.reg_read(probe)
+    reg_write = model.reg_write(probe, None)
+    read_counts = np.array([seg.read_count for seg in segments], dtype=np.float64)
+    is_last = np.array([seg.is_last for seg in segments], dtype=bool)
+    is_first = np.array([seg.is_first for seg in segments], dtype=bool)
+    at_cut = np.array(
+        [seg.starts_at_access_cut for seg in segments], dtype=bool
+    )
+    segment = read_counts * (reg_read - mem_read)
+    exit_terms = np.where(is_last, 0.0, mem_write)
+    enter_terms = reg_write + np.where(
+        is_first, -mem_write, np.where(at_cut, mem_read, 0.0)
+    )
+    return SeparableCostTerms(segment, exit_terms, enter_terms)
 
 
 def segment_cost(model: EnergyModel, segment: Segment) -> float:

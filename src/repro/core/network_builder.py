@@ -1,4 +1,4 @@
-"""Network flow graph construction (paper section 5.1 / 5.2).
+"""Network flow graph construction (paper section 5.1 / 5.2), vectorized.
 
 Builds the minimum-cost flow network from the split lifetimes of an
 :class:`~repro.core.problem.AllocationProblem`:
@@ -30,6 +30,31 @@ semantics): a value leaving the register file mid-lifetime must spill at a
 memory access step, so handoffs *out of a non-final segment* require the
 segment to end on an access step; the matching reload cost for entering at
 an access cut is handled by :mod:`repro.core.costs`.
+
+Array invariants (see DESIGN.md, "Performance model")
+-----------------------------------------------------
+
+Construction is array-first: segments are flattened once into parallel
+numpy columns (``starts``, ``ends``, variable ids, spill legality, era
+indices), arc endpoints are *computed* as dense node indices and appended
+in bulk via :meth:`~repro.flow.graph.FlowNetwork.add_arcs_indexed`.  The
+node numbering is fixed by registration order::
+
+    s = 0,  t = 1,  w_i = 2 + 2*i,  r_i = 3 + 2*i
+
+for flattened segment position ``i``, and the arc order is exactly the
+historical per-object emission order (segment arcs, intra arcs, ``s``
+arcs, then per source segment its sink arc followed by its handoffs in
+segment order, bypass last) — golden allocations, lint walks and paper
+example tests observe identical networks.  Handoff pairs are enumerated
+per era bucket with 2-D broadcast masks and merged into the legacy
+interleaving by a single ``lexsort``; for separable energy models the arc
+costs come from :func:`repro.core.costs.separable_cost_terms` vector
+tables (per-pair Python calls remain as fallback for pair-coupled
+models).  :class:`ArcRoles` records which flattened segment produced
+every arc so :func:`recost_network` can rewrite the cost column of an
+existing network in O(arcs) array work — the warm-start sweep path —
+without re-deriving any topology.
 """
 
 from __future__ import annotations
@@ -37,14 +62,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.core.costs import handoff_cost, intra_cost, segment_cost
+import numpy as np
+
+from repro.core.costs import (
+    handoff_cost,
+    intra_cost,
+    segment_cost,
+    separable_cost_terms,
+)
 from repro.core.problem import AllocationProblem
 from repro.exceptions import GraphError
 from repro.flow.graph import Arc, FlowNetwork
 from repro.lifetimes.intervals import Segment
 from repro.obs import trace as obs
 
-__all__ = ["SOURCE", "SINK", "BuiltNetwork", "build_network"]
+__all__ = [
+    "SOURCE",
+    "SINK",
+    "ArcRoles",
+    "BuiltNetwork",
+    "build_network",
+    "recost_network",
+]
 
 SOURCE: Hashable = "s"
 SINK: Hashable = "t"
@@ -56,6 +95,35 @@ def _write_node(segment: Segment) -> tuple[str, str, int]:
 
 def _read_node(segment: Segment) -> tuple[str, str, int]:
     return ("r", segment.name, segment.index)
+
+
+@dataclass(frozen=True)
+class ArcRoles:
+    """Arc-id bookkeeping produced by :func:`build_network`.
+
+    Records, in arc-id order, which flattened segment positions each arc
+    connects, so the cost column can be recomputed wholesale without
+    walking arc payloads:
+
+    Attributes:
+        num_segments: Count ``k`` of flattened segments; segment arcs are
+            exactly arc ids ``[0, k)``, position-aligned.
+        intra_pairs: ``int64[p]`` — earlier-segment position of each intra
+            arc (the later segment is always position ``+1``); intra arcs
+            are arc ids ``[k, k + p)``.
+        handoff_src: ``int64[h]`` — source segment position per handoff
+            arc, ``-1`` for arcs leaving the flow source ``s``.
+        handoff_dst: ``int64[h]`` — target segment position per handoff
+            arc, ``-1`` for arcs entering the sink ``t``; handoff arcs are
+            arc ids ``[k + p, k + p + h)``.
+        bypass_arc: Arc id of the ``s -> t`` bypass, or ``-1`` if absent.
+    """
+
+    num_segments: int
+    intra_pairs: np.ndarray
+    handoff_src: np.ndarray
+    handoff_dst: np.ndarray
+    bypass_arc: int
 
 
 @dataclass
@@ -70,6 +138,7 @@ class BuiltNetwork:
             ``s``/``t``, and ``("bypass",)``).
         source / sink: Flow terminals.
         segment_arcs: Segment key → its ``w -> r`` arc.
+        roles: Arc-id role arrays used by :func:`recost_network`.
     """
 
     problem: AllocationProblem
@@ -77,6 +146,7 @@ class BuiltNetwork:
     source: Hashable
     sink: Hashable
     segment_arcs: dict[tuple[str, int], Arc]
+    roles: ArcRoles | None = None
 
     @property
     def flow_value(self) -> int:
@@ -98,116 +168,288 @@ def build_network(problem: AllocationProblem) -> BuiltNetwork:
         raise GraphError(
             f"forced_segments reference unknown segments: {sorted(unknown)}"
         )
-    segment_arcs: dict[tuple[str, int], Arc] = {}
+    k = len(segments)
     for seg in segments:
-        arc = network.add_arc(
-            _write_node(seg),
-            _read_node(seg),
-            capacity=1,
-            lower=1 if problem.is_forced(seg) else 0,
-            cost=segment_cost(model, seg),
-            data=("segment", seg),
+        network.add_node(_write_node(seg))
+        network.add_node(_read_node(seg))
+    # Node numbering is now fixed: s=0, t=1, w_i=2+2i, r_i=3+2i.
+    w_idx = 2 + 2 * np.arange(k, dtype=np.int64)
+    r_idx = w_idx + 1
+
+    starts = np.array([seg.start for seg in segments], dtype=np.int64)
+    ends = np.array([seg.end for seg in segments], dtype=np.int64)
+    var_of: dict[str, int] = {}
+    var_ids = np.array(
+        [var_of.setdefault(seg.name, len(var_of)) for seg in segments],
+        dtype=np.int64,
+    )
+    terms = separable_cost_terms(model, segments)
+
+    # Segment arcs (arc ids [0, k), aligned with flattened positions).
+    ones = np.ones(k, dtype=np.int64)
+    lowers = np.array(
+        [1 if problem.is_forced(seg) else 0 for seg in segments],
+        dtype=np.int64,
+    )
+    if terms is not None:
+        seg_costs = terms.segment
+    else:
+        seg_costs = np.array(
+            [segment_cost(model, seg) for seg in segments], dtype=np.float64
         )
-        segment_arcs[seg.key] = arc
+    network.add_arcs_indexed(
+        w_idx,
+        r_idx,
+        ones,
+        seg_costs,
+        lowers=lowers,
+        data=[("segment", seg) for seg in segments],
+    )
+    segment_arcs = {seg.key: network.arc(i) for i, seg in enumerate(segments)}
 
-    # Intra-variable arcs between consecutive segments.
-    for segs in problem.segments.values():
-        for earlier, later in zip(segs, segs[1:]):
-            network.add_arc(
-                _read_node(earlier),
-                _write_node(later),
-                capacity=1,
-                cost=intra_cost(model, earlier, later),
-                data=("intra", earlier, later),
-            )
+    # Intra-variable arcs between consecutive segments.  The flattened
+    # order keeps each variable's segments contiguous, so consecutive
+    # positions with equal variable id are exactly the legacy pairs.
+    intra_pairs = (
+        np.nonzero(var_ids[:-1] == var_ids[1:])[0]
+        if k
+        else np.zeros(0, dtype=np.int64)
+    )
+    network.add_arcs_indexed(
+        r_idx[intra_pairs],
+        w_idx[intra_pairs + 1],
+        np.ones(len(intra_pairs), dtype=np.int64),
+        np.array(
+            [
+                intra_cost(model, segments[i], segments[i + 1])
+                for i in intra_pairs.tolist()
+            ],
+            dtype=np.float64,
+        ),
+        data=[
+            ("intra", segments[i], segments[i + 1])
+            for i in intra_pairs.tolist()
+        ],
+    )
 
-    _add_handoffs(problem, network, segments)
+    handoff_src, handoff_dst = _handoff_pairs(
+        problem, starts, ends, var_ids, segments
+    )
+    h_tails = np.where(handoff_src >= 0, r_idx[handoff_src], 0)
+    h_heads = np.where(handoff_dst >= 0, w_idx[handoff_dst], 1)
+    if terms is not None:
+        h_costs = np.where(
+            handoff_src >= 0, terms.exit[handoff_src], 0.0
+        ) + np.where(handoff_dst >= 0, terms.enter[handoff_dst], 0.0)
+        obs.count("network.vectorized_cost_arcs", k + len(handoff_src))
+    else:
+        h_costs = np.array(
+            [
+                handoff_cost(
+                    model,
+                    segments[s] if s >= 0 else None,
+                    segments[d] if d >= 0 else None,
+                )
+                for s, d in zip(handoff_src.tolist(), handoff_dst.tolist())
+            ],
+            dtype=np.float64,
+        )
+        obs.count("network.fallback_cost_arcs", k + len(handoff_src))
+    def handoff_payload(
+        offset: int,
+        _src: np.ndarray = handoff_src,
+        _dst: np.ndarray = handoff_dst,
+        _segments: tuple = tuple(segments),
+    ) -> tuple:
+        s = int(_src[offset])
+        d = int(_dst[offset])
+        return (
+            "handoff",
+            _segments[s] if s >= 0 else None,
+            _segments[d] if d >= 0 else None,
+        )
 
+    network.add_arcs_indexed(
+        h_tails,
+        h_heads,
+        np.ones(len(handoff_src), dtype=np.int64),
+        h_costs,
+        # Payloads are built lazily: the handoff block dominates the arc
+        # count and only the few flow-carrying arcs are ever inspected.
+        data_factory=handoff_payload,
+    )
+
+    bypass_arc = -1
     if problem.allow_unused_registers and problem.register_count > 0:
-        network.add_arc(
+        bypass_arc = network.add_arc(
             SOURCE,
             SINK,
             capacity=problem.register_count,
             cost=0.0,
             data=("bypass",),
-        )
+        ).index
     obs.count("network.builds")
     obs.count("network.nodes_built", network.num_nodes)
     obs.count("network.arcs_built", network.num_arcs)
     if obs.enabled():
         obs.gauge("network.density_regions", len(problem.density_regions))
-    return BuiltNetwork(problem, network, SOURCE, SINK, segment_arcs)
+    roles = ArcRoles(k, intra_pairs, handoff_src, handoff_dst, bypass_arc)
+    return BuiltNetwork(problem, network, SOURCE, SINK, segment_arcs, roles)
 
 
-def _add_handoffs(
+def _handoff_pairs(
     problem: AllocationProblem,
-    network: FlowNetwork,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    var_ids: np.ndarray,
     segments: list[Segment],
-) -> None:
-    """Add source/handoff/sink arcs under the problem's graph style."""
-    model = problem.energy_model
+) -> tuple[np.ndarray, np.ndarray]:
+    """Enumerate handoff arcs as (src, dst) flattened-position arrays.
+
+    ``-1`` stands for the flow source (in ``src``) or the sink (in
+    ``dst``).  The returned order reproduces the per-object emission
+    order: first every ``s -> dst`` arc in segment order, then for each
+    eligible source segment its sink arc followed by its segment-order
+    handoffs — restored from the era-bucketed enumeration by one stable
+    ``lexsort`` on (source position, sink-before-handoff, target
+    position).
+    """
+    k = len(segments)
     access = problem.access_times
     end_time = problem.horizon + 1
 
-    def spill_legal(seg: Segment) -> bool:
-        # Leaving the register file before the variable's last read
-        # requires a write-back, only possible at a memory access step.
-        if seg.is_last:
-            return True
-        return access is None or seg.end in access
+    if access is None:
+        spill_ok = np.ones(k, dtype=bool)
+    else:
+        is_last = np.array([seg.is_last for seg in segments], dtype=bool)
+        spill_ok = is_last | np.isin(
+            ends, np.fromiter(access, dtype=np.int64)
+        )
 
     adjacent = problem.graph_style == "adjacent"
     if adjacent:
-        era = _era_index(problem)
-        # Bucket candidate targets by era so only same-era pairs are tried.
-        targets: dict[int, list[Segment]] = {}
-        for seg in segments:
-            targets.setdefault(era[seg.start], []).append(seg)
-
-        def candidates(read_time: int) -> list[Segment]:
-            return targets.get(era[read_time], [])
-
-        def compatible(read_time: int, write_time: int) -> bool:
-            return read_time <= write_time and era[read_time] == era[write_time]
+        era = np.asarray(_era_index(problem), dtype=np.int64)
+        era_start = era[starts]
+        era_end = era[ends]
+        s_dsts = np.nonzero(era_start == era[0])[0]
+        sink_srcs = np.nonzero(spill_ok & (era_end == era[end_time]))[0]
     else:
+        s_dsts = np.nonzero(starts >= 0)[0]
+        sink_srcs = np.nonzero(spill_ok & (ends <= end_time))[0]
 
-        def candidates(read_time: int) -> list[Segment]:
-            return segments
-
-        def compatible(read_time: int, write_time: int) -> bool:
-            return read_time <= write_time
-
-    for dst in candidates(0):
-        if compatible(0, dst.start):
-            network.add_arc(
-                SOURCE,
-                _write_node(dst),
-                capacity=1,
-                cost=handoff_cost(model, None, dst),
-                data=("handoff", None, dst),
+    pair_src: list[np.ndarray] = []
+    pair_dst: list[np.ndarray] = []
+    src_pool = np.nonzero(spill_ok)[0]
+    if adjacent:
+        buckets = np.intersect1d(
+            np.unique(era_end[src_pool]), np.unique(era_start)
+        )
+        groups = [
+            (
+                src_pool[era_end[src_pool] == e],
+                np.nonzero(era_start == e)[0],
             )
-    for src in segments:
-        if not spill_legal(src):
-            continue
-        if compatible(src.end, end_time):
-            network.add_arc(
-                _read_node(src),
-                SINK,
-                capacity=1,
-                cost=handoff_cost(model, src, None),
-                data=("handoff", src, None),
+            for e in buckets.tolist()
+        ]
+    else:
+        groups = [(src_pool, np.arange(k, dtype=np.int64))] if k else []
+    for srcs_e, dsts_e in groups:
+        legal = (ends[srcs_e][:, None] <= starts[dsts_e][None, :]) & (
+            var_ids[srcs_e][:, None] != var_ids[dsts_e][None, :]
+        )
+        si, di = np.nonzero(legal)
+        pair_src.append(srcs_e[si])
+        pair_dst.append(dsts_e[di])
+    hs = (
+        np.concatenate(pair_src) if pair_src else np.zeros(0, dtype=np.int64)
+    )
+    hd = (
+        np.concatenate(pair_dst) if pair_dst else np.zeros(0, dtype=np.int64)
+    )
+
+    # Merge sink arcs and handoffs into per-source emission order: the
+    # sink arc of a source precedes its handoffs (kind 0 < 1), handoff
+    # targets ascend in segment order.
+    all_src = np.concatenate([hs, sink_srcs])
+    all_dst = np.concatenate([hd, np.full(len(sink_srcs), -1, np.int64)])
+    kind = np.concatenate(
+        [np.ones(len(hs), np.int64), np.zeros(len(sink_srcs), np.int64)]
+    )
+    order = np.lexsort((all_dst, kind, all_src))
+    handoff_src = np.concatenate([np.full(len(s_dsts), -1, np.int64), all_src[order]])
+    handoff_dst = np.concatenate([s_dsts, all_dst[order]])
+    return handoff_src, handoff_dst
+
+
+def recost_network(built: BuiltNetwork, problem: AllocationProblem) -> BuiltNetwork:
+    """Rewrite *built*'s arc costs in place for *problem* and return it.
+
+    The warm-start sweep fast path: a cost-only perturbation (energy
+    parameters, memory voltage) keeps the topology — node ids, arc ids,
+    capacities, lower bounds — bit-identical, so only the cost column is
+    recomputed from the :class:`ArcRoles` arrays and installed via
+    :meth:`~repro.flow.graph.FlowNetwork.set_costs`.  Raises
+    :class:`GraphError` when *problem* does not share *built*'s topology
+    (different segments, register count, graph style, access times or
+    forced set) — callers should rebuild instead.
+    """
+    roles = built.roles
+    if roles is None:
+        raise GraphError("recost_network requires a network built with roles")
+    old = built.problem
+    segments = [seg for segs in problem.segments.values() for seg in segs]
+    old_segments = [seg for segs in old.segments.values() for seg in segs]
+    if (
+        segments != old_segments
+        or problem.register_count != old.register_count
+        or problem.graph_style != old.graph_style
+        or problem.access_times != old.access_times
+        or problem.forced_segments != old.forced_segments
+        or problem.allow_unused_registers != old.allow_unused_registers
+        or problem.horizon != old.horizon
+    ):
+        raise GraphError(
+            "recost_network requires an identical topology "
+            "(cost-only perturbation); rebuild the network instead"
+        )
+    model = problem.energy_model
+    network = built.network
+    costs = np.zeros(network.num_arcs, dtype=np.float64)
+    k = roles.num_segments
+    p = len(roles.intra_pairs)
+    terms = separable_cost_terms(model, segments)
+    if terms is not None:
+        costs[:k] = terms.segment
+        hs = roles.handoff_src
+        hd = roles.handoff_dst
+        costs[k + p : k + p + len(hs)] = np.where(
+            hs >= 0, terms.exit[hs], 0.0
+        ) + np.where(hd >= 0, terms.enter[hd], 0.0)
+    else:
+        costs[:k] = [segment_cost(model, seg) for seg in segments]
+        costs[k : k + p] = [
+            intra_cost(model, segments[i], segments[i + 1])
+            for i in roles.intra_pairs.tolist()
+        ]
+        costs[k + p : k + p + len(roles.handoff_src)] = [
+            handoff_cost(
+                model,
+                segments[s] if s >= 0 else None,
+                segments[d] if d >= 0 else None,
             )
-        for dst in candidates(src.end):
-            if dst.name == src.name:
-                continue  # same-variable moves use the intra arcs
-            if src.end <= dst.start:
-                network.add_arc(
-                    _read_node(src),
-                    _write_node(dst),
-                    capacity=1,
-                    cost=handoff_cost(model, src, dst),
-                    data=("handoff", src, dst),
-                )
+            for s, d in zip(
+                roles.handoff_src.tolist(), roles.handoff_dst.tolist()
+            )
+        ]
+    # Intra and bypass arcs cost zero under the uniform decomposition and
+    # are already zero-initialised in the vector path.
+    network.set_costs(costs)
+    built.problem = problem
+    built.segment_arcs = {
+        seg.key: network.arc(i) for i, seg in enumerate(segments)
+    }
+    obs.count("network.recosts")
+    return built
 
 
 def _era_index(problem: AllocationProblem) -> list[int]:

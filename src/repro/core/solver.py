@@ -20,6 +20,7 @@ from repro.core.problem import AllocationProblem
 from repro.exceptions import AllocationError, InfeasibleFlowError
 from repro.flow.lower_bounds import solve as flow_solve
 from repro.flow.validate import check_flow
+from repro.flow.warm_start import WarmStartCache
 from repro.obs import trace as obs
 
 __all__ = ["allocate", "extract_allocation", "solve_built"]
@@ -34,6 +35,7 @@ def allocate(
     validate: bool = True,
     certify: bool = False,
     lint: str | None = None,
+    warm_cache: WarmStartCache | None = None,
 ) -> Allocation:
     """Solve *problem* and return the optimal :class:`Allocation`.
 
@@ -51,6 +53,11 @@ def allocate(
             :mod:`repro.lint` findings abort the solve with
             :class:`~repro.exceptions.LintGateError`.  ``None`` (default)
             skips linting entirely.
+        warm_cache: Optional :class:`~repro.flow.warm_start.WarmStartCache`
+            shared across solves; cost-only perturbations of a previously
+            solved topology are re-solved incrementally (see
+            :mod:`repro.flow.warm_start`).  Results are identical with or
+            without it.
 
     Raises:
         LintGateError: If *lint* is set and the static analysis finds
@@ -68,18 +75,28 @@ def allocate(
         gate_problem(problem, fail_on=lint)
     with obs.span("solver.build_network"):
         built = build_network(problem)
-    return solve_built(built, validate=validate, certify=certify)
+    return solve_built(
+        built, validate=validate, certify=certify, warm_cache=warm_cache
+    )
 
 
 def solve_built(
-    built: BuiltNetwork, validate: bool = True, certify: bool = False
+    built: BuiltNetwork,
+    validate: bool = True,
+    certify: bool = False,
+    warm_cache: WarmStartCache | None = None,
 ) -> Allocation:
-    """Solve an already-constructed network (used by ablation benches)."""
+    """Solve an already-constructed network (used by ablation benches
+    and warm-started sweeps)."""
     problem = built.problem
     with obs.span("solver.flow_solve"):
         try:
             flow = flow_solve(
-                built.network, built.source, built.sink, built.flow_value
+                built.network,
+                built.source,
+                built.sink,
+                built.flow_value,
+                warm_cache=warm_cache,
             )
         except InfeasibleFlowError as exc:
             # Attach the instance so catchers (e.g. the CLI) can run

@@ -16,11 +16,10 @@ from typing import Hashable
 from repro.exceptions import GraphError, InfeasibleFlowError
 from repro.flow.graph import FlowNetwork, FlowResult
 from repro.flow.residual import Residual
+from repro.flow.tolerances import EPS as _EPS
 from repro.obs import trace as obs
 
 __all__ = ["solve_by_cycle_canceling"]
-
-_EPS = 1e-9
 
 
 def _establish_flow(residual: Residual, s: int, t: int, flow_value: int) -> None:

@@ -32,10 +32,13 @@ def decompose_into_paths(
     """
     network: FlowNetwork = result.network
     remaining = list(result.flows)
+    # Materialise only the arcs that carry flow (the decomposition never
+    # looks at the rest — on large instances that is almost all of them).
+    positive = [i for i, f in enumerate(remaining) if f > 0]
     out_arcs: dict[Hashable, list[Arc]] = {}
-    for arc in network.arcs:
-        if remaining[arc.index] > 0:
-            out_arcs.setdefault(arc.tail, []).append(arc)
+    for index in positive:
+        arc = network.arc(index)
+        out_arcs.setdefault(arc.tail, []).append(arc)
 
     def next_arc(node: Hashable) -> Arc | None:
         for arc in out_arcs.get(node, ()):
@@ -66,7 +69,7 @@ def decompose_into_paths(
             if hops > guard:
                 raise GraphError("path decomposition found a cycle")
         paths.append(path)
-    if any(remaining[arc.index] for arc in network.arcs):
+    if any(remaining[index] for index in positive):
         raise GraphError(
             "flow units remain after decomposition; "
             "flow is cyclic or not source-sink"

@@ -35,6 +35,7 @@ from typing import Hashable
 from repro.exceptions import InfeasibleFlowError
 from repro.flow.graph import FlowNetwork, FlowResult
 from repro.flow.ssp import solve_min_cost_flow
+from repro.flow.warm_start import WarmStartCache, solve_warm
 
 __all__ = [
     "LowerBoundTransform",
@@ -162,6 +163,7 @@ def solve_with_lower_bounds(
     source: Hashable,
     sink: Hashable,
     flow_value: int,
+    warm_cache: WarmStartCache | None = None,
 ) -> FlowResult:
     """Minimum-cost flow of exactly *flow_value* units honouring lower bounds.
 
@@ -170,6 +172,12 @@ def solve_with_lower_bounds(
         source: Source node.
         sink: Sink node.
         flow_value: Exact source→sink flow value.
+        warm_cache: Optional :class:`~repro.flow.warm_start.WarmStartCache`
+            consulted for replay/incremental re-solves.  A lower-bounded
+            instance is cached under its *transformed* network's topology
+            key: a cost-only perturbation of the original induces a
+            cost-only perturbation of the transform (the fresh super
+            arcs always cost zero), so warm starts stay sound.
 
     Returns:
         A :class:`FlowResult` over the *original* network (lower bounds
@@ -179,14 +187,25 @@ def solve_with_lower_bounds(
         InfeasibleFlowError: If no feasible flow meets the bounds and value.
     """
     if not network.has_lower_bounds():
+        if warm_cache is not None:
+            return solve_warm(network, source, sink, flow_value, warm_cache)
         return solve_min_cost_flow(network, source, sink, flow_value)
     transform = transform_lower_bounds(network, source, sink, flow_value)
-    inner = solve_min_cost_flow(
-        transform.network,
-        transform.super_source,
-        transform.super_sink,
-        transform.demand,
-    )
+    if warm_cache is not None:
+        inner = solve_warm(
+            transform.network,
+            transform.super_source,
+            transform.super_sink,
+            transform.demand,
+            warm_cache,
+        )
+    else:
+        inner = solve_min_cost_flow(
+            transform.network,
+            transform.super_source,
+            transform.super_sink,
+            transform.demand,
+        )
     return transform.recover(inner)
 
 
@@ -212,10 +231,14 @@ def solve(
     source: Hashable,
     sink: Hashable,
     flow_value: int,
+    warm_cache: WarmStartCache | None = None,
 ) -> FlowResult:
     """Dispatch to the plain or lower-bounded solver as appropriate.
 
     This is the entry point the allocator uses: it transparently supports
-    networks with and without lower bounds.
+    networks with and without lower bounds, and threads an optional
+    warm-start cache down to the kernel.
     """
-    return solve_with_lower_bounds(network, source, sink, flow_value)
+    return solve_with_lower_bounds(
+        network, source, sink, flow_value, warm_cache=warm_cache
+    )

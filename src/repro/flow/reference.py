@@ -1,0 +1,189 @@
+"""Reference per-arc-object successive-shortest-path solver.
+
+This is the pre-kernel implementation of
+:func:`repro.flow.ssp.solve_min_cost_flow`, preserved verbatim (minus the
+observability counters) as a *literate baseline*:
+
+* the solver-scaling bench measures the vectorized kernel's speedup
+  against it on identical networks (``benchmarks/test_bench_solver_scaling.py``);
+* the kernel parity tests cross-check flows costs against it on random
+  networks (``tests/flow/test_kernel.py``) — an independent oracle that
+  shares no array code with the production path.
+
+It follows the classic textbook structure: exact potential
+initialisation (topological relaxation on DAGs, Bellman-Ford otherwise),
+then heap-based Dijkstra on clamped reduced costs per augmentation, all
+over the per-arc :class:`~repro.flow.residual.Residual` lists.  Do not
+use it in hot paths; it exists to stay readable and slow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from repro.exceptions import GraphError, InfeasibleFlowError
+from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.residual import Residual
+from repro.flow.tolerances import EPS as _EPS
+
+__all__ = ["solve_min_cost_flow_reference"]
+
+_INF = float("inf")
+
+
+def _initial_potentials(residual: Residual, source: int) -> list[float]:
+    """Exact shortest-path distances from *source* over positive-capacity arcs.
+
+    Uses a topological relaxation when the capacity-positive subgraph is
+    acyclic, otherwise Bellman-Ford.  Unreachable nodes get ``inf`` (they can
+    never lie on an augmenting path, because new residual arcs only appear
+    along augmented paths inside the reachable set).
+    """
+    n = residual.num_nodes
+    order = _topological_order(residual)
+    dist = [_INF] * n
+    dist[source] = 0.0
+    if order is not None:
+        for u in order:
+            du = dist[u]
+            if du == _INF:
+                continue
+            for rid in residual.adj[u]:
+                if residual.cap[rid] <= 0:
+                    continue
+                v = residual.head[rid]
+                nd = du + residual.cost[rid]
+                if nd < dist[v] - _EPS:
+                    dist[v] = nd
+        return dist
+    # Bellman-Ford fallback for cyclic networks.
+    for iteration in range(n):
+        changed = False
+        for u in range(n):
+            du = dist[u]
+            if du == _INF:
+                continue
+            for rid in residual.adj[u]:
+                if residual.cap[rid] <= 0:
+                    continue
+                v = residual.head[rid]
+                nd = du + residual.cost[rid]
+                if nd < dist[v] - _EPS:
+                    dist[v] = nd
+                    changed = True
+        if not changed:
+            return dist
+    raise GraphError("network contains a negative-cost cycle")
+
+
+def _topological_order(residual: Residual) -> list[int] | None:
+    """Topological order over positive-capacity residual arcs, or ``None``."""
+    n = residual.num_nodes
+    indegree = [0] * n
+    for u in range(n):
+        for rid in residual.adj[u]:
+            if residual.cap[rid] > 0:
+                indegree[residual.head[rid]] += 1
+    ready = [u for u in range(n) if indegree[u] == 0]
+    order: list[int] = []
+    while ready:
+        u = ready.pop()
+        order.append(u)
+        for rid in residual.adj[u]:
+            if residual.cap[rid] > 0:
+                v = residual.head[rid]
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    ready.append(v)
+    return order if len(order) == n else None
+
+
+def _dijkstra(
+    residual: Residual, source: int, potential: list[float]
+) -> tuple[list[float], list[int]]:
+    """Shortest distances on reduced costs plus predecessor residual arcs."""
+    n = residual.num_nodes
+    dist = [_INF] * n
+    pred = [-1] * n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        pot_u = potential[u]
+        for rid in residual.adj[u]:
+            if residual.cap[rid] <= 0:
+                continue
+            v = residual.head[rid]
+            if potential[v] == _INF:
+                continue
+            reduced = residual.cost[rid] + pot_u - potential[v]
+            if reduced < 0.0:
+                reduced = 0.0
+            nd = d + reduced
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = rid
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def solve_min_cost_flow_reference(
+    network: FlowNetwork,
+    source: Hashable,
+    sink: Hashable,
+    flow_value: int,
+) -> FlowResult:
+    """Ship *flow_value* units at minimum cost — per-arc-object baseline.
+
+    Same contract as :func:`repro.flow.ssp.solve_min_cost_flow` (no lower
+    bounds, integral result, :class:`InfeasibleFlowError` when the value
+    does not fit), implemented with pure-Python heaps and lists.
+    """
+    if flow_value < 0:
+        raise GraphError(f"flow value must be non-negative, got {flow_value}")
+    if not network.has_node(source) or not network.has_node(sink):
+        raise GraphError("source or sink is not a node of the network")
+    if network.has_lower_bounds():
+        raise GraphError(
+            "network has lower-bounded arcs; use solve_with_lower_bounds()"
+        )
+    residual = Residual(network)
+    s = residual.node_of(source)
+    t = residual.node_of(sink)
+    if flow_value == 0 or s == t:
+        return FlowResult(network, [0] * network.num_arcs, 0)
+
+    potential = _initial_potentials(residual, s)
+    if potential[t] == _INF:
+        raise InfeasibleFlowError(
+            f"sink {sink!r} unreachable from source {source!r}"
+        )
+    shipped = 0
+    while shipped < flow_value:
+        dist, pred = _dijkstra(residual, s, potential)
+        if dist[t] == _INF:
+            raise InfeasibleFlowError(
+                f"only {shipped} of {flow_value} flow units fit "
+                f"from {source!r} to {sink!r}"
+            )
+        bottleneck = flow_value - shipped
+        v = t
+        while v != s:
+            rid = pred[v]
+            bottleneck = min(bottleneck, residual.cap[rid])
+            v = residual.tail(rid)
+        v = t
+        while v != s:
+            rid = pred[v]
+            residual.push(rid, bottleneck)
+            v = residual.tail(rid)
+        shipped += bottleneck
+        for u in range(residual.num_nodes):
+            if dist[u] != _INF and potential[u] != _INF:
+                potential[u] += dist[u]
+            elif potential[u] != _INF:
+                potential[u] = _INF
+    return FlowResult(network, residual.flows(), shipped)

@@ -36,18 +36,23 @@ class Residual:
         self.cap: list[int] = [0] * (2 * m)
         self.cost: list[float] = [0.0] * (2 * m)
         self.adj: list[list[int]] = [[] for _ in range(n)]
-        index = network.node_index
-        for arc in network.arcs:
-            u = index(arc.tail)
-            v = index(arc.head)
-            fid = 2 * arc.index
+        arrays = network.arrays()
+        for index, (u, v, cap, cost) in enumerate(
+            zip(
+                arrays.tails.tolist(),
+                arrays.heads.tolist(),
+                arrays.capacities.tolist(),
+                arrays.costs.tolist(),
+            )
+        ):
+            fid = 2 * index
             bid = fid + 1
             self.head[fid] = v
-            self.cap[fid] = arc.capacity
-            self.cost[fid] = arc.cost
+            self.cap[fid] = cap
+            self.cost[fid] = cost
             self.head[bid] = u
             self.cap[bid] = 0
-            self.cost[bid] = -arc.cost
+            self.cost[bid] = -cost
             self.adj[u].append(fid)
             self.adj[v].append(bid)
 

@@ -1,151 +1,47 @@
-"""Successive-shortest-path minimum-cost flow solver.
+"""Successive-shortest-path minimum-cost flow solver (vectorized).
 
-This is the primary solver used by the allocator.  It implements the classic
-successive-shortest-path algorithm with node potentials:
+This is the primary solver used by the allocator.  It drives the
+struct-of-arrays kernel in :mod:`repro.flow.kernel`:
 
-1. Initialise potentials with one exact shortest-path pass that tolerates
-   negative arc costs — a topological relaxation when the network is acyclic
-   (allocation networks always are: every arc points forward in time), or
-   Bellman-Ford otherwise.
-2. Repeatedly run Dijkstra on reduced costs, augment along the shortest
-   source→sink path, and update the potentials, until the requested flow
-   value has been shipped.
+1. On acyclic networks (every allocation network) the kernel derives
+   *exact* initial potentials in one Kahn-layered sweep, despite
+   negative arc costs; otherwise a frontier label-correcting pass that
+   tolerates negative reduced costs plays the same role.
+2. Each pass then computes shortest paths over reduced costs (scipy
+   Dijkstra when available, the label-correcting fallback otherwise),
+   the shortest source→sink path is augmented, and the capped
+   distances are folded into the potentials (THEORY.md §7), until the
+   requested flow value has been shipped.
 
-With integer capacities the algorithm returns an integral flow, matching the
-integrality guarantee the paper relies on (section 4).  Costs may be
-arbitrary floats; reduced costs are clamped at zero within a small tolerance
-to absorb floating-point drift.
+Array invariants: the solver reads the network through
+:meth:`~repro.flow.graph.FlowNetwork.arrays` (``int64`` endpoint/bound
+columns, ``float64`` costs, indexed by arc id) and the kernel's residual
+layout (``rid 2i`` forward / ``2i + 1`` backward, ``rid ^ 1`` partner,
+CSR adjacency sorted by tail).  No :class:`~repro.flow.graph.Arc` object
+is materialised on this path.
 
-The solver requires the network to contain no directed cycle of negative
-total cost among its *forward* arcs (guaranteed for DAGs); under that
-precondition each intermediate flow is optimal for its value, so the final
-flow is a true minimum-cost flow.
+With integer capacities the algorithm returns an integral flow, matching
+the integrality guarantee the paper relies on (section 4).  Costs may be
+arbitrary floats; relaxations use the shared :data:`repro.flow.tolerances.EPS`
+slack.  The solver requires the network to contain no directed cycle of
+negative total cost among its *forward* arcs (guaranteed for DAGs); under
+that precondition each intermediate flow is optimal for its value, so the
+final flow is a true minimum-cost flow.  The pre-kernel per-arc-object
+implementation is preserved verbatim in :mod:`repro.flow.reference` as
+the literate baseline the speedup bench compares against.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Hashable
 
 from repro.exceptions import GraphError, InfeasibleFlowError
 from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.kernel import FlowKernel
 from repro.flow.residual import Residual
 from repro.obs import trace as obs
 
 __all__ = ["solve_min_cost_flow", "max_flow_value"]
-
-_INF = float("inf")
-#: Tolerance for negative reduced costs caused by float rounding.
-_EPS = 1e-9
-
-
-def _initial_potentials(residual: Residual, source: int) -> list[float]:
-    """Exact shortest-path distances from *source* over positive-capacity arcs.
-
-    Uses a topological relaxation when the capacity-positive subgraph is
-    acyclic, otherwise Bellman-Ford.  Unreachable nodes get ``inf`` (they can
-    never lie on an augmenting path, because new residual arcs only appear
-    along augmented paths inside the reachable set).
-    """
-    n = residual.num_nodes
-    order = _topological_order(residual)
-    dist = [_INF] * n
-    dist[source] = 0.0
-    if order is not None:
-        for u in order:
-            du = dist[u]
-            if du == _INF:
-                continue
-            for rid in residual.adj[u]:
-                if residual.cap[rid] <= 0:
-                    continue
-                v = residual.head[rid]
-                nd = du + residual.cost[rid]
-                if nd < dist[v] - _EPS:
-                    dist[v] = nd
-        return dist
-    # Bellman-Ford fallback for cyclic networks.
-    for iteration in range(n):
-        changed = False
-        for u in range(n):
-            du = dist[u]
-            if du == _INF:
-                continue
-            for rid in residual.adj[u]:
-                if residual.cap[rid] <= 0:
-                    continue
-                v = residual.head[rid]
-                nd = du + residual.cost[rid]
-                if nd < dist[v] - _EPS:
-                    dist[v] = nd
-                    changed = True
-        if not changed:
-            return dist
-    raise GraphError("network contains a negative-cost cycle")
-
-
-def _topological_order(residual: Residual) -> list[int] | None:
-    """Topological order over positive-capacity residual arcs, or ``None``."""
-    n = residual.num_nodes
-    indegree = [0] * n
-    for u in range(n):
-        for rid in residual.adj[u]:
-            if residual.cap[rid] > 0:
-                indegree[residual.head[rid]] += 1
-    ready = [u for u in range(n) if indegree[u] == 0]
-    order: list[int] = []
-    while ready:
-        u = ready.pop()
-        order.append(u)
-        for rid in residual.adj[u]:
-            if residual.cap[rid] > 0:
-                v = residual.head[rid]
-                indegree[v] -= 1
-                if indegree[v] == 0:
-                    ready.append(v)
-    return order if len(order) == n else None
-
-
-def _dijkstra(
-    residual: Residual, source: int, potential: list[float]
-) -> tuple[list[float], list[int], int, int]:
-    """Shortest distances on reduced costs plus predecessor residual arcs.
-
-    Also returns the number of settled heap pops and of successful edge
-    relaxations, for the solver counters (see :mod:`repro.obs`).
-    """
-    n = residual.num_nodes
-    dist = [_INF] * n
-    pred = [-1] * n
-    dist[source] = 0.0
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    pops = 0
-    relaxations = 0
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist[u]:
-            continue
-        pops += 1
-        pot_u = potential[u]
-        for rid in residual.adj[u]:
-            if residual.cap[rid] <= 0:
-                continue
-            v = residual.head[rid]
-            if potential[v] == _INF:
-                continue
-            reduced = residual.cost[rid] + pot_u - potential[v]
-            if reduced < -_EPS * (1.0 + abs(residual.cost[rid])):
-                # Should be impossible with valid potentials.
-                reduced = 0.0
-            elif reduced < 0.0:
-                reduced = 0.0
-            nd = d + reduced
-            if nd < dist[v]:
-                relaxations += 1
-                dist[v] = nd
-                pred[v] = rid
-                heapq.heappush(heap, (nd, v))
-    return dist, pred, pops, relaxations
 
 
 def solve_min_cost_flow(
@@ -182,58 +78,21 @@ def solve_min_cost_flow(
         raise GraphError(
             "network has lower-bounded arcs; use solve_with_lower_bounds()"
         )
-    residual = Residual(network)
-    s = residual.node_of(source)
-    t = residual.node_of(sink)
+    s = network.node_index(source)
+    t = network.node_index(sink)
     if flow_value == 0 or s == t:
         return FlowResult(network, [0] * network.num_arcs, 0)
-
-    potential = _initial_potentials(residual, s)
-    if potential[t] == _INF:
-        raise InfeasibleFlowError(
-            f"sink {sink!r} unreachable from source {source!r}"
-        )
-    shipped = 0
-    pops = 0
-    relaxations = 0
-    paths = 0
-    potential_updates = 0
-    while shipped < flow_value:
-        dist, pred, round_pops, round_relax = _dijkstra(residual, s, potential)
-        pops += round_pops
-        relaxations += round_relax
-        if dist[t] == _INF:
-            raise InfeasibleFlowError(
-                f"only {shipped} of {flow_value} flow units fit "
-                f"from {source!r} to {sink!r}"
-            )
-        # Bottleneck along the shortest path.
-        bottleneck = flow_value - shipped
-        v = t
-        while v != s:
-            rid = pred[v]
-            bottleneck = min(bottleneck, residual.cap[rid])
-            v = residual.tail(rid)
-        v = t
-        while v != s:
-            rid = pred[v]
-            residual.push(rid, bottleneck)
-            v = residual.tail(rid)
-        shipped += bottleneck
-        paths += 1
-        for u in range(residual.num_nodes):
-            if dist[u] != _INF and potential[u] != _INF:
-                potential[u] += dist[u]
-                potential_updates += 1
-            elif potential[u] != _INF:
-                # Unreached this round: now permanently unreachable.
-                potential[u] = _INF
+    kernel = FlowKernel(network)
+    flows, _, stats = kernel.solve(
+        s, t, flow_value, labels=(source, sink)
+    )
     obs.count("ssp.solves")
-    obs.count("ssp.dijkstra_pops", pops)
-    obs.count("ssp.dijkstra_relaxations", relaxations)
-    obs.count("ssp.augmenting_paths", paths)
-    obs.count("ssp.potential_updates", potential_updates)
-    return FlowResult(network, residual.flows(), shipped)
+    obs.count("ssp.dijkstra_pops", stats.pops)
+    obs.count("ssp.dijkstra_relaxations", stats.relaxations)
+    obs.count("ssp.relax_rounds", stats.rounds)
+    obs.count("ssp.augmenting_paths", stats.paths)
+    obs.count("ssp.potential_updates", stats.potential_updates)
+    return FlowResult(network, flows.tolist(), flow_value)
 
 
 def max_flow_value(network: FlowNetwork, source: Hashable, sink: Hashable) -> int:

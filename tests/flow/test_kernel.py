@@ -1,0 +1,137 @@
+"""Parity tests: the vectorized kernel against the per-object reference.
+
+The struct-of-arrays kernel (``repro.flow.kernel``) and the preserved
+per-arc-object solver (``repro.flow.reference``) share no search code, so
+agreement on random layered DAGs — optimal cost, flow axioms, error
+behaviour — pins the vectorization.  The incremental re-solve is checked
+against a fresh cold solve after seeded cost perturbations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.flow import check_flow, max_flow_value, solve_min_cost_flow
+from repro.flow.graph import FlowNetwork
+from repro.flow.kernel import FlowKernel
+from repro.flow.reference import solve_min_cost_flow_reference
+
+
+def random_network(seed: int, nodes: int = 10, arcs: int = 30) -> FlowNetwork:
+    """Random layered DAG (arcs point to higher node ids: no cycles)."""
+    rng = random.Random(seed)
+    net = FlowNetwork()
+    for u in range(nodes):
+        net.add_node(u)
+    for _ in range(arcs):
+        tail = rng.randrange(nodes - 1)
+        head = rng.randrange(tail + 1, nodes)
+        net.add_arc(
+            tail,
+            head,
+            capacity=rng.randint(1, 4),
+            cost=float(rng.randint(-5, 9)),
+        )
+    return net
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_kernel_matches_reference_on_random_dags(seed):
+    net = random_network(seed)
+    source, sink = 0, net.num_nodes - 1
+    limit = max_flow_value(net, source, sink)
+    if limit == 0:
+        return
+    value = min(limit, 3)
+    fast = solve_min_cost_flow(net, source, sink, value)
+    slow = solve_min_cost_flow_reference(net, source, sink, value)
+    check_flow(fast, source, sink, value)
+    check_flow(slow, source, sink, value)
+    assert fast.cost == pytest.approx(slow.cost, abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_kernel_flows_are_python_ints(seed):
+    net = random_network(seed)
+    limit = max_flow_value(net, 0, net.num_nodes - 1)
+    if limit == 0:
+        return
+    result = solve_min_cost_flow(net, 0, net.num_nodes - 1, limit)
+    assert all(isinstance(f, int) for f in result.flows)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_reoptimize_matches_cold_solve_after_cost_perturbation(seed):
+    net = random_network(seed, nodes=12, arcs=40)
+    source, sink = 0, net.num_nodes - 1
+    limit = max_flow_value(net, source, sink)
+    if limit == 0:
+        return
+    value = min(limit, 3)
+    kernel = FlowKernel(net)
+    flows, potential, _ = kernel.solve(source, sink, value)
+
+    rng = np.random.default_rng(seed)
+    new_costs = net.arrays().costs + rng.integers(
+        -3, 4, size=net.num_arcs
+    ).astype(float)
+    net.set_costs(new_costs)
+
+    warm = FlowKernel(net, csr=kernel.csr)
+    warm.load_flows(flows)
+    warm_flows, new_potential, stats = warm.reoptimize(potential)
+
+    cold = solve_min_cost_flow(net, source, sink, value)
+    warm_cost = float(new_costs @ warm_flows)
+    assert warm_cost == pytest.approx(cold.cost, abs=1e-6)
+    check_flow(
+        type(cold)(net, warm_flows.tolist(), value), source, sink, value
+    )
+    # The refreshed potentials certify the optimum: no active residual
+    # arc has negative reduced cost.
+    active = warm.res_cap > 0
+    reduced = (
+        warm.res_cost[active]
+        + new_potential[warm.res_tail[active]]
+        - new_potential[warm.res_head[active]]
+    )
+    assert reduced.min(initial=0.0) >= -1e-6
+
+
+def test_reoptimize_is_noop_when_costs_unchanged():
+    net = random_network(3)
+    source, sink = 0, net.num_nodes - 1
+    limit = max_flow_value(net, source, sink)
+    value = min(limit, 3)
+    kernel = FlowKernel(net)
+    flows, potential, _ = kernel.solve(source, sink, value)
+    warm = FlowKernel(net, csr=kernel.csr)
+    warm.load_flows(flows)
+    warm_flows, _, stats = warm.reoptimize(potential)
+    assert np.array_equal(warm_flows, flows)
+    assert stats.cancellations == 0
+
+
+def test_negative_cycle_detected():
+    net = FlowNetwork()
+    net.add_arc("s", "a", capacity=1, cost=0.0)
+    net.add_arc("a", "b", capacity=1, cost=-5.0)
+    net.add_arc("b", "a", capacity=1, cost=-5.0)
+    net.add_arc("b", "t", capacity=1, cost=0.0)
+    with pytest.raises(GraphError, match="negative-cost cycle"):
+        solve_min_cost_flow(net, "s", "t", 1)
+
+
+def test_csr_is_topology_only_and_reusable():
+    net = random_network(7)
+    kernel = FlowKernel(net)
+    net.set_costs(net.arrays().costs * 2.0)
+    rebuilt = FlowKernel(net, csr=kernel.csr)
+    fresh = FlowKernel(net)
+    assert np.array_equal(rebuilt.csr.order, fresh.csr.order)
+    assert np.array_equal(rebuilt.csr.indptr, fresh.csr.indptr)
+    assert np.array_equal(rebuilt.res_cost, fresh.res_cost)
