@@ -27,7 +27,13 @@ Subcommands:
   canonical-form result cache (in-memory + optional on-disk), parallel
   workers with per-job timeouts, retry with exponential backoff and the
   SSP → cycle-cancelling → two-phase fallback ladder, emitting a
-  versioned batch report (see :mod:`repro.service`).
+  versioned batch report (see :mod:`repro.service`);
+* ``serve`` — run the long-lived allocation server: an HTTP gateway
+  accepting manifest documents on ``POST /v1/batch`` with a bounded
+  admission queue, per-client rate limiting, explicit 503 load
+  shedding, a sharded persistent result cache, warm-started sweep
+  re-solves, ``/healthz`` + ``/metrics``, and graceful drain on SIGTERM
+  (see :mod:`repro.service.server`).
 
 Examples::
 
@@ -40,6 +46,7 @@ Examples::
     repro-alloc profile ewf --format table
     repro-alloc fuzz --seed 0 --iters 100 -o fuzz-report.json
     repro-alloc batch examples/manifests/paper.json --workers 4
+    repro-alloc serve --port 8713 --cache-dir serve-cache --rate 50
 """
 
 from __future__ import annotations
@@ -493,6 +500,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if totals["failed"] or totals["timeout"] else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service.server import ServerConfig, serve
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            queue_capacity=args.queue_capacity,
+            rate=args.rate,
+            burst=args.burst,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            shard_width=args.shard_width,
+            timeout=args.timeout,
+            retries=args.retries,
+            chunksize=args.chunksize,
+            lint=args.lint,
+            drain_grace=args.drain_grace,
+        )
+        return serve(config)
+    except (ServiceError, OSError) as exc:
+        # Bad tunables or an unbindable address: explain, don't traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-alloc`` console script."""
     parser = argparse.ArgumentParser(
@@ -742,6 +778,95 @@ def main(argv: list[str] | None = None) -> int:
         help="write the batch report to a file instead of stdout",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the long-lived allocation server (HTTP gateway over "
+        "the batch executor)",
+    )
+    serve_cmd.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8713,
+        help="listen port; 0 picks a free one (default: 8713)",
+    )
+    serve_cmd.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="admission queue bound in jobs; overflow sheds with 503 "
+        "(default: 64)",
+    )
+    serve_cmd.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client sustained admission rate in jobs/second "
+        "(default: unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-client burst allowance in jobs (default: max(rate, 1))",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        help="executor worker processes per request; 1 solves "
+        "in-process and keeps the warm-start cache hot (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sharded on-disk result cache directory (default: "
+        "in-memory cache only)",
+    )
+    serve_cmd.add_argument(
+        "--shard-width",
+        type=int,
+        default=2,
+        help="hex digits of the cache shard prefix (default: 2)",
+    )
+    serve_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job time budget in seconds (needs --workers > 1)",
+    )
+    serve_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="same-solver retries before falling back (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--chunksize",
+        type=int,
+        default=1,
+        help="jobs dispatched per worker task (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--lint",
+        choices=("error", "warning", "note"),
+        default=None,
+        help="pre-solve lint gate severity per job (default: off)",
+    )
+    serve_cmd.add_argument(
+        "--drain-grace",
+        type=float,
+        default=60.0,
+        help="seconds to wait for in-flight work on shutdown "
+        "(default: 60)",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

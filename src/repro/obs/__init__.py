@@ -67,6 +67,7 @@ a versioned *run report* (the ``repro.obs/run-report/v1`` schema emitted by
 from repro.obs.export import (
     flatten_spans,
     format_trace,
+    metrics_text,
     trace_to_csv,
     trace_to_dict,
     trace_to_json,
@@ -106,6 +107,7 @@ __all__ = [
     "format_trace",
     "gauge",
     "install",
+    "metrics_text",
     "profile_block",
     "report_to_csv",
     "report_to_json",

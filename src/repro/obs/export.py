@@ -18,10 +18,45 @@ from repro.obs.trace import Span, TraceCollector
 __all__ = [
     "flatten_spans",
     "format_trace",
+    "metrics_text",
     "trace_to_csv",
     "trace_to_dict",
     "trace_to_json",
 ]
+
+
+def _metric_name(name: str) -> str:
+    """Sanitise a counter/gauge name into ``[a-zA-Z0-9_:]`` charset."""
+    return "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+
+
+def metrics_text(
+    counters: "dict[str, int | float] | Any",
+    gauges: "dict[str, Any] | None" = None,
+) -> str:
+    """Prometheus-style text exposition of counters and gauges.
+
+    One ``name value`` line per metric, names sanitised to the
+    ``[a-zA-Z0-9_:]`` charset (dots become underscores), counters
+    suffixed ``_total`` per convention.  Non-numeric gauge values are
+    skipped — the text format carries numbers only; the JSON form of
+    ``/metrics`` keeps everything.  Accepts either plain dicts or a
+    :class:`TraceCollector` as the first argument.
+    """
+    if isinstance(counters, TraceCollector):
+        collector = counters
+        counters = collector.counters
+        gauges = collector.gauges if gauges is None else gauges
+    lines = []
+    for name, value in sorted(counters.items()):
+        lines.append(f"{_metric_name(name)}_total {value}")
+    for name, value in sorted((gauges or {}).items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        lines.append(f"{_metric_name(name)} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def trace_to_dict(trace: TraceCollector) -> dict[str, Any]:

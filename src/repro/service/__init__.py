@@ -21,9 +21,17 @@ layer (the ROADMAP's production-scale direction).  Three pillars:
 :mod:`repro.service.report` emits the versioned
 ``repro.service/batch-report/v1`` document the ``repro-alloc batch``
 subcommand prints.
+
+The long-lived serving layer sits on top: :mod:`repro.service.admission`
+(token-bucket rate limiting + bounded fair queueing with explicit load
+shedding) and :mod:`repro.service.server` (the asyncio HTTP gateway
+behind ``repro-alloc serve``, with graceful drain and ``/healthz`` +
+``/metrics`` endpoints), backed by the prefix-sharded persistent
+:class:`~repro.service.cache.ShardedResultCache`.
 """
 
-from repro.service.cache import CachedResult, ResultCache
+from repro.service.admission import AdmissionController, TokenBucket, Verdict
+from repro.service.cache import CachedResult, ResultCache, ShardedResultCache
 from repro.service.canonical import (
     CanonicalInstance,
     cache_key,
@@ -36,6 +44,7 @@ from repro.service.manifest import (
     Manifest,
     WorkloadSpec,
     load_manifest,
+    parse_manifest,
 )
 from repro.service.report import (
     REPORT_SCHEMA,
@@ -43,6 +52,7 @@ from repro.service.report import (
     render_batch_text,
     report_to_json,
 )
+from repro.service.server import AllocationServer, ServerConfig, serve
 from repro.service.solvers import (
     DEFAULT_LADDER,
     LadderOutcome,
@@ -52,6 +62,8 @@ from repro.service.solvers import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AllocationServer",
     "BatchExecutor",
     "BuiltWorkload",
     "CachedResult",
@@ -62,15 +74,21 @@ __all__ = [
     "Manifest",
     "REPORT_SCHEMA",
     "ResultCache",
+    "ServerConfig",
+    "ShardedResultCache",
     "SolveSummary",
     "SolverFault",
+    "TokenBucket",
+    "Verdict",
     "WorkloadSpec",
     "build_batch_report",
     "cache_key",
     "canonical_form",
     "canonicalize",
     "load_manifest",
+    "parse_manifest",
     "render_batch_text",
     "report_to_json",
     "run_ladder",
+    "serve",
 ]

@@ -1,0 +1,299 @@
+"""Admission control for the allocation server: backpressure made explicit.
+
+The long-lived server (:mod:`repro.service.server`) must never fall over
+under a burst and must never drop work silently.  This module implements
+the two admission mechanisms it needs, as plain synchronous objects the
+(single-threaded) event loop calls directly:
+
+* :class:`TokenBucket` — a per-client rate limiter.  Tokens refill at
+  ``rate`` per second up to ``burst``; a request costing more tokens
+  than are available is rejected with the exact number of seconds until
+  the deficit refills (the server turns that into a ``Retry-After``
+  header).  The bucket can never grant more than ``burst + rate * T``
+  jobs over any window of ``T`` seconds — the invariant the property
+  tests in ``tests/service/test_admission.py`` pin down.
+* :class:`AdmissionController` — a bounded queue with round-robin
+  fairness.  Jobs are queued per client and dequeued one request at a
+  time, rotating over clients with backlog, so one chatty client cannot
+  starve the others.  The total number of queued *jobs* (requests are
+  weighted by their job count) never exceeds ``capacity``; overload is
+  answered with an explicit :class:`Verdict` carrying the shed reason
+  and a retry hint, and counted — both internally (:meth:`stats`) and on
+  the ``service.admission.*`` / ``service.shed`` observability counters.
+
+Every rejection is explicit: :meth:`AdmissionController.admit` returns a
+:class:`Verdict` for *every* submission, admitted or not, so the server
+can map each rejection to an HTTP 503 with ``Retry-After`` and the shed
+counters always reconcile with the client-visible responses (the "zero
+silent drops" acceptance bar).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ServiceError
+from repro.obs import trace as obs
+
+__all__ = ["AdmissionController", "TokenBucket", "Verdict"]
+
+#: Floating-point slack when deciding whether a bucket can afford a grant.
+_TOKEN_EPS = 1e-9
+
+#: Fallback per-job service-time estimate (seconds) before any job has
+#: completed, used to size ``Retry-After`` hints for queue-full sheds.
+_DEFAULT_SERVICE_S = 0.05
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, at most ``burst`` banked.
+
+    The bucket starts full.  :meth:`try_acquire` either grants the
+    requested tokens (returning ``0.0``) or leaves the bucket untouched
+    and returns the number of seconds until the deficit would refill.
+
+    Args:
+        rate: Sustained refill rate in tokens per second (> 0).
+        burst: Bucket capacity — the largest instantaneous grant (>= 1).
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("rate", "burst", "_clock", "_tokens", "_last")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ServiceError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ServiceError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (after refilling to now)."""
+        self._refill(self._clock())
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take *tokens* if available.
+
+        A cost above ``burst`` can never be granted (the bucket cannot
+        hold that many tokens); the returned wait is then the time the
+        deficit would take to refill *without* the cap — a finite
+        back-off hint, but retries will keep failing until the caller
+        splits the request.  That is deliberate: granting oversized
+        requests would break the ``burst + rate * T`` admission bound.
+
+        Returns:
+            ``0.0`` when the grant succeeded, otherwise the seconds
+            until the bucket would hold enough tokens (the grant did
+            not happen and the bucket is unchanged).
+        """
+        if tokens <= 0:
+            raise ServiceError(f"token cost must be positive, got {tokens}")
+        self._refill(self._clock())
+        if self._tokens + _TOKEN_EPS >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of one admission decision.
+
+    Attributes:
+        admitted: Whether the request was queued.
+        reason: Shed reason when rejected — ``"rate_limited"``,
+            ``"queue_full"`` or ``"draining"``; ``None`` when admitted.
+        retry_after: Suggested client back-off in seconds (0 when
+            admitted); the server rounds this up into ``Retry-After``.
+    """
+
+    admitted: bool
+    reason: str | None = None
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """Bounded, client-fair admission queue with explicit load shedding.
+
+    One controller fronts one server process.  ``admit`` runs the full
+    gauntlet — drain flag, per-client token bucket, queue capacity — and
+    either enqueues the request or returns a rejection verdict; ``next``
+    dequeues the next request round-robin across clients with backlog.
+
+    Capacity is measured in *jobs*: a batch request submitting ``k``
+    manifest jobs occupies ``k`` units of the queue (and costs ``k``
+    rate-limiter tokens), so a single huge batch cannot sneak past a
+    limit tuned for singleton requests.
+
+    Args:
+        capacity: Maximum total queued jobs (>= 1).
+        rate: Per-client sustained admission rate in jobs/second;
+            ``None`` disables rate limiting.
+        burst: Per-client burst allowance (defaults to ``max(rate, 1)``).
+        clock: Monotonic time source shared by all client buckets.
+        max_clients: Bound on tracked client buckets (LRU-evicted).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        rate: float | None = None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 1024,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        if max_clients < 1:
+            raise ServiceError(
+                f"max_clients must be >= 1, got {max_clients}"
+            )
+        self.capacity = capacity
+        self.rate = rate
+        self.burst = float(burst) if burst is not None else (
+            max(float(rate), 1.0) if rate is not None else None
+        )
+        self.draining = False
+        self.queued = 0
+        self.admitted_jobs = 0
+        self.shed_jobs = 0
+        self.shed_by_reason: dict[str, int] = {}
+        self._clock = clock
+        self._max_clients = max_clients
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._queues: dict[str, deque[tuple[Any, int]]] = {}
+        self._rotation: deque[str] = deque()
+        self._service_ewma = _DEFAULT_SERVICE_S
+
+    # -- admission ------------------------------------------------------
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            assert self.rate is not None and self.burst is not None
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self._max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket
+
+    def _shed(self, reason: str, weight: int, retry_after: float) -> Verdict:
+        self.shed_jobs += weight
+        self.shed_by_reason[reason] = (
+            self.shed_by_reason.get(reason, 0) + weight
+        )
+        obs.count("service.shed", weight)
+        obs.count(f"service.shed.{reason}", weight)
+        return Verdict(False, reason, max(retry_after, 0.0))
+
+    def admit(self, client: str, request: Any, weight: int = 1) -> Verdict:
+        """Run *request* through the admission gauntlet.
+
+        Args:
+            client: Stable client identity (header or peer address).
+            request: Opaque payload handed back by :meth:`next`.
+            weight: Job count of the request (queue/rate cost).
+
+        Returns:
+            An admitted verdict (request is now queued) or a rejection
+            carrying the shed ``reason`` and a ``retry_after`` hint.
+        """
+        if weight < 1:
+            raise ServiceError(f"weight must be >= 1, got {weight}")
+        if self.draining:
+            return self._shed("draining", weight, self._eta(self.queued))
+        if self.rate is not None:
+            wait = self._bucket(client).try_acquire(float(weight))
+            if wait > 0.0:
+                return self._shed("rate_limited", weight, wait)
+        if self.queued + weight > self.capacity:
+            return self._shed("queue_full", weight, self._eta(self.queued))
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+            self._rotation.append(client)
+        queue.append((request, weight))
+        self.queued += weight
+        self.admitted_jobs += weight
+        obs.count("service.admission.admitted", weight)
+        obs.gauge("service.admission.queued", self.queued)
+        return Verdict(True)
+
+    # -- dispatch -------------------------------------------------------
+    def next(self) -> tuple[str, Any] | None:
+        """Dequeue the next request, round-robin over backlogged clients.
+
+        Returns ``(client, request)`` or ``None`` when the queue is
+        empty.  A client with remaining backlog goes to the back of the
+        rotation after yielding one request, which is what bounds any
+        client's share of the dispatcher to ``1 / active clients``.
+        """
+        while self._rotation:
+            client = self._rotation.popleft()
+            queue = self._queues.get(client)
+            if not queue:
+                self._queues.pop(client, None)
+                continue
+            request, weight = queue.popleft()
+            self.queued -= weight
+            if queue:
+                self._rotation.append(client)
+            else:
+                del self._queues[client]
+            obs.gauge("service.admission.queued", self.queued)
+            return client, request
+        return None
+
+    def observe_service_time(self, seconds: float, jobs: int = 1) -> None:
+        """Feed a completed request's wall time into the retry estimator."""
+        if jobs < 1 or seconds < 0:
+            return
+        per_job = seconds / jobs
+        self._service_ewma = 0.8 * self._service_ewma + 0.2 * per_job
+
+    def _eta(self, backlog_jobs: int) -> float:
+        """Estimated seconds until *backlog_jobs* queued jobs complete."""
+        return min(
+            60.0, max(0.1, (backlog_jobs + 1) * self._service_ewma)
+        )
+
+    def start_drain(self) -> None:
+        """Stop admitting: every later submission sheds as ``draining``."""
+        self.draining = True
+
+    # -- accounting -----------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Queue depth, client count and admission/shed accounting."""
+        return {
+            "capacity": self.capacity,
+            "queued": self.queued,
+            "clients": len(self._queues),
+            "admitted_jobs": self.admitted_jobs,
+            "shed_jobs": self.shed_jobs,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "draining": self.draining,
+            "rate": self.rate,
+            "burst": self.burst,
+        }

@@ -15,22 +15,37 @@ Layers:
   directory) shared between processes and runs — the CI batch-smoke job
   relies on a second run over the same manifest being served from disk.
 
+:class:`ShardedResultCache` extends the disk store for long-lived
+serving: entries spread over ``16 ** shard_width`` subdirectories keyed
+by the leading hex characters of the canonical digest, so concurrent
+worker processes hammering different keys touch different directories
+and a directory listing never has to scan one giant flat store.  Writes
+are crash- and race-safe in both layouts: each write goes to a
+process-unique temporary file first and is published with an atomic
+rename, so a concurrent reader sees either the old complete entry or
+the new complete entry, never a torn one.
+
 Every lookup bumps the ``service.cache.hit`` / ``service.cache.miss``
 observability counters (:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.exceptions import ServiceError
 from repro.obs import trace as obs
 
-__all__ = ["CachedResult", "ResultCache"]
+__all__ = ["CachedResult", "ResultCache", "ShardedResultCache"]
+
+#: Per-process sequence making concurrent temp-file names unique.
+_TMP_COUNTER = itertools.count()
 
 #: Schema identifier of one serialised cache entry.
 ENTRY_SCHEMA = "repro.service/cache-entry/v1"
@@ -167,10 +182,19 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def _path(self, key: str) -> Path:
+    @staticmethod
+    def _digest(key: str) -> str:
         # Keys are "sha256:<hex>"; the digest part is filename-safe.
+        return key.split(":", 1)[-1]
+
+    def _path(self, key: str) -> Path:
+        """Where a new entry for *key* is written."""
         assert self.directory is not None
-        return Path(self.directory) / f"{key.split(':', 1)[-1]}.json"
+        return Path(self.directory) / f"{self._digest(key)}.json"
+
+    def _candidate_paths(self, key: str) -> Iterable[Path]:
+        """Paths a lookup probes, in preference order."""
+        return (self._path(key),)
 
     def get(self, key: str) -> CachedResult | None:
         """Look up *key*; promote on hit, fall back to the disk store."""
@@ -181,8 +205,9 @@ class ResultCache:
             obs.count("service.cache.hit")
             return entry
         if self.directory is not None:
-            path = self._path(key)
-            if path.is_file():
+            for path in self._candidate_paths(key):
+                if not path.is_file():
+                    continue
                 try:
                     entry = CachedResult.from_dict(
                         json.loads(path.read_text(encoding="utf-8"))
@@ -202,13 +227,16 @@ class ResultCache:
         """Insert *entry* under its own key (memory and, if set, disk)."""
         self._remember(entry.key, entry)
         if self.directory is not None:
-            directory = Path(self.directory)
-            directory.mkdir(parents=True, exist_ok=True)
             path = self._path(entry.key)
+            path.parent.mkdir(parents=True, exist_ok=True)
             text = json.dumps(entry.to_dict(), indent=2, sort_keys=True)
-            # Write-then-rename so concurrent readers never see a torn
-            # entry (corrupt files degrade to misses anyway).
-            tmp = path.with_suffix(".tmp")
+            # Write to a process-unique temp name, then atomically
+            # rename: concurrent writers of the same key race benignly
+            # (last rename wins, both contents are complete) and
+            # concurrent readers never see a torn entry.
+            tmp = path.parent / (
+                f".{path.stem}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+            )
             tmp.write_text(text + "\n", encoding="utf-8")
             tmp.replace(path)
 
@@ -227,3 +255,77 @@ class ResultCache:
             "entries": len(self._entries),
             "hit_rate": self.hits / total if total else 0.0,
         }
+
+
+@dataclass
+class ShardedResultCache(ResultCache):
+    """Disk-backed result cache sharded by canonical-key prefix.
+
+    The flat :class:`ResultCache` store keeps every entry in one
+    directory; a long-lived server with several worker processes
+    filling it would funnel all directory mutations through that single
+    inode.  This subclass spreads entries over ``16 ** shard_width``
+    subdirectories named by the leading hex characters of the canonical
+    digest (``<dir>/<prefix>/<digest>.json``), so writers of different
+    keys almost always touch different directories.  Per-entry
+    atomicity is inherited from the base class (unique temp file +
+    rename), which is what makes concurrent overlapping writers safe —
+    see ``tests/service/test_cache.py``.
+
+    Lookups also probe the flat legacy path, so a store written by a
+    pre-sharding ``repro-alloc batch`` run keeps serving hits.
+
+    Attributes:
+        shard_width: Hex characters of the digest used as the shard
+            directory name (1–4; 2 = 256 shards, the default).
+    """
+
+    shard_width: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.directory is None:
+            raise ServiceError("ShardedResultCache requires a directory")
+        if not 1 <= self.shard_width <= 4:
+            raise ServiceError(
+                f"shard_width must be in 1..4, got {self.shard_width}"
+            )
+
+    def _path(self, key: str) -> Path:
+        """Sharded location: ``<dir>/<digest prefix>/<digest>.json``."""
+        assert self.directory is not None
+        digest = self._digest(key)
+        return (
+            Path(self.directory)
+            / digest[: self.shard_width]
+            / f"{digest}.json"
+        )
+
+    def _candidate_paths(self, key: str) -> Iterable[Path]:
+        """The sharded path first, then the flat pre-sharding layout."""
+        assert self.directory is not None
+        return (
+            self._path(key),
+            Path(self.directory) / f"{self._digest(key)}.json",
+        )
+
+    def shard_for(self, key: str) -> str:
+        """Shard directory name *key* lives in (digest prefix)."""
+        return self._digest(key)[: self.shard_width]
+
+    def stats(self) -> dict[str, int | float]:
+        """Base stats plus on-disk shard occupancy."""
+        data = super().stats()
+        directory = Path(self.directory) if self.directory else None
+        shards = 0
+        disk_entries = 0
+        if directory is not None and directory.is_dir():
+            for child in directory.iterdir():
+                if child.is_dir() and len(child.name) == self.shard_width:
+                    shards += 1
+                    disk_entries += sum(
+                        1 for item in child.glob("*.json")
+                    )
+        data["shards"] = shards
+        data["disk_entries"] = disk_entries
+        return data

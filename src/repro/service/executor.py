@@ -31,6 +31,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.problem import AllocationProblem
 from repro.exceptions import ServiceError
+from repro.flow.warm_start import WarmStartCache
 from repro.obs import trace as obs
 from repro.service.cache import ResultCache
 from repro.service.canonical import canonicalize
@@ -160,6 +161,7 @@ def _execute_job(payload: Mapping[str, Any]) -> dict[str, Any]:
             backoff_cap=float(payload.get("backoff_cap", 1.0)),
             inject_faults=payload.get("inject_faults"),
             certify=bool(payload.get("certify", False)),
+            warm_cache=payload.get("warm_cache"),
         )
         record.update(
             {
@@ -219,6 +221,12 @@ class BatchExecutor:
         seed: Seed of the certify sampler.
         inject_faults: Rung → forced-failure budget, forwarded to
             :func:`repro.service.solvers.run_ladder` (chaos testing).
+        warm_cache: Optional
+            :class:`~repro.flow.warm_start.WarmStartCache` kept hot
+            across gathers.  Only the in-process path (``workers == 1``)
+            uses it — kernel state is not shipped to pool workers — so a
+            long-lived single-worker server re-solves cost-only sweeps
+            incrementally.  Results are identical with or without.
     """
 
     def __init__(
@@ -235,6 +243,7 @@ class BatchExecutor:
         certify_fraction: float = 0.0,
         seed: int = 0,
         inject_faults: Mapping[str, int] | None = None,
+        warm_cache: WarmStartCache | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -262,6 +271,7 @@ class BatchExecutor:
         self.certify_fraction = certify_fraction
         self.seed = seed
         self.inject_faults = dict(inject_faults or {})
+        self.warm_cache = warm_cache
         self._pending: list[tuple[int, str, AllocationProblem]] = []
         self._submitted = 0
 
@@ -323,6 +333,9 @@ class BatchExecutor:
                 else:
                     misses.append((index, job_id, problem, canonical))
 
+            # The warm-start kernel state is process-local (numpy arrays
+            # + CSR views); it rides along only on the inline path.
+            warm_cache = self.warm_cache if self.workers == 1 else None
             payloads = [
                 (
                     index,
@@ -335,6 +348,7 @@ class BatchExecutor:
                         "inject_faults": self.inject_faults,
                         "lint": self.lint,
                         "certify": self._certify(job_id),
+                        "warm_cache": warm_cache,
                     },
                 )
                 for index, job_id, problem, _ in misses

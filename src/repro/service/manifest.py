@@ -29,10 +29,18 @@ Job kinds:
 
 Per-job keys override ``defaults``; both recognise ``registers``,
 ``model`` (``static``/``activity``), ``divisor`` (restricted memory
-operating point — the supply voltage follows the divisor), ``seed``,
-``taps``, and for random jobs ``variables``, ``horizon``, ``traced``.
-When ``registers`` is omitted the instance's maximum lifetime density is
-used (every variable can be register-resident if the flow wants it).
+operating point — the supply voltage follows the divisor), ``voltage``
+(explicit memory supply override: a *cost-only* perturbation that keeps
+the flow-network topology intact, which is what lets the serving layer's
+:class:`~repro.flow.warm_start.WarmStartCache` re-solve sweep points
+incrementally), ``seed``, ``taps``, and for random jobs ``variables``,
+``horizon``, ``traced``.  When ``registers`` is omitted the instance's
+maximum lifetime density is used (every variable can be
+register-resident if the flow wants it).
+
+Manifests usually arrive as files (:func:`load_manifest`), but the
+allocation server receives them as request bodies —
+:func:`parse_manifest` validates an already-decoded document.
 """
 
 from __future__ import annotations
@@ -56,7 +64,13 @@ from repro.workloads.random_blocks import derive_seed, random_lifetimes, spawn_r
 from repro.workloads.registry import figure_example, kernel_block
 from repro.workloads.serialize import problem_from_dict
 
-__all__ = ["BuiltWorkload", "Manifest", "WorkloadSpec", "load_manifest"]
+__all__ = [
+    "BuiltWorkload",
+    "Manifest",
+    "WorkloadSpec",
+    "load_manifest",
+    "parse_manifest",
+]
 
 #: Schema identifier of a batch manifest document.
 SCHEMA = "repro.service/manifest/v1"
@@ -96,6 +110,7 @@ class BuiltWorkload:
 def _operating_point(params: Mapping[str, Any]):
     """Energy model + memory config for a job's parameter set."""
     divisor = int(params.get("divisor", 1))
+    voltage = params.get("voltage")
     model_name = str(params.get("model", "static"))
     if model_name == "activity":
         model = ActivityEnergyModel()
@@ -108,6 +123,16 @@ def _operating_point(params: Mapping[str, Any]):
     memory = MemoryConfig()
     if divisor > 1:
         memory = MemoryConfig.scaled(divisor)
+    if voltage is not None:
+        # Explicit supply override: costs change, access times (and
+        # therefore the network topology) do not — the warm-startable
+        # sweep case.
+        memory = MemoryConfig(
+            divisor=memory.divisor,
+            voltage=float(voltage),
+            offset=memory.offset,
+        )
+    if divisor > 1 or voltage is not None:
         model = model.with_voltages(memory.voltage, model.reg_voltage)
     return model, memory
 
@@ -146,7 +171,7 @@ def _build_figure(spec: WorkloadSpec, params: Mapping[str, Any]):
     model, memory = _operating_point(params)
     if activities is not None:
         model = PairwiseSwitchingModel(activities)
-        if memory.restricted:
+        if memory.restricted or params.get("voltage") is not None:
             model = model.with_voltages(memory.voltage, model.reg_voltage)
     problem = AllocationProblem(
         lifetimes,
@@ -210,6 +235,15 @@ class Manifest:
     defaults: Mapping[str, Any] = field(default_factory=dict)
     base: Path = Path(".")
 
+    def job_count(self) -> int:
+        """Jobs :meth:`build` will produce (replicas expanded), cheaply.
+
+        The admission queue weighs a request by this number before
+        anything is materialised, so a huge batch is shed up front
+        instead of after paying its construction cost.
+        """
+        return sum(spec.count for spec in self.specs)
+
     def build(self) -> list[BuiltWorkload]:
         """Materialise every job into a labelled problem instance.
 
@@ -269,6 +303,43 @@ def _parse_spec(data: Mapping[str, Any], position: int) -> WorkloadSpec:
     )
 
 
+def parse_manifest(
+    data: Any,
+    base: str | Path = ".",
+    source: str = "<manifest>",
+) -> Manifest:
+    """Validate an already-decoded manifest document.
+
+    Args:
+        data: The decoded JSON value (must be a mapping with the
+            ``repro.service/manifest/v1`` schema).
+        base: Directory relative ``instance`` paths resolve against.
+        source: Label used in error messages (a path or ``<request>``).
+
+    Raises:
+        ServiceError: Wrong shape, wrong schema or a malformed job line.
+    """
+    if not isinstance(data, Mapping):
+        raise ServiceError(f"manifest {source} must be a JSON object")
+    if data.get("schema") != SCHEMA:
+        raise ServiceError(
+            f"manifest {source}: schema {data.get('schema')!r} is not "
+            f"{SCHEMA}"
+        )
+    jobs = data.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ServiceError(
+            f"manifest {source}: jobs must be a non-empty list"
+        )
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, Mapping):
+        raise ServiceError(f"manifest {source}: defaults must be an object")
+    specs = tuple(
+        _parse_spec(job, position) for position, job in enumerate(jobs)
+    )
+    return Manifest(specs=specs, defaults=dict(defaults), base=Path(base))
+
+
 def load_manifest(path: str | Path) -> Manifest:
     """Parse and validate the manifest document at *path*.
 
@@ -283,19 +354,4 @@ def load_manifest(path: str | Path) -> Manifest:
         raise ServiceError(f"cannot read manifest {path}: {exc}") from None
     except ValueError as exc:
         raise ServiceError(f"manifest {path} is not JSON: {exc}") from None
-    if not isinstance(data, Mapping):
-        raise ServiceError(f"manifest {path} must be a JSON object")
-    if data.get("schema") != SCHEMA:
-        raise ServiceError(
-            f"manifest {path}: schema {data.get('schema')!r} is not {SCHEMA}"
-        )
-    jobs = data.get("jobs")
-    if not isinstance(jobs, list) or not jobs:
-        raise ServiceError(f"manifest {path}: jobs must be a non-empty list")
-    defaults = data.get("defaults", {})
-    if not isinstance(defaults, Mapping):
-        raise ServiceError(f"manifest {path}: defaults must be an object")
-    specs = tuple(
-        _parse_spec(job, position) for position, job in enumerate(jobs)
-    )
-    return Manifest(specs=specs, defaults=dict(defaults), base=path.parent)
+    return parse_manifest(data, base=path.parent, source=str(path))

@@ -33,6 +33,7 @@ from repro.exceptions import InfeasibleFlowError, ServiceError
 from repro.flow.cycle_canceling import solve_by_cycle_canceling
 from repro.flow.lower_bounds import transform_lower_bounds
 from repro.flow.validate import check_flow
+from repro.flow.warm_start import WarmStartCache
 from repro.obs import trace as obs
 from repro.service.cache import CachedResult
 from repro.service.canonical import CanonicalInstance
@@ -241,15 +242,21 @@ class LadderOutcome:
     certified: bool = False
 
 
-def _solve_ssp(problem: AllocationProblem, certify: bool) -> SolveSummary:
-    """Rung 1: the production SSP allocator."""
+def _solve_ssp(
+    problem: AllocationProblem,
+    certify: bool,
+    warm_cache: WarmStartCache | None = None,
+) -> SolveSummary:
+    """Rung 1: the production SSP allocator (optionally warm-started)."""
     return SolveSummary.from_allocation(
-        allocate(problem, certify=certify), "ssp"
+        allocate(problem, certify=certify, warm_cache=warm_cache), "ssp"
     )
 
 
 def _solve_cycle_canceling(
-    problem: AllocationProblem, certify: bool
+    problem: AllocationProblem,
+    certify: bool,
+    warm_cache: WarmStartCache | None = None,
 ) -> SolveSummary:
     """Rung 2: independent cycle-cancelling solve of the same network."""
     built = build_network(problem)
@@ -279,7 +286,9 @@ def _solve_cycle_canceling(
 
 
 def _solve_two_phase(
-    problem: AllocationProblem, certify: bool
+    problem: AllocationProblem,
+    certify: bool,
+    warm_cache: WarmStartCache | None = None,
 ) -> SolveSummary:
     """Rung 3: approximate two-phase baseline (graceful degradation)."""
     if problem.memory.restricted or problem.forced_segments:
@@ -298,7 +307,12 @@ def _solve_two_phase(
     return SolveSummary.from_baseline(result, problem.register_count)
 
 
-_RUNGS: dict[str, Callable[[AllocationProblem, bool], SolveSummary]] = {
+_RUNGS: dict[
+    str,
+    Callable[
+        [AllocationProblem, bool, WarmStartCache | None], SolveSummary
+    ],
+] = {
     "ssp": _solve_ssp,
     "cycle_canceling": _solve_cycle_canceling,
     "two_phase": _solve_two_phase,
@@ -314,6 +328,7 @@ def run_ladder(
     backoff_cap: float = 1.0,
     inject_faults: Mapping[str, int] | None = None,
     certify: bool = False,
+    warm_cache: WarmStartCache | None = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> LadderOutcome:
     """Solve *problem* down the degradation ladder.
@@ -334,6 +349,10 @@ def run_ladder(
             by tests and the ``--inject-fault`` chaos option.
         certify: Verify an optimality certificate on exact-rung
             solutions (approximate rungs are never certified).
+        warm_cache: Optional :class:`~repro.flow.warm_start.WarmStartCache`
+            shared across ladder walks; the SSP rung re-solves cost-only
+            perturbations of a seen topology incrementally (the other
+            rungs ignore it).  Results are identical with or without.
         sleep: Backoff sleeper (injectable for tests).
 
     Returns:
@@ -368,12 +387,13 @@ def run_ladder(
             try:
                 budget = faults.get(name, 0)
                 used = fault_counts.get(name, 0)
+                obs.count(f"service.rung.{name}.attempts")
                 if budget < 0 or used < budget:
                     fault_counts[name] = used + 1
                     raise SolverFault(f"injected fault in {name!r}")
                 certify_here = certify and name != "two_phase"
                 with obs.span(f"service.solve.{name}"):
-                    summary = rung(problem, certify_here)
+                    summary = rung(problem, certify_here, warm_cache)
             except InfeasibleFlowError as exc:
                 # Infeasibility is a property of the instance; no rung
                 # can do better, so settle the job immediately.
@@ -396,6 +416,7 @@ def run_ladder(
             outcome.attempts.append(
                 {"solver": name, "attempt": attempt + 1, "error": None}
             )
+            obs.count(f"service.rung.{name}.ok")
             outcome.status = "ok"
             outcome.summary = summary
             outcome.error = None

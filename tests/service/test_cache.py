@@ -1,11 +1,21 @@
-"""Result cache: LRU discipline, disk store, corruption handling."""
+"""Result cache: LRU discipline, disk store, sharding, concurrency.
+
+The second half of this module is the sharded-cache concurrency
+battery: several worker *processes* hammering one store directory with
+overlapping canonical keys must never lose an update (every key ends up
+on disk, readable), never publish a torn entry (every shard file parses
+as a complete ``repro.service/cache-entry/v1`` document), and keep the
+hit-rate accounting consistent with what callers observed.
+"""
 
 import json
+import multiprocessing
+from pathlib import Path
 
 import pytest
 
 from repro.exceptions import ServiceError
-from repro.service.cache import CachedResult, ResultCache
+from repro.service.cache import CachedResult, ResultCache, ShardedResultCache
 
 
 def entry(key: str, objective: float = 10.0) -> CachedResult:
@@ -100,3 +110,127 @@ def test_malformed_entry_rejected():
 def test_bad_capacity_rejected():
     with pytest.raises(ServiceError, match="capacity"):
         ResultCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# ShardedResultCache: layout, fallback, validation
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_layout_places_entries_by_digest_prefix(tmp_path):
+    store = tmp_path / "store"
+    cache = ShardedResultCache(directory=store, shard_width=2)
+    cache.put(entry("sha256:abcdef", objective=7.0))
+    cache.put(entry("sha256:ab0000", objective=8.0))
+    cache.put(entry("sha256:ff1234", objective=9.0))
+    assert cache.shard_for("sha256:abcdef") == "ab"
+    assert (store / "ab" / "abcdef.json").is_file()
+    assert (store / "ab" / "ab0000.json").is_file()
+    assert (store / "ff" / "ff1234.json").is_file()
+    stats = cache.stats()
+    assert stats["shards"] == 2
+    assert stats["disk_entries"] == 3
+
+
+def test_sharded_cache_round_trips_through_a_fresh_process_view(tmp_path):
+    store = tmp_path / "store"
+    ShardedResultCache(directory=store).put(entry("sha256:aa", objective=3.5))
+    fresh = ShardedResultCache(directory=store)
+    hit = fresh.get("sha256:aa")
+    assert hit is not None and hit.objective == 3.5
+    assert fresh.stats()["hits"] == 1 and fresh.stats()["misses"] == 0
+
+
+def test_sharded_cache_reads_legacy_flat_store(tmp_path):
+    store = tmp_path / "store"
+    # A pre-sharding run wrote the flat layout.
+    ResultCache(directory=store).put(entry("sha256:aa", objective=11.0))
+    sharded = ShardedResultCache(directory=store)
+    hit = sharded.get("sha256:aa")
+    assert hit is not None and hit.objective == 11.0
+
+
+def test_sharded_cache_validation():
+    with pytest.raises(ServiceError, match="directory"):
+        ShardedResultCache()
+    with pytest.raises(ServiceError, match="shard_width"):
+        ShardedResultCache(directory="x", shard_width=0)
+    with pytest.raises(ServiceError, match="shard_width"):
+        ShardedResultCache(directory="x", shard_width=5)
+
+
+# ---------------------------------------------------------------------------
+# multiprocess concurrency: no lost updates, no torn files
+# ---------------------------------------------------------------------------
+
+#: Overlapping key set shared by every hammer worker: every worker
+#: writes and reads every key, so all writers collide on all files.
+_HAMMER_KEYS = tuple(
+    f"sha256:{digest:02x}{'00' * 7}{digest:02x}" for digest in range(24)
+)
+
+
+def _expected_objective(key: str) -> float:
+    """Deterministic per-key payload: lost/torn writes become visible."""
+    return float(int(key.split(":", 1)[1][:2], 16)) + 0.25
+
+
+def _hammer_worker(store: str, rounds: int, worker: int) -> tuple[int, int]:
+    """One process: interleaved puts and gets over every shared key.
+
+    Returns ``(lookups, hits)`` so the parent can check that this
+    worker's own accounting reconciles (a get either hits or misses —
+    corrupt intermediate states would surface as exceptions instead).
+    """
+    cache = ShardedResultCache(directory=store, capacity=8)
+    lookups = hits = 0
+    for round_index in range(rounds):
+        for offset, key in enumerate(_HAMMER_KEYS):
+            if (offset + round_index + worker) % 2 == 0:
+                cache.put(entry(key, objective=_expected_objective(key)))
+            else:
+                lookups += 1
+                found = cache.get(key)
+                if found is not None:
+                    hits += 1
+                    assert found.key == key
+                    assert found.objective == _expected_objective(key)
+    return lookups, hits
+
+
+def test_concurrent_processes_never_lose_or_tear_updates(tmp_path):
+    store = tmp_path / "store"
+    workers = 4
+    context = multiprocessing.get_context("fork")
+    with context.Pool(workers) as pool:
+        accounts = pool.starmap(
+            _hammer_worker,
+            [(str(store), 6, worker) for worker in range(workers)],
+        )
+
+    # Every worker's own accounting reconciles.
+    for lookups, hits in accounts:
+        assert 0 <= hits <= lookups
+
+    # No lost updates: every key is present, complete and correct.
+    survivor = ShardedResultCache(directory=store)
+    for key in _HAMMER_KEYS:
+        found = survivor.get(key)
+        assert found is not None, f"lost update for {key}"
+        assert found.key == key
+        assert found.objective == _expected_objective(key)
+    stats = survivor.stats()
+    assert stats["hits"] == len(_HAMMER_KEYS)
+    assert stats["misses"] == 0
+    assert stats["hit_rate"] == 1.0
+    assert stats["disk_entries"] == len(_HAMMER_KEYS)
+
+    # No torn files: every published file is complete valid JSON, and
+    # no temporary file leaked past its atomic rename.
+    published = list(Path(store).rglob("*.json"))
+    assert len(published) == len(_HAMMER_KEYS)
+    for path in published:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        rebuilt = CachedResult.from_dict(document)
+        assert rebuilt.objective == _expected_objective(rebuilt.key)
+    assert list(Path(store).rglob("*.tmp")) == []

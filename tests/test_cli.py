@@ -142,7 +142,7 @@ def test_cli_docstring_mentions_all_commands():
 
     for command in (
         "demo", "compare", "table1", "figures", "chart", "diagnose",
-        "offsets", "explore", "profile", "fuzz", "batch",
+        "offsets", "explore", "profile", "fuzz", "batch", "serve",
     ):
         assert command in cli.__doc__
 
@@ -262,3 +262,14 @@ def test_batch_exhausted_ladder_exits_nonzero(tmp_path, capsys):
     assert code == 1
     report = json.loads(capsys.readouterr().out)
     assert report["totals"]["failed"] == 1
+
+
+def test_serve_rejects_bad_tunables(capsys):
+    # Validation failures surface as exit 2 + a message, no traceback,
+    # and happen before any socket is bound.
+    assert main(["serve", "--queue-capacity", "0"]) == 2
+    assert "capacity" in capsys.readouterr().err
+    assert main(["serve", "--workers", "0"]) == 2
+    assert "workers" in capsys.readouterr().err
+    assert main(["serve", "--shard-width", "9", "--cache-dir", "x"]) == 2
+    assert "shard_width" in capsys.readouterr().err
