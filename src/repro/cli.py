@@ -13,9 +13,12 @@ Subcommands:
 * ``explore`` — design-space grid over register counts and memory
   operating points;
 * ``lint`` — pre-solve static analysis of an instance: run the
-  :mod:`repro.lint` rule set (RA1xx–RA5xx) over a paper example or
-  kernel without solving, print text/JSON findings, optionally export
-  SARIF 2.1.0, and exit non-zero at a configurable severity threshold;
+  :mod:`repro.lint` rule set (RA1xx–RA6xx, including the dataflow /
+  feasibility-proof family) over a paper example or kernel without
+  solving, print text/JSON findings, optionally export SARIF 2.1.0, and
+  exit non-zero at a configurable severity threshold (unknown
+  ``--fail-on`` names fail closed as ``error``); ``--list-rules`` and
+  ``--explain CODE`` document the rule set from the registry;
 * ``profile`` — run the full pipeline on a workload under tracing and
   emit a run report (JSON by default) with per-stage wall times and
   solver counters (see :mod:`repro.obs`);
@@ -27,13 +30,16 @@ Subcommands:
   canonical-form result cache (in-memory + optional on-disk), parallel
   workers with per-job timeouts, retry with exponential backoff and the
   SSP → cycle-cancelling → two-phase fallback ladder, emitting a
-  versioned batch report (see :mod:`repro.service`);
+  versioned batch report and (``--sarif``) a merged multi-run SARIF log
+  with one run per job (see :mod:`repro.service`);
 * ``serve`` — run the long-lived allocation server: an HTTP gateway
-  accepting manifest documents on ``POST /v1/batch`` with a bounded
-  admission queue, per-client rate limiting, explicit 503 load
-  shedding, a sharded persistent result cache, warm-started sweep
-  re-solves, ``/healthz`` + ``/metrics``, and graceful drain on SIGTERM
-  (see :mod:`repro.service.server`).
+  accepting manifest documents on ``POST /v1/batch`` (and lint-only
+  submissions on ``POST /v1/lint``) with admission-time lint gating
+  (provably-bad manifests rejected 422 with SARIF evidence before
+  queueing), a bounded admission queue, per-client rate limiting,
+  explicit 503 load shedding, a sharded persistent result cache,
+  warm-started sweep re-solves, ``/healthz`` + ``/metrics``, and
+  graceful drain on SIGTERM (see :mod:`repro.service.server`).
 
 Examples::
 
@@ -42,6 +48,8 @@ Examples::
     repro-alloc table1
     repro-alloc lint fig3 --sarif fig3.sarif
     repro-alloc lint fir --divisor 2 --fail-on warning
+    repro-alloc lint --explain RA601
+    repro-alloc batch examples/manifests/paper.json --sarif batch.sarif
     repro-alloc profile fir --taps 8 -R 4
     repro-alloc profile ewf --format table
     repro-alloc fuzz --seed 0 --iters 100 -o fuzz-report.json
@@ -350,20 +358,80 @@ def _lint_target(args: argparse.Namespace):
     return problem, schedule, f"{block.name} (R={registers})"
 
 
+def _lint_options(items) -> "tuple[dict[str, dict[str, object]], str | None]":
+    """Parse repeated ``--option CODE.key=value`` flags.
+
+    Values parse as JSON scalars when possible (so ``0.1`` is a float)
+    and fall back to the raw string.  Returns ``(options, error)``.
+    """
+    import json as _json
+
+    options: dict[str, dict[str, object]] = {}
+    for item in items or ():
+        spec, sep, raw = item.partition("=")
+        code, dot, key = spec.partition(".")
+        if not sep or not dot or not code or not key:
+            return {}, f"bad --option {item!r} (want CODE.key=value)"
+        try:
+            value: object = _json.loads(raw)
+        except ValueError:
+            value = raw
+        options.setdefault(code.upper(), {})[key] = value
+    return options, None
+
+
+def _fail_on_threshold(name: str):
+    """Coerce a ``--fail-on`` value, warning (stderr) on unknown names.
+
+    Unknown severities fail *closed* to ``error`` — a typo must tighten
+    the gate, never silently disable it.  Returns ``None`` for
+    ``"never"``.
+    """
+    from repro.lint import Severity
+
+    if name == "never":
+        return None
+    threshold = Severity.coerce(name)
+    if name.lower() not in ("error", "warning", "note"):
+        print(
+            f"warning: unknown --fail-on severity {name!r}; "
+            f"failing closed to 'error'",
+            file=sys.stderr,
+        )
+    return threshold
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReproError
     from repro.lint import (
         LintConfig,
-        Severity,
+        describe_rules,
+        explain_rule,
         render_text,
         report_to_json,
         run_lint,
         sarif_to_json,
     )
 
+    if args.list_rules:
+        sys.stdout.write(describe_rules() + "\n")
+        return 0
+    if args.explain:
+        try:
+            sys.stdout.write(explain_rule(args.explain) + "\n")
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    options, error = _lint_options(args.option)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     problem, schedule, label = _lint_target(args)
     config = LintConfig(
         select=tuple(p for p in (args.select or "").split(",") if p),
         ignore=tuple(p for p in (args.ignore or "").split(",") if p),
+        options=options,
     )
     report = run_lint(problem, schedule=schedule, config=config)
     if args.format == "json":
@@ -374,9 +442,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         code = _write_output(args.sarif, sarif_to_json(report), "SARIF report")
         if code:
             return code
-    if args.fail_on == "never":
+    threshold = _fail_on_threshold(args.fail_on)
+    if threshold is None:
         return 0
-    threshold = Severity.from_name(args.fail_on)
     return 1 if report.at_least(threshold) else 0
 
 
@@ -457,13 +525,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache = None
         if not args.no_cache:
             cache = ResultCache(directory=args.cache_dir)
+        # --sarif needs verdicts for every job, so an admission gate
+        # runs even with lint gating off ("never" reports, never blocks).
+        lint_gate = None
+        if args.sarif is not None or args.lint is not None:
+            from repro.service.lintgate import LintGate
+
+            lint_gate = LintGate(cache=cache, fail_on=args.lint or "never")
         executor = BatchExecutor(
             workers=args.workers,
             cache=cache,
             max_retries=args.retries,
             timeout=args.timeout,
             chunksize=args.chunksize,
-            lint=args.lint,
+            lint_gate=lint_gate,
             certify_fraction=args.certify_fraction,
             seed=args.seed,
             inject_faults=inject,
@@ -473,9 +548,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     start = time.perf_counter()
     results = executor.map_blocks(
-        [w.problem for w in workloads], ids=[w.label for w in workloads]
+        [w.problem for w in workloads],
+        ids=[w.label for w in workloads],
+        schedules=[w.schedule for w in workloads],
     )
     wall = time.perf_counter() - start
+    if args.sarif is not None:
+        from repro.lint.sarif import merged_sarif_to_json
+
+        sarif_text = merged_sarif_to_json(
+            (v.report, v.run_properties()) for v in executor.lint_verdicts
+        )
+        code = _write_output(args.sarif, sarif_text, "merged SARIF report")
+        if code:
+            return code
     report = build_batch_report(
         results,
         cache=cache,
@@ -494,10 +580,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(
         f"batch: {totals['jobs']} jobs, {totals['ok']} ok, "
         f"{totals['failed']} failed, {totals['timeout']} timeout, "
+        f"{totals['rejected']} rejected, "
         f"{totals['cached']} cache-served in {wall:.2f}s",
         file=sys.stderr,
     )
-    return 1 if totals["failed"] or totals["timeout"] else 0
+    return (
+        1
+        if totals["failed"] or totals["timeout"] or totals["rejected"]
+        else 0
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -518,6 +609,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retries=args.retries,
             chunksize=args.chunksize,
             lint=args.lint,
+            admission_lint=(
+                None
+                if args.admission_lint == "off"
+                else args.admission_lint
+            ),
             drain_grace=args.drain_grace,
         )
         return serve(config)
@@ -576,7 +672,27 @@ def main(argv: list[str] | None = None) -> int:
 
     lint = sub.add_parser(
         "lint",
-        help="pre-solve static analysis (rule codes RA1xx-RA5xx)",
+        help="pre-solve static analysis (rule codes RA1xx-RA6xx)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule (code, severity, summary, "
+        "options) and exit",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print the full documentation of one rule (e.g. RA601) "
+        "and exit",
+    )
+    lint.add_argument(
+        "--option",
+        action="append",
+        metavar="CODE.key=value",
+        help="set a per-rule option, e.g. RA604.tolerance=1e-6 "
+        "(repeatable)",
     )
     lint.add_argument(
         "workload",
@@ -627,9 +743,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     lint.add_argument(
         "--fail-on",
-        choices=("error", "warning", "note", "never"),
         default="error",
-        help="exit 1 when findings reach this severity (default: error)",
+        help="exit 1 when findings reach this severity: error, warning, "
+        "note, or never; unknown names fail closed as error "
+        "(default: error)",
     )
     lint.set_defaults(func=_cmd_lint)
 
@@ -746,9 +863,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     batch.add_argument(
         "--lint",
-        choices=("error", "warning", "note"),
         default=None,
-        help="pre-solve lint gate severity per job (default: off)",
+        help="admission lint gate severity per job: error, warning, "
+        "note or never; blocked jobs report status 'rejected' without "
+        "solving; unknown names fail closed as error (default: off)",
+    )
+    batch.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="write a merged SARIF 2.1.0 log to PATH with one run per "
+        "job (lints every job even when --lint is off)",
     )
     batch.add_argument(
         "--certify-fraction",
@@ -858,6 +983,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=("error", "warning", "note"),
         default=None,
         help="pre-solve lint gate severity per job (default: off)",
+    )
+    serve_cmd.add_argument(
+        "--admission-lint",
+        default="error",
+        help="admission-time lint gate threshold: error, warning, note, "
+        "never (lint without rejecting) or off (disable); provably-bad "
+        "manifests are rejected 422 with a SARIF body before queueing; "
+        "unknown names fail closed as error (default: error)",
     )
     serve_cmd.add_argument(
         "--drain-grace",

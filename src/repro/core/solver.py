@@ -90,6 +90,9 @@ def solve_built(
     and warm-started sweeps)."""
     problem = built.problem
     with obs.span("solver.flow_solve"):
+        # Counter twin of the span: spans carry wall time only, and the
+        # admission-gate tests assert "zero solves" off this number.
+        obs.count("solver.flow_solve.calls")
         try:
             flow = flow_solve(
                 built.network,

@@ -22,17 +22,33 @@ RA4xx    energy-model sanity (negative energies, evaluation failures,
 RA5xx    network structure (construction failures, inverted arc
          bounds, non-adjacent density-region handoffs, unreachable
          segments, insufficient source capacity)
+RA6xx    dataflow analysis and feasibility proofs (time-cut
+         infeasibility certificates, worklist liveness vs declared
+         lifetimes, terminal reachability of forced segments, arc-cost
+         interval/sign analysis) — diagnostics carry machine-checkable
+         ``evidence``
 RA9xx    engine-internal (a rule crashed)
 =======  ==============================================================
 
 Entry points: :func:`run_lint` for a report, :func:`gate_problem` for
 the opt-in pre-solve gate (``allocate(..., lint="error")``), text/JSON
-reporters, and a SARIF 2.1.0 exporter for CI consumption.  The dynamic
-post-solve counterpart — oracles that check *solutions* — lives in
-:mod:`repro.verify`.
+reporters, and a SARIF 2.1.0 exporter for CI consumption.  The RA6xx
+prover is also callable directly: :func:`prove_infeasible` returns an
+:class:`InfeasibilityCertificate` (or ``None``) without ever solving a
+flow, and :func:`check_certificate` re-verifies one through an
+independent derivation.  The dynamic post-solve counterpart — oracles
+that check *solutions* — lives in :mod:`repro.verify`.
 """
 
 from repro.lint.context import Finding, LintContext
+from repro.lint.dataflow import (
+    Interval,
+    LivenessResult,
+    ReachingResult,
+    fixed_point,
+    liveness,
+    reaching_definitions,
+)
 from repro.lint.diagnostics import (
     Diagnostic,
     LintReport,
@@ -41,6 +57,12 @@ from repro.lint.diagnostics import (
     Severity,
 )
 from repro.lint.engine import gate_problem, run_lint
+from repro.lint.prove import (
+    InfeasibilityCertificate,
+    check_certificate,
+    find_certificates,
+    prove_infeasible,
+)
 from repro.lint.registry import (
     LintConfig,
     Rule,
@@ -49,27 +71,46 @@ from repro.lint.registry import (
     register,
     rule,
 )
-from repro.lint.reporters import describe_rules, render_text, report_to_json
-from repro.lint.sarif import sarif_to_json, to_sarif
+from repro.lint.reporters import (
+    describe_rules,
+    explain_rule,
+    render_text,
+    report_to_json,
+    rules_markdown,
+)
+from repro.lint.sarif import merge_sarif, sarif_to_json, to_sarif
 
 __all__ = [
     "Diagnostic",
     "Finding",
+    "InfeasibilityCertificate",
+    "Interval",
     "LintConfig",
     "LintContext",
     "LintReport",
+    "LivenessResult",
     "Location",
     "NO_LOCATION",
+    "ReachingResult",
     "Rule",
     "Severity",
     "all_rules",
+    "check_certificate",
     "describe_rules",
+    "explain_rule",
+    "find_certificates",
+    "fixed_point",
     "gate_problem",
     "get_rule",
+    "liveness",
+    "merge_sarif",
+    "prove_infeasible",
+    "reaching_definitions",
     "register",
     "render_text",
     "report_to_json",
     "rule",
+    "rules_markdown",
     "run_lint",
     "sarif_to_json",
     "to_sarif",

@@ -40,12 +40,16 @@ class Finding:
         hint: Fix-it hint overriding the rule default.
         severity: Severity overriding the rule default (rarely needed;
             per-run overrides usually belong in :class:`LintConfig`).
+        evidence: Machine-checkable supporting data (JSON-ready mapping)
+            attached to the resulting diagnostic — e.g. the serialised
+            infeasibility certificate behind an RA6xx proof.
     """
 
     message: str
     location: Location = NO_LOCATION
     hint: str | None = None
     severity: Severity | None = None
+    evidence: dict | None = None
 
 
 class LintContext:

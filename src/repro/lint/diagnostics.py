@@ -53,6 +53,21 @@ class Severity(enum.IntEnum):
                 f"{[s.label for s in cls]}"
             ) from None
 
+    @classmethod
+    def coerce(cls, name: "str | Severity") -> "Severity":
+        """Lenient parse for threshold comparisons: unknown names fail
+        *closed* by coercing to :attr:`ERROR`.
+
+        A gate configured with a typo (``--fail-on eror``) must become
+        the strictest gate, not a silently-passing one.
+        """
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls.from_name(str(name))
+        except ReproError:
+            return cls.ERROR
+
 
 @dataclass(frozen=True)
 class Location:
@@ -117,6 +132,17 @@ class Location:
             if value is not None
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Location":
+        """Rebuild a location serialised by :meth:`to_dict`."""
+        return cls(
+            variable=data.get("variable"),
+            segment=data.get("segment"),
+            op=data.get("op"),
+            step=data.get("step"),
+            detail=data.get("detail"),
+        )
+
 
 #: Shared empty location for findings about the instance as a whole.
 NO_LOCATION = Location()
@@ -136,6 +162,10 @@ class Diagnostic:
         message: What is wrong, concretely, for this instance.
         location: Where (op/step/variable/segment anchor).
         hint: Fix-it suggestion, or ``None`` when no generic fix applies.
+        evidence: Machine-checkable supporting data (JSON-ready mapping),
+            e.g. an infeasibility certificate from :mod:`repro.lint.prove`
+            — what lets a consumer re-verify the finding arithmetically
+            instead of trusting the message.
     """
 
     code: str
@@ -144,6 +174,7 @@ class Diagnostic:
     message: str
     location: Location = field(default=NO_LOCATION)
     hint: str | None = None
+    evidence: dict | None = None
 
     @property
     def family(self) -> str:
@@ -170,7 +201,32 @@ class Diagnostic:
         }
         if self.hint:
             payload["hint"] = self.hint
+        if self.evidence is not None:
+            payload["evidence"] = self.evidence
         return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        """Rebuild a diagnostic serialised by :meth:`to_dict`.
+
+        The inverse used by the serving layer: cached lint verdicts are
+        stored as ``repro.lint/report/v1`` documents and reconstituted
+        here to re-render text or SARIF without re-analysing.
+        """
+        try:
+            return cls(
+                code=str(data["code"]),
+                rule=str(data["rule"]),
+                severity=Severity.from_name(str(data["severity"])),
+                message=str(data["message"]),
+                location=Location.from_dict(data.get("location", {})),
+                hint=data.get("hint"),
+                evidence=data.get("evidence"),
+            )
+        except KeyError as exc:
+            raise ReproError(
+                f"malformed diagnostic record: missing {exc}"
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -251,3 +307,17 @@ class LintReport:
             "codes": list(self.codes),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintReport":
+        """Rebuild a report serialised by :meth:`to_dict`."""
+        if data.get("schema") != "repro.lint/report/v1":
+            raise ReproError(
+                f"unknown lint report schema {data.get('schema')!r}"
+            )
+        return cls(
+            tuple(
+                Diagnostic.from_dict(entry)
+                for entry in data.get("diagnostics", ())
+            )
+        )

@@ -78,6 +78,7 @@ def run_lint(
                         message=finding.message,
                         location=finding.location,
                         hint=finding.hint or entry.hint,
+                        evidence=finding.evidence,
                     )
                 )
         report = LintReport(tuple(diagnostics))

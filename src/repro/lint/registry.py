@@ -37,6 +37,10 @@ class Rule:
         check: Rule body, or ``None`` for codes the engine emits itself
             (e.g. the internal-error code).
         hint: Default fix-it hint applied when a finding carries none.
+        options: Declared per-rule options the body consumes via
+            ``ctx.option(code, key, default)``: option name →
+            ``"<type> (default <value>): <doc>"`` description, surfaced
+            by ``repro-alloc lint --explain`` and the rules table.
     """
 
     code: str
@@ -45,6 +49,7 @@ class Rule:
     summary: str
     check: RuleCheck | None = None
     hint: str | None = None
+    options: Mapping[str, str] = field(default_factory=dict)
 
     @property
     def family(self) -> str:
@@ -69,6 +74,7 @@ def rule(
     severity: Severity,
     summary: str,
     hint: str | None = None,
+    options: Mapping[str, str] | None = None,
 ) -> Callable[[RuleCheck], RuleCheck]:
     """Decorator registering *fn* as the body of rule *code*."""
 
@@ -81,6 +87,7 @@ def rule(
                 summary=summary,
                 check=fn,
                 hint=hint,
+                options=dict(options or {}),
             )
         )
         return fn
@@ -105,6 +112,7 @@ def get_rule(code: str) -> Rule:
 
 def _load_builtin_rules() -> None:
     """Import the built-in rule modules exactly once (self-registering)."""
+    import repro.lint.rules_dataflow  # noqa: F401
     import repro.lint.rules_energy  # noqa: F401
     import repro.lint.rules_lifetimes  # noqa: F401
     import repro.lint.rules_memory  # noqa: F401

@@ -11,9 +11,15 @@ from __future__ import annotations
 import json
 
 from repro.lint.diagnostics import LintReport
-from repro.lint.registry import all_rules
+from repro.lint.registry import all_rules, get_rule
 
-__all__ = ["render_text", "report_to_json", "describe_rules"]
+__all__ = [
+    "render_text",
+    "report_to_json",
+    "describe_rules",
+    "explain_rule",
+    "rules_markdown",
+]
 
 
 def render_text(report: LintReport, title: str | None = None) -> str:
@@ -32,11 +38,62 @@ def report_to_json(report: LintReport, indent: int = 2) -> str:
 
 
 def describe_rules() -> str:
-    """Rule-code table (code, default severity, slug, summary)."""
+    """Rule-code table (code, default severity, slug, summary, options)."""
     lines = ["code   severity  rule"]
     for entry in all_rules():
         lines.append(
             f"{entry.code:6} {entry.severity.label:9} {entry.name}\n"
             f"       {entry.summary}"
+        )
+        for key in sorted(entry.options):
+            lines.append(f"       option {key}: {entry.options[key]}")
+    return "\n".join(lines) + "\n"
+
+
+def explain_rule(code: str) -> str:
+    """Full documentation of one rule for ``lint --explain CODE``.
+
+    Raises :class:`~repro.exceptions.ReproError` for unknown codes (the
+    CLI turns that into a non-zero exit with the known-code list).
+    """
+    entry = get_rule(code)
+    lines = [
+        f"{entry.code} ({entry.name})",
+        f"severity: {entry.severity.label} (default; override with "
+        f"LintConfig.severity_overrides)",
+        "",
+        entry.summary,
+    ]
+    if entry.hint:
+        lines += ["", f"hint: {entry.hint}"]
+    if entry.options:
+        lines += ["", "options (set with --option CODE.key=value):"]
+        lines += [
+            f"  {key}: {entry.options[key]}" for key in sorted(entry.options)
+        ]
+    if entry.check is not None and entry.check.__doc__:
+        lines += ["", entry.check.__doc__.strip()]
+    return "\n".join(lines) + "\n"
+
+
+def rules_markdown() -> str:
+    """The registered rules as a GitHub-flavoured markdown table.
+
+    The README embeds this between ``<!-- rules:begin -->`` /
+    ``<!-- rules:end -->`` markers; a sync test regenerates the table
+    and fails when the README drifts from the registry.
+    """
+    lines = [
+        "| code | severity | rule | summary |",
+        "| --- | --- | --- | --- |",
+    ]
+    for entry in all_rules():
+        summary = entry.summary.replace("|", "\\|")
+        if entry.options:
+            opts = ", ".join(f"`{key}`" for key in sorted(entry.options))
+            summary += f" Options: {opts}."
+        lines.append(
+            f"| {entry.code} | {entry.severity.label} | "
+            f"`{entry.name}` | {summary} |"
         )
     return "\n".join(lines) + "\n"

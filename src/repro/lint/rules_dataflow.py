@@ -1,0 +1,312 @@
+"""RA6xx — dataflow-analysis and feasibility-proof rules.
+
+Where the RA1xx-RA5xx families check declared structure, this family
+*re-derives* facts and proves obstructions:
+
+* RA601/RA603 run the solver-free prover (:mod:`repro.lint.prove`) over
+  the instance's flow network and attach the resulting infeasibility
+  certificate — time-cut counting or terminal reachability — as
+  machine-checkable ``evidence`` on the diagnostic.  Each certificate is
+  re-verified through an independent derivation before it is reported;
+  a certificate that fails its own check is reported as an internal
+  inconsistency instead of a proof.
+* RA602 recomputes liveness from the schedule with the worklist engine
+  (:mod:`repro.lint.dataflow`) and diffs the derived lifetimes against
+  the declared ones, variable by variable.
+* RA604 runs an interval/sign analysis over the network's arc costs:
+  non-finite costs poison the solver's optimum silently, and an
+  optimistic energy bound below zero means some allocation would be
+  credited net-negative energy — both symptoms of a broken cost model
+  that the RA4xx per-access checks cannot see (they never look at
+  composed arc costs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.lint.context import Finding, LintContext
+from repro.lint.dataflow import Interval, liveness
+from repro.lint.diagnostics import Location, Severity
+from repro.lint.prove import certificates_from, check_certificate
+from repro.lint.registry import rule
+
+__all__: list[str] = []
+
+
+def _proof_evidence(ctx: LintContext, certificate) -> tuple[dict, bool]:
+    """Certificate evidence payload plus its independent re-check."""
+    checked = check_certificate(ctx.problem, certificate)
+    payload = certificate.to_dict()
+    payload["checked"] = checked
+    return payload, checked
+
+
+@rule(
+    "RA601",
+    "pressure-exceeds-registers-proof",
+    Severity.ERROR,
+    "A time-cut counting argument proves the register file cannot hold "
+    "the instance: the solver is guaranteed to report infeasibility.",
+    hint="raise the register count, relax the memory access period, or "
+    "unpin forced segments; the attached certificate names the "
+    "obstructing half-point",
+)
+def check_pressure_proofs(ctx: LintContext) -> Iterator[Finding]:
+    """RA601: report cut-counting infeasibility proofs with evidence."""
+    if ctx.built is None:
+        return  # RA5xx reports why the network is unbuildable
+    for certificate in certificates_from(ctx.built):
+        if certificate.kind not in ("forced-pressure", "cut-capacity"):
+            continue
+        evidence, checked = _proof_evidence(ctx, certificate)
+        if not checked:
+            yield Finding(
+                f"prover emitted a {certificate.kind} certificate that "
+                f"fails independent re-verification: {certificate.detail}",
+                Location(step=certificate.half_point, detail=certificate.kind),
+                hint="this is a prover bug, not an instance defect; "
+                "report it with the evidence payload",
+                evidence=evidence,
+            )
+            continue
+        yield Finding(
+            certificate.detail,
+            Location(step=certificate.half_point, detail=certificate.kind),
+            evidence=evidence,
+        )
+
+
+@rule(
+    "RA602",
+    "schedule-lifetime-disagreement",
+    Severity.ERROR,
+    "The lifetimes re-derived from the schedule by worklist liveness "
+    "analysis disagree with the instance's declared lifetimes.",
+    hint="the declared lifetimes were not extracted from this schedule "
+    "(or were edited afterwards); re-run extract_lifetimes on the "
+    "schedule being solved",
+)
+def check_schedule_agreement(ctx: LintContext) -> Iterator[Finding]:
+    """RA602: diff worklist-derived lifetimes against declared ones."""
+    if ctx.schedule is None:
+        return
+    try:
+        derived = liveness(ctx.schedule).lifetimes()
+    except Exception as exc:
+        yield Finding(
+            f"liveness re-derivation failed: {type(exc).__name__}: {exc}",
+            hint="the schedule is not analysable; the RA1xx findings "
+            "explain the structural defect",
+        )
+        return
+    declared = {
+        name: (lifetime.write_time, tuple(lifetime.read_times))
+        for name, lifetime in ctx.problem.lifetimes.items()
+    }
+    for name in sorted(set(declared) - set(derived)):
+        yield Finding(
+            f"variable {name!r} has a declared lifetime but the schedule "
+            f"never defines it",
+            Location(variable=name),
+            evidence={"variable": name, "derived": None,
+                      "declared": _lifetime_dict(declared[name])},
+        )
+    for name in sorted(set(derived) - set(declared)):
+        yield Finding(
+            f"the schedule defines variable {name!r} but the instance "
+            f"declares no lifetime for it",
+            Location(variable=name),
+            evidence={"variable": name,
+                      "derived": _lifetime_dict(derived[name]),
+                      "declared": None},
+        )
+    for name in sorted(set(derived) & set(declared)):
+        if derived[name] == declared[name]:
+            continue
+        d_write, d_reads = derived[name]
+        c_write, c_reads = declared[name]
+        parts = []
+        if d_write != c_write:
+            parts.append(f"write {c_write} (schedule says {d_write})")
+        if d_reads != c_reads:
+            parts.append(
+                f"reads {list(c_reads)} (schedule says {list(d_reads)})"
+            )
+        yield Finding(
+            f"variable {name!r}: declared {', '.join(parts)}",
+            Location(variable=name, step=d_write),
+            evidence={
+                "variable": name,
+                "derived": _lifetime_dict(derived[name]),
+                "declared": _lifetime_dict(declared[name]),
+            },
+        )
+
+
+def _lifetime_dict(pair: tuple[int, tuple[int, ...]]) -> dict:
+    write, reads = pair
+    return {"write": write, "reads": list(reads)}
+
+
+@rule(
+    "RA603",
+    "unreachable-handoff-proof",
+    Severity.ERROR,
+    "A forced segment is disconnected from a flow terminal: no handoff "
+    "chain can route its mandatory unit of register flow.",
+    hint="the restricted access times leave no legal spill/reload chain "
+    "around the segment; widen the access period or unpin it",
+)
+def check_reachability_proofs(ctx: LintContext) -> Iterator[Finding]:
+    """RA603: report terminal-reachability infeasibility proofs."""
+    if ctx.built is None:
+        return
+    for certificate in certificates_from(ctx.built):
+        if certificate.kind != "unreachable-forced-segment":
+            continue
+        evidence, checked = _proof_evidence(ctx, certificate)
+        variable = segment = None
+        if certificate.witness:
+            variable, _, index_text = certificate.witness[0].partition("#")
+            segment = int(index_text) if index_text.isdigit() else None
+        if not checked:
+            yield Finding(
+                f"prover emitted an unreachability certificate that fails "
+                f"independent re-verification: {certificate.detail}",
+                Location(variable=variable, segment=segment),
+                hint="this is a prover bug, not an instance defect; "
+                "report it with the evidence payload",
+                evidence=evidence,
+            )
+            continue
+        yield Finding(
+            certificate.detail,
+            Location(variable=variable, segment=segment),
+            evidence=evidence,
+        )
+
+
+@rule(
+    "RA604",
+    "energy-cost-interval",
+    Severity.WARNING,
+    "Interval analysis over the network's composed arc costs found "
+    "non-finite costs or a net-negative optimistic energy bound.",
+    hint="composed arc costs are energy differences and must stay "
+    "finite; a below-zero optimistic total means the model credits "
+    "more energy than the instance can spend",
+    options={
+        "tolerance": "float (default 1e-9): absolute slack before the "
+        "optimistic energy bound counts as negative",
+    },
+)
+def check_cost_intervals(ctx: LintContext) -> Iterator[Finding]:
+    """RA604: sign/interval analysis of the composed arc costs."""
+    built = ctx.built
+    if built is None or built.roles is None:
+        return
+    arrays = built.network.arrays()
+    costs = arrays.costs
+    k = built.roles.num_segments
+    p = len(built.roles.intra_pairs)
+    h = len(built.roles.handoff_src)
+    groups = {
+        "segment": costs[:k],
+        "intra": costs[k : k + p],
+        "handoff": costs[k + p : k + p + h],
+    }
+    intervals = {
+        role: Interval.hull(values.tolist())
+        for role, values in groups.items()
+    }
+    evidence = {
+        "intervals": {
+            role: interval.to_list()
+            for role, interval in intervals.items()
+            if interval is not None
+        }
+    }
+    bad = [
+        role
+        for role, interval in intervals.items()
+        if interval is not None and not interval.finite
+    ]
+    if bad:
+        yield Finding(
+            f"non-finite arc costs in role(s) {', '.join(sorted(bad))}; "
+            f"the solver's optimum is meaningless",
+            Location(detail=f"roles {', '.join(sorted(bad))}"),
+            severity=Severity.ERROR,
+            evidence=evidence,
+        )
+        return
+    try:
+        constant = float(ctx.problem.constant_energy())
+    except Exception:
+        return  # RA402 reports the evaluation failure
+    if not math.isfinite(constant):
+        yield Finding(
+            f"constant energy term is {constant}; every objective value "
+            f"is poisoned",
+            severity=Severity.ERROR,
+            evidence=evidence,
+        )
+        return
+    # One-path witness: routing a single unit down the cheapest s-to-t
+    # path (the remaining R-1 units idle through the bypass) yields the
+    # objective constant + path cost.  Below zero, the model credits a
+    # single register-resident chain with more energy than the whole
+    # program spends memory-resident — a broken cost table, since total
+    # energy is physically non-negative.
+    shortest = _shortest_path_cost(built)
+    if shortest is None:
+        return  # not a forward DAG; nothing sound to bound
+    witness_energy = constant + min(0.0, shortest)
+    tolerance = float(ctx.option("RA604", "tolerance", 1e-9))
+    if witness_energy < -tolerance:
+        evidence["constant_energy"] = constant
+        evidence["shortest_path_cost"] = shortest
+        evidence["witness_energy"] = witness_energy
+        yield Finding(
+            f"the cheapest register chain is credited {shortest:g} "
+            f"against a total memory-resident energy of {constant:g}; "
+            f"an allocation registering that one chain would have total "
+            f"energy {witness_energy:g} < 0",
+            Location(detail=f"witness energy {witness_energy:g}"),
+            evidence=evidence,
+        )
+
+
+def _shortest_path_cost(built) -> float | None:
+    """Cheapest s-to-t path cost by topological relaxation.
+
+    Negative costs are fine on a DAG; returns ``None`` when the network
+    is cyclic or the sink is unreachable (other rules report those).
+    """
+    network = built.network
+    order = network.topological_order()
+    if order is None:
+        return None
+    arrays = network.arrays()
+    dist = {node: math.inf for node in network.nodes}
+    dist[built.source] = 0.0
+    out: dict = {}
+    for i in range(network.num_arcs):
+        out.setdefault(int(arrays.tails[i]), []).append(i)
+    index_of = {node: network.node_index(node) for node in network.nodes}
+    nodes = network.nodes
+    for node in order:
+        d = dist[node]
+        if not math.isfinite(d):
+            continue
+        for i in out.get(index_of[node], ()):
+            if arrays.capacities[i] <= 0:
+                continue
+            head = nodes[int(arrays.heads[i])]
+            nd = d + float(arrays.costs[i])
+            if nd < dist[head]:
+                dist[head] = nd
+    d = dist[built.sink]
+    return d if math.isfinite(d) else None

@@ -90,6 +90,10 @@ def check_model_evaluates(ctx: LintContext) -> Iterator[Finding]:
     "frequency divisor under the CMOS delay relation.",
     hint="pick the supply with max_divisor_supply(divisor) (or "
     "MemoryConfig.scaled) so voltage and access period stay consistent",
+    options={
+        "delay_slack": "float (default 0.05): relative slack on the "
+        "CMOS delay-factor check before a slow supply is flagged",
+    },
 )
 def check_supply_meets_divisor(ctx: LintContext) -> Iterator[Finding]:
     """RA403: flag memory supplies too slow for the access period."""

@@ -8,17 +8,34 @@ show rule metadata even for rules that did not fire), every diagnostic
 becomes a ``result`` with a logical location (this analyser checks
 in-memory allocation instances, not source files, so anchors are
 logical — variable/segment/operation/step — rather than physical).
+Diagnostic ``evidence`` payloads (RA6xx infeasibility certificates)
+ride in the result's property bag, so a SARIF consumer can re-verify a
+proof without the original instance in hand.
+
+:func:`merge_sarif` aggregates many reports — one per batch job — into
+a single log with one ``run`` per report, each tagged with caller
+metadata (job label, canonical digest) in the run's property bag.  This
+is what ``repro-alloc batch --sarif`` emits: per-job verdicts stay
+separately addressable instead of the last job overwriting the file.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Iterable, Mapping
 
 from repro import __version__ as _package_version
 from repro.lint.diagnostics import Diagnostic, LintReport
 from repro.lint.registry import all_rules
 
-__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif", "sarif_to_json"]
+__all__ = [
+    "SARIF_VERSION",
+    "SARIF_SCHEMA",
+    "to_sarif",
+    "sarif_to_json",
+    "merge_sarif",
+    "merged_sarif_to_json",
+]
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
@@ -62,11 +79,13 @@ def _result(diagnostic: Diagnostic, rule_index: dict[str, int]) -> dict:
     }
     if diagnostic.hint:
         result["properties"]["hint"] = diagnostic.hint
+    if diagnostic.evidence is not None:
+        result["properties"]["evidence"] = diagnostic.evidence
     return result
 
 
-def to_sarif(report: LintReport) -> dict:
-    """Render *report* as a SARIF 2.1.0 log (a JSON-ready dict)."""
+def _run(report: LintReport, properties: Mapping | None = None) -> dict:
+    """One SARIF ``run`` object for *report*."""
     rules = all_rules()
     rule_index = {entry.code: i for i, entry in enumerate(rules)}
     descriptors = []
@@ -79,28 +98,73 @@ def to_sarif(report: LintReport) -> dict:
         }
         if entry.hint:
             descriptor["help"] = {"text": entry.hint}
+        if entry.options:
+            descriptor.setdefault("properties", {})["options"] = dict(
+                entry.options
+            )
         descriptors.append(descriptor)
+    run = {
+        "tool": {
+            "driver": {
+                "name": _TOOL_NAME,
+                "version": _package_version,
+                "informationUri": _TOOL_URI,
+                "rules": descriptors,
+            }
+        },
+        "results": [_result(d, rule_index) for d in report.diagnostics],
+    }
+    if properties:
+        run["properties"] = dict(properties)
+    return run
+
+
+def to_sarif(report: LintReport, run_properties: Mapping | None = None) -> dict:
+    """Render *report* as a SARIF 2.1.0 log (a JSON-ready dict).
+
+    Args:
+        report: The lint run to export.
+        run_properties: Optional caller metadata (job label, canonical
+            digest, …) placed in the run's property bag.
+    """
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": _TOOL_NAME,
-                        "version": _package_version,
-                        "informationUri": _TOOL_URI,
-                        "rules": descriptors,
-                    }
-                },
-                "results": [
-                    _result(d, rule_index) for d in report.diagnostics
-                ],
-            }
-        ],
+        "runs": [_run(report, run_properties)],
+    }
+
+
+def merge_sarif(
+    entries: Iterable[tuple[LintReport, Mapping | None]],
+) -> dict:
+    """Aggregate many lint reports into one multi-run SARIF log.
+
+    Args:
+        entries: ``(report, run_properties)`` pairs, one per analysed
+            instance; properties tag the run (e.g. ``{"job": label,
+            "digest": key}``) so consumers can attribute results.
+
+    Returns:
+        One SARIF log whose ``runs`` array holds every report in input
+        order — per-job results stay separately addressable instead of
+        collapsing into a single anonymous run.
+    """
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [_run(report, properties) for report, properties in entries],
     }
 
 
 def sarif_to_json(report: LintReport, indent: int = 2) -> str:
     """Serialise :func:`to_sarif` output to a JSON string."""
     return json.dumps(to_sarif(report), indent=indent, sort_keys=True) + "\n"
+
+
+def merged_sarif_to_json(
+    entries: Iterable[tuple[LintReport, Mapping | None]], indent: int = 2
+) -> str:
+    """Serialise :func:`merge_sarif` output to a JSON string."""
+    return (
+        json.dumps(merge_sarif(entries), indent=indent, sort_keys=True) + "\n"
+    )

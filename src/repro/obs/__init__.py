@@ -65,6 +65,7 @@ a versioned *run report* (the ``repro.obs/run-report/v1`` schema emitted by
 """
 
 from repro.obs.export import (
+    counter_group,
     flatten_spans,
     format_trace,
     metrics_text,
@@ -100,6 +101,7 @@ __all__ = [
     "build_report",
     "collect",
     "count",
+    "counter_group",
     "current",
     "enabled",
     "flatten_spans",

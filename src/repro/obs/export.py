@@ -16,6 +16,7 @@ from typing import Any, Iterator
 from repro.obs.trace import Span, TraceCollector
 
 __all__ = [
+    "counter_group",
     "flatten_spans",
     "format_trace",
     "metrics_text",
@@ -57,6 +58,28 @@ def metrics_text(
             continue
         lines.append(f"{_metric_name(name)} {value}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def counter_group(
+    counters: "dict[str, int | float] | Any",
+    prefix: str,
+    strip: bool = True,
+) -> dict[str, int | float]:
+    """Sorted sub-dict of counters under a dotted *prefix*.
+
+    Used by metrics endpoints to carve a named section (for example
+    ``service.lint.*``) out of the flat counter map.  With *strip* the
+    prefix (and its trailing dot) is removed from the keys.  Accepts a
+    plain dict or a :class:`TraceCollector`.
+    """
+    if isinstance(counters, TraceCollector):
+        counters = counters.counters
+    head = prefix if prefix.endswith(".") else prefix + "."
+    return {
+        (name[len(head):] if strip else name): value
+        for name, value in sorted(counters.items())
+        if name.startswith(head)
+    }
 
 
 def trace_to_dict(trace: TraceCollector) -> dict[str, Any]:

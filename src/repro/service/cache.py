@@ -25,8 +25,19 @@ process-unique temporary file first and is published with an atomic
 rename, so a concurrent reader sees either the old complete entry or
 the new complete entry, never a torn one.
 
+Beside solved allocations the cache also stores **lint verdicts**
+(:class:`CachedLint`): the admission gate's static-analysis report for a
+canonical instance, written as a sibling ``<digest>.lint.json`` entry so
+it shares the sharding and atomic-rename discipline of result entries.
+Lint verdicts are keyed by the canonical key *plus* a schedule
+fingerprint — the canonical form captures the lifetimes but not the
+schedule they came from, and the schedule-aware rules (RA1xx, RA602)
+would otherwise serve a stale verdict to an instance with identical
+lifetimes but a different schedule.
+
 Every lookup bumps the ``service.cache.hit`` / ``service.cache.miss``
-observability counters (:mod:`repro.obs`).
+(results) or ``service.lint.cache_hit`` / ``service.lint.cache_miss``
+(verdicts) observability counters (:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -42,13 +53,16 @@ from typing import Any, Iterable, Mapping
 from repro.exceptions import ServiceError
 from repro.obs import trace as obs
 
-__all__ = ["CachedResult", "ResultCache", "ShardedResultCache"]
+__all__ = ["CachedLint", "CachedResult", "ResultCache", "ShardedResultCache"]
 
 #: Per-process sequence making concurrent temp-file names unique.
 _TMP_COUNTER = itertools.count()
 
 #: Schema identifier of one serialised cache entry.
 ENTRY_SCHEMA = "repro.service/cache-entry/v1"
+
+#: Schema identifier of one serialised lint verdict.
+LINT_SCHEMA = "repro.service/lint-entry/v1"
 
 
 @dataclass(frozen=True)
@@ -153,6 +167,53 @@ class CachedResult:
             raise ServiceError(f"malformed cache entry: {exc}") from None
 
 
+@dataclass(frozen=True)
+class CachedLint:
+    """One cached lint verdict for a canonical instance.
+
+    Attributes:
+        key: Canonical cache key the verdict is stored under.
+        fingerprint: Schedule fingerprint the verdict was computed
+            against (empty string when the instance had no schedule).  A
+            lookup with a different fingerprint is a miss — the RA1xx /
+            RA602 rules depend on the schedule, which the canonical key
+            does not capture.
+        report: The ``repro.lint/report/v1`` document (diagnostics in
+            canonical variable space are *not* attempted — lint verdicts
+            describe the instance as submitted, so the report is stored
+            verbatim and only served to byte-identical schedules).
+    """
+
+    key: str
+    fingerprint: str
+    report: Mapping[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view of the verdict."""
+        return {
+            "schema": LINT_SCHEMA,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "report": dict(self.report),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CachedLint":
+        """Rebuild a verdict serialised by :meth:`to_dict`."""
+        if data.get("schema") != LINT_SCHEMA:
+            raise ServiceError(
+                f"unknown lint entry schema {data.get('schema')!r}"
+            )
+        try:
+            return cls(
+                key=str(data["key"]),
+                fingerprint=str(data["fingerprint"]),
+                report=dict(data["report"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed lint entry: {exc}") from None
+
+
 @dataclass
 class ResultCache:
     """LRU result cache with an optional on-disk JSON store.
@@ -171,7 +232,12 @@ class ResultCache:
     directory: Path | str | None = None
     hits: int = 0
     misses: int = 0
+    lint_hits: int = 0
+    lint_misses: int = 0
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lint_entries: OrderedDict = field(
+        default_factory=OrderedDict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -246,14 +312,81 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    # ------------------------------------------------------------------
+    # lint verdicts
+    # ------------------------------------------------------------------
+    def _lint_path(self, key: str) -> Path:
+        """Where the lint verdict for *key* lives on disk.
+
+        Derived from :meth:`_path` so the sharded layout is inherited:
+        the verdict is a ``<digest>.lint.json`` sibling of the result
+        entry.
+        """
+        path = self._path(key)
+        return path.with_name(f"{self._digest(key)}.lint.json")
+
+    def get_lint(self, key: str, fingerprint: str = "") -> CachedLint | None:
+        """Look up the lint verdict of (*key*, *fingerprint*).
+
+        A stored verdict with a different schedule fingerprint is a
+        miss: the canonical key alone does not capture the schedule the
+        schedule-aware rules analysed.
+        """
+        entry = self._lint_entries.get(key)
+        if entry is None and self.directory is not None:
+            path = self._lint_path(key)
+            if path.is_file():
+                try:
+                    entry = CachedLint.from_dict(
+                        json.loads(path.read_text(encoding="utf-8"))
+                    )
+                except (OSError, ValueError, ServiceError):
+                    entry = None  # corrupt verdicts count as misses
+                if entry is not None and entry.key != key:
+                    entry = None
+        if entry is not None and entry.fingerprint == fingerprint:
+            self._remember_lint(key, entry)
+            self.lint_hits += 1
+            obs.count("service.lint.cache_hit")
+            return entry
+        self.lint_misses += 1
+        obs.count("service.lint.cache_miss")
+        return None
+
+    def put_lint(self, entry: CachedLint) -> None:
+        """Insert lint verdict *entry* (memory and, if set, disk)."""
+        self._remember_lint(entry.key, entry)
+        if self.directory is not None:
+            path = self._lint_path(entry.key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            text = json.dumps(entry.to_dict(), indent=2, sort_keys=True)
+            tmp = path.parent / (
+                f".{path.stem}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+            )
+            tmp.write_text(text + "\n", encoding="utf-8")
+            tmp.replace(path)
+
+    def _remember_lint(self, key: str, entry: CachedLint) -> None:
+        self._lint_entries[key] = entry
+        self._lint_entries.move_to_end(key)
+        while len(self._lint_entries) > self.capacity:
+            self._lint_entries.popitem(last=False)
+
     def stats(self) -> dict[str, int | float]:
         """Hit/miss counters plus the current hit rate."""
         total = self.hits + self.misses
+        lint_total = self.lint_hits + self.lint_misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._entries),
             "hit_rate": self.hits / total if total else 0.0,
+            "lint_hits": self.lint_hits,
+            "lint_misses": self.lint_misses,
+            "lint_entries": len(self._lint_entries),
+            "lint_hit_rate": (
+                self.lint_hits / lint_total if lint_total else 0.0
+            ),
         }
 
 
@@ -319,13 +452,17 @@ class ShardedResultCache(ResultCache):
         directory = Path(self.directory) if self.directory else None
         shards = 0
         disk_entries = 0
+        lint_disk = 0
         if directory is not None and directory.is_dir():
             for child in directory.iterdir():
                 if child.is_dir() and len(child.name) == self.shard_width:
                     shards += 1
-                    disk_entries += sum(
-                        1 for item in child.glob("*.json")
-                    )
+                    for item in child.glob("*.json"):
+                        if item.name.endswith(".lint.json"):
+                            lint_disk += 1
+                        else:
+                            disk_entries += 1
         data["shards"] = shards
         data["disk_entries"] = disk_entries
+        data["lint_disk_entries"] = lint_disk
         return data

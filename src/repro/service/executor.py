@@ -35,6 +35,7 @@ from repro.flow.warm_start import WarmStartCache
 from repro.obs import trace as obs
 from repro.service.cache import ResultCache
 from repro.service.canonical import canonicalize
+from repro.service.lintgate import LintGate, LintVerdict
 from repro.service.solvers import (
     DEFAULT_LADDER,
     SolveSummary,
@@ -53,8 +54,9 @@ class JobResult:
         job_id: Caller-visible job identifier.
         index: 0-based submission position within the batch.
         key: Canonical cache key of the instance.
-        status: ``"ok"``, ``"infeasible"``, ``"failed"`` or
-            ``"timeout"``.
+        status: ``"ok"``, ``"infeasible"``, ``"failed"``, ``"timeout"``
+            or ``"rejected"`` (blocked by the admission lint gate
+            before reaching a solver).
         cached: Whether the result was served from the cache.
         solver: Ladder rung (or cached provenance) that produced the
             result; ``None`` when no rung succeeded.
@@ -215,7 +217,17 @@ class BatchExecutor:
             pool path; ``None`` disables).
         chunksize: Jobs dispatched per worker task.
         lint: Optional per-job pre-solve lint gate severity
-            (``"error"``, ``"warning"``, ``"note"``).
+            (``"error"``, ``"warning"``, ``"note"``), enforced inside
+            each worker.  Superseded by *lint_gate*: when a gate is
+            configured the worker-side check is skipped (the gate
+            already analysed every job, with caching).
+        lint_gate: Optional admission-time
+            :class:`~repro.service.lintgate.LintGate`.  Every job —
+            including result-cache hits — is linted in the parent before
+            dispatch; blocking verdicts become ``"rejected"`` results
+            that never reach a solver, and all verdicts of the last
+            gather are kept on :attr:`lint_verdicts` (submission order)
+            for SARIF export.
         certify_fraction: Fraction of jobs (seeded sample) whose
             solutions get an optimality-certificate spot-check.
         seed: Seed of the certify sampler.
@@ -240,6 +252,7 @@ class BatchExecutor:
         timeout: float | None = None,
         chunksize: int = 1,
         lint: str | None = None,
+        lint_gate: LintGate | None = None,
         certify_fraction: float = 0.0,
         seed: int = 0,
         inject_faults: Mapping[str, int] | None = None,
@@ -268,20 +281,35 @@ class BatchExecutor:
         self.timeout = timeout
         self.chunksize = chunksize
         self.lint = lint
+        self.lint_gate = lint_gate
         self.certify_fraction = certify_fraction
         self.seed = seed
         self.inject_faults = dict(inject_faults or {})
         self.warm_cache = warm_cache
-        self._pending: list[tuple[int, str, AllocationProblem]] = []
+        #: Verdicts of the last :meth:`gather`, in submission order
+        #: (empty when no *lint_gate* is configured).
+        self.lint_verdicts: list[LintVerdict] = []
+        self._pending: list[tuple[int, str, AllocationProblem, Any]] = []
         self._submitted = 0
 
     def submit(
-        self, problem: AllocationProblem, job_id: str | None = None
+        self,
+        problem: AllocationProblem,
+        job_id: str | None = None,
+        schedule: Any = None,
     ) -> str:
-        """Queue one instance; returns its (possibly generated) job id."""
+        """Queue one instance; returns its (possibly generated) job id.
+
+        Args:
+            problem: The instance to solve.
+            job_id: Caller-visible identifier (generated when omitted).
+            schedule: The schedule the lifetimes came from, when the
+                caller has one — enables the schedule-aware lint rules
+                at the admission gate.
+        """
         if job_id is None:
             job_id = f"job-{self._submitted}"
-        self._pending.append((self._submitted, job_id, problem))
+        self._pending.append((self._submitted, job_id, problem, schedule))
         self._submitted += 1
         return job_id
 
@@ -289,11 +317,16 @@ class BatchExecutor:
         self,
         problems: Iterable[AllocationProblem],
         ids: Sequence[str] | None = None,
+        schedules: Sequence[Any] | None = None,
     ) -> list[JobResult]:
         """Submit every instance and gather; results in input order."""
         for position, problem in enumerate(problems):
             self.submit(
-                problem, ids[position] if ids is not None else None
+                problem,
+                ids[position] if ids is not None else None,
+                schedule=(
+                    schedules[position] if schedules is not None else None
+                ),
             )
         return self.gather()
 
@@ -308,13 +341,39 @@ class BatchExecutor:
         pending, self._pending = self._pending, []
         results: dict[int, JobResult] = {}
         misses: list[tuple[int, str, AllocationProblem, Any]] = []
+        self.lint_verdicts = []
         with obs.span("service.batch"):
             with obs.span("service.canonicalize"):
                 canonicals = [
-                    (index, job_id, problem, canonicalize(problem))
-                    for index, job_id, problem in pending
+                    (index, job_id, problem, canonicalize(problem), schedule)
+                    for index, job_id, problem, schedule in pending
                 ]
-            for index, job_id, problem, canonical in canonicals:
+            rejected: set[int] = set()
+            if self.lint_gate is not None:
+                with obs.span("service.lint_gate"):
+                    # Every job is gated — result-cache hits included —
+                    # so the verdict list (and any SARIF export) covers
+                    # the whole batch, not just the solved remainder.
+                    for index, job_id, problem, canonical, sched in canonicals:
+                        verdict = self.lint_gate.check(
+                            problem,
+                            schedule=sched,
+                            label=job_id,
+                            canonical=canonical,
+                        )
+                        self.lint_verdicts.append(verdict)
+                        if verdict.blocking:
+                            rejected.add(index)
+                            results[index] = JobResult(
+                                job_id=job_id,
+                                index=index,
+                                key=canonical.key,
+                                status="rejected",
+                                error=verdict.report.summary(),
+                            )
+            for index, job_id, problem, canonical, _ in canonicals:
+                if index in rejected:
+                    continue
                 entry = (
                     self.cache.get(canonical.key)
                     if self.cache is not None
@@ -336,6 +395,9 @@ class BatchExecutor:
             # The warm-start kernel state is process-local (numpy arrays
             # + CSR views); it rides along only on the inline path.
             warm_cache = self.warm_cache if self.workers == 1 else None
+            # The admission gate subsumes the worker-side lint check —
+            # running both would analyse every miss twice.
+            worker_lint = None if self.lint_gate is not None else self.lint
             payloads = [
                 (
                     index,
@@ -346,7 +408,7 @@ class BatchExecutor:
                         "backoff_base": self.backoff_base,
                         "backoff_cap": self.backoff_cap,
                         "inject_faults": self.inject_faults,
-                        "lint": self.lint,
+                        "lint": worker_lint,
                         "certify": self._certify(job_id),
                         "warm_cache": warm_cache,
                     },
@@ -382,7 +444,9 @@ class BatchExecutor:
             )
             if failures:
                 obs.count("service.failures", failures)
-        return [results[index] for index, _, _ in pending]
+            if rejected:
+                obs.count("service.lint.rejected_jobs", len(rejected))
+        return [results[index] for index, _, _, _ in pending]
 
     # ------------------------------------------------------------------
     # internals

@@ -101,10 +101,19 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class BuiltWorkload:
-    """A manifest job materialised into a solvable instance."""
+    """A manifest job materialised into a solvable instance.
+
+    Attributes:
+        label: Display label (unique within the batch by construction).
+        problem: The allocation instance to solve.
+        schedule: The schedule the lifetimes were extracted from, for
+            job kinds that have one (kernels); enables the
+            schedule-aware lint rules (RA1xx, RA602) at admission time.
+    """
 
     label: str
     problem: AllocationProblem
+    schedule: Any = None
 
 
 def _operating_point(params: Mapping[str, Any]):
@@ -163,7 +172,7 @@ def _build_kernel(spec: WorkloadSpec, params: Mapping[str, Any], index: int):
     label = spec.label or spec.name
     if spec.count > 1:
         label = f"{label}#{index}"
-    return BuiltWorkload(label, problem)
+    return BuiltWorkload(label, problem, schedule=schedule)
 
 
 def _build_figure(spec: WorkloadSpec, params: Mapping[str, Any]):

@@ -40,7 +40,13 @@ def build_batch_report(
         workers: Worker processes the batch ran with.
         manifest: Manifest path or label, for provenance.
     """
-    statuses = {"ok": 0, "failed": 0, "infeasible": 0, "timeout": 0}
+    statuses = {
+        "ok": 0,
+        "failed": 0,
+        "infeasible": 0,
+        "timeout": 0,
+        "rejected": 0,
+    }
     by_solver: dict[str, int] = {}
     retries = 0
     fallbacks = 0
@@ -96,7 +102,8 @@ def render_batch_text(report: Mapping[str, Any]) -> str:
         f"(solve {totals['solve_wall_s']:.3f}s)",
         f"  jobs:     {totals['jobs']}  ok {totals['ok']}  "
         f"failed {totals['failed']}  infeasible {totals['infeasible']}  "
-        f"timeout {totals['timeout']}",
+        f"timeout {totals['timeout']}  "
+        f"rejected {totals.get('rejected', 0)}",
         f"  cache:    {totals['cached']} served / "
         f"{totals['solved']} solved",
     ]

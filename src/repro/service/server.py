@@ -34,6 +34,20 @@ Protocol (HTTP/1.1, ``Connection: close``):
 * ``POST /v1/batch`` — body is a ``repro.service/manifest/v1`` document
   (same format the batch CLI reads from disk); the response is the
   ``repro.service/batch-report/v1`` JSON for the whole request.
+* ``POST /v1/lint`` — same manifest body, but only the static analyser
+  runs: the response is a merged SARIF 2.1.0 log with one run per job,
+  and nothing is queued or solved.
+
+Admission-time lint gating: unless ``ServerConfig.admission_lint`` is
+``None``, every ``/v1/batch`` manifest is built and linted *before*
+``admission.admit`` — a provably-bad manifest (an RA6xx infeasibility
+certificate, a schedule/lifetime disagreement, ...) is rejected with
+``422 Unprocessable Entity`` and a SARIF body carrying the
+machine-checkable evidence, without ever occupying a queue slot or a
+solver.  Verdicts are cached by canonical digest + schedule fingerprint
+(:mod:`repro.service.lintgate`), so re-posting a manifest re-uses its
+verdicts (``service.lint.cache_hit``); rejections accumulate on
+``service.lint.rejected_requests``.
 
 Backpressure is explicit, never silent: a request that would overflow
 the bounded admission queue, exceed its client's token-bucket rate, or
@@ -60,11 +74,13 @@ from urllib.parse import parse_qs
 from repro.exceptions import ServiceError
 from repro.flow.warm_start import WarmStartCache
 from repro.obs import trace as obs
-from repro.obs.export import metrics_text
+from repro.lint.sarif import merge_sarif
+from repro.obs.export import counter_group, metrics_text
 from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache, ShardedResultCache
 from repro.service.executor import BatchExecutor
-from repro.service.manifest import Manifest, parse_manifest
+from repro.service.lintgate import LintGate, LintVerdict
+from repro.service.manifest import BuiltWorkload, Manifest, parse_manifest
 from repro.service.report import build_batch_report
 
 __all__ = ["AllocationServer", "ServerConfig", "serve"]
@@ -100,7 +116,13 @@ class ServerConfig:
         timeout: Per-job solve budget in seconds (pool mode only).
         retries: Same-rung solver retries per job.
         chunksize: Jobs per worker-pool task.
-        lint: Optional per-job pre-solve lint gate severity.
+        lint: Optional per-job pre-solve lint gate severity (legacy
+            worker-side check; ignored while *admission_lint* is on).
+        admission_lint: Severity threshold of the admission-time lint
+            gate (``"error"``, ``"warning"``, ``"note"``; unknown names
+            fail closed to ``"error"``).  ``"never"`` lints — verdicts
+            still cache and export — without ever rejecting; ``None``
+            disables the gate entirely.
         drain_grace: Maximum seconds :meth:`AllocationServer.drain`
             waits for queued + in-flight work before closing anyway.
         max_body_bytes: Largest accepted request body.
@@ -119,6 +141,7 @@ class ServerConfig:
     retries: int = 1
     chunksize: int = 1
     lint: str | None = None
+    admission_lint: str | None = "error"
     drain_grace: float = 60.0
     max_body_bytes: int = 8 * 1024 * 1024
 
@@ -143,6 +166,10 @@ class _Ticket:
     manifest: Manifest
     jobs: int
     future: "asyncio.Future[tuple[int, dict]]"
+    #: Workloads already built (and linted) at admission time, so the
+    #: dispatcher does not rebuild the manifest; ``None`` when the
+    #: admission lint gate is off.
+    workloads: "list[BuiltWorkload] | None" = None
 
 
 class _HttpError(Exception):
@@ -160,6 +187,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -216,6 +244,12 @@ class AllocationServer:
         if warm_cache is None and cfg.workers == 1:
             warm_cache = WarmStartCache()
         self.warm_cache = warm_cache
+        #: Admission-time lint gate; ``None`` when disabled by config.
+        self.lint_gate: LintGate | None = (
+            LintGate(cache=self.cache, fail_on=cfg.admission_lint)
+            if cfg.admission_lint is not None
+            else None
+        )
         self.draining = False
         self.port: int | None = None
         self.requests_served = 0
@@ -332,22 +366,29 @@ class AllocationServer:
         """Blocking per-request work; runs in a worker thread."""
         cfg = self.config
         start = time.perf_counter()
-        try:
-            workloads = ticket.manifest.build()
-        except ServiceError as exc:
-            return 400, {"error": str(exc)}
+        workloads = ticket.workloads
+        if workloads is None:
+            try:
+                workloads = ticket.manifest.build()
+            except ServiceError as exc:
+                return 400, {"error": str(exc)}
+        # The admission gate already linted (and cached verdicts for)
+        # every job; re-linting in the workers would analyse each miss
+        # twice for no new information.
+        worker_lint = None if self.lint_gate is not None else cfg.lint
         executor = BatchExecutor(
             workers=cfg.workers,
             cache=self.cache,
             max_retries=cfg.retries,
             timeout=cfg.timeout,
             chunksize=cfg.chunksize,
-            lint=cfg.lint,
+            lint=worker_lint,
             warm_cache=self.warm_cache,
         )
         results = executor.map_blocks(
             [w.problem for w in workloads],
             ids=[w.label for w in workloads],
+            schedules=[w.schedule for w in workloads],
         )
         wall = time.perf_counter() - start
         self.admission.observe_service_time(wall, max(1, len(results)))
@@ -452,21 +493,81 @@ class AllocationServer:
             if request.method != "POST":
                 raise _HttpError(405, "batch submissions are POST-only")
             return await self._handle_batch(request)
+        if request.path == "/v1/lint":
+            if request.method != "POST":
+                raise _HttpError(405, "lint submissions are POST-only")
+            return await self._handle_lint(request)
         raise _HttpError(404, f"no route for {request.path}")
+
+    def _parse_body_manifest(self, request: _Request) -> Manifest:
+        """Decode and schema-check a manifest request body."""
+        try:
+            document = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}")
+        try:
+            return parse_manifest(document, source="<request>")
+        except ServiceError as exc:
+            raise _HttpError(400, str(exc))
+
+    def _lint_workloads(
+        self, manifest: Manifest, gate: LintGate
+    ) -> "tuple[list[BuiltWorkload], list[LintVerdict]]":
+        """Build a manifest and gate every workload (blocking call).
+
+        Runs in a worker thread via ``asyncio.to_thread``; manifest
+        build failures surface as 400s through :class:`_HttpError`.
+        """
+        try:
+            workloads = manifest.build()
+        except ServiceError as exc:
+            raise _HttpError(400, str(exc))
+        verdicts = [
+            gate.check(
+                workload.problem,
+                schedule=workload.schedule,
+                label=workload.label,
+            )
+            for workload in workloads
+        ]
+        return workloads, verdicts
+
+    @staticmethod
+    def _sarif_body(verdicts: "list[LintVerdict]") -> dict[str, Any]:
+        """Merged SARIF log for a verdict list, one run per job."""
+        return merge_sarif(
+            (verdict.report, verdict.run_properties())
+            for verdict in verdicts
+        )
 
     async def _handle_batch(
         self, request: _Request
     ) -> tuple[int, bytes, dict[str, str]]:
         self.requests_served += 1
         obs.count("service.server.requests")
-        try:
-            document = json.loads(request.body.decode("utf-8"))
-        except (UnicodeDecodeError, ValueError) as exc:
-            raise _HttpError(400, f"request body is not JSON: {exc}")
-        try:
-            manifest = parse_manifest(document, source="<request>")
-        except ServiceError as exc:
-            raise _HttpError(400, str(exc))
+        manifest = self._parse_body_manifest(request)
+        workloads: "list[BuiltWorkload] | None" = None
+        if self.lint_gate is not None:
+            # Lint BEFORE admission: a provably-bad manifest must never
+            # occupy a queue slot, let alone a solver.
+            workloads, verdicts = await asyncio.to_thread(
+                self._lint_workloads, manifest, self.lint_gate
+            )
+            blocking = [v for v in verdicts if v.blocking]
+            if blocking:
+                obs.count("service.lint.rejected_requests")
+                body = _json_bytes(
+                    {
+                        "error": (
+                            f"manifest rejected by the admission lint "
+                            f"gate: {len(blocking)} of "
+                            f"{len(verdicts)} job(s) provably bad"
+                        ),
+                        "rejected_jobs": [v.label for v in blocking],
+                        "sarif": self._sarif_body(verdicts),
+                    }
+                )
+                return 422, body, {}
         client = request.headers.get("x-client-id") or request.peer
         loop = asyncio.get_running_loop()
         ticket = _Ticket(
@@ -474,6 +575,7 @@ class AllocationServer:
             manifest=manifest,
             jobs=manifest.job_count(),
             future=loop.create_future(),
+            workloads=workloads,
         )
         verdict = self.admission.admit(client, ticket, weight=ticket.jobs)
         if not verdict.admitted:
@@ -491,6 +593,27 @@ class AllocationServer:
         self._wakeup.set()
         status, payload = await ticket.future
         return status, _json_bytes(payload), {}
+
+    async def _handle_lint(
+        self, request: _Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """``POST /v1/lint``: analyse a manifest without solving it.
+
+        Always answers 200 with the merged SARIF log — whether the jobs
+        are clean or provably bad is in the results, not the status —
+        and never touches the admission queue or a solver.
+        """
+        self.requests_served += 1
+        obs.count("service.server.requests")
+        obs.count("service.lint.requests")
+        manifest = self._parse_body_manifest(request)
+        # A lint-only request must report, never reject; reuse the
+        # admission gate (shared verdict cache) when it exists.
+        gate = self.lint_gate or LintGate(cache=self.cache, fail_on="never")
+        _, verdicts = await asyncio.to_thread(
+            self._lint_workloads, manifest, gate
+        )
+        return 200, _json_bytes(self._sarif_body(verdicts)), {}
 
     def _write_response(
         self,
@@ -545,6 +668,11 @@ class AllocationServer:
             else {},
             "admission": self.admission.stats(),
             "cache": self.cache.stats() if self.cache else {},
+            "lint": (
+                counter_group(collector, "service.lint")
+                if collector
+                else {}
+            ),
             "server": self.health(),
         }
 

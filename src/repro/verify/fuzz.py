@@ -35,6 +35,7 @@ from repro.core.solver import allocate
 from repro.energy.voltage import MemoryConfig
 from repro.exceptions import InfeasibleFlowError, ReproError
 from repro.core.network_builder import SINK, SOURCE, build_network
+from repro.lint.prove import check_certificate, prove_infeasible
 from repro.verify.differential import baseline_dominance, cross_check
 from repro.verify.oracles import Violation, check_allocation
 from repro.workloads.random_blocks import random_lifetimes, spawn_rng
@@ -182,11 +183,34 @@ def run_problem(
         ``(status, violations)`` where status is ``"ok"``,
         ``"infeasible"`` (all solvers must agree on infeasibility) or
         ``"violation"``.
+
+    Besides the oracle battery and the solver differential, the case is
+    run through the solver-free prover (:mod:`repro.lint.prove`): an
+    RA6xx infeasibility certificate on an instance the solver then
+    solves is a soundness bug (oracle ``"prover"``), and every
+    certificate on a genuinely infeasible instance must survive its own
+    independent re-check.  The prover is deliberately incomplete, so
+    *absence* of a certificate proves nothing and is never flagged.
     """
     violations: list[Violation] = []
     try:
+        certificate = prove_infeasible(problem)
+    except ReproError:
+        certificate = None  # unbuildable networks are the lint's beat
+    try:
         allocation = allocate(problem)
     except InfeasibleFlowError:
+        if certificate is not None and not check_certificate(
+            problem, certificate
+        ):
+            violations.append(
+                Violation(
+                    oracle="prover",
+                    message=f"{certificate.kind} certificate failed its "
+                    f"independent re-check: {certificate.detail}",
+                )
+            )
+            return "violation", violations
         # Restricted memory can make the bounds unsatisfiable; the
         # independent solvers must agree that it is.
         built = build_network(problem)
@@ -207,6 +231,15 @@ def run_problem(
             return "violation", violations
         return "infeasible", violations
 
+    if certificate is not None:
+        violations.append(
+            Violation(
+                oracle="prover",
+                message=f"prover claimed infeasibility "
+                f"({certificate.kind}: {certificate.detail}) but the "
+                f"solver found a solution",
+            )
+        )
     violations.extend(check_allocation(allocation))
     outcome = cross_check(
         allocation.flow.network,

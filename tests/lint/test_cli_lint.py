@@ -52,6 +52,8 @@ def test_lint_fail_on_never_reports_but_passes(capsys):
 
 
 def test_lint_ignore_silences_a_rule(capsys):
+    # RA601 proves the same overload RA301 reports, so both families
+    # are ignored to show --ignore actually silences them.
     code = main(
         [
             "lint",
@@ -63,7 +65,7 @@ def test_lint_ignore_silences_a_rule(capsys):
             "-R",
             "1",
             "--ignore",
-            "RA301",
+            "RA301,RA601",
         ]
     )
     assert code == 0
@@ -142,3 +144,71 @@ def test_infeasible_solve_exits_2_with_diagnosis(capsys):
     assert "error:" in err
     assert "infeasible at R=1" in err
     assert "needs R>=" in err
+
+
+# ----------------------------------------------------------------------
+# introspection flags and fail-closed severities
+# ----------------------------------------------------------------------
+def test_lint_list_rules_documents_every_family(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RA101", "RA301", "RA601", "RA602", "RA603", "RA604"):
+        assert code in out
+    assert "tolerance" in out  # per-rule options are listed
+
+
+def test_lint_explain_renders_one_rule(capsys):
+    assert main(["lint", "--explain", "RA601"]) == 0
+    out = capsys.readouterr().out
+    assert "RA601" in out
+    assert "pressure-exceeds-registers-proof" in out
+    assert "severity: error" in out
+    assert "hint:" in out
+
+
+def test_lint_explain_unknown_rule_is_a_clean_error(capsys):
+    assert main(["lint", "--explain", "RA999"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_fail_on_unknown_severity_fails_closed(capsys):
+    # Regression: a typo'd --fail-on must behave as "error" (fail
+    # closed), not silently pass; a warning names the coercion.
+    code = main(
+        ["lint", "fir", "--taps", "4", "--divisor", "4", "-R", "1",
+         "--fail-on", "eror"]
+    )
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "unknown --fail-on severity" in captured.err
+    assert "failing closed" in captured.err
+
+
+def test_lint_fail_on_unknown_passes_clean_instances(capsys):
+    assert main(["lint", "fig3", "--fail-on", "bogus"]) == 0
+    assert "failing closed" in capsys.readouterr().err
+
+
+def test_lint_option_overrides_rule_tolerance(capsys):
+    # A huge RA403 delay slack silences the restricted-voltage check
+    # that --divisor 4 -R 1 would otherwise trip alongside RA301.
+    code = main(
+        ["lint", "fir", "--taps", "4", "--divisor", "4", "-R", "1",
+         "--select", "RA403", "--option", "RA403.delay_slack=10.0"]
+    )
+    assert code == 0
+
+
+def test_lint_option_bad_syntax_is_a_clean_error(capsys):
+    assert main(["lint", "fig3", "--option", "RA604tolerance"]) == 2
+    assert "bad --option" in capsys.readouterr().err
+
+
+def test_lint_proof_rules_fire_from_the_cli(capsys):
+    code = main(
+        ["lint", "fir", "--taps", "4", "--divisor", "4", "-R", "0",
+         "--select", "RA601"]
+    )
+    out = capsys.readouterr().out
+    if "RA601" in out:
+        assert code == 1

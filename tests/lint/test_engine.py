@@ -127,11 +127,13 @@ def test_gate_raises_with_report_attached():
 def test_gate_threshold_is_respected():
     # The overload is an ERROR; gating only on nothing ("note" finds the
     # error too, so use a config that silences the family instead).
+    # RA601 proves the same overload RA301 reports, so both must be
+    # ignored for the gate to pass.
     problem = overloaded_problem()
     from repro.lint import gate_problem
 
     report = gate_problem(
-        problem, fail_on="error", config=LintConfig(ignore=("RA301",))
+        problem, fail_on="error", config=LintConfig(ignore=("RA301", "RA601"))
     )
     assert "RA301" not in report.codes
 

@@ -1,0 +1,37 @@
+"""The README rules table is generated, not hand-maintained.
+
+``README.md`` embeds the output of :func:`repro.lint.rules_markdown`
+between ``<!-- rules:begin -->`` / ``<!-- rules:end -->`` markers; this
+test fails whenever a rule is added, renamed, or re-severitied without
+regenerating the block, keeping the docs honest.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.lint import rules_markdown
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+BLOCK = re.compile(
+    r"<!-- rules:begin -->\n(.*?)\n<!-- rules:end -->", re.DOTALL
+)
+
+
+def test_readme_rules_table_matches_registry():
+    match = BLOCK.search(README.read_text())
+    assert match, "README.md lost its <!-- rules:begin/end --> markers"
+    embedded = match.group(1).strip()
+    generated = rules_markdown().strip()
+    assert embedded == generated, (
+        "README rules table is stale; regenerate the block between the "
+        "rules markers with repro.lint.rules_markdown()"
+    )
+
+
+def test_readme_table_covers_every_family():
+    match = BLOCK.search(README.read_text())
+    table = match.group(1)
+    for family in ("RA1", "RA2", "RA3", "RA4", "RA5", "RA6"):
+        assert re.search(rf"\| {family}\d\d \|", table), family

@@ -105,3 +105,59 @@ def test_sarif_json_round_trips():
     doc = json.loads(text)
     assert doc["version"] == "2.1.0"
     assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# merged multi-run logs
+# ----------------------------------------------------------------------
+def test_merge_sarif_one_run_per_entry():
+    from repro.lint.sarif import merge_sarif
+
+    first = sample_report()
+    second = LintReport(())
+    merged = merge_sarif(
+        [
+            (first, {"job": "a", "blocking": True}),
+            (second, {"job": "b", "blocking": False}),
+        ]
+    )
+    assert merged["version"] == SARIF_VERSION
+    assert merged["$schema"] == SARIF_SCHEMA
+    assert len(merged["runs"]) == 2
+    assert merged["runs"][0]["properties"] == {"job": "a", "blocking": True}
+    assert merged["runs"][1]["properties"] == {"job": "b", "blocking": False}
+    assert len(merged["runs"][0]["results"]) == len(first.diagnostics)
+    assert merged["runs"][1]["results"] == []
+
+
+def test_merge_sarif_without_properties_omits_the_bag():
+    from repro.lint.sarif import merge_sarif
+
+    merged = merge_sarif([(sample_report(), None)])
+    assert "properties" not in merged["runs"][0]
+
+
+def test_merged_sarif_to_json_round_trips():
+    from repro.lint.sarif import merged_sarif_to_json
+
+    text = merged_sarif_to_json([(sample_report(), {"job": "x"})])
+    doc = json.loads(text)
+    assert len(doc["runs"]) == 1
+    assert doc["runs"][0]["properties"]["job"] == "x"
+
+
+def test_evidence_lands_in_result_properties():
+    report = LintReport(
+        (
+            Diagnostic(
+                code="RA601",
+                rule="pressure-exceeds-registers-proof",
+                severity=Severity.ERROR,
+                message="proved",
+                evidence={"certificate": "forced-pressure", "checked": True},
+            ),
+        )
+    )
+    doc = to_sarif(report)
+    result = doc["runs"][0]["results"][0]
+    assert result["properties"]["evidence"]["checked"] is True

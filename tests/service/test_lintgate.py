@@ -1,0 +1,187 @@
+"""Lint-verdict caching and the executor-side admission gate.
+
+The contract under test: verdicts key on the canonical sha256 digest
+*plus* the schedule fingerprint (isomorphic lifetimes from different
+schedules must not share a verdict), persist as sibling
+``<digest>.lint.json`` files that inherit the result cache's sharding,
+and the executor's gate turns blocking verdicts into ``"rejected"``
+results that never reach a solver.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import AllocationProblem
+from repro.obs import trace as obs
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.schedule import Schedule
+from repro.service.cache import CachedLint, ResultCache, ShardedResultCache
+from repro.service.executor import BatchExecutor
+from repro.service.lintgate import LintGate, schedule_fingerprint
+from repro.service.manifest import parse_manifest
+from repro.workloads.registry import kernel_block
+
+
+def healthy():
+    block = kernel_block("fir", taps=6, seed=3)
+    schedule = list_schedule(block)
+    return AllocationProblem.from_schedule(schedule, register_count=4), schedule
+
+
+def corrupted():
+    manifest = {
+        "schema": "repro.service/manifest/v1",
+        "jobs": [
+            {"kind": "figure", "name": "fig3", "registers": 0, "divisor": 2}
+        ],
+    }
+    built = parse_manifest(manifest).build()[0]
+    return built.problem, built.schedule
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_empty_for_no_schedule():
+    assert schedule_fingerprint(None) == ""
+
+
+def test_fingerprint_stable_and_schedule_sensitive():
+    _, schedule = healthy()
+    first = schedule_fingerprint(schedule)
+    assert first == schedule_fingerprint(schedule)
+    # A legal reschedule of the same block must fingerprint differently.
+    shifted = Schedule(
+        schedule.block,
+        {name: step + 1 for name, step in schedule.start.items()},
+    )
+    assert schedule_fingerprint(shifted) != first
+
+
+# ----------------------------------------------------------------------
+# verdict cache
+# ----------------------------------------------------------------------
+def test_verdict_cached_by_digest_and_fingerprint():
+    problem, schedule = healthy()
+    cache = ResultCache()
+    gate = LintGate(cache=cache, fail_on="error")
+    first = gate.check(problem, schedule=schedule, label="a")
+    second = gate.check(problem, schedule=schedule, label="a")
+    assert not first.cached and second.cached
+    assert cache.stats()["lint_hits"] == 1
+
+
+def test_different_schedule_fingerprint_is_a_miss():
+    problem, schedule = healthy()
+    cache = ResultCache()
+    gate = LintGate(cache=cache, fail_on="error")
+    gate.check(problem, schedule=schedule)
+    # Same canonical problem, no schedule: the verdict must not be
+    # shared (the schedule-aware rules did not run for this lookup).
+    verdict = gate.check(problem, schedule=None)
+    assert not verdict.cached
+    assert cache.stats()["lint_misses"] == 2
+
+
+def test_verdicts_persist_on_disk_next_to_results(tmp_path):
+    problem, schedule = healthy()
+    store = tmp_path / "store"
+    first_cache = ResultCache(directory=store)
+    LintGate(cache=first_cache, fail_on="error").check(
+        problem, schedule=schedule
+    )
+    lint_files = list(store.rglob("*.lint.json"))
+    assert len(lint_files) == 1
+    # A fresh cache over the same directory serves the verdict from disk.
+    second_cache = ResultCache(directory=store)
+    verdict = LintGate(cache=second_cache, fail_on="error").check(
+        problem, schedule=schedule
+    )
+    assert verdict.cached
+
+
+def test_sharded_cache_separates_lint_entries_in_stats(tmp_path):
+    problem, schedule = healthy()
+    cache = ShardedResultCache(directory=tmp_path / "shards", shard_width=2)
+    LintGate(cache=cache, fail_on="error").check(problem, schedule=schedule)
+    stats = cache.stats()
+    assert stats["lint_disk_entries"] == 1
+    assert stats["disk_entries"] == 0
+    # The verdict file landed inside a shard directory, not the root.
+    lint_file = next((tmp_path / "shards").rglob("*.lint.json"))
+    assert lint_file.parent != tmp_path / "shards"
+
+
+def test_corrupt_cached_verdict_is_reanalysed():
+    problem, schedule = healthy()
+    cache = ResultCache()
+    gate = LintGate(cache=cache, fail_on="error")
+    verdict = gate.check(problem, schedule=schedule)
+    cache.put_lint(
+        CachedLint(
+            key=verdict.key,
+            fingerprint=verdict.fingerprint,
+            report={"schema": "bogus"},
+        )
+    )
+    again = gate.check(problem, schedule=schedule)
+    assert not again.cached
+    assert again.report.codes == verdict.report.codes
+
+
+# ----------------------------------------------------------------------
+# gate semantics
+# ----------------------------------------------------------------------
+def test_unknown_fail_on_fails_closed_to_error():
+    gate = LintGate(fail_on="definitely-not-a-severity")
+    problem, schedule = corrupted()
+    verdict = gate.check(problem, schedule=schedule)
+    assert verdict.blocking
+
+
+def test_never_lints_but_never_blocks():
+    gate = LintGate(fail_on="never")
+    problem, schedule = corrupted()
+    verdict = gate.check(problem, schedule=schedule)
+    assert verdict.report.codes  # findings exist
+    assert not verdict.blocking
+
+
+# ----------------------------------------------------------------------
+# executor integration
+# ----------------------------------------------------------------------
+def test_executor_rejects_blocked_jobs_without_solving():
+    good_problem, good_schedule = healthy()
+    bad_problem, bad_schedule = corrupted()
+    cache = ResultCache()
+    executor = BatchExecutor(
+        workers=1,
+        cache=cache,
+        lint_gate=LintGate(cache=cache, fail_on="error"),
+    )
+    with obs.collect() as trace:
+        executor.submit(good_problem, job_id="good", schedule=good_schedule)
+        executor.submit(bad_problem, job_id="bad", schedule=bad_schedule)
+        results = executor.gather()
+    assert [r.status for r in results] == ["ok", "rejected"]
+    assert results[1].summary is None
+    assert "lint" in (results[1].error or "")
+    assert len(executor.lint_verdicts) == 2
+    assert [v.blocking for v in executor.lint_verdicts] == [False, True]
+    # Exactly one solve happened: the rejected job never reached a rung.
+    assert trace.counters.get("solver.flow_solve.calls", 0) == 1
+
+
+def test_executor_gates_cache_hits_too():
+    problem, schedule = healthy()
+    cache = ResultCache()
+    executor = BatchExecutor(
+        workers=1,
+        cache=cache,
+        lint_gate=LintGate(cache=cache, fail_on="error"),
+    )
+    executor.map_blocks([problem], ids=["x"], schedules=[schedule])
+    results = executor.map_blocks([problem], ids=["x"], schedules=[schedule])
+    assert results[0].cached
+    # The second gather still produced a verdict (served from cache).
+    assert len(executor.lint_verdicts) == 1
+    assert executor.lint_verdicts[0].cached

@@ -273,3 +273,41 @@ def test_serve_rejects_bad_tunables(capsys):
     assert "workers" in capsys.readouterr().err
     assert main(["serve", "--shard-width", "9", "--cache-dir", "x"]) == 2
     assert "shard_width" in capsys.readouterr().err
+
+
+def test_batch_sarif_merges_one_run_per_job(tmp_path):
+    manifest = _batch_manifest(tmp_path)
+    target = tmp_path / "merged.sarif"
+    assert main(["batch", manifest, "--sarif", str(target)]) == 0
+    doc = json.loads(target.read_text(encoding="utf-8"))
+    assert doc["version"] == "2.1.0"
+    assert len(doc["runs"]) == 5  # one run per manifest job
+    jobs = [run["properties"]["job"] for run in doc["runs"]]
+    assert "fig3" in jobs and len(jobs) == len(set(jobs))
+    assert all(run["properties"]["blocking"] is False for run in doc["runs"])
+
+
+def test_batch_lint_gate_rejects_provably_bad_jobs(tmp_path, capsys):
+    manifest = _batch_manifest(
+        tmp_path,
+        jobs=[
+            {"kind": "kernel", "name": "fir", "taps": 6, "registers": 3},
+            {"kind": "figure", "name": "fig3", "registers": 0, "divisor": 2},
+        ],
+    )
+    target = tmp_path / "merged.sarif"
+    code = main(
+        ["batch", manifest, "--lint", "error", "--sarif", str(target),
+         "-o", str(tmp_path / "report.json")]
+    )
+    assert code == 1
+    report = json.loads((tmp_path / "report.json").read_text())
+    assert report["totals"]["rejected"] == 1
+    statuses = {job["job_id"]: job["status"] for job in report["jobs"]}
+    assert statuses["fig3"] == "rejected"
+    doc = json.loads(target.read_text(encoding="utf-8"))
+    blocked = [r for r in doc["runs"] if r["properties"]["blocking"]]
+    assert len(blocked) == 1
+    assert any(
+        res["ruleId"] == "RA601" for res in blocked[0]["results"]
+    )
