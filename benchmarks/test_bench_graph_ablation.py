@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis import format_table
 from repro.core import AllocationProblem, allocate
+from repro.core.options import SolveOptions
 from repro.energy import ActivityEnergyModel, StaticEnergyModel
 from repro.lifetimes import max_density
 from repro.workloads.random_blocks import random_lifetimes
@@ -106,7 +107,7 @@ def test_construction_and_solve_time(benchmark, style):
         graph_style=style,
     )
     allocation = benchmark.pedantic(
-        lambda: allocate(problem.with_options(), validate=False),
+        lambda: allocate(problem.with_options(), SolveOptions(validate=False)),
         rounds=3,
         iterations=1,
     )

@@ -34,6 +34,7 @@ import pytest
 from repro.analysis import format_table
 from repro.core import AllocationProblem, allocate
 from repro.core.network_builder import build_network, recost_network
+from repro.core.options import SolveOptions
 from repro.core.solver import solve_built
 from repro.energy import MemoryConfig, StaticEnergyModel
 from repro.flow.warm_start import WarmStartCache
@@ -41,6 +42,9 @@ from repro.obs import trace as obs
 from repro.workloads.random_blocks import random_lifetimes
 
 SIZES = (50, 100, 200, 400, 800)
+
+# Validation is measured elsewhere; the bench times the solver alone.
+FAST = SolveOptions(validate=False)
 
 # Cumulative span seconds over SIZES measured on the seed's per-arc object
 # kernel (commit ad392ad's BENCH_solver_scaling.json).  The committed JSON
@@ -72,7 +76,7 @@ def timings():
             lifetimes, registers, horizon, energy_model=StaticEnergyModel()
         )
         start = time.perf_counter()
-        allocation = allocate(problem, validate=False)
+        allocation = allocate(problem, FAST)
         elapsed = time.perf_counter() - start
         built_arcs = allocation.flow.network.num_arcs
         rows.append((size, registers, built_arcs, elapsed))
@@ -116,17 +120,17 @@ def sweep_timings():
     start = time.perf_counter()
     cache = WarmStartCache()
     built = build_network(problems[0])
-    warm_energies = [solve_built(built, validate=False, warm_cache=cache).objective]
+    warm_energies = [solve_built(built, FAST.replace(warm_cache=cache)).objective]
     for problem in problems[1:]:
         built = recost_network(built, problem)
         warm_energies.append(
-            solve_built(built, validate=False, warm_cache=cache).objective
+            solve_built(built, FAST.replace(warm_cache=cache)).objective
         )
     warm_s = time.perf_counter() - start
 
     start = time.perf_counter()
     cold_energies = [
-        allocate(problem, validate=False).objective for problem in problems
+        allocate(problem, FAST).objective for problem in problems
     ]
     cold_s = time.perf_counter() - start
     return warm_s, cold_s, warm_energies, cold_energies
@@ -194,6 +198,6 @@ def test_solve_time(benchmark, size):
         energy_model=StaticEnergyModel(),
     )
     allocation = benchmark.pedantic(
-        lambda: allocate(problem, validate=False), rounds=3, iterations=1
+        lambda: allocate(problem, FAST), rounds=3, iterations=1
     )
     assert allocation.registers_used > 0

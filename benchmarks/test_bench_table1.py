@@ -19,6 +19,7 @@ import pytest
 
 from repro.analysis import format_table
 from repro.core import AllocationProblem, allocate
+from repro.core.options import SolveOptions
 from repro.energy import ActivityEnergyModel, MemoryConfig, StaticEnergyModel
 from repro.energy.voltage import max_divisor_supply
 from repro.workloads.rsp import rsp_schedule
@@ -74,7 +75,9 @@ def test_table1_solve_time(benchmark, divisor):
         memory=MemoryConfig(divisor=divisor, voltage=voltage),
     )
     allocation = benchmark.pedantic(
-        lambda: allocate(problem, validate=False), rounds=3, iterations=1
+        lambda: allocate(problem, SolveOptions(validate=False)),
+        rounds=3,
+        iterations=1,
     )
     assert allocation.report.mem_accesses > 0
 

@@ -31,7 +31,11 @@ from repro import obs
 from repro.core import (
     Allocation,
     AllocationProblem,
+    AllocationResult,
     PipelineResult,
+    SolveOptions,
+    StorageLevel,
+    StorageSpec,
     allocate,
     allocate_block,
     allocate_schedule,
@@ -54,6 +58,12 @@ from repro.workloads import (
     rsp_block,
     rsp_schedule,
 )
+from repro.workloads.registry import (
+    FIGURE_NAMES,
+    KERNEL_NAMES,
+    figure_example,
+    kernel_block,
+)
 
 __version__ = "1.0.0"
 
@@ -61,9 +71,12 @@ __all__ = [
     "ActivityEnergyModel",
     "Allocation",
     "AllocationProblem",
+    "AllocationResult",
     "BasicBlock",
     "BlockBuilder",
     "DataVariable",
+    "FIGURE_NAMES",
+    "KERNEL_NAMES",
     "Lifetime",
     "MemoryConfig",
     "OpCode",
@@ -72,7 +85,10 @@ __all__ = [
     "PipelineResult",
     "ResourceSet",
     "Schedule",
+    "SolveOptions",
     "StaticEnergyModel",
+    "StorageLevel",
+    "StorageSpec",
     "__version__",
     "allocate",
     "allocate_block",
@@ -80,8 +96,10 @@ __all__ = [
     "dct4",
     "elliptic_wave_filter",
     "extract_lifetimes",
+    "figure_example",
     "fir_filter",
     "iir_biquad",
+    "kernel_block",
     "list_schedule",
     "obs",
     "reallocate_memory",

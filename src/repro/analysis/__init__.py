@@ -6,7 +6,11 @@ from repro.analysis.dot import block_to_dot, network_to_dot
 from repro.analysis.exploration import (
     DesignPoint,
     ExplorationResult,
+    StorageExplorationResult,
+    StoragePoint,
+    banked_grid,
     explore_design_space,
+    explore_storage_space,
 )
 from repro.analysis.export import (
     allocation_to_dict,
@@ -38,12 +42,16 @@ __all__ = [
     "PortRequirement",
     "PortUsage",
     "SolutionMetrics",
+    "StorageExplorationResult",
+    "StoragePoint",
     "allocation_chart",
     "allocation_to_dict",
+    "banked_grid",
     "block_to_dot",
     "compare_allocators",
     "comparison_to_dict",
     "explore_design_space",
+    "explore_storage_space",
     "format_table",
     "improvement_factor",
     "lifetime_chart",

@@ -11,14 +11,16 @@ paper's introduction emphasises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
 from repro.analysis.metrics import SolutionMetrics, metrics_of
 from repro.analysis.tables import format_table
 from repro.core.network_builder import BuiltNetwork, build_network, recost_network
+from repro.core.options import SolveOptions
 from repro.core.problem import AllocationProblem
 from repro.core.solver import allocate, solve_built
+from repro.core.storage import StorageSpec
 from repro.energy.models import EnergyModel, StaticEnergyModel
 from repro.energy.voltage import MemoryConfig
 from repro.exceptions import GraphError, InfeasibleFlowError
@@ -26,7 +28,15 @@ from repro.flow.warm_start import WarmStartCache
 from repro.lifetimes.intervals import Lifetime
 from repro.obs import trace as obs
 
-__all__ = ["DesignPoint", "ExplorationResult", "explore_design_space"]
+__all__ = [
+    "DesignPoint",
+    "ExplorationResult",
+    "explore_design_space",
+    "StoragePoint",
+    "StorageExplorationResult",
+    "explore_storage_space",
+    "banked_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -184,9 +194,171 @@ def explore_design_space(
                             built = build_network(problem)
                     built_by_registers[registers] = built
                     metrics = metrics_of(
-                        solve_built(built, warm_cache=cache), name="flow"
+                        solve_built(built, SolveOptions(warm_cache=cache)),
+                        name="flow",
                     )
             except InfeasibleFlowError:
                 metrics = None
             points.append(DesignPoint(registers, memory, metrics))
     return ExplorationResult(points)
+
+
+@dataclass(frozen=True)
+class StoragePoint:
+    """One evaluated (register count x storage hierarchy) point.
+
+    Attributes:
+        register_count: Register-file size of the point.
+        spec: The storage hierarchy the point was solved against.
+        metrics: Solution metrics, or ``None`` when infeasible.  The
+            metrics' energy is the allocation's *total* energy —
+            reference objective plus the banking pass's per-bank deltas.
+    """
+
+    register_count: int
+    spec: StorageSpec
+    metrics: SolutionMetrics | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.metrics is not None
+
+    @property
+    def energy(self) -> float:
+        if self.metrics is None:
+            raise InfeasibleFlowError(
+                f"storage point {self.label()} is infeasible"
+            )
+        return self.metrics.energy
+
+    def label(self) -> str:
+        banks = self.spec.banks
+        ref = self.spec.reference
+        ports = ref.ports if ref.ports is not None else "-"
+        cap = ref.capacity if ref.capacity is not None else "-"
+        return (
+            f"R={self.register_count}, {len(banks)}x f/{ref.divisor} "
+            f"(ports {ports}, cap {cap})"
+        )
+
+
+@dataclass
+class StorageExplorationResult:
+    """All evaluated storage points plus derived views."""
+
+    points: list[StoragePoint]
+
+    def feasible_points(self) -> list[StoragePoint]:
+        return [p for p in self.points if p.feasible]
+
+    def best(self) -> StoragePoint:
+        """The lowest-total-energy feasible point."""
+        feasible = self.feasible_points()
+        if not feasible:
+            raise InfeasibleFlowError("no feasible storage point")
+        return min(feasible, key=lambda p: p.energy)
+
+    def format(self) -> str:
+        rows = []
+        for p in self.points:
+            ref = p.spec.reference
+            shape = (
+                f"{len(p.spec.banks)}x f/{ref.divisor}"
+                f"{'' if ref.ports is None else f' p{ref.ports}'}"
+                f"{'' if ref.capacity is None else f' c{ref.capacity}'}"
+            )
+            if p.metrics is None:
+                rows.append((p.register_count, shape, "-", "-", "-"))
+            else:
+                rows.append(
+                    (
+                        p.register_count,
+                        shape,
+                        p.metrics.energy,
+                        p.metrics.mem_accesses,
+                        p.metrics.storage_locations,
+                    )
+                )
+        return format_table(
+            ("R", "banks", "energy", "mem acc", "locations"),
+            rows,
+            title="storage space ('-' = infeasible)",
+        )
+
+
+def banked_grid(
+    bank_counts: Iterable[int],
+    periods: Iterable[int],
+    port_widths: Iterable[int | None] = (None,),
+    capacity: int | None = None,
+    stagger: bool = True,
+) -> list[StorageSpec]:
+    """The bank-count x access-period x port-width sweep grid.
+
+    A convenience producer for :func:`explore_storage_space`; each cell
+    is :meth:`StorageSpec.banked` with the shared *capacity*/*stagger*.
+    """
+    return [
+        StorageSpec.banked(
+            banks, period, ports=ports, capacity=capacity, stagger=stagger
+        )
+        for banks in bank_counts
+        for period in periods
+        for ports in port_widths
+    ]
+
+
+def explore_storage_space(
+    lifetimes: Mapping[str, Lifetime],
+    horizon: int,
+    register_counts: Iterable[int],
+    storage_specs: Iterable[StorageSpec],
+    energy_model: EnergyModel | None = None,
+    warm_start: bool = True,
+    **problem_options,
+) -> StorageExplorationResult:
+    """Evaluate every (register count x storage hierarchy) grid point.
+
+    The multi-bank analogue of :func:`explore_design_space`: each point
+    solves the union flow network and runs the bank-placement second
+    pass, recording the allocation's *total* energy (reference objective
+    plus bank deltas).  The energy model's memory voltage is rescaled
+    per point to the spec's reference supply.
+
+    With ``warm_start`` (the default) one
+    :class:`~repro.flow.warm_start.WarmStartCache` is shared across the
+    whole grid — including the banking pass's pin-and-resolve rounds.
+    Specs that differ only in voltages, capacities or port widths build
+    identical-topology networks (see
+    :meth:`StorageSpec.access_topology`), so every re-solve after the
+    first per topology is an incremental re-optimisation.  Results are
+    identical either way.
+    """
+    base_model = energy_model or StaticEnergyModel()
+    cache = WarmStartCache() if warm_start else None
+    points: list[StoragePoint] = []
+    for spec in storage_specs:
+        model = base_model.with_voltages(
+            spec.reference.voltage, getattr(base_model, "reg_voltage", 5.0)
+        )
+        for registers in register_counts:
+            problem = AllocationProblem(
+                lifetimes=lifetimes,
+                register_count=registers,
+                horizon=horizon,
+                energy_model=model,
+                storage=spec,
+                **problem_options,
+            )
+            options = SolveOptions(warm_cache=cache)
+            try:
+                allocation = allocate(problem, options)
+                metrics = metrics_of(allocation, name="flow")
+                if allocation.total_energy != allocation.objective:
+                    metrics = replace(
+                        metrics, energy=allocation.total_energy
+                    )
+            except InfeasibleFlowError:
+                metrics = None
+            points.append(StoragePoint(registers, spec, metrics))
+    return StorageExplorationResult(points)

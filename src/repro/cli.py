@@ -122,9 +122,68 @@ def _model(name: str):
     return ActivityEnergyModel()
 
 
+def _solve_options(args: argparse.Namespace) -> "SolveOptions":
+    """Fold the shared CLI flags into a :class:`SolveOptions`.
+
+    The ``--banks`` family describes an interleaved multi-bank storage
+    hierarchy (see :meth:`repro.core.StorageSpec.banked`); without it
+    the options carry no storage override and solves stay on the
+    classic two-level path.
+    """
+    from repro.core import SolveOptions, StorageSpec
+
+    storage = None
+    if getattr(args, "banks", None):
+        storage = StorageSpec.banked(
+            args.banks,
+            args.bank_period,
+            ports=args.bank_ports,
+            capacity=args.bank_capacity,
+            stagger=not args.no_stagger,
+        )
+    return SolveOptions(storage=storage)
+
+
+def _add_bank_flags(p: argparse.ArgumentParser) -> None:
+    """The multi-bank storage flags shared by solving subcommands."""
+    p.add_argument(
+        "--banks",
+        type=int,
+        default=0,
+        help="solve against an interleaved multi-bank memory with this "
+        "many banks (0 = classic two-level model; default: 0)",
+    )
+    p.add_argument(
+        "--bank-period",
+        type=int,
+        default=2,
+        help="per-bank access period in control steps (default: 2)",
+    )
+    p.add_argument(
+        "--bank-ports",
+        type=int,
+        default=None,
+        help="per-bank port width (default: unlimited)",
+    )
+    p.add_argument(
+        "--bank-capacity",
+        type=int,
+        default=None,
+        help="per-bank location capacity (default: unbounded)",
+    )
+    p.add_argument(
+        "--no-stagger",
+        action="store_true",
+        help="give all banks the same access offset instead of "
+        "interleaving them across the period",
+    )
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     block = _kernel(args)
-    result = allocate_block(block, register_count=args.registers)
+    result = allocate_block(
+        block, register_count=args.registers, options=_solve_options(args)
+    )
     print(result.summary())
     return 0
 
@@ -246,6 +305,31 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     registers = sorted(
         {max(1, density // 4), max(1, density // 2), density}
     )
+    if args.banks:
+        from repro.analysis import banked_grid, explore_storage_space
+
+        grid = banked_grid(
+            bank_counts=range(1, args.banks + 1),
+            periods=sorted({1, args.bank_period}),
+            port_widths=(
+                (None,)
+                if args.bank_ports is None
+                else (None, args.bank_ports)
+            ),
+            capacity=args.bank_capacity,
+            stagger=not args.no_stagger,
+        )
+        result = explore_storage_space(
+            lifetimes,
+            schedule.length,
+            register_counts=registers,
+            storage_specs=grid,
+            energy_model=_model(args.model),
+        )
+        print(result.format())
+        best = result.best()
+        print(f"best point: {best.label()} at energy {best.energy:.1f}")
+        return 0
     configs = [
         MemoryConfig(
             divisor=d, voltage=round(max_divisor_supply(d), 2)
@@ -483,6 +567,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         args.iters,
         use_lp=use_lp,
         shrink=not args.no_shrink,
+        family=args.family,
     )
     text = render_report(report)
     code = _write_output(args.output, text, "fuzz report")
@@ -542,6 +627,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             certify_fraction=args.certify_fraction,
             seed=args.seed,
             inject_faults=inject,
+            options=_solve_options(args),
         )
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -645,6 +731,7 @@ def main(argv: list[str] | None = None) -> int:
 
     demo = sub.add_parser("demo", help="allocate a kernel, print summary")
     add_common(demo)
+    _add_bank_flags(demo)
     demo.set_defaults(func=_cmd_demo)
 
     compare = sub.add_parser("compare", help="flow vs baselines")
@@ -755,9 +842,12 @@ def main(argv: list[str] | None = None) -> int:
     offsets.set_defaults(func=_cmd_offsets)
 
     explore = sub.add_parser(
-        "explore", help="design-space grid (R x memory operating point)"
+        "explore",
+        help="design-space grid (R x memory operating point, or with "
+        "--banks a bank count x period x port width storage sweep)",
     )
     add_common(explore)
+    _add_bank_flags(explore)
     explore.set_defaults(func=_cmd_explore)
 
     profile = sub.add_parser(
@@ -798,6 +888,14 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument(
         "--iters", "-n", type=int, default=100, help="number of fuzz cases"
+    )
+    fuzz.add_argument(
+        "--family",
+        choices=("classic", "banked"),
+        default="classic",
+        help="case family: classic two-level draws, or multi-bank "
+        "conflict draws (bank counts x port widths x access periods; "
+        "default: classic)",
     )
     fuzz.add_argument(
         "--no-lp",
@@ -883,6 +981,7 @@ def main(argv: list[str] | None = None) -> int:
         "spot-checked (seeded sample; default: 0)",
     )
     batch.add_argument("--seed", type=int, default=0)
+    _add_bank_flags(batch)
     batch.add_argument(
         "--inject-fault",
         action="append",

@@ -3,9 +3,17 @@ partitioning and register allocation by minimum-cost network flow."""
 
 from repro.core.allocation import (
     Allocation,
+    AllocationResult,
     assign_addresses,
     compute_report,
     memory_intervals,
+)
+from repro.core.banking import (
+    BankAssignment,
+    BankPlacement,
+    solve_with_banking,
+    variable_legal_banks,
+    variable_traffic,
 )
 from repro.core.chain_flow import ChainAssignment, optimal_interval_chains
 from repro.core.diagnostics import (
@@ -28,12 +36,23 @@ from repro.core.pipeline import (
     allocate_block,
     allocate_schedule,
 )
+from repro.core.options import SolveOptions, resolve_options
 from repro.core.problem import AllocationProblem, GraphStyle
-from repro.core.solver import allocate, solve_built
+from repro.core.solver import allocate, allocate_flow, solve_built
+from repro.core.storage import (
+    BankStructure,
+    StorageLevel,
+    StorageSpec,
+    bank_structures,
+)
 
 __all__ = [
     "Allocation",
     "AllocationProblem",
+    "AllocationResult",
+    "BankAssignment",
+    "BankPlacement",
+    "BankStructure",
     "BuiltNetwork",
     "ChainAssignment",
     "FeasibilityReport",
@@ -44,13 +63,18 @@ __all__ = [
     "PortConstrainedResult",
     "SINK",
     "SOURCE",
+    "SolveOptions",
+    "StorageLevel",
+    "StorageSpec",
     "TaskGraphResult",
     "allocate",
     "allocate_block",
+    "allocate_flow",
     "allocate_schedule",
     "allocate_task_graph",
     "allocate_with_port_limit",
     "assign_addresses",
+    "bank_structures",
     "build_network",
     "compute_report",
     "diagnose",
@@ -59,5 +83,9 @@ __all__ = [
     "optimal_interval_chains",
     "partition_memory_hierarchy",
     "reallocate_memory",
+    "resolve_options",
     "solve_built",
+    "solve_with_banking",
+    "variable_legal_banks",
+    "variable_traffic",
 ]

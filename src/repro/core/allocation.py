@@ -16,6 +16,7 @@ Turns a solved flow into the artefacts a downstream code generator needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.network_builder import BuiltNetwork
 from repro.core.problem import AllocationProblem
@@ -25,8 +26,12 @@ from repro.flow.decompose import decompose_into_paths
 from repro.flow.graph import FlowResult
 from repro.lifetimes.intervals import Segment
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.core.banking import BankAssignment
+
 __all__ = [
     "Allocation",
+    "AllocationResult",
     "decompose_chains",
     "compute_report",
     "assign_addresses",
@@ -49,9 +54,15 @@ class Allocation:
             with memory residency.
         report: Independent energy/access accounting of the solution.
         objective: Absolute storage energy — the flow cost plus the
-            constant term the paper drops during optimisation.
+            constant term the paper drops during optimisation.  With a
+            multi-bank hierarchy this is the energy at the *reference*
+            bank's operating point; see :attr:`total_energy`.
         unused_registers: Flow units routed through the bypass (registers
             the optimum leaves empty).
+        banking: Bank placement of the memory-resident variables when the
+            instance carries a multi-level
+            :class:`~repro.core.storage.StorageSpec` (``None`` for the
+            classic two-level model).
     """
 
     problem: AllocationProblem
@@ -62,6 +73,18 @@ class Allocation:
     report: EnergyReport
     objective: float
     unused_registers: int = 0
+    banking: "BankAssignment | None" = None
+
+    @property
+    def total_energy(self) -> float:
+        """Absolute energy including per-bank deltas.
+
+        Equals :attr:`objective` for two-level instances and for
+        hierarchies whose banks all sit at the reference operating
+        point."""
+        if self.banking is None:
+            return self.objective
+        return self.objective + self.banking.delta_energy
 
     @property
     def address_count(self) -> int:
@@ -119,6 +142,11 @@ class Allocation:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.format()
+
+
+#: Public alias of :class:`Allocation` — the stable name the package-level
+#: API (``repro.allocate``) documents as its return type.
+AllocationResult = Allocation
 
 
 def decompose_chains(

@@ -1,0 +1,628 @@
+"""Bank placement: the second allocation pass of a storage hierarchy.
+
+The first pass solves the paper's flow against the *union* of all bank
+access times (see :mod:`repro.core.storage`), which decides register vs
+memory residency optimally but says nothing about *which* bank holds each
+memory-resident value.  This module closes that gap:
+
+1. Solve the union flow (:func:`repro.core.solver` internals).
+2. Derive each memory-resident variable's *legal banks* — banks whose
+   access steps cover every memory read, spill and reload the residency
+   implies (the section-5.2 rule per bank, plus boundary steps).
+3. Place variables into banks cheapest-first, using the same capacity-
+   limited interval-chain flow as :mod:`repro.core.hierarchy` — each
+   bank's chains are its era-chain locations.
+4. Legalise per-bank port limits by relocating the heaviest contributor
+   at the worst bank-conflict time cut, falling back to pinning the
+   variable into registers and re-solving — the monotone pin-and-resolve
+   loop of :mod:`repro.core.ports`.
+
+Energy is accounted as *deltas* against the reference bank: the flow
+objective already prices all memory traffic at the reference operating
+point, so a variable in bank ``b`` contributes
+``traffic × ((V_b / V_ref)^2 · scale_b − 1)`` plus the bank's handoff and
+idle terms.  For the degenerate two-level spec every delta is zero and
+the result is byte-identical to the classic solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.allocation import Allocation, memory_intervals
+from repro.core.chain_flow import optimal_interval_chains
+from repro.core.memory_realloc import MemoryLayout, reallocate_memory
+from repro.core.problem import AllocationProblem
+from repro.core.storage import StorageSpec, segment_bank_legal
+from repro.exceptions import AllocationError
+from repro.lifetimes.intervals import Lifetime
+from repro.obs import trace as obs
+
+__all__ = [
+    "BankPlacement",
+    "BankAssignment",
+    "variable_traffic",
+    "variable_legal_banks",
+    "solve_with_banking",
+]
+
+#: Pin-and-resolve rounds before giving up (mirrors ``core.ports``).
+_MAX_ROUNDS = 64
+
+#: Port-relocation steps per solve round before pinning.
+_MAX_RELOCATIONS = 256
+
+
+@dataclass(frozen=True)
+class VariableTraffic:
+    """Memory traffic one variable's residency implies.
+
+    Counts match :func:`repro.core.allocation.compute_report` exactly
+    (the delta accounting leans on that agreement); event steps feed the
+    per-bank port checks.
+
+    Attributes:
+        name: Variable name.
+        writes: Memory writes (initial write + spill write-backs).
+        reads: Memory reads (served reads + reloads, including the
+            live-out pseudo-read, which is priced but never counts
+            against ports — the consuming task performs it).
+        initial_window: ``(write_time, first_start)`` window of the
+            initial memory write, or ``None`` when the first segment is
+            register resident.  The write may happen at any bank access
+            step inside it.
+        spill_steps: Steps of spill write-backs (chain exits).
+        read_steps: Steps of port-relevant memory reads.
+        reload_steps: Steps of memory→register reloads.
+        hull: Occupancy window ``(start, end)`` of the memory image
+            (``start == end`` for transit-only traffic).
+    """
+
+    name: str
+    writes: int
+    reads: int
+    initial_window: tuple[int, int] | None
+    spill_steps: tuple[int, ...]
+    read_steps: tuple[int, ...]
+    reload_steps: tuple[int, ...]
+    hull: tuple[int, int]
+
+    @property
+    def total(self) -> int:
+        """Total priced memory accesses."""
+        return self.writes + self.reads
+
+
+@dataclass(frozen=True)
+class BankPlacement:
+    """One variable's bank assignment.
+
+    Attributes:
+        name: Variable name.
+        bank: Index into :attr:`StorageSpec.banks`.
+        delta: Energy delta vs pricing the traffic at the reference bank.
+        traffic: The placed traffic.
+    """
+
+    name: str
+    bank: int
+    delta: float
+    traffic: VariableTraffic
+
+
+@dataclass
+class BankAssignment:
+    """The banking pass result attached to an :class:`Allocation`.
+
+    Attributes:
+        spec: The storage hierarchy placed against.
+        placements: Variable name → :class:`BankPlacement`.
+        pinned: Segment keys the legalizer pinned into registers on top
+            of the instance's own forced set.
+        rounds: Solve rounds the pin-and-resolve loop took.
+        relocations: Port-conflict relocations performed.
+        delta_energy: Sum of all placement deltas.
+        layouts: Bank index → activity-optimised
+            :class:`~repro.core.memory_realloc.MemoryLayout` of that
+            bank's residents (the per-level second pass).
+    """
+
+    spec: StorageSpec
+    placements: dict[str, BankPlacement]
+    pinned: frozenset[tuple[str, int]]
+    rounds: int
+    relocations: int
+    delta_energy: float
+    layouts: dict[int, MemoryLayout] = field(default_factory=dict)
+
+    def bank_variables(self, bank: int) -> list[str]:
+        """Names placed in *bank*, sorted."""
+        return sorted(
+            name
+            for name, placement in self.placements.items()
+            if placement.bank == bank
+        )
+
+    def bank_of(self, name: str) -> int | None:
+        """Bank index holding *name*'s memory image, if any."""
+        placement = self.placements.get(name)
+        return placement.bank if placement is not None else None
+
+
+# ----------------------------------------------------------------------
+# traffic + legality derivation
+# ----------------------------------------------------------------------
+def variable_traffic(
+    problem: AllocationProblem,
+    residency: dict[tuple[str, int], int],
+    name: str,
+) -> VariableTraffic:
+    """Derive *name*'s memory traffic from its segment residency.
+
+    Mirrors :func:`~repro.core.allocation.compute_report`'s memory
+    accounting rule for rule: initial write when the first segment is
+    memory resident, spill write-back when a register chain exits a
+    non-final segment, reads at memory-resident segments, reload read at
+    a non-intra register entry on an access cut.
+    """
+    lifetime = problem.lifetimes[name]
+    segments = problem.segments[name]
+    writes = reads = 0
+    spill_steps: list[int] = []
+    read_steps: list[int] = []
+    reload_steps: list[int] = []
+    points: list[int] = []
+    hull_lo: int | None = None
+    hull_hi: int | None = None
+
+    initial_window: tuple[int, int] | None = None
+    if segments[0].key not in residency:
+        writes += 1
+        initial_window = (lifetime.write_time, segments[0].start)
+
+    for position, seg in enumerate(segments):
+        register = residency.get(seg.key)
+        if register is not None:
+            nxt = segments[position + 1] if position + 1 < len(segments) else None
+            if not seg.is_last and (
+                nxt is None or residency.get(nxt.key) != register
+            ):
+                writes += 1
+                spill_steps.append(seg.end)
+                points.append(seg.end)
+            prev = segments[position - 1] if position else None
+            if (
+                not seg.is_first
+                and seg.starts_at_access_cut
+                and (prev is None or residency.get(prev.key) != register)
+            ):
+                reads += 1
+                reload_steps.append(seg.start)
+                points.append(seg.start)
+        else:
+            reads += seg.read_count
+            for r in seg.reads:
+                # The live-out pseudo-read is priced but performed by
+                # the consuming task; it never contends for ports.
+                if not (lifetime.live_out and r == lifetime.end):
+                    read_steps.append(r)
+            hull_lo = seg.start if hull_lo is None else min(hull_lo, seg.start)
+            hull_hi = seg.end if hull_hi is None else max(hull_hi, seg.end)
+
+    if hull_lo is None:
+        anchor = min(points) if points else lifetime.write_time
+        hull_lo = hull_hi = anchor
+    return VariableTraffic(
+        name=name,
+        writes=writes,
+        reads=reads,
+        initial_window=initial_window,
+        spill_steps=tuple(spill_steps),
+        read_steps=tuple(read_steps),
+        reload_steps=tuple(reload_steps),
+        hull=(hull_lo, hull_hi),
+    )
+
+
+def variable_legal_banks(
+    problem: AllocationProblem,
+    residency: dict[tuple[str, int], int],
+    name: str,
+    spec: StorageSpec | None = None,
+) -> tuple[int, ...]:
+    """Banks that can hold *name*'s entire memory image.
+
+    A bank is legal when every memory-resident segment satisfies the
+    section-5.2 rule against the bank's access set and every boundary
+    event the residency implies (spill write-backs, reloads) lands on
+    one of the bank's access steps.
+    """
+    spec = spec or problem.storage
+    if spec is None:
+        raise AllocationError("variable_legal_banks requires a storage spec")
+    lifetime = problem.lifetimes[name]
+    segments = problem.segments[name]
+    traffic = variable_traffic(problem, residency, name)
+    legal: list[int] = []
+    for index, access in enumerate(spec.bank_access_times(problem.horizon)):
+        if access is None:
+            legal.append(index)
+            continue
+        ok = all(
+            segment_bank_legal(lifetime, seg, access)
+            for seg in segments
+            if seg.key not in residency
+        )
+        ok = ok and all(step in access for step in traffic.spill_steps)
+        ok = ok and all(step in access for step in traffic.reload_steps)
+        if ok and traffic.initial_window is not None:
+            lo, hi = traffic.initial_window
+            ok = any(lo <= m <= hi for m in access)
+        if ok:
+            legal.append(index)
+    return tuple(legal)
+
+
+def _bank_scale(spec: StorageSpec, bank: int) -> float:
+    """Per-access energy multiplier of *bank* vs the reference bank."""
+    level = spec.banks[bank]
+    ratio = level.voltage / spec.reference.voltage
+    return ratio * ratio * level.access_scale
+
+
+def _bank_energy(
+    problem: AllocationProblem,
+    spec: StorageSpec,
+    traffic: VariableTraffic,
+    bank: int,
+) -> float:
+    """Absolute energy of *traffic* when placed in *bank*."""
+    model = problem.energy_model
+    variable = problem.lifetimes[traffic.name].variable
+    level = spec.banks[bank]
+    base = traffic.writes * model.mem_write(variable) + (
+        traffic.reads * model.mem_read(variable)
+    )
+    lo, hi = traffic.hull
+    return (
+        base * _bank_scale(spec, bank)
+        + level.transfer_cost * traffic.writes
+        + level.idle_energy * (hi - lo)
+    )
+
+
+def _reference_energy(
+    problem: AllocationProblem, traffic: VariableTraffic
+) -> float:
+    """What the flow objective already charged for *traffic*."""
+    model = problem.energy_model
+    variable = problem.lifetimes[traffic.name].variable
+    return traffic.writes * model.mem_write(variable) + (
+        traffic.reads * model.mem_read(variable)
+    )
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+def _density_fits(
+    intervals: list[tuple[int, int]], capacity: int | None
+) -> bool:
+    """Whether the half-open *intervals* pack into *capacity* locations."""
+    if capacity is None:
+        return True
+    events: dict[int, int] = {}
+    for start, end in intervals:
+        if end <= start:
+            continue
+        events[start] = events.get(start, 0) + 1
+        events[end] = events.get(end, 0) - 1
+    level = 0
+    for step in sorted(events):
+        level += events[step]
+        if level > capacity:
+            return False
+    return True
+
+
+def _select_with_capacity(
+    problem: AllocationProblem,
+    candidates: list[str],
+    traffic: dict[str, VariableTraffic],
+    saving: dict[str, float],
+    capacity: int | None,
+) -> set[str]:
+    """Choose which candidates this bank takes, respecting capacity.
+
+    Transit-only variables (empty hull) occupy no location and are
+    always admitted; interval variables go through the same capacity-
+    limited interval-chain flow the scratchpad partition uses — the
+    bank's chains are its locations.
+    """
+    transit = {
+        name
+        for name in candidates
+        if traffic[name].hull[0] >= traffic[name].hull[1]
+    }
+    chosen = {name for name in transit if saving[name] > 0}
+    interval_names = [name for name in candidates if name not in transit]
+    if not interval_names:
+        return chosen
+    if capacity is None:
+        chosen.update(
+            name for name in interval_names if saving[name] > 0
+        )
+        return chosen
+    if capacity == 0:
+        return chosen
+    lifetimes = [
+        Lifetime(
+            variable=problem.lifetimes[name].variable,
+            write_time=traffic[name].hull[0],
+            read_times=(traffic[name].hull[1],),
+            live_out=problem.lifetimes[name].live_out,
+        )
+        for name in interval_names
+    ]
+    assignment = optimal_interval_chains(
+        lifetimes,
+        horizon=problem.horizon,
+        pair_cost=lambda prev, nxt: 0.0,
+        chain_count=capacity,
+        style="all_pairs",
+        force_all=False,
+        interval_cost=lambda lt: -saving[lt.name],
+    )
+    for chain in assignment.chains:
+        chosen.update(lt.name for lt in chain)
+    return chosen
+
+
+def _port_events(
+    traffic: VariableTraffic, access: frozenset[int] | None
+) -> list[int]:
+    """Port-contending access steps of *traffic* against one bank.
+
+    The initial write is scheduled at the latest legal access step in
+    its window (as late as possible — the value stays in no storage
+    before its definition, so the deadline step is canonical)."""
+    events = list(traffic.spill_steps)
+    events.extend(traffic.read_steps)
+    events.extend(traffic.reload_steps)
+    if traffic.initial_window is not None:
+        lo, hi = traffic.initial_window
+        if access is None:
+            events.append(lo)
+        else:
+            legal = [m for m in access if lo <= m <= hi]
+            if legal:
+                events.append(max(legal))
+    return events
+
+
+def _port_violations(
+    spec: StorageSpec,
+    bank_access: tuple[frozenset[int] | None, ...],
+    placements: dict[str, int],
+    traffic: dict[str, VariableTraffic],
+) -> list[tuple[int, int, int]]:
+    """Bank-conflict time cuts: ``(bank, step, count)`` where the
+    simultaneous accesses exceed the bank's ports."""
+    violations: list[tuple[int, int, int]] = []
+    for index, level in enumerate(spec.banks):
+        if level.ports is None:
+            continue
+        counts: dict[int, int] = {}
+        for name, bank in placements.items():
+            if bank != index:
+                continue
+            for step in _port_events(traffic[name], bank_access[index]):
+                counts[step] = counts.get(step, 0) + 1
+        for step in sorted(counts):
+            if counts[step] > level.ports:
+                violations.append((index, step, counts[step]))
+    return violations
+
+
+def _assign_banks(
+    problem: AllocationProblem,
+    allocation: Allocation,
+    spec: StorageSpec,
+) -> tuple[dict[str, int] | None, dict[str, VariableTraffic], str | None, int]:
+    """Place every memory variable into a bank, or name an offender.
+
+    Returns ``(placements, traffic, offender, relocations)``;
+    *placements* is ``None`` when *offender* must be pinned into
+    registers and the flow re-solved.
+    """
+    residency = allocation.residency
+    all_traffic = {
+        name: variable_traffic(problem, residency, name)
+        for name in problem.lifetimes
+    }
+    names = [name for name, t in all_traffic.items() if t.total > 0]
+    traffic = {name: all_traffic[name] for name in names}
+    bank_access = spec.bank_access_times(problem.horizon)
+    legal: dict[str, tuple[int, ...]] = {}
+    for name in names:
+        banks = variable_legal_banks(problem, residency, name, spec)
+        if not banks:
+            return None, traffic, name, 0
+        legal[name] = banks
+
+    energy = {
+        name: {
+            bank: _bank_energy(problem, spec, traffic[name], bank)
+            for bank in legal[name]
+        }
+        for name in names
+    }
+    # Cheapest banks first; the per-variable saving of taking a bank now
+    # is measured against the variable's best later option (BIG when the
+    # bank is its last chance, so last-chance variables always place).
+    order = sorted(
+        range(len(spec.banks)),
+        key=lambda b: (_bank_scale(spec, b), b),
+    )
+    big = 1.0 + sum(
+        max(per_bank.values()) for per_bank in energy.values() if per_bank
+    )
+    placements: dict[str, int] = {}
+    remaining = set(names)
+    for position, bank in enumerate(order):
+        later = order[position + 1 :]
+        candidates = sorted(
+            name for name in remaining if bank in legal[name]
+        )
+        if not candidates:
+            continue
+        saving: dict[str, float] = {}
+        for name in candidates:
+            alternatives = [
+                energy[name][b] for b in later if b in energy[name]
+            ]
+            fallback = min(alternatives) if alternatives else big
+            saving[name] = fallback - energy[name][bank]
+        chosen = _select_with_capacity(
+            problem,
+            candidates,
+            traffic,
+            saving,
+            spec.banks[bank].capacity,
+        )
+        for name in chosen:
+            placements[name] = bank
+        remaining -= chosen
+    if remaining:
+        return None, traffic, sorted(remaining)[0], 0
+
+    # Port legalisation: relocate the heaviest contributor at the worst
+    # conflict cut; pin it when no bank can take it.
+    relocations = 0
+    while relocations < _MAX_RELOCATIONS:
+        violations = _port_violations(spec, bank_access, placements, traffic)
+        if not violations:
+            return placements, traffic, None, relocations
+        bank, step, _count = violations[0]
+        contributors = sorted(
+            (
+                -_port_events(traffic[name], bank_access[bank]).count(step),
+                name,
+            )
+            for name, b in placements.items()
+            if b == bank
+            and step in _port_events(traffic[name], bank_access[bank])
+        )
+        offender = contributors[0][1]
+        moved = False
+        for target in order:
+            if target == bank or target not in legal[offender]:
+                continue
+            trial = dict(placements)
+            trial[offender] = target
+            intervals = [
+                traffic[name].hull
+                for name, b in trial.items()
+                if b == target
+            ]
+            if not _density_fits(intervals, spec.banks[target].capacity):
+                continue
+            if any(
+                v[0] == target
+                for v in _port_violations(spec, bank_access, trial, traffic)
+            ):
+                continue
+            placements = trial
+            relocations += 1
+            moved = True
+            break
+        if not moved:
+            return None, traffic, offender, relocations
+    return None, traffic, sorted(placements)[0], relocations
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def solve_with_banking(problem: AllocationProblem, options) -> Allocation:
+    """Solve a storage-hierarchy instance: union flow + bank placement.
+
+    Called by :func:`repro.core.solver.allocate` whenever the problem
+    carries a :class:`~repro.core.storage.StorageSpec`.  Runs the
+    pin-and-resolve loop until the placement legalises, then attaches
+    the :class:`BankAssignment` (with per-bank activity layouts) to the
+    returned allocation.
+
+    Raises:
+        InfeasibleFlowError: When pinning overflow variables into
+            registers exceeds the register supply.
+        AllocationError: When the loop fails to converge (a bug — the
+            pinned set grows monotonically).
+    """
+    from repro.core.solver import allocate_flow
+
+    spec = problem.storage
+    if spec is None:
+        raise AllocationError("solve_with_banking requires problem.storage")
+    base_forced = problem.forced_segments
+    pinned: set[tuple[str, int]] = set(base_forced)
+    for rounds in range(1, _MAX_ROUNDS + 1):
+        current = (
+            problem
+            if frozenset(pinned) == base_forced
+            else problem.with_options(forced_segments=frozenset(pinned))
+        )
+        allocation = allocate_flow(current, options)
+        placements, traffic, offender, relocations = _assign_banks(
+            current, allocation, spec
+        )
+        if placements is not None:
+            deltas = {
+                name: _bank_energy(problem, spec, traffic[name], bank)
+                - _reference_energy(problem, traffic[name])
+                for name, bank in placements.items()
+            }
+            assignment = BankAssignment(
+                spec=spec,
+                placements={
+                    name: BankPlacement(
+                        name=name,
+                        bank=bank,
+                        delta=deltas[name],
+                        traffic=traffic[name],
+                    )
+                    for name, bank in placements.items()
+                },
+                pinned=frozenset(pinned) - base_forced,
+                rounds=rounds,
+                relocations=relocations,
+                delta_energy=sum(deltas.values()),
+            )
+            mem_vars = set(memory_intervals(current, allocation.residency))
+            for bank in sorted(set(placements.values())):
+                residents = {
+                    name
+                    for name, b in placements.items()
+                    if b == bank and name in mem_vars
+                }
+                if residents:
+                    assignment.layouts[bank] = reallocate_memory(
+                        allocation, names=residents
+                    )
+            allocation.banking = assignment
+            obs.count("banking.solves")
+            obs.count("banking.rounds", rounds)
+            if relocations:
+                obs.count("banking.relocations", relocations)
+            return allocation
+        keys = {seg.key for seg in current.segments[offender]}
+        if keys <= pinned:
+            raise AllocationError(
+                f"banking legalizer stalled on {offender!r} "
+                f"(already fully pinned)"
+            )
+        pinned |= keys
+        obs.count("banking.pinned_variables")
+    raise AllocationError(
+        f"banking legalizer did not converge in {_MAX_ROUNDS} rounds"
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import SolveOptions
 from repro.core.problem import AllocationProblem
 from repro.core.solver import allocate
 from repro.exceptions import InfeasibleFlowError
@@ -140,7 +141,7 @@ def diagnose(problem: AllocationProblem) -> FeasibilityReport:
 
 def _solves(problem: AllocationProblem) -> bool:
     try:
-        allocate(problem, validate=False)
+        allocate(problem, SolveOptions(validate=False))
     except InfeasibleFlowError:
         return False
     return True

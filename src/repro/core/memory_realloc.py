@@ -48,6 +48,7 @@ class MemoryLayout:
 def reallocate_memory(
     allocation: Allocation,
     model: EnergyModel | None = None,
+    names: set[str] | None = None,
 ) -> MemoryLayout:
     """Re-bin the memory-resident variables to minimise switching.
 
@@ -57,6 +58,9 @@ def reallocate_memory(
             defaults to an :class:`ActivityEnergyModel` at the problem's
             memory voltage.  Its ``reg_write`` hook supplies the
             value-replacement energy (here: the memory data lines).
+        names: Restrict the layout to these variables (the banking pass
+            lays out each bank's residents independently); ``None`` lays
+            out every memory-resident variable.
 
     Returns:
         The optimal :class:`MemoryLayout`.  Uses exactly the minimum number
@@ -69,6 +73,12 @@ def reallocate_memory(
             reg_voltage=problem.memory.voltage,
         )
     intervals = memory_intervals(problem, allocation.residency)
+    if names is not None:
+        intervals = {
+            name: window
+            for name, window in intervals.items()
+            if name in names
+        }
     lifetimes = [
         Lifetime(
             variable=problem.lifetimes[name].variable,

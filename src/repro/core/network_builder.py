@@ -71,6 +71,7 @@ from repro.core.costs import (
     separable_cost_terms,
 )
 from repro.core.problem import AllocationProblem
+from repro.core.storage import BankStructure, bank_structures
 from repro.exceptions import GraphError
 from repro.flow.graph import Arc, FlowNetwork
 from repro.lifetimes.intervals import Segment
@@ -139,6 +140,12 @@ class BuiltNetwork:
         source / sink: Flow terminals.
         segment_arcs: Segment key → its ``w -> r`` arc.
         roles: Arc-id role arrays used by :func:`recost_network`.
+        banks: Per-bank era chains when the instance carries a
+            multi-bank :class:`~repro.core.storage.StorageSpec` — the
+            parallel per-level handoff structure (one era-chain per
+            bank, per-bank time-slot boundaries) consumed by the banking
+            pass, the multi-bank lint rules and the verification
+            oracles.  ``None`` for classic two-level instances.
     """
 
     problem: AllocationProblem
@@ -147,6 +154,7 @@ class BuiltNetwork:
     sink: Hashable
     segment_arcs: dict[tuple[str, int], Arc]
     roles: ArcRoles | None = None
+    banks: tuple[BankStructure, ...] | None = None
 
     @property
     def flow_value(self) -> int:
@@ -288,13 +296,23 @@ def build_network(problem: AllocationProblem) -> BuiltNetwork:
             cost=0.0,
             data=("bypass",),
         ).index
+    banks: tuple[BankStructure, ...] | None = None
+    if problem.storage is not None and not problem.storage.is_degenerate:
+        # Parallel per-level structure: one era chain per bank.  The
+        # first-pass network itself stays the union model (degenerate
+        # specs build byte-identical networks); the banking pass and the
+        # multi-bank verifiers consume these chains.
+        banks = bank_structures(problem.storage, problem.horizon)
+        obs.count("network.bank_levels", len(banks))
     obs.count("network.builds")
     obs.count("network.nodes_built", network.num_nodes)
     obs.count("network.arcs_built", network.num_arcs)
     if obs.enabled():
         obs.gauge("network.density_regions", len(problem.density_regions))
     roles = ArcRoles(k, intra_pairs, handoff_src, handoff_dst, bypass_arc)
-    return BuiltNetwork(problem, network, SOURCE, SINK, segment_arcs, roles)
+    return BuiltNetwork(
+        problem, network, SOURCE, SINK, segment_arcs, roles, banks
+    )
 
 
 def _handoff_pairs(
@@ -399,6 +417,10 @@ def recost_network(built: BuiltNetwork, problem: AllocationProblem) -> BuiltNetw
     old = built.problem
     segments = [seg for segs in problem.segments.values() for seg in segs]
     old_segments = [seg for segs in old.segments.values() for seg in segs]
+    new_topology = (
+        problem.storage.access_topology() if problem.storage else None
+    )
+    old_topology = old.storage.access_topology() if old.storage else None
     if (
         segments != old_segments
         or problem.register_count != old.register_count
@@ -407,6 +429,10 @@ def recost_network(built: BuiltNetwork, problem: AllocationProblem) -> BuiltNetw
         or problem.forced_segments != old.forced_segments
         or problem.allow_unused_registers != old.allow_unused_registers
         or problem.horizon != old.horizon
+        # Bank voltages/capacities/ports are cost- or second-pass-only;
+        # only the access topology shapes the union network and the
+        # banking-forced lower bounds.
+        or new_topology != old_topology
     ):
         raise GraphError(
             "recost_network requires an identical topology "

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.memory_realloc import MemoryLayout, reallocate_memory
+from repro.core.options import UNSET, SolveOptions, resolve_options
 from repro.core.problem import AllocationProblem
 from repro.core.solver import allocate
 from repro.core.allocation import Allocation
@@ -48,8 +49,9 @@ class PipelineResult:
 
     @property
     def total_energy(self) -> float:
-        """Absolute storage energy of the solution (eq. 1/2 objective)."""
-        return self.allocation.objective
+        """Absolute storage energy of the solution (eq. 1/2 objective),
+        including per-bank deltas when a storage hierarchy is in play."""
+        return self.allocation.total_energy
 
     def summary(self) -> str:
         """Compact multi-line report for examples and CLI output."""
@@ -77,9 +79,10 @@ def allocate_schedule(
     energy_model: EnergyModel | None = None,
     memory: MemoryConfig | None = None,
     reallocate: bool = True,
-    lint: str | None = None,
-    certify: bool = False,
-    **options,
+    lint: str | None = UNSET,
+    certify: bool = UNSET,
+    options: SolveOptions | None = None,
+    **problem_options,
 ) -> PipelineResult:
     """Run the allocation pipeline on a scheduled block.
 
@@ -89,37 +92,44 @@ def allocate_schedule(
         energy_model: Defaults to the static model at nominal voltage.
         memory: Memory operating point; defaults to full-speed memory.
         reallocate: Run the second (memory reallocation) flow pass.
-        lint: Opt-in pre-solve static analysis gate (severity name, see
-            :func:`repro.core.solver.allocate`).  Run here rather than in
-            the solver so the RA1xx schedule rules see the schedule.
-        certify: Additionally construct and verify an optimality
-            certificate on the flow solution (see
-            :func:`repro.core.solver.allocate`); the batch service uses
-            this for sampled spot-checks.
-        **options: Forwarded to :class:`AllocationProblem` (``graph_style``,
-            ``split_at_reads``, ``allow_unused_registers``).
+        lint: Deprecated — use ``options.lint``.  The gate runs here
+            rather than in the solver so the RA1xx schedule rules see
+            the schedule.
+        certify: Deprecated — use ``options.certify``.
+        options: Solve-shaping switches (see
+            :class:`~repro.core.options.SolveOptions`); ``options.storage``
+            attaches a storage hierarchy to the constructed problem.
+        **problem_options: Forwarded to :class:`AllocationProblem`
+            (``graph_style``, ``split_at_reads``,
+            ``allow_unused_registers``, ``storage``).
 
     Returns:
         The :class:`PipelineResult`.
 
     Raises:
-        LintGateError: If *lint* is set and the static analysis finds
-            defects at or above the requested severity.
+        LintGateError: If the lint gate is armed and the static analysis
+            finds defects at or above the requested severity.
     """
+    options = resolve_options(
+        options, {"lint": lint, "certify": certify}
+    )
+    if options.storage is not None and "storage" not in problem_options:
+        problem_options["storage"] = options.storage
     with obs.span("pipeline.build_problem"):
         problem = AllocationProblem.from_schedule(
             schedule,
             register_count=register_count,
             energy_model=energy_model or StaticEnergyModel(),
             memory=memory or MemoryConfig(),
-            **options,
+            **problem_options,
         )
-    if lint is not None:
+    if options.lint is not None:
         from repro.lint import gate_problem
 
-        gate_problem(problem, schedule=schedule, fail_on=lint)
+        gate_problem(problem, schedule=schedule, fail_on=options.lint)
     with obs.span("pipeline.allocate"):
-        allocation = allocate(problem, certify=certify)
+        # The gate already ran with schedule context; don't re-arm it.
+        allocation = allocate(problem, options.replace(lint=None))
     layout = None
     if reallocate and allocation.memory_addresses:
         with obs.span("pipeline.reallocate"):
@@ -134,11 +144,15 @@ def allocate_block(
     energy_model: EnergyModel | None = None,
     memory: MemoryConfig | None = None,
     reallocate: bool = True,
-    lint: str | None = None,
-    certify: bool = False,
-    **options,
+    lint: str | None = UNSET,
+    certify: bool = UNSET,
+    options: SolveOptions | None = None,
+    **problem_options,
 ) -> PipelineResult:
-    """Schedule *block* (list scheduling) and run the allocation pipeline."""
+    """Schedule *block* (list scheduling) and run the allocation pipeline.
+
+    ``lint``/``certify`` are deprecated shims for the corresponding
+    :class:`~repro.core.options.SolveOptions` fields."""
     with obs.span("pipeline.schedule"):
         schedule = list_schedule(block, resources)
     return allocate_schedule(
@@ -149,5 +163,6 @@ def allocate_block(
         reallocate=reallocate,
         lint=lint,
         certify=certify,
-        **options,
+        options=options,
+        **problem_options,
     )

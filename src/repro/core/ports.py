@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.ports import port_usage, required_ports
 from repro.core.allocation import Allocation
+from repro.core.options import SolveOptions
 from repro.core.problem import AllocationProblem
 from repro.core.solver import allocate
 from repro.exceptions import AllocationError, InfeasibleFlowError
@@ -81,6 +82,7 @@ def allocate_with_port_limit(
     problem: AllocationProblem,
     max_mem_ports: int,
     max_rounds: int = 64,
+    options: SolveOptions | None = None,
 ) -> PortConstrainedResult:
     """Solve *problem* such that no step needs more than *max_mem_ports*
     simultaneous memory accesses.
@@ -90,6 +92,8 @@ def allocate_with_port_limit(
             kept and extended).
         max_mem_ports: Memory port budget (shared read/write ports).
         max_rounds: Safety bound on legalization iterations.
+        options: Solve-shaping switches applied to every inner solve
+            (see :class:`~repro.core.options.SolveOptions`).
 
     Returns:
         A :class:`PortConstrainedResult`.
@@ -104,7 +108,8 @@ def allocate_with_port_limit(
         raise AllocationError(
             f"memory port budget must be >= 1, got {max_mem_ports}"
         )
-    baseline = allocate(problem)
+    options = options or SolveOptions()
+    baseline = allocate(problem, options)
     current = baseline
     pinned: set[tuple[str, int]] = set(problem.forced_segments)
     for round_index in range(1, max_rounds + 1):
@@ -133,7 +138,8 @@ def allocate_with_port_limit(
             attempt = pinned | set(keys)
             try:
                 current = allocate(
-                    problem.with_options(forced_segments=frozenset(attempt))
+                    problem.with_options(forced_segments=frozenset(attempt)),
+                    options,
                 )
             except InfeasibleFlowError:
                 continue

@@ -22,6 +22,7 @@ from repro.lifetimes.intervals import (
     density_profile,
     max_density_regions,
 )
+from repro.core.storage import StorageSpec, banking_forced_keys
 from repro.lifetimes.splitting import split_all
 from repro.scheduling.schedule import Schedule
 
@@ -61,6 +62,12 @@ class AllocationProblem:
             restricted access times force.  This is the section-7 hook for
             external constraints ("setting certain arc flows to 1 can be
             used" for fixed port counts); the port legalizer uses it.
+        storage: Optional multi-level storage hierarchy (see
+            :mod:`repro.core.storage`).  When set, :attr:`memory` is
+            derived from the hierarchy's reference bank, access times are
+            the union over all banks, and segments legal under the union
+            but under no single bank are additionally forced.  ``None``
+            keeps the paper's two-level model driven by :attr:`memory`.
     """
 
     lifetimes: Mapping[str, Lifetime]
@@ -72,11 +79,17 @@ class AllocationProblem:
     split_at_reads: bool = True
     allow_unused_registers: bool = True
     forced_segments: frozenset[tuple[str, int]] = frozenset()
+    storage: StorageSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "forced_segments", frozenset(self.forced_segments)
         )
+        if self.storage is not None:
+            # The classic two-level field mirrors the hierarchy's
+            # reference bank so legacy consumers (canonical forms,
+            # reports, diagnostics) see a consistent operating point.
+            object.__setattr__(self, "memory", self.storage.memory_config())
         if self.register_count < 0:
             raise AllocationError(
                 f"register count must be >= 0, got {self.register_count}"
@@ -100,7 +113,15 @@ class AllocationProblem:
     # ------------------------------------------------------------------
     @cached_property
     def access_times(self) -> frozenset[int] | None:
-        """Memory access steps, or ``None`` when unrestricted."""
+        """Memory access steps, or ``None`` when unrestricted.
+
+        With a multi-bank :attr:`storage` hierarchy this is the union of
+        all banks' access steps — the first-pass network constrains
+        traffic to steps where *some* bank is accessible; the banking
+        pass enforces single-bank consistency afterwards.
+        """
+        if self.storage is not None:
+            return self.storage.union_access_times(self.horizon)
         return self.memory.access_times(self.horizon)
 
     @cached_property
@@ -127,10 +148,26 @@ class AllocationProblem:
         """The paper's regions of maximum lifetime density."""
         return max_density_regions(self.density)
 
+    @cached_property
+    def banking_forced(self) -> frozenset[tuple[str, int]]:
+        """Segment keys forced to registers by bank fragmentation.
+
+        Segments legal under the union of bank access times but legal in
+        no *single* bank (empty without a multi-bank hierarchy)."""
+        if self.storage is None:
+            return frozenset()
+        return banking_forced_keys(
+            self.storage, self.lifetimes, self.segments, self.horizon
+        )
+
     def is_forced(self, segment: Segment) -> bool:
-        """Whether *segment* must be register resident (access-time rule
-        or an explicit :attr:`forced_segments` pin)."""
-        return segment.forced or segment.key in self.forced_segments
+        """Whether *segment* must be register resident (access-time rule,
+        an explicit :attr:`forced_segments` pin, or bank fragmentation)."""
+        return (
+            segment.forced
+            or segment.key in self.forced_segments
+            or segment.key in self.banking_forced
+        )
 
     def constant_energy(self) -> float:
         """The all-in-memory baseline term of the objective.

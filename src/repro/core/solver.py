@@ -4,6 +4,17 @@
 flow network, solves the (possibly lower-bounded) minimum-cost flow at flow
 value ``R``, decomposes the solution into register chains, assigns memory
 addresses, and returns a fully accounted :class:`Allocation`.
+
+Instances carrying a multi-level :class:`~repro.core.storage.StorageSpec`
+additionally run the bank-placement second pass
+(:mod:`repro.core.banking`) and return with :attr:`Allocation.banking`
+populated.
+
+Solve-shaping switches (validation, certification, lint gating, warm
+starts, storage hierarchy) travel in one frozen
+:class:`~repro.core.options.SolveOptions` bundle shared by every
+``allocate*`` entry point; the historical per-function keywords remain as
+deprecation shims.
 """
 
 from __future__ import annotations
@@ -16,14 +27,14 @@ from repro.core.allocation import (
     memory_intervals,
 )
 from repro.core.network_builder import BuiltNetwork, build_network
+from repro.core.options import UNSET, SolveOptions, resolve_options
 from repro.core.problem import AllocationProblem
 from repro.exceptions import AllocationError, InfeasibleFlowError
 from repro.flow.lower_bounds import solve as flow_solve
 from repro.flow.validate import check_flow
-from repro.flow.warm_start import WarmStartCache
 from repro.obs import trace as obs
 
-__all__ = ["allocate", "extract_allocation", "solve_built"]
+__all__ = ["allocate", "allocate_flow", "extract_allocation", "solve_built"]
 
 #: Absolute tolerance when cross-checking the recomputed energy against the
 #: flow objective.
@@ -32,62 +43,97 @@ _ENERGY_TOLERANCE = 1e-6
 
 def allocate(
     problem: AllocationProblem,
-    validate: bool = True,
-    certify: bool = False,
-    lint: str | None = None,
-    warm_cache: WarmStartCache | None = None,
+    options: SolveOptions | None = None,
+    *,
+    validate: bool = UNSET,
+    certify: bool = UNSET,
+    lint: str | None = UNSET,
+    warm_cache=UNSET,
 ) -> Allocation:
     """Solve *problem* and return the optimal :class:`Allocation`.
 
     Args:
         problem: The instance to solve.
-        validate: Run the flow validator and the energy cross-check on the
-            solution (cheap; disable only in tight benchmarking loops).
-        certify: Additionally construct and verify an optimality
-            certificate (node potentials + complementary slackness, see
-            :mod:`repro.verify.certificates`) before returning — turns
-            "the solver said so" into a machine-checked proof at the cost
-            of one Bellman-Ford pass.
-        lint: Opt-in pre-solve static analysis gate: a severity name
-            (``"error"``, ``"warning"``, ``"note"``) at or above which
-            :mod:`repro.lint` findings abort the solve with
-            :class:`~repro.exceptions.LintGateError`.  ``None`` (default)
-            skips linting entirely.
-        warm_cache: Optional :class:`~repro.flow.warm_start.WarmStartCache`
-            shared across solves; cost-only perturbations of a previously
-            solved topology are re-solved incrementally (see
-            :mod:`repro.flow.warm_start`).  Results are identical with or
-            without it.
+        options: Solve-shaping switches (see
+            :class:`~repro.core.options.SolveOptions`); ``None`` uses the
+            defaults.  ``options.storage`` applies a hierarchy to
+            problems that do not already carry one.
+        validate: Deprecated — use ``options.validate``.
+        certify: Deprecated — use ``options.certify``.
+        lint: Deprecated — use ``options.lint``.
+        warm_cache: Deprecated — use ``options.warm_cache``.
 
     Raises:
-        LintGateError: If *lint* is set and the static analysis finds
-            defects at or above the requested severity.
+        LintGateError: If the lint gate is armed and the static analysis
+            finds defects at or above the requested severity.
         InfeasibleFlowError: If the register count cannot be realised — in
             practice only when forced (restricted-access) segments demand
-            more simultaneous registers than available.
+            more simultaneous registers than available, or when bank
+            overflow pins exhaust the register file.
         AllocationError: If internal invariants are violated (a bug).
     """
-    if lint is not None:
+    options = resolve_options(
+        options,
+        {
+            "validate": validate,
+            "certify": certify,
+            "lint": lint,
+            "warm_cache": warm_cache,
+        },
+    )
+    if options.storage is not None and problem.storage is None:
+        problem = problem.with_options(storage=options.storage)
+    if options.lint is not None:
         # Lazy import: repro.lint depends on repro.core.problem and the
         # network builder only, so this cannot cycle at import time.
         from repro.lint import gate_problem
 
-        gate_problem(problem, fail_on=lint)
+        gate_problem(problem, fail_on=options.lint)
+    if problem.storage is not None:
+        # Lazy import: repro.core.banking imports this module back.
+        from repro.core.banking import solve_with_banking
+
+        return solve_with_banking(problem, options)
+    return allocate_flow(problem, options)
+
+
+def allocate_flow(
+    problem: AllocationProblem, options: SolveOptions | None = None
+) -> Allocation:
+    """Build and solve the union flow network, without lint gating or
+    bank placement (the banking pass calls this per pin round)."""
+    options = options or SolveOptions()
     with obs.span("solver.build_network"):
         built = build_network(problem)
-    return solve_built(
-        built, validate=validate, certify=certify, warm_cache=warm_cache
-    )
+    return solve_built(built, options)
 
 
 def solve_built(
     built: BuiltNetwork,
-    validate: bool = True,
-    certify: bool = False,
-    warm_cache: WarmStartCache | None = None,
+    options: SolveOptions | None = None,
+    *,
+    validate: bool = UNSET,
+    certify: bool = UNSET,
+    warm_cache=UNSET,
 ) -> Allocation:
     """Solve an already-constructed network (used by ablation benches
-    and warm-started sweeps)."""
+    and warm-started sweeps).
+
+    Args:
+        built: The constructed network.
+        options: Solve-shaping switches; ``None`` uses the defaults.
+        validate: Deprecated — use ``options.validate``.
+        certify: Deprecated — use ``options.certify``.
+        warm_cache: Deprecated — use ``options.warm_cache``.
+    """
+    options = resolve_options(
+        options,
+        {
+            "validate": validate,
+            "certify": certify,
+            "warm_cache": warm_cache,
+        },
+    )
     problem = built.problem
     with obs.span("solver.flow_solve"):
         # Counter twin of the span: spans carry wall time only, and the
@@ -99,17 +145,17 @@ def solve_built(
                 built.source,
                 built.sink,
                 built.flow_value,
-                warm_cache=warm_cache,
+                warm_cache=options.warm_cache,
             )
         except InfeasibleFlowError as exc:
             # Attach the instance so catchers (e.g. the CLI) can run
             # repro.core.diagnostics.diagnose without re-deriving it.
             exc.problem = problem
             raise
-    if validate:
+    if options.validate:
         with obs.span("solver.validate"):
             check_flow(flow, built.source, built.sink, built.flow_value)
-    if certify:
+    if options.certify:
         # Lazy import: repro.verify.certificates depends only on
         # repro.flow, so this cannot cycle back into the core package.
         from repro.verify.certificates import certify_flow
@@ -117,7 +163,7 @@ def solve_built(
         with obs.span("solver.certify"):
             certify_flow(flow)
 
-    return extract_allocation(built, flow, validate=validate)
+    return extract_allocation(built, flow, validate=options.validate)
 
 
 def extract_allocation(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import SolveOptions
 from repro.core.pipeline import PipelineResult, allocate_block
 from repro.energy.models import EnergyModel
 from repro.energy.voltage import MemoryConfig
@@ -62,7 +63,8 @@ def allocate_task_graph(
     resources: ResourceSet | None = None,
     energy_model: EnergyModel | None = None,
     memory: MemoryConfig | None = None,
-    **options,
+    options: SolveOptions | None = None,
+    **problem_options,
 ) -> TaskGraphResult:
     """Run the allocation pipeline on every task of *graph*.
 
@@ -75,7 +77,9 @@ def allocate_task_graph(
         resources: Datapath for list scheduling (shared).
         energy_model: Shared energy model.
         memory: Shared memory operating point.
-        **options: Extra :class:`AllocationProblem` fields.
+        options: Solve-shaping switches shared by every task's solve
+            (see :class:`~repro.core.options.SolveOptions`).
+        **problem_options: Extra :class:`AllocationProblem` fields.
 
     Returns:
         A :class:`TaskGraphResult`.
@@ -91,7 +95,8 @@ def allocate_task_graph(
             resources=resources,
             energy_model=energy_model,
             memory=memory,
-            **options,
+            options=options,
+            **problem_options,
         )
         rates[task.name] = task.rate
     return TaskGraphResult(graph=graph, results=results, rates=rates)

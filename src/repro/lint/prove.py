@@ -65,9 +65,11 @@ class InfeasibilityCertificate:
 
     Attributes:
         kind: Proof family — ``"forced-pressure"`` (cut lower bounds
-            exceed ``R``), ``"cut-capacity"`` (cut capacity below ``R``)
-            or ``"unreachable-forced-segment"`` (a mandatory arc is
-            disconnected from a terminal).
+            exceed ``R``), ``"cut-capacity"`` (cut capacity below ``R``),
+            ``"unreachable-forced-segment"`` (a mandatory arc is
+            disconnected from a terminal) or ``"bank-capacity"`` (the
+            lifetime density exceeds the register file plus every bank
+            capacity under a fully-capped storage hierarchy).
         half_point: The cut position ``k`` (the cut separates times
             ``<= k`` from ``> k``); ``None`` for reachability proofs.
         required: Flow the network must carry across the obstruction
@@ -273,6 +275,7 @@ def certificates_from(
             )
 
         certificates.extend(_reachability_certificates(built))
+        certificates.extend(_bank_capacity_certificates(problem))
         obs.count("lint.prove.calls")
         if certificates:
             obs.count("lint.prove.certificates", len(certificates))
@@ -321,6 +324,56 @@ def _reachability_certificates(
         )
         break  # one witness suffices; keep the proof minimal
     return out
+
+
+def _bank_capacity_certificates(
+    problem: "AllocationProblem",
+) -> list[InfeasibilityCertificate]:
+    """Storage-hierarchy counting proof: density vs R + Σ bank capacity.
+
+    Every value live at half-point ``k + 0.5`` occupies a register (at
+    most ``R``) or one location of some bank (at most the sum of the
+    finite bank capacities).  When every bank is capped and the lifetime
+    density exceeds that total, no placement exists.  Skipped entirely
+    while any bank is uncapped — an unbounded bank absorbs everything.
+    """
+    from repro.lifetimes.intervals import density_profile
+
+    storage = problem.storage
+    if storage is None:
+        return []
+    capacities = [level.capacity for level in storage.banks]
+    if any(capacity is None for capacity in capacities):
+        return []
+    available = problem.register_count + sum(capacities)
+    profile = density_profile(
+        problem.lifetimes.values(), problem.horizon
+    )
+    peak = max(profile, default=0)
+    if peak <= available:
+        return []
+    k = profile.index(peak)
+    witness = tuple(
+        sorted(
+            name
+            for name, lifetime in problem.lifetimes.items()
+            if lifetime.alive_at(k)
+        )
+    )
+    return [
+        InfeasibilityCertificate(
+            kind="bank-capacity",
+            half_point=k,
+            required=peak,
+            available=available,
+            detail=(
+                f"{peak} values are live at half-point {k} + 0.5 but "
+                f"R={problem.register_count} registers plus "
+                f"{sum(capacities)} bank locations hold only {available}"
+            ),
+            witness=witness,
+        )
+    ]
 
 
 def _reachable(
@@ -374,6 +427,8 @@ def check_certificate(
             return _check_cut_capacity(problem, certificate)
         if certificate.kind == "unreachable-forced-segment":
             return _check_unreachable(problem, certificate)
+        if certificate.kind == "bank-capacity":
+            return _check_bank_capacity(problem, certificate)
     except Exception:
         return False
     return False
@@ -467,3 +522,31 @@ def _check_unreachable(
         lambda u: (a.tail for a in network.arcs_into(u) if a.capacity > 0),
     )
     return w not in forward or r not in backward
+
+
+def _check_bank_capacity(
+    problem: "AllocationProblem", certificate: InfeasibilityCertificate
+) -> bool:
+    storage = problem.storage
+    if storage is None:
+        return False
+    capacities = [level.capacity for level in storage.banks]
+    if any(capacity is None for capacity in capacities):
+        return False
+    k = certificate.half_point
+    if k is None or not 0 <= k < problem.horizon:
+        return False
+    # Per-lifetime membership test, independent of the diff-array
+    # profile that discovered the proof.
+    live = sorted(
+        name
+        for name, lifetime in problem.lifetimes.items()
+        if lifetime.alive_at(k)
+    )
+    return (
+        certificate.required == len(live)
+        and certificate.available
+        == problem.register_count + sum(capacities)
+        and certificate.required > certificate.available
+        and tuple(live) == certificate.witness
+    )

@@ -13,6 +13,10 @@ Where the RA1xx-RA5xx families check declared structure, this family
 * RA602 recomputes liveness from the schedule with the worklist engine
   (:mod:`repro.lint.dataflow`) and diffs the derived lifetimes against
   the declared ones, variable by variable.
+* RA605 surfaces the storage-hierarchy counting proof: when every bank
+  is capacity-limited and the lifetime density exceeds the register file
+  plus the summed bank capacities, no placement exists regardless of
+  how banks are assigned.
 * RA604 runs an interval/sign analysis over the network's arc costs:
   non-finite costs poison the solver's optimum silently, and an
   optimistic energy bound below zero means some allocation would be
@@ -184,6 +188,42 @@ def check_reachability_proofs(ctx: LintContext) -> Iterator[Finding]:
         yield Finding(
             certificate.detail,
             Location(variable=variable, segment=segment),
+            evidence=evidence,
+        )
+
+
+@rule(
+    "RA605",
+    "bank-capacity-proof",
+    Severity.ERROR,
+    "A counting argument over the storage hierarchy proves the instance "
+    "cannot be placed: more values are simultaneously live than the "
+    "register file plus every bank capacity can hold.",
+    hint="raise the register count, enlarge a bank, or add a bank; the "
+    "attached certificate names the obstructing half-point and the "
+    "live values crossing it",
+)
+def check_bank_capacity_proofs(ctx: LintContext) -> Iterator[Finding]:
+    """RA605: report storage-hierarchy capacity proofs with evidence."""
+    if ctx.built is None:
+        return  # RA5xx reports why the network is unbuildable
+    for certificate in certificates_from(ctx.built):
+        if certificate.kind != "bank-capacity":
+            continue
+        evidence, checked = _proof_evidence(ctx, certificate)
+        if not checked:
+            yield Finding(
+                f"prover emitted a bank-capacity certificate that fails "
+                f"independent re-verification: {certificate.detail}",
+                Location(step=certificate.half_point, detail=certificate.kind),
+                hint="this is a prover bug, not an instance defect; "
+                "report it with the evidence payload",
+                evidence=evidence,
+            )
+            continue
+        yield Finding(
+            certificate.detail,
+            Location(step=certificate.half_point, detail=certificate.kind),
             evidence=evidence,
         )
 

@@ -117,3 +117,67 @@ def check_access_period(ctx: LintContext) -> Iterator[Finding]:
             f"{ctx.problem.horizon}",
             Location(detail=f"divisor {memory.divisor}"),
         )
+
+
+@rule(
+    "RA305",
+    "bank-fragmentation-forcing",
+    Severity.NOTE,
+    "Segments are legal under the union of bank access times but fit no "
+    "single bank: bank fragmentation forces them register-resident.",
+    hint="staggered bank phases can make the union look permissive "
+    "while every individual bank rejects the segment's reads; align "
+    "bank offsets or shorten the access period",
+)
+def check_bank_fragmentation(ctx: LintContext) -> Iterator[Finding]:
+    """RA305: list segments forced to registers by bank fragmentation."""
+    if ctx.segments is None or ctx.problem.storage is None:
+        return
+    forced = sorted(ctx.problem.banking_forced)
+    if not forced:
+        return
+    names = ", ".join(f"{name}#{index}" for name, index in forced)
+    worst_name, worst_index = forced[0]
+    yield Finding(
+        f"{len(forced)} segment(s) are memory-legal only under the "
+        f"union of banks, not in any single bank: {names}",
+        Location(variable=worst_name, segment=worst_index),
+        evidence={"segments": [list(key) for key in forced]},
+    )
+
+
+@rule(
+    "RA306",
+    "density-exceeds-storage-capacity",
+    Severity.ERROR,
+    "Every bank is capacity-limited and the peak lifetime density "
+    "exceeds the register file plus the summed bank capacities; no "
+    "placement exists regardless of bank assignment.",
+    hint="raise the register count, enlarge a bank, or add a bank; "
+    "RA605 attaches the machine-checkable certificate",
+)
+def check_storage_capacity(ctx: LintContext) -> Iterator[Finding]:
+    """RA306: flag peak density above total storage capacity."""
+    storage = ctx.problem.storage
+    if storage is None:
+        return
+    capacities = [level.capacity for level in storage.banks]
+    if any(capacity is None for capacity in capacities):
+        return  # an uncapped bank absorbs any density
+    total = ctx.problem.register_count + sum(capacities)
+    peak = ctx.problem.max_density
+    if peak <= total:
+        return
+    profile = ctx.problem.density
+    worst = profile.index(peak)
+    yield Finding(
+        f"{peak} values are simultaneously live (half-point {worst} + "
+        f"0.5) but R={ctx.problem.register_count} registers plus "
+        f"{sum(capacities)} bank locations hold only {total}",
+        Location(step=worst, detail=f"peak density {peak}"),
+        evidence={
+            "peak": peak,
+            "register_count": ctx.problem.register_count,
+            "bank_capacities": capacities,
+        },
+    )

@@ -185,3 +185,91 @@ def check_source_capacity(ctx: LintContext) -> Iterator[Finding]:
             f"R = {built.flow_value}",
             Location(detail=f"capacity {capacity} < R {built.flow_value}"),
         )
+
+
+@rule(
+    "RA505",
+    "bank-structure-inconsistent",
+    Severity.ERROR,
+    "The per-bank era chains attached to the built network disagree "
+    "with the instance's storage hierarchy (missing, stale, or "
+    "miscounted against the banks' access steps).",
+    hint="BuiltNetwork.banks must be derived from the same StorageSpec "
+    "the problem carries; a mismatch means the banking pass and the "
+    "verifiers would reason about different hardware",
+)
+def check_bank_structures(ctx: LintContext) -> Iterator[Finding]:
+    """RA505: re-derive and diff the per-bank era chains."""
+    if ctx.built is None:
+        return
+    built = ctx.built
+    storage = ctx.problem.storage
+    multibank = storage is not None and not storage.is_degenerate
+    if built.banks is None:
+        if multibank:
+            yield Finding(
+                "instance carries a multi-bank storage hierarchy but the "
+                "built network has no per-bank era chains",
+                Location(detail="banks is None"),
+            )
+        return
+    if not multibank:
+        yield Finding(
+            "built network carries per-bank era chains but the instance "
+            "has no multi-bank storage hierarchy",
+            Location(detail=f"{len(built.banks)} bank chains"),
+        )
+        return
+    horizon = ctx.problem.horizon
+    expected_times = storage.bank_access_times(horizon)
+    if len(built.banks) != len(expected_times):
+        yield Finding(
+            f"built network has {len(built.banks)} bank chains but the "
+            f"storage hierarchy declares {len(expected_times)} banks",
+            Location(detail=f"{len(built.banks)} != {len(expected_times)}"),
+        )
+        return
+    for position, bank in enumerate(built.banks):
+        where = Location(detail=f"bank {position}")
+        if bank.index != position:
+            yield Finding(
+                f"bank chain at position {position} carries index "
+                f"{bank.index}",
+                where,
+            )
+        times = expected_times[position]
+        if times is None:
+            if bank.access_steps is not None or bank.era is not None:
+                yield Finding(
+                    f"bank {position} is unrestricted but its chain "
+                    f"carries access steps or an era array",
+                    where,
+                )
+            continue
+        steps = tuple(sorted(times))
+        if bank.access_steps != steps:
+            yield Finding(
+                f"bank {position} access steps {list(bank.access_steps or ())} "
+                f"disagree with the hierarchy's {list(steps)}",
+                where,
+            )
+            continue
+        # Independent era recount: era[k] must equal the number of
+        # access steps <= k, for every step 0 .. horizon + 1.
+        era = bank.era or ()
+        if len(era) != horizon + 2:
+            yield Finding(
+                f"bank {position} era array has length {len(era)}, "
+                f"expected {horizon + 2}",
+                where,
+            )
+            continue
+        for k in range(horizon + 2):
+            expected = sum(1 for s in steps if s <= k)
+            if era[k] != expected:
+                yield Finding(
+                    f"bank {position} era[{k}] = {era[k]} but "
+                    f"{expected} access steps are <= {k}",
+                    Location(step=k, detail=f"bank {position}"),
+                )
+                break

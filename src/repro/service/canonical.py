@@ -155,6 +155,11 @@ def canonicalize(problem: AllocationProblem) -> CanonicalInstance:
         "energy_model": _model_fingerprint(problem, renaming),
         "variables": [records[name] for name in ordered],
     }
+    if problem.storage is not None:
+        # Only embedded when a hierarchy is attached, so the cache keys
+        # of plain (2-level implicit) instances are unchanged across the
+        # storage-spec introduction.
+        form["storage"] = problem.storage.to_dict()
     digest = hashlib.sha256(
         json.dumps(form, sort_keys=True, separators=(",", ":")).encode(
             "utf-8"

@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeou
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.core.options import SolveOptions
 from repro.core.problem import AllocationProblem
 from repro.exceptions import ServiceError
 from repro.flow.warm_start import WarmStartCache
@@ -239,6 +240,14 @@ class BatchExecutor:
             uses it — kernel state is not shipped to pool workers — so a
             long-lived single-worker server re-solves cost-only sweeps
             incrementally.  Results are identical with or without.
+        options: Optional :class:`~repro.core.options.SolveOptions`
+            bundle seeding the per-solve knobs: ``options.ladder``,
+            ``options.lint`` and ``options.warm_cache`` fill the
+            matching executor arguments when those are left at their
+            defaults, ``options.certify`` forces a full
+            ``certify_fraction`` of 1, and ``options.storage`` is
+            attached to every submitted problem that does not already
+            carry a hierarchy.
     """
 
     def __init__(
@@ -257,7 +266,18 @@ class BatchExecutor:
         seed: int = 0,
         inject_faults: Mapping[str, int] | None = None,
         warm_cache: WarmStartCache | None = None,
+        options: SolveOptions | None = None,
     ) -> None:
+        if options is not None:
+            if options.ladder is not None and ladder is DEFAULT_LADDER:
+                ladder = tuple(options.ladder)
+            if options.lint is not None and lint is None:
+                lint = options.lint
+            if options.warm_cache is not None and warm_cache is None:
+                warm_cache = options.warm_cache
+            if options.certify:
+                certify_fraction = 1.0
+        self.options = options or SolveOptions()
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         if chunksize < 1:
@@ -309,6 +329,8 @@ class BatchExecutor:
         """
         if job_id is None:
             job_id = f"job-{self._submitted}"
+        if self.options.storage is not None and problem.storage is None:
+            problem = problem.with_options(storage=self.options.storage)
         self._pending.append((self._submitted, job_id, problem, schedule))
         self._submitted += 1
         return job_id

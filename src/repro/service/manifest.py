@@ -38,6 +38,15 @@ incrementally), ``seed``, ``taps``, and for random jobs ``variables``,
 maximum lifetime density is used (every variable can be
 register-resident if the flow wants it).
 
+Schema v2 (``repro.service/manifest/v2``) additionally recognises a
+``storage`` operating-point key (in ``defaults`` or per job): either a
+full ``repro/storage-spec/v1`` document (``{"levels": [...]}``) or the
+banked shorthand ``{"banks": N, "period": P, "ports": ..., "capacity":
+..., "voltages": [...], "stagger": ...}`` expanding through
+:meth:`~repro.core.storage.StorageSpec.banked`.  v1 documents parse
+verbatim (``storage`` defaults to the implicit two-level hierarchy) and
+are rejected if they try to carry a ``storage`` key.
+
 Manifests usually arrive as files (:func:`load_manifest`), but the
 allocation server receives them as request bodies —
 :func:`parse_manifest` validates an already-decoded document.
@@ -51,6 +60,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.core.problem import AllocationProblem
+from repro.core.storage import StorageSpec
 from repro.energy import (
     ActivityEnergyModel,
     MemoryConfig,
@@ -72,8 +82,17 @@ __all__ = [
     "parse_manifest",
 ]
 
-#: Schema identifier of a batch manifest document.
-SCHEMA = "repro.service/manifest/v1"
+#: Original schema identifier (no ``storage`` operating point).
+SCHEMA_V1 = "repro.service/manifest/v1"
+
+#: Current schema identifier (adds the ``storage`` operating point).
+SCHEMA_V2 = "repro.service/manifest/v2"
+
+#: Accepted schema identifiers, oldest first.
+SCHEMAS = (SCHEMA_V1, SCHEMA_V2)
+
+#: Backwards-compatible alias for the v1 identifier (historical name).
+SCHEMA = SCHEMA_V1
 
 _KINDS = ("kernel", "figure", "instance", "random")
 
@@ -146,6 +165,57 @@ def _operating_point(params: Mapping[str, Any]):
     return model, memory
 
 
+def _storage_spec(params: Mapping[str, Any]) -> StorageSpec | None:
+    """Expand a job's ``storage`` key into a :class:`StorageSpec`.
+
+    Accepts a full ``repro/storage-spec/v1`` document or the banked
+    shorthand (``banks``/``period``/``ports``/``capacity``/``voltages``/
+    ``stagger``); returns ``None`` when the job has no ``storage`` key.
+    """
+    data = params.get("storage")
+    if data is None:
+        return None
+    if isinstance(data, StorageSpec):
+        return data
+    if not isinstance(data, Mapping):
+        raise ServiceError("storage must be a JSON object")
+    try:
+        if "levels" in data:
+            return StorageSpec.from_dict(data)
+        voltages = data.get("voltages")
+        return StorageSpec.banked(
+            int(data.get("banks", 2)),
+            int(data.get("period", 2)),
+            ports=(
+                int(data["ports"]) if data.get("ports") is not None else None
+            ),
+            capacity=(
+                int(data["capacity"])
+                if data.get("capacity") is not None
+                else None
+            ),
+            voltages=(
+                [float(v) for v in voltages] if voltages is not None else None
+            ),
+            stagger=bool(data.get("stagger", True)),
+        )
+    except (ReproError, ValueError, TypeError, KeyError) as exc:
+        raise ServiceError(f"bad storage operating point: {exc}") from None
+
+
+def _storage_voltages(model, storage: StorageSpec | None):
+    """Charge *model* at the hierarchy's reference supply.
+
+    The storage spec's reference bank replaces the classic memory
+    operating point (``AllocationProblem`` re-derives ``memory`` from
+    it), so the model must follow — exactly as ``divisor``/``voltage``
+    jobs rescale through :func:`_operating_point`.
+    """
+    if storage is None:
+        return model
+    return model.with_voltages(storage.reference.voltage, model.reg_voltage)
+
+
 def _registers(params: Mapping[str, Any], lifetimes, horizon: int) -> int:
     explicit = params.get("registers")
     if explicit is not None:
@@ -162,12 +232,14 @@ def _build_kernel(spec: WorkloadSpec, params: Mapping[str, Any], index: int):
     )
     schedule = list_schedule(block)
     model, memory = _operating_point(params)
+    storage = _storage_spec(params)
     lifetimes = extract_lifetimes(schedule)
     problem = AllocationProblem.from_schedule(
         schedule,
         register_count=_registers(params, lifetimes, schedule.length),
-        energy_model=model,
+        energy_model=_storage_voltages(model, storage),
         memory=memory,
+        storage=storage,
     )
     label = spec.label or spec.name
     if spec.count > 1:
@@ -178,6 +250,7 @@ def _build_kernel(spec: WorkloadSpec, params: Mapping[str, Any], index: int):
 def _build_figure(spec: WorkloadSpec, params: Mapping[str, Any]):
     lifetimes, horizon, activities = figure_example(spec.name)
     model, memory = _operating_point(params)
+    storage = _storage_spec(params)
     if activities is not None:
         model = PairwiseSwitchingModel(activities)
         if memory.restricted or params.get("voltage") is not None:
@@ -186,8 +259,9 @@ def _build_figure(spec: WorkloadSpec, params: Mapping[str, Any]):
         lifetimes,
         _registers(params, lifetimes, horizon),
         horizon,
-        energy_model=model,
+        energy_model=_storage_voltages(model, storage),
         memory=memory,
+        storage=storage,
     )
     return BuiltWorkload(spec.label or spec.name, problem)
 
@@ -219,12 +293,14 @@ def _build_random(spec: WorkloadSpec, params: Mapping[str, Any], index: int):
         traced=bool(params.get("traced", False)),
     )
     model, memory = _operating_point(params)
+    storage = _storage_spec(params)
     problem = AllocationProblem(
         lifetimes,
         _registers(params, lifetimes, horizon),
         horizon,
-        energy_model=model,
+        energy_model=_storage_voltages(model, storage),
         memory=memory,
+        storage=storage,
     )
     suffix = f"#{index}" if spec.count > 1 else ""
     return BuiltWorkload(f"{label}{suffix}", problem)
@@ -243,6 +319,7 @@ class Manifest:
     specs: tuple[WorkloadSpec, ...]
     defaults: Mapping[str, Any] = field(default_factory=dict)
     base: Path = Path(".")
+    schema: str = SCHEMA_V1
 
     def job_count(self) -> int:
         """Jobs :meth:`build` will produce (replicas expanded), cheaply.
@@ -320,8 +397,9 @@ def parse_manifest(
     """Validate an already-decoded manifest document.
 
     Args:
-        data: The decoded JSON value (must be a mapping with the
-            ``repro.service/manifest/v1`` schema).
+        data: The decoded JSON value (must be a mapping carrying one of
+            the ``repro.service/manifest/v1``/``v2`` schemas; only v2
+            documents may use the ``storage`` operating-point key).
         base: Directory relative ``instance`` paths resolve against.
         source: Label used in error messages (a path or ``<request>``).
 
@@ -330,10 +408,11 @@ def parse_manifest(
     """
     if not isinstance(data, Mapping):
         raise ServiceError(f"manifest {source} must be a JSON object")
-    if data.get("schema") != SCHEMA:
+    schema = data.get("schema")
+    if schema not in SCHEMAS:
         raise ServiceError(
-            f"manifest {source}: schema {data.get('schema')!r} is not "
-            f"{SCHEMA}"
+            f"manifest {source}: schema {schema!r} is not one of "
+            f"{list(SCHEMAS)}"
         )
     jobs = data.get("jobs")
     if not isinstance(jobs, list) or not jobs:
@@ -346,7 +425,23 @@ def parse_manifest(
     specs = tuple(
         _parse_spec(job, position) for position, job in enumerate(jobs)
     )
-    return Manifest(specs=specs, defaults=dict(defaults), base=Path(base))
+    if schema == SCHEMA_V1:
+        carriers = [
+            f"jobs[{position}]"
+            for position, spec in enumerate(specs)
+            if "storage" in spec.params
+        ]
+        if "storage" in defaults:
+            carriers.insert(0, "defaults")
+        if carriers:
+            raise ServiceError(
+                f"manifest {source}: {', '.join(carriers)} carry a "
+                f"'storage' operating point, which needs schema "
+                f"{SCHEMA_V2}"
+            )
+    return Manifest(
+        specs=specs, defaults=dict(defaults), base=Path(base), schema=schema
+    )
 
 
 def load_manifest(path: str | Path) -> Manifest:

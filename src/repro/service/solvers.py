@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.core.options import SolveOptions
 from repro.core.problem import AllocationProblem
 from repro.core.network_builder import build_network
 from repro.core.solver import allocate, extract_allocation
@@ -92,7 +93,9 @@ class SolveSummary:
         return cls(
             solver=solver,
             exact=True,
-            objective=allocation.objective,
+            # total_energy == objective except under a multi-bank
+            # storage hierarchy, where per-bank deltas are added on top.
+            objective=allocation.total_energy,
             mem_accesses=allocation.report.mem_accesses,
             reg_accesses=allocation.report.reg_accesses,
             registers_used=allocation.registers_used,
@@ -248,9 +251,8 @@ def _solve_ssp(
     warm_cache: WarmStartCache | None = None,
 ) -> SolveSummary:
     """Rung 1: the production SSP allocator (optionally warm-started)."""
-    return SolveSummary.from_allocation(
-        allocate(problem, certify=certify, warm_cache=warm_cache), "ssp"
-    )
+    options = SolveOptions(certify=certify, warm_cache=warm_cache)
+    return SolveSummary.from_allocation(allocate(problem, options), "ssp")
 
 
 def _solve_cycle_canceling(
@@ -259,6 +261,16 @@ def _solve_cycle_canceling(
     warm_cache: WarmStartCache | None = None,
 ) -> SolveSummary:
     """Rung 2: independent cycle-cancelling solve of the same network."""
+    storage = problem.storage
+    if storage is not None and (
+        not storage.is_degenerate
+        or storage.reference.capacity is not None
+        or storage.reference.ports is not None
+    ):
+        raise SolverFault(
+            "cycle-cancelling rung solves the union network only and "
+            "cannot honour bank placement or capacity/port limits"
+        )
     built = build_network(problem)
     if built.network.has_lower_bounds():
         transform = transform_lower_bounds(
@@ -295,6 +307,10 @@ def _solve_two_phase(
         raise SolverFault(
             "two-phase baseline cannot honour restricted access times "
             "or forced segments"
+        )
+    if problem.storage is not None:
+        raise SolverFault(
+            "two-phase baseline cannot honour a storage hierarchy"
         )
     from repro.baselines.two_phase import two_phase_allocate
 

@@ -30,10 +30,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.options import SolveOptions
 from repro.core.problem import AllocationProblem
 from repro.core.solver import allocate
+from repro.core.storage import StorageSpec
 from repro.energy.voltage import MemoryConfig
-from repro.exceptions import InfeasibleFlowError, ReproError
+from repro.exceptions import AllocationError, InfeasibleFlowError, ReproError
 from repro.core.network_builder import SINK, SOURCE, build_network
 from repro.lint.prove import check_certificate, prove_infeasible
 from repro.verify.differential import baseline_dominance, cross_check
@@ -46,6 +48,7 @@ __all__ = [
     "FuzzCase",
     "CaseResult",
     "draw_case",
+    "draw_bank_case",
     "run_case",
     "run_problem",
     "shrink_case",
@@ -63,6 +66,15 @@ SCHEMA = "repro.verify/fuzz-report/v1"
 #: infeasibility path.
 _DIVISORS = (1, 1, 2, 2, 3, 5)
 
+#: Multi-bank axes the bank-conflict family sweeps.  Two staggered
+#: period-2 banks are the canonical conflict shape (the union of access
+#: steps is everything while each bank sees every other step), so they
+#: are weighted up; single-bank draws keep the degenerate path honest.
+_BANK_COUNTS = (1, 2, 2, 2, 3)
+_BANK_PERIODS = (1, 2, 2, 3)
+_BANK_PORTS = (None, None, 1, 2)
+_BANK_CAPACITIES = (None, None, 1, 2, 3)
+
 
 @dataclass(frozen=True)
 class FuzzCase:
@@ -77,6 +89,12 @@ class FuzzCase:
         multi_read_fraction: Split-lifetime density knob.
         live_out_fraction: Fraction of variables live past the block.
         degenerate: Which edge-case family this case targets, or ``""``.
+        bank_count: Memory banks in the storage hierarchy (0 = no
+            hierarchy; the classic two-level model).
+        bank_period: Shared per-bank access period (bank cases only).
+        bank_ports: Per-bank port width, or ``None`` for unlimited.
+        bank_capacity: Per-bank capacity, or ``None`` for unbounded.
+        bank_stagger: Whether bank offsets interleave across the period.
     """
 
     index: int
@@ -87,6 +105,11 @@ class FuzzCase:
     multi_read_fraction: float
     live_out_fraction: float
     degenerate: str = ""
+    bank_count: int = 0
+    bank_period: int = 0
+    bank_ports: int | None = None
+    bank_capacity: int | None = None
+    bank_stagger: bool = True
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready view of the drawn parameters."""
@@ -99,7 +122,24 @@ class FuzzCase:
             "multi_read_fraction": self.multi_read_fraction,
             "live_out_fraction": self.live_out_fraction,
             "degenerate": self.degenerate,
+            "bank_count": self.bank_count,
+            "bank_period": self.bank_period,
+            "bank_ports": self.bank_ports,
+            "bank_capacity": self.bank_capacity,
+            "bank_stagger": self.bank_stagger,
         }
+
+    def storage_spec(self) -> StorageSpec | None:
+        """The storage hierarchy this case describes, if any."""
+        if self.bank_count <= 0:
+            return None
+        return StorageSpec.banked(
+            self.bank_count,
+            self.bank_period,
+            ports=self.bank_ports,
+            capacity=self.bank_capacity,
+            stagger=self.bank_stagger,
+        )
 
 
 @dataclass
@@ -157,6 +197,36 @@ def draw_case(rng: random.Random, index: int) -> FuzzCase:
     )
 
 
+def draw_bank_case(rng: random.Random, index: int) -> FuzzCase:
+    """Draw one bank-conflict case: bank count x port width x period.
+
+    The lifetime-shape axes mirror :func:`draw_case`; on top of them
+    every case carries a multi-bank :class:`StorageSpec`.  Staggered
+    period-2 pairs — the canonical conflict shape, where the union of
+    access steps constrains nothing while every single bank rejects
+    cross-phase reads — are weighted up, and capacity/port limits are
+    drawn independently so capacity-pinning, port legalization and bank
+    fragmentation all get exercised against the multi-bank oracles.
+    """
+    count = rng.randint(2, 12)
+    horizon = rng.randint(4, 14)
+    return FuzzCase(
+        index=index,
+        count=count,
+        horizon=horizon,
+        register_count=rng.randint(1, max(2, count)),
+        divisor=1,  # overridden by the hierarchy's reference bank
+        multi_read_fraction=rng.uniform(0.1, 0.6),
+        live_out_fraction=rng.uniform(0.0, 0.3),
+        degenerate="banked",
+        bank_count=rng.choice(_BANK_COUNTS),
+        bank_period=rng.choice(_BANK_PERIODS),
+        bank_ports=rng.choice(_BANK_PORTS),
+        bank_capacity=rng.choice(_BANK_CAPACITIES),
+        bank_stagger=rng.random() < 0.8,
+    )
+
+
 def build_problem(case: FuzzCase, rng: random.Random) -> AllocationProblem:
     """Materialise the :class:`AllocationProblem` a case describes."""
     lifetimes = random_lifetimes(
@@ -171,6 +241,7 @@ def build_problem(case: FuzzCase, rng: random.Random) -> AllocationProblem:
         register_count=case.register_count,
         horizon=case.horizon + 1,
         memory=MemoryConfig(divisor=case.divisor),
+        storage=case.storage_spec(),
     )
 
 
@@ -198,8 +269,23 @@ def run_problem(
     except ReproError:
         certificate = None  # unbuildable networks are the lint's beat
     try:
-        allocation = allocate(problem)
-    except InfeasibleFlowError:
+        # certify=True: every solve also constructs and verifies an
+        # optimality certificate (node potentials + complementary
+        # slackness) — for multi-bank instances this covers every
+        # pin-and-resolve round of the banking pass.
+        allocation = allocate(problem, SolveOptions(certify=True))
+    except AllocationError as exc:
+        # The banking legalizer's stall guard: the pinned set grows
+        # monotonically, so non-convergence is a legalizer bug, never a
+        # property of the instance.
+        violations.append(
+            Violation(
+                oracle="banking",
+                message=f"banking pass failed to legalise: {exc}",
+            )
+        )
+        return "violation", violations
+    except InfeasibleFlowError as exc:
         if certificate is not None and not check_certificate(
             problem, certificate
         ):
@@ -212,8 +298,11 @@ def run_problem(
             )
             return "violation", violations
         # Restricted memory can make the bounds unsatisfiable; the
-        # independent solvers must agree that it is.
-        built = build_network(problem)
+        # independent solvers must agree that it is.  Under a storage
+        # hierarchy the infeasible network may be a *pinned* re-solve
+        # from inside the banking loop, not the base union network —
+        # the solver attaches the exact instance it gave up on.
+        built = build_network(getattr(exc, "problem", None) or problem)
         outcome = cross_check(
             built.network, SOURCE, SINK, problem.register_count, use_lp=use_lp
         )
@@ -252,7 +341,9 @@ def run_problem(
         violations.append(
             Violation(oracle="differential", message=outcome.message)
         )
-    if not problem.memory.restricted:
+    if not problem.memory.restricted and problem.storage is None:
+        # Bank deltas reprice memory residency away from the reference
+        # objective, so the two-level dominance argument does not apply.
         dominance = baseline_dominance(allocation)
         if not dominance.dominated:
             violations.append(
@@ -304,10 +395,13 @@ def shrink_case(
 ) -> AllocationProblem:
     """Greedily minimise a failing instance while it keeps failing.
 
-    Three reduction moves, applied to a fixed point (or *max_rounds*):
-    drop one variable, drop one register, shorten the horizon to the
-    latest lifetime end.  Every candidate is re-verified with the same
-    battery; only candidates that still fail are kept.
+    Four reduction moves, applied to a fixed point (or *max_rounds*):
+    drop one variable, drop one register, simplify the storage
+    hierarchy (drop it whole, else shed the last bank), shorten the
+    horizon to the latest lifetime end.  Every candidate is re-verified
+    with the same battery; only candidates that still fail are kept.
+    The storage hierarchy (and any pins) ride along through every move,
+    so a bank-conflict failure shrinks *as* a bank-conflict failure.
     """
     current = problem
     for _ in range(max_rounds):
@@ -329,6 +423,12 @@ def shrink_case(
                 graph_style=current.graph_style,
                 split_at_reads=current.split_at_reads,
                 allow_unused_registers=current.allow_unused_registers,
+                forced_segments=frozenset(
+                    key
+                    for key in current.forced_segments
+                    if key[0] in remaining
+                ),
+                storage=current.storage,
             )
             if _still_fails(candidate, use_lp):
                 current = candidate
@@ -340,6 +440,22 @@ def shrink_case(
             if _still_fails(candidate, use_lp):
                 current = candidate
                 shrunk = True
+        if current.storage is not None:
+            # Strongest storage shrink first: drop the hierarchy whole
+            # (memory keeps the reference operating point); otherwise
+            # try shedding one bank at a time.
+            candidate = current.with_options(storage=None)
+            if _still_fails(candidate, use_lp):
+                current = candidate
+                shrunk = True
+            elif len(current.storage.banks) > 1:
+                smaller = current.storage.with_levels(
+                    levels=current.storage.levels[:-1]
+                )
+                candidate = current.with_options(storage=smaller)
+                if _still_fails(candidate, use_lp):
+                    current = candidate
+                    shrunk = True
         tail = max(
             (l.end for l in current.lifetimes.values()), default=0
         )
@@ -358,6 +474,7 @@ def run_fuzz(
     iters: int,
     use_lp: bool | None = None,
     shrink: bool = True,
+    family: str = "classic",
 ) -> dict[str, Any]:
     """Run *iters* fuzz cases from *seed*; return the fuzz report.
 
@@ -366,12 +483,17 @@ def run_fuzz(
         iters: Number of cases to run.
         use_lp: Force the LP cross-check on/off (``None`` = autodetect).
         shrink: Greedily minimise failing instances before reporting.
+        family: ``"classic"`` (two-level draws, :func:`draw_case`) or
+            ``"banked"`` (multi-bank draws, :func:`draw_bank_case`).
 
     Returns:
         A ``repro.verify/fuzz-report/v1`` dict: coverage counters,
         per-status totals and one entry per failure with the (minimised)
         reproducer instance inline.
     """
+    if family not in ("classic", "banked"):
+        raise ValueError(f"unknown fuzz family {family!r}")
+    draw = draw_bank_case if family == "banked" else draw_case
     plan_rng = spawn_rng(seed, "fuzz-plan")
     statuses = {"ok": 0, "infeasible": 0, "violation": 0}
     coverage: dict[str, dict[str, int]] = {
@@ -379,16 +501,27 @@ def run_fuzz(
         "degenerate": {},
         "register_count": {},
     }
+    if family == "banked":
+        coverage.update(
+            {"bank_count": {}, "bank_period": {}, "bank_ports": {}}
+        )
     failures: list[dict[str, Any]] = []
     for index in range(iters):
-        case = draw_case(plan_rng, index)
+        case = draw(plan_rng, index)
         result = run_case(seed, case, use_lp=use_lp)
         statuses[result.status] += 1
-        for axis, value in (
+        axes = [
             ("divisor", case.divisor),
             ("degenerate", case.degenerate or "none"),
             ("register_count", case.register_count),
-        ):
+        ]
+        if family == "banked":
+            axes += [
+                ("bank_count", case.bank_count),
+                ("bank_period", case.bank_period),
+                ("bank_ports", case.bank_ports),
+            ]
+        for axis, value in axes:
             bucket = coverage[axis]
             bucket[str(value)] = bucket.get(str(value), 0) + 1
         if result.status != "violation":
@@ -417,6 +550,7 @@ def run_fuzz(
     return {
         "schema": SCHEMA,
         "seed": seed,
+        "family": family,
         "iterations": iters,
         "statuses": statuses,
         "coverage": coverage,

@@ -14,6 +14,10 @@ invariant *independently* of the code that produced the solution:
   can reach memory by the segment start and every served read is a
   memory-access step; the network's arc lower bounds and the solution's
   residency must both agree with the re-derivation;
+* ``bank_assignment`` — under a multi-level storage hierarchy, the
+  banking pass's placements are complete, bank-legal, within per-bank
+  capacity and port cuts, and the delta-energy roll-up re-derives from
+  the level parameters;
 * ``optimality_certificate`` — constructs and verifies node potentials
   proving the flow minimum-cost (see :mod:`repro.verify.certificates`);
 * ``energy_agreement`` — the flow objective (plus the constant
@@ -48,6 +52,7 @@ __all__ = [
     "oracle_flow_conservation",
     "oracle_total_flow",
     "oracle_split_lower_bounds",
+    "oracle_bank_assignment",
     "oracle_optimality_certificate",
     "oracle_energy_agreement",
     "oracle_codegen_agreement",
@@ -55,6 +60,10 @@ __all__ = [
 
 #: Relative tolerance for energy comparisons.
 _ENERGY_TOL = 1e-6
+
+#: Sentinel distinguishing "use the problem's union access set" from an
+#: explicit ``None`` (= unrestricted) bank access set.
+UNSET_ACCESS = object()
 
 
 class OracleViolation(ReproError):
@@ -121,9 +130,14 @@ def oracle_total_flow(allocation: Allocation) -> None:
         )
 
 
-def _memory_legal(problem, segment) -> bool:
-    """Independent re-derivation of section 5.2 memory-residency legality."""
-    access = problem.access_times
+def _memory_legal(problem, segment, access=UNSET_ACCESS) -> bool:
+    """Independent re-derivation of section 5.2 memory-residency legality.
+
+    *access* defaults to the problem's (union) access-time set; pass a
+    bank's own access set to re-derive single-bank legality.
+    """
+    if access is UNSET_ACCESS:
+        access = problem.access_times
     if access is None:
         return True
     lifetime = problem.lifetimes[segment.name]
@@ -135,6 +149,24 @@ def _memory_legal(problem, segment) -> bool:
         for r in segment.reads
     )
     return reaches_memory and reads_legal
+
+
+def _banking_forced(problem, segment) -> bool:
+    """Independent re-derivation of the multi-bank forcing rule.
+
+    Under a multi-bank hierarchy a segment must be register-resident
+    when it is legal against the *union* of bank access times but not
+    against any *single* bank (values never migrate between banks, so
+    union legality alone cannot place it)."""
+    storage = problem.storage
+    if storage is None or storage.is_degenerate:
+        return False
+    if not _memory_legal(problem, segment):
+        return False  # already union-forced; nothing extra to add
+    return not any(
+        _memory_legal(problem, segment, access=bank_access)
+        for bank_access in storage.bank_access_times(problem.horizon)
+    )
 
 
 def oracle_split_lower_bounds(allocation: Allocation) -> None:
@@ -155,7 +187,11 @@ def oracle_split_lower_bounds(allocation: Allocation) -> None:
         segment = arc.data[1]
         seen.add(segment.key)
         pinned = segment.key in problem.forced_segments
-        expected_lower = 0 if _memory_legal(problem, segment) and not pinned else 1
+        legal = (
+            _memory_legal(problem, segment)
+            and not _banking_forced(problem, segment)
+        )
+        expected_lower = 0 if legal and not pinned else 1
         if arc.lower != expected_lower:
             raise OracleViolation(
                 "split_lower_bounds",
@@ -182,6 +218,199 @@ def oracle_split_lower_bounds(allocation: Allocation) -> None:
             "split_lower_bounds",
             f"network lacks segment arcs for {missing}",
         )
+
+
+def oracle_bank_assignment(allocation: Allocation) -> None:
+    """Multi-bank invariants of the banking second pass.
+
+    Checks, independently of :mod:`repro.core.banking`'s placement code:
+
+    * a storage-hierarchy solve carries a bank assignment and vice versa;
+    * every placement names a real bank and is *legal* there — each
+      memory-resident segment satisfies the section-5.2 rule against the
+      bank's own access set, every spill/reload lands on a bank access
+      step, and the initial write window contains one;
+    * the recorded traffic reconciles with the allocation report in
+      aggregate (total memory writes/reads) and per variable (memory
+      segment read steps);
+    * per-bank forced density: each bank's resident hulls pack into its
+      capacity;
+    * bank-conflict time cuts: no access step of a bank demands more
+      simultaneous accesses than the bank has ports;
+    * the energy roll-up: each delta re-derives from the bank's level
+      parameters, deltas sum to ``delta_energy``, and ``total_energy``
+      equals the flow objective plus that sum.
+    """
+    problem = allocation.problem
+    banking = allocation.banking
+    if problem.storage is None:
+        if banking is not None:
+            raise OracleViolation(
+                "bank_assignment",
+                "allocation carries a bank assignment without a storage "
+                "spec on the problem",
+            )
+        return
+    if banking is None:
+        raise OracleViolation(
+            "bank_assignment",
+            "storage-hierarchy solve returned no bank assignment",
+        )
+    spec = banking.spec
+    bank_access = spec.bank_access_times(problem.horizon)
+    bank_count = len(spec.banks)
+
+    total_writes = total_reads = 0
+    for name, placement in banking.placements.items():
+        traffic = placement.traffic
+        if not 0 <= placement.bank < bank_count:
+            raise OracleViolation(
+                "bank_assignment",
+                f"{name} placed in nonexistent bank {placement.bank}",
+            )
+        access = bank_access[placement.bank]
+        lifetime = problem.lifetimes[name]
+        mem_read_steps: list[int] = []
+        for seg in problem.segments[name]:
+            if seg.key in allocation.residency:
+                continue
+            if not _memory_legal(problem, seg, access=access):
+                raise OracleViolation(
+                    "bank_assignment",
+                    f"segment {seg.key} is memory resident but illegal "
+                    f"in its assigned bank {placement.bank}",
+                )
+            for r in seg.reads:
+                if not (lifetime.live_out and r == lifetime.end):
+                    mem_read_steps.append(r)
+        if sorted(mem_read_steps) != sorted(traffic.read_steps):
+            raise OracleViolation(
+                "bank_assignment",
+                f"{name}: recorded read steps "
+                f"{sorted(traffic.read_steps)} disagree with residency-"
+                f"derived steps {sorted(mem_read_steps)}",
+            )
+        if access is not None:
+            boundary = [
+                step
+                for step in (*traffic.spill_steps, *traffic.reload_steps)
+                if step not in access
+            ]
+            if boundary:
+                raise OracleViolation(
+                    "bank_assignment",
+                    f"{name}: spill/reload steps {boundary} miss bank "
+                    f"{placement.bank}'s access steps",
+                )
+            if traffic.initial_window is not None:
+                lo, hi = traffic.initial_window
+                if not any(lo <= m <= hi for m in access):
+                    raise OracleViolation(
+                        "bank_assignment",
+                        f"{name}: initial write window [{lo}, {hi}] "
+                        f"contains no access step of bank "
+                        f"{placement.bank}",
+                    )
+        total_writes += traffic.writes
+        total_reads += traffic.reads
+    report = allocation.report
+    if (total_writes, total_reads) != (report.mem_writes, report.mem_reads):
+        raise OracleViolation(
+            "bank_assignment",
+            f"placed traffic totals ({total_writes} writes, "
+            f"{total_reads} reads) disagree with the report "
+            f"({report.mem_writes} writes, {report.mem_reads} reads)",
+        )
+
+    delta_sum = 0.0
+    for name, placement in banking.placements.items():
+        level = spec.banks[placement.bank]
+        traffic = placement.traffic
+        model = problem.energy_model
+        variable = problem.lifetimes[name].variable
+        base = traffic.writes * model.mem_write(variable) + (
+            traffic.reads * model.mem_read(variable)
+        )
+        ratio = level.voltage / spec.reference.voltage
+        expected = (
+            base * (ratio * ratio * level.access_scale - 1.0)
+            + level.transfer_cost * traffic.writes
+            + level.idle_energy * (traffic.hull[1] - traffic.hull[0])
+        )
+        if abs(placement.delta - expected) > _ENERGY_TOL * (1 + abs(expected)):
+            raise OracleViolation(
+                "bank_assignment",
+                f"{name}: recorded delta {placement.delta:.6f} vs "
+                f"re-derived {expected:.6f}",
+            )
+        delta_sum += placement.delta
+    scale = 1.0 + abs(delta_sum)
+    if abs(delta_sum - banking.delta_energy) > _ENERGY_TOL * scale:
+        raise OracleViolation(
+            "bank_assignment",
+            f"delta roll-up {delta_sum:.6f} vs recorded "
+            f"{banking.delta_energy:.6f}",
+        )
+    expected_total = allocation.objective + banking.delta_energy
+    if abs(allocation.total_energy - expected_total) > _ENERGY_TOL * (
+        1.0 + abs(expected_total)
+    ):
+        raise OracleViolation(
+            "bank_assignment",
+            f"total energy {allocation.total_energy:.6f} vs objective + "
+            f"deltas {expected_total:.6f}",
+        )
+
+    for index, level in enumerate(spec.banks):
+        hulls = [
+            placement.traffic.hull
+            for placement in banking.placements.values()
+            if placement.bank == index
+        ]
+        if level.capacity is not None:
+            events: dict[int, int] = {}
+            for lo, hi in hulls:
+                if hi <= lo:
+                    continue
+                events[lo] = events.get(lo, 0) + 1
+                events[hi] = events.get(hi, 0) - 1
+            depth = 0
+            for step in sorted(events):
+                depth += events[step]
+                if depth > level.capacity:
+                    raise OracleViolation(
+                        "bank_assignment",
+                        f"bank {index} holds {depth} simultaneous values "
+                        f"at step {step}, capacity is {level.capacity}",
+                    )
+        if level.ports is not None:
+            access = bank_access[index]
+            counts: dict[int, int] = {}
+            for placement in banking.placements.values():
+                if placement.bank != index:
+                    continue
+                traffic = placement.traffic
+                steps = list(traffic.spill_steps)
+                steps.extend(traffic.read_steps)
+                steps.extend(traffic.reload_steps)
+                if traffic.initial_window is not None:
+                    lo, hi = traffic.initial_window
+                    if access is None:
+                        steps.append(lo)
+                    else:
+                        legal = [m for m in access if lo <= m <= hi]
+                        if legal:
+                            steps.append(max(legal))
+                for step in steps:
+                    counts[step] = counts.get(step, 0) + 1
+            for step in sorted(counts):
+                if counts[step] > level.ports:
+                    raise OracleViolation(
+                        "bank_assignment",
+                        f"bank {index} needs {counts[step]} simultaneous "
+                        f"accesses at step {step}, has {level.ports} "
+                        f"ports",
+                    )
 
 
 def oracle_optimality_certificate(allocation: Allocation) -> None:
@@ -309,6 +538,7 @@ ALLOCATION_ORACLES: dict[str, Callable[[Allocation], None]] = {
     "flow_conservation": oracle_flow_conservation,
     "total_flow": oracle_total_flow,
     "split_lower_bounds": oracle_split_lower_bounds,
+    "bank_assignment": oracle_bank_assignment,
     "optimality_certificate": oracle_optimality_certificate,
     "energy_agreement": oracle_energy_agreement,
 }

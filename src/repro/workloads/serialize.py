@@ -199,6 +199,8 @@ def problem_to_dict(problem: AllocationProblem) -> dict[str, Any]:
         },
         "lifetimes": lifetimes_to_dict(problem.lifetimes),
     }
+    if problem.storage is not None:
+        data["storage"] = problem.storage.to_dict()
     model = energy_model_to_dict(problem.energy_model)
     if model is not None:
         data["energy_model"] = model
@@ -226,6 +228,10 @@ def problem_from_dict(
         kwargs["energy_model"] = energy_model
     elif "energy_model" in data:
         kwargs["energy_model"] = energy_model_from_dict(data["energy_model"])
+    if "storage" in data:
+        from repro.core.storage import StorageSpec
+
+        kwargs["storage"] = StorageSpec.from_dict(data["storage"])
     return AllocationProblem(
         lifetimes=lifetimes_from_dict(data["lifetimes"]),
         register_count=int(data["register_count"]),

@@ -1,0 +1,179 @@
+"""Storage-hierarchy lint rules (RA305/RA306/RA505/RA605) and the
+bank-capacity infeasibility certificate."""
+
+import dataclasses
+
+from repro.core.network_builder import build_network
+from repro.core.problem import AllocationProblem
+from repro.core.storage import StorageSpec
+from repro.lint import run_lint
+from repro.lint.prove import (
+    InfeasibilityCertificate,
+    check_certificate,
+    find_certificates,
+)
+from tests.conftest import make_lifetime
+
+
+def banked_problem(registers=2, capacity=None, bank_count=2, horizon=6):
+    # "a" written step 1 read step 2 straddles the two staggered banks'
+    # phases, so multi-bank specs have a banking-forced segment.
+    lifetimes = {
+        "a": make_lifetime("a", 1, 2),
+        "b": make_lifetime("b", 1, 5),
+        "c": make_lifetime("c", 2, 6),
+    }
+    return AllocationProblem(
+        lifetimes,
+        register_count=registers,
+        horizon=horizon,
+        storage=StorageSpec.banked(bank_count, 2, capacity=capacity),
+    )
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+# ---------------------------------------------------------------------------
+# RA305 / RA306
+# ---------------------------------------------------------------------------
+
+def test_ra305_lists_banking_forced_segments():
+    report = run_lint(banked_problem())
+    notes = [d for d in report if d.code == "RA305"]
+    assert len(notes) == 1
+    assert "a#0" in notes[0].message
+    assert notes[0].severity.name == "NOTE"
+
+
+def test_ra305_silent_without_fragmentation():
+    problem = banked_problem().with_options(storage=None)
+    assert "RA305" not in codes(run_lint(problem))
+    degenerate = banked_problem(bank_count=1)
+    assert "RA305" not in codes(run_lint(degenerate))
+
+
+def test_ra306_flags_density_over_total_capacity():
+    # Peak density 2 (half-point 1.5): R=1 + 2 banks x capacity 0 = 1 < 2.
+    report = run_lint(banked_problem(registers=1, capacity=0))
+    errors = [d for d in report if d.code == "RA306"]
+    assert len(errors) == 1
+    assert errors[0].severity.name == "ERROR"
+    assert errors[0].evidence["peak"] == 2
+    assert errors[0].evidence["register_count"] == 1
+
+
+def test_ra306_silent_when_any_bank_uncapped():
+    assert "RA306" not in codes(run_lint(banked_problem(registers=1)))
+    roomy = banked_problem(registers=2, capacity=3)
+    assert "RA306" not in codes(run_lint(roomy))
+
+
+# ---------------------------------------------------------------------------
+# RA505
+# ---------------------------------------------------------------------------
+
+def test_ra505_silent_on_well_formed_networks():
+    assert "RA505" not in codes(run_lint(banked_problem()))
+    assert "RA505" not in codes(run_lint(banked_problem(bank_count=1)))
+
+
+def test_ra505_flags_missing_bank_structures(monkeypatch):
+    problem = banked_problem()
+    built = build_network(problem)
+    assert built.banks is not None
+    doctored = dataclasses.replace(built, banks=None)
+    import repro.lint.context as context_mod
+
+    monkeypatch.setattr(
+        context_mod.LintContext,
+        "built",
+        property(lambda self: doctored),
+    )
+    assert "RA505" in codes(run_lint(problem))
+
+
+def test_ra505_flags_corrupted_era_chain(monkeypatch):
+    problem = banked_problem()
+    built = build_network(problem)
+    bad_bank = dataclasses.replace(
+        built.banks[0],
+        era=tuple(e + 1 for e in built.banks[0].era),
+    )
+    doctored = dataclasses.replace(
+        built, banks=(bad_bank,) + built.banks[1:]
+    )
+    import repro.lint.context as context_mod
+
+    monkeypatch.setattr(
+        context_mod.LintContext,
+        "built",
+        property(lambda self: doctored),
+    )
+    assert "RA505" in codes(run_lint(problem))
+
+
+# ---------------------------------------------------------------------------
+# RA605 + the bank-capacity certificate
+# ---------------------------------------------------------------------------
+
+def infeasible_problem():
+    return banked_problem(registers=1, capacity=0)
+
+
+def test_bank_capacity_certificate_found_and_checks():
+    certs = [
+        c
+        for c in find_certificates(infeasible_problem())
+        if c.kind == "bank-capacity"
+    ]
+    assert len(certs) == 1
+    cert = certs[0]
+    assert cert.required == 2 and cert.available == 1
+    assert cert.half_point == 1
+    assert cert.witness == ("a", "b")
+    assert check_certificate(infeasible_problem(), cert)
+
+
+def test_bank_capacity_certificate_rejects_tampering():
+    problem = infeasible_problem()
+    [cert] = [
+        c for c in find_certificates(problem) if c.kind == "bank-capacity"
+    ]
+    looser = dataclasses.replace(cert, available=cert.available + 5)
+    assert not check_certificate(problem, looser)
+    moved = dataclasses.replace(cert, half_point=problem.horizon + 3)
+    assert not check_certificate(problem, moved)
+    padded = dataclasses.replace(cert, witness=cert.witness + ("ghost",))
+    assert not check_certificate(problem, padded)
+
+
+def test_bank_capacity_certificate_round_trips():
+    problem = infeasible_problem()
+    [cert] = [
+        c for c in find_certificates(problem) if c.kind == "bank-capacity"
+    ]
+    rebuilt = InfeasibilityCertificate.from_dict(cert.to_dict())
+    assert rebuilt == cert
+    assert check_certificate(problem, rebuilt)
+
+
+def test_no_bank_capacity_certificate_without_full_caps():
+    uncapped = banked_problem(registers=1)
+    assert not any(
+        c.kind == "bank-capacity" for c in find_certificates(uncapped)
+    )
+    feasible = banked_problem(registers=3, capacity=2)
+    assert not any(
+        c.kind == "bank-capacity" for c in find_certificates(feasible)
+    )
+
+
+def test_ra605_reports_the_proof():
+    report = run_lint(infeasible_problem())
+    errors = [d for d in report if d.code == "RA605"]
+    assert len(errors) == 1
+    assert errors[0].severity.name == "ERROR"
+    assert errors[0].evidence["certificate"] == "bank-capacity"
+    assert "RA605" not in codes(run_lint(banked_problem()))

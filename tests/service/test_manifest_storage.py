@@ -1,0 +1,160 @@
+"""Manifest schema v2: the ``storage`` operating-point key."""
+
+import json
+
+import pytest
+
+from repro.core.storage import StorageSpec
+from repro.exceptions import ServiceError
+from repro.service import load_manifest
+from repro.service.manifest import SCHEMA_V1, SCHEMA_V2, parse_manifest
+
+
+def write_manifest(tmp_path, document) -> str:
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+def test_v1_documents_parse_verbatim(tmp_path):
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": SCHEMA_V1,
+            "jobs": [{"kind": "figure", "name": "fig3", "registers": 2}],
+        },
+    )
+    manifest = load_manifest(path)
+    assert manifest.schema == SCHEMA_V1
+    [workload] = manifest.build()
+    assert workload.problem.storage is None
+
+
+def test_v1_rejects_storage_jobs_naming_v2():
+    document = {
+        "schema": SCHEMA_V1,
+        "jobs": [
+            {"kind": "figure", "name": "fig3",
+             "storage": {"banks": 2, "period": 2}},
+        ],
+    }
+    with pytest.raises(ServiceError, match="manifest/v2"):
+        parse_manifest(document)
+
+
+def test_v1_rejects_storage_defaults_naming_v2():
+    document = {
+        "schema": SCHEMA_V1,
+        "defaults": {"storage": {"banks": 2, "period": 2}},
+        "jobs": [{"kind": "figure", "name": "fig3"}],
+    }
+    with pytest.raises(ServiceError, match="defaults"):
+        parse_manifest(document)
+
+
+def test_v2_banked_shorthand_builds_hierarchy(tmp_path):
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": SCHEMA_V2,
+            "jobs": [
+                {"kind": "figure", "name": "fig3", "registers": 2,
+                 "storage": {"banks": 2, "period": 2, "ports": 1}},
+            ],
+        },
+    )
+    [workload] = load_manifest(path).build()
+    storage = workload.problem.storage
+    assert storage is not None
+    assert len(storage.banks) == 2
+    assert all(b.ports == 1 and b.divisor == 2 for b in storage.banks)
+    # The energy model is charged at the hierarchy's reference supply.
+    assert workload.problem.energy_model.mem_voltage == pytest.approx(
+        storage.reference.voltage
+    )
+    assert workload.problem.memory.divisor == 2
+
+
+def test_v2_accepts_full_storage_document(tmp_path):
+    spec = StorageSpec.banked(2, 2, capacity=3)
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": SCHEMA_V2,
+            "jobs": [
+                {"kind": "figure", "name": "fig1", "registers": 2,
+                 "storage": spec.to_dict()},
+            ],
+        },
+    )
+    [workload] = load_manifest(path).build()
+    assert workload.problem.storage == spec
+
+
+def test_v2_storage_round_trips_through_job_params(tmp_path):
+    spec = StorageSpec.banked(3, 2, ports=2, capacity=1, stagger=False)
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": SCHEMA_V2,
+            "jobs": [
+                {"kind": "figure", "name": "fig4", "registers": 2,
+                 "storage": json.loads(json.dumps(spec.to_dict()))},
+            ],
+        },
+    )
+    [workload] = load_manifest(path).build()
+    assert workload.problem.storage == spec
+    assert workload.problem.storage.to_dict() == spec.to_dict()
+
+
+def test_v2_storage_in_defaults_applies_to_all_jobs(tmp_path):
+    path = write_manifest(
+        tmp_path,
+        {
+            "schema": SCHEMA_V2,
+            "defaults": {"storage": {"banks": 2, "period": 2}},
+            "jobs": [
+                {"kind": "figure", "name": "fig3", "registers": 2},
+                {"kind": "kernel", "name": "fir", "taps": 4,
+                 "registers": 4},
+            ],
+        },
+    )
+    workloads = load_manifest(path).build()
+    assert all(len(w.problem.storage.banks) == 2 for w in workloads)
+
+
+def test_v2_without_storage_matches_v1_build(tmp_path):
+    job = {"kind": "figure", "name": "fig3", "registers": 2}
+    v1 = load_manifest(
+        write_manifest(tmp_path, {"schema": SCHEMA_V1, "jobs": [job]})
+    ).build()
+    v2_dir = tmp_path / "v2"
+    v2_dir.mkdir()
+    v2 = load_manifest(
+        write_manifest(v2_dir, {"schema": SCHEMA_V2, "jobs": [job]})
+    ).build()
+    assert v1[0].problem.register_count == v2[0].problem.register_count
+    assert v1[0].problem.lifetimes.keys() == v2[0].problem.lifetimes.keys()
+    assert v2[0].problem.storage is None
+
+
+def test_bad_storage_values_are_service_errors(tmp_path):
+    for bad in ("not-an-object", {"banks": 0, "period": 2},
+                {"banks": 2, "period": "x"}):
+        document = {
+            "schema": SCHEMA_V2,
+            "jobs": [
+                {"kind": "figure", "name": "fig3", "storage": bad},
+            ],
+        }
+        with pytest.raises(ServiceError):
+            load_manifest(write_manifest(tmp_path, document)).build()
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ServiceError, match="schema"):
+        parse_manifest(
+            {"schema": "repro.service/manifest/v3", "jobs": [{}]}
+        )

@@ -1,0 +1,79 @@
+"""CLI surface of the storage hierarchy: bank flags on demo/explore/
+fuzz/batch."""
+
+import json
+
+from repro.cli import main
+
+
+def test_demo_with_banks(capsys):
+    code = main(
+        ["demo", "--kernel", "fir", "--taps", "4", "-R", "4",
+         "--banks", "2", "--bank-period", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "registers used" in out
+
+
+def test_explore_banked_sweep(capsys):
+    code = main(
+        ["explore", "--kernel", "fir", "--taps", "4", "--banks", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "storage space" in out
+    assert "best point" in out
+
+
+def test_explore_without_banks_keeps_classic_table(capsys):
+    assert main(["explore", "--kernel", "fir", "--taps", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "pareto frontier" in out
+
+
+def test_fuzz_banked_family(capsys, tmp_path):
+    report_path = tmp_path / "fuzz.json"
+    code = main(
+        ["fuzz", "--seed", "7", "--iters", "6", "--family", "banked",
+         "--output", str(report_path)]
+    )
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["family"] == "banked"
+    assert report["statuses"]["violation"] == 0
+
+
+def test_batch_with_bank_flags(capsys, tmp_path):
+    manifest = tmp_path / "m.json"
+    manifest.write_text(json.dumps({
+        "schema": "repro.service/manifest/v1",
+        "jobs": [{"kind": "figure", "name": "fig3", "registers": 2}],
+    }))
+    out_path = tmp_path / "report.json"
+    code = main(
+        ["batch", str(manifest), "--banks", "2", "--bank-period", "2",
+         "--output", str(out_path)]
+    )
+    assert code == 0
+    report = json.loads(out_path.read_text())
+    assert report["totals"]["jobs"] == 1
+    assert report["totals"]["failed"] == 0
+
+
+def test_batch_multibank_manifest_certifies(tmp_path):
+    manifest = tmp_path / "m.json"
+    manifest.write_text(json.dumps({
+        "schema": "repro.service/manifest/v2",
+        "jobs": [{"kind": "figure", "name": "fig3", "registers": 2,
+                  "storage": {"banks": 2, "period": 2}}],
+    }))
+    out_path = tmp_path / "report.json"
+    code = main(
+        ["batch", str(manifest), "--lint", "error",
+         "--certify-fraction", "1.0", "--output", str(out_path)]
+    )
+    assert code == 0
+    report = json.loads(out_path.read_text())
+    assert report["totals"]["certified"] == 1
+    assert report["jobs"][0]["status"] == "ok"
