@@ -21,7 +21,11 @@ from repro.core.options import SolveOptions
 from repro.core.problem import AllocationProblem
 from repro.core.solver import allocate, solve_built
 from repro.core.storage import StorageSpec
-from repro.energy.models import EnergyModel, StaticEnergyModel
+from repro.energy.models import (
+    EnergyModel,
+    StaticEnergyModel,
+    reference_reg_voltage,
+)
 from repro.energy.voltage import MemoryConfig
 from repro.exceptions import GraphError, InfeasibleFlowError
 from repro.flow.warm_start import WarmStartCache
@@ -168,7 +172,7 @@ def explore_design_space(
     built_by_registers: dict[int, BuiltNetwork] = {}
     for memory in memory_configs:
         model = base_model.with_voltages(
-            memory.voltage, getattr(base_model, "reg_voltage", 5.0)
+            memory.voltage, reference_reg_voltage(base_model)
         )
         for registers in register_counts:
             problem = AllocationProblem(
@@ -339,7 +343,7 @@ def explore_storage_space(
     points: list[StoragePoint] = []
     for spec in storage_specs:
         model = base_model.with_voltages(
-            spec.reference.voltage, getattr(base_model, "reg_voltage", 5.0)
+            spec.reference.voltage, reference_reg_voltage(base_model)
         )
         for registers in register_counts:
             problem = AllocationProblem(

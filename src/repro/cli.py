@@ -26,6 +26,14 @@ Subcommands:
   instances through the oracle battery, solver cross-checks and baseline
   dominance, with greedy shrinking of any failure into a minimal
   reproducer (see :mod:`repro.verify`);
+* ``dag`` — whole-application allocation: partition a registered task
+  graph onto cores under a frame deadline, co-optimise a per-partition
+  DVFS operating point (cheapest supply meeting the CMOS delay-slack
+  relation within the deadline), fan the per-block flow solves out
+  through the batch executor with certificates on, reconcile the
+  roll-up with the ``dag_reconciliation`` oracle, and emit a versioned
+  ``repro.dag/report/v1`` document (``--emit-manifest`` additionally
+  writes the batch as a replayable v2 manifest; see :mod:`repro.dag`);
 * ``batch`` — solve a manifest of instances through the batch service:
   canonical-form result cache (in-memory + optional on-disk), parallel
   workers with per-job timeouts, retry with exponential backoff and the
@@ -54,6 +62,8 @@ Examples::
     repro-alloc profile ewf --format table
     repro-alloc fuzz --seed 0 --iters 100 -o fuzz-report.json
     repro-alloc batch examples/manifests/paper.json --workers 4
+    repro-alloc dag diamond --cores 2 --slack 1.5 --format json
+    repro-alloc dag fanin --emit-manifest out/fanin-batch
     repro-alloc serve --port 8713 --cache-dir serve-cache --rate 50
 """
 
@@ -86,7 +96,13 @@ from repro.workloads import (
     figure4_lifetimes,
     rsp_schedule,
 )
-from repro.workloads.registry import KERNEL_NAMES, figure_example, kernel_block
+from repro.workloads.registry import (
+    DAG_NAMES,
+    KERNEL_NAMES,
+    dag_workload,
+    figure_example,
+    kernel_block,
+)
 
 __all__ = ["main"]
 
@@ -381,8 +397,9 @@ def _cmd_offsets(args: argparse.Namespace) -> int:
 
 
 #: Lintable workloads: the paper's worked examples (pre-built lifetime
-#: sets, no schedule) plus every synthesised kernel (scheduled, so the
-#: RA1xx schedule rules participate).
+#: sets, no schedule), every synthesised kernel (scheduled, so the
+#: RA1xx schedule rules participate), and the registered task graphs
+#: (linted per task, findings merged).
 _LINT_WORKLOADS = (
     "fig1",
     "fig3",
@@ -393,7 +410,7 @@ _LINT_WORKLOADS = (
     "dct",
     "rsp",
     "random",
-)
+) + DAG_NAMES
 
 
 def _lint_target(args: argparse.Namespace):
@@ -440,6 +457,66 @@ def _lint_target(args: argparse.Namespace):
         memory=memory,
     )
     return problem, schedule, f"{block.name} (R={registers})"
+
+
+def _lint_dag(args: argparse.Namespace, config, threshold) -> int:
+    """Lint every task of a registered task graph; merge the findings.
+
+    One lint run per task (each task's block is scheduled, so the
+    schedule-aware rules participate), rendered sequentially in text
+    mode, as a task-name-keyed object in JSON mode, and as one
+    multi-run SARIF log under ``--sarif``.
+    """
+    import json as _json
+
+    from repro.lifetimes import max_density
+    from repro.lint import render_text, report_to_json, run_lint
+    from repro.lint.sarif import merged_sarif_to_json
+
+    graph = dag_workload(args.workload, seed=args.seed)
+    memory = MemoryConfig()
+    model = _model(args.model)
+    if args.divisor > 1:
+        memory = MemoryConfig.scaled(args.divisor)
+        model = model.with_voltages(memory.voltage, model.reg_voltage)
+    order = graph.topological_order()
+    assert order is not None  # registry graphs are acyclic
+    entries = []
+    texts = []
+    json_runs: dict[str, object] = {}
+    failed = False
+    for task in order:
+        schedule = list_schedule(task.block)
+        registers = args.registers
+        if registers is None:
+            lifetimes = extract_lifetimes(schedule)
+            registers = max_density(lifetimes.values(), schedule.length)
+        problem = AllocationProblem.from_schedule(
+            schedule,
+            register_count=registers,
+            energy_model=model,
+            memory=memory,
+        )
+        report = run_lint(problem, schedule=schedule, config=config)
+        label = f"{args.workload}:{task.name} (R={registers})"
+        entries.append((report, {"task": task.name}))
+        texts.append(render_text(report, title=f"lint {label}"))
+        json_runs[task.name] = _json.loads(report_to_json(report))
+        if threshold is not None and report.at_least(threshold):
+            failed = True
+    if args.format == "json":
+        sys.stdout.write(
+            _json.dumps(json_runs, indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        sys.stdout.write("".join(texts))
+    if args.sarif:
+        code = _write_output(
+            args.sarif, merged_sarif_to_json(entries), "merged SARIF report"
+        )
+        if code:
+            return code
+    return 1 if failed else 0
 
 
 def _lint_options(items) -> "tuple[dict[str, dict[str, object]], str | None]":
@@ -511,12 +588,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
-    problem, schedule, label = _lint_target(args)
     config = LintConfig(
         select=tuple(p for p in (args.select or "").split(",") if p),
         ignore=tuple(p for p in (args.ignore or "").split(",") if p),
         options=options,
     )
+    if args.workload in DAG_NAMES:
+        return _lint_dag(args, config, _fail_on_threshold(args.fail_on))
+    problem, schedule, label = _lint_target(args)
     report = run_lint(problem, schedule=schedule, config=config)
     if args.format == "json":
         sys.stdout.write(report_to_json(report))
@@ -534,6 +613,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import format_report, profile_block, report_to_csv, report_to_json
+
+    if args.kernel in DAG_NAMES:
+        import time
+
+        from repro.core.task_pipeline import allocate_task_graph
+        from repro.obs import build_report, collect
+
+        graph = dag_workload(args.kernel, seed=args.seed)
+        start = time.perf_counter()
+        with collect() as trace:
+            result = allocate_task_graph(
+                graph,
+                register_count=args.registers,
+                energy_model=_model(args.model),
+            )
+            obs_gauge_energy = result.energy_per_frame
+        report = build_report(
+            workload=args.kernel,
+            trace=trace,
+            wall_time_s=time.perf_counter() - start,
+            params={
+                "workload": args.kernel,
+                "tasks": len(graph),
+                "registers": args.registers,
+                "seed": args.seed,
+                "model": args.model,
+                "energy_per_frame": obs_gauge_energy,
+            },
+        )
+        if args.format == "table":
+            text = format_report(report) + "\n"
+        elif args.format == "csv":
+            text = report_to_csv(report)
+        else:
+            text = report_to_json(report)
+        return _write_output(args.output, text, f"{args.format} run report")
 
     block = _kernel(args)
     report = profile_block(
@@ -581,6 +696,78 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     print(summary, file=sys.stderr)
     return 1 if statuses["violation"] else 0
+
+
+def _cmd_dag(args: argparse.Namespace) -> int:
+    from repro.dag import (
+        build_dag_report,
+        build_jobs,
+        dispatch_blocks,
+        emit_manifest,
+        partition_graph,
+        plan_handoffs,
+        render_dag_text,
+        report_to_json,
+        sweep_operating_points,
+    )
+    from repro.exceptions import DagError, WorkloadError
+    from repro.obs import collect
+    from repro.verify import OracleViolation, oracle_dag_reconciliation
+
+    try:
+        graph = dag_workload(args.workload, seed=args.seed)
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    model = _model(args.model)
+    certify = not args.no_certify
+    with collect():
+        try:
+            plan = partition_graph(
+                graph,
+                cores=args.cores,
+                deadline=args.deadline,
+                slack=args.slack,
+                energy_model=model,
+            )
+            handoffs = plan_handoffs(plan, energy_model=model)
+            selection = sweep_operating_points(
+                plan,
+                register_count=args.registers,
+                energy_model=model,
+                handoff_energy=sum(h.energy for h in handoffs),
+            )
+            jobs = build_jobs(
+                plan, selection, register_count=args.registers,
+                energy_model=model,
+            )
+            results = dispatch_blocks(
+                jobs,
+                workers=args.workers,
+                certify_fraction=1.0 if certify else 0.0,
+            )
+        except DagError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    report = build_dag_report(
+        plan, selection, handoffs, results, register_count=args.registers
+    )
+    try:
+        oracle_dag_reconciliation(report, require_certified=certify)
+    except OracleViolation as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.emit_manifest:
+        manifest_path = emit_manifest(
+            jobs, args.emit_manifest, graph_name=graph.name
+        )
+        print(f"wrote batch manifest to {manifest_path}", file=sys.stderr)
+    text = (
+        report_to_json(report)
+        if args.format == "json"
+        else render_dag_text(report)
+    )
+    return _write_output(args.output, text, "dag report")
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -857,9 +1044,11 @@ def main(argv: list[str] | None = None) -> int:
     profile.add_argument(
         "kernel",
         nargs="?",
-        choices=KERNEL_NAMES,
+        choices=KERNEL_NAMES + DAG_NAMES,
         default="fir",
-        help="workload to profile (default: the quickstart fir kernel)",
+        help="workload to profile: a kernel, or a registered task "
+        "graph traced through the whole-application pipeline "
+        "(default: the quickstart fir kernel)",
     )
     profile.add_argument("--taps", type=int, default=8)
     profile.add_argument("--registers", "-R", type=int, default=4)
@@ -891,11 +1080,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     fuzz.add_argument(
         "--family",
-        choices=("classic", "banked"),
+        choices=("classic", "banked", "dag"),
         default="classic",
-        help="case family: classic two-level draws, or multi-bank "
-        "conflict draws (bank counts x port widths x access periods; "
-        "default: classic)",
+        help="case family: classic two-level draws, multi-bank "
+        "conflict draws (bank counts x port widths x access periods), "
+        "or whole task-graph pipeline runs checked by the report "
+        "reconciliation oracle (default: classic)",
     )
     fuzz.add_argument(
         "--no-lp",
@@ -914,6 +1104,75 @@ def main(argv: list[str] | None = None) -> int:
         help="write the fuzz report JSON to a file instead of stdout",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    dag = sub.add_parser(
+        "dag",
+        help="task-graph partitioning + per-partition DVFS, fanned out "
+        "through the batch executor",
+    )
+    dag.add_argument(
+        "workload",
+        nargs="?",
+        choices=DAG_NAMES,
+        default="diamond",
+        help="registered task graph to allocate (default: diamond)",
+    )
+    dag.add_argument(
+        "--cores",
+        type=int,
+        default=2,
+        help="cores the partitions may occupy (default: 2)",
+    )
+    dag.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="frame makespan bound in control steps (default: nominal "
+        "makespan x --slack)",
+    )
+    dag.add_argument(
+        "--slack",
+        type=float,
+        default=1.5,
+        help="deadline multiplier when --deadline is omitted: the "
+        "headroom DVFS converts into voltage scaling (default: 1.5)",
+    )
+    dag.add_argument("--registers", "-R", type=int, default=4)
+    dag.add_argument("--seed", type=int, default=2024)
+    dag.add_argument(
+        "--model", choices=("static", "activity"), default="static"
+    )
+    dag.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="batch-executor worker processes (default: 1)",
+    )
+    dag.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="skip the per-block optimality-certificate spot checks",
+    )
+    dag.add_argument(
+        "--emit-manifest",
+        metavar="DIR",
+        default=None,
+        help="also write the per-block batch as a v2 manifest + "
+        "instance files under DIR (replayable via 'repro-alloc batch')",
+    )
+    dag.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    dag.add_argument(
+        "--output",
+        "-o",
+        default="-",
+        help="write the report to a file instead of stdout",
+    )
+    dag.set_defaults(func=_cmd_dag)
 
     batch = sub.add_parser(
         "batch",

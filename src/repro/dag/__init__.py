@@ -1,0 +1,65 @@
+"""Task-graph partitioning and per-partition DVFS co-optimisation.
+
+The paper allocates one basic block at a time; this package lifts the
+technique to whole applications.  A :class:`~repro.ir.task_graph.TaskGraph`
+is cut into per-core/per-era partitions under a deadline
+(:mod:`repro.dag.partition`), each partition gets the cheapest feasible
+``(voltage, frequency)`` operating point under the classic CMOS
+delay/voltage relation (:mod:`repro.dag.operating_points`), the per-block
+flow solves fan out through the batch service
+(:mod:`repro.dag.manifest_emit`), and everything is rolled up into a
+versioned ``repro.dag/report/v1`` document (:mod:`repro.dag.report`) that
+the :func:`repro.verify.oracles.oracle_dag_reconciliation` oracle can
+re-check independently.
+
+The partition + energy minimisation problem is NP-hard even in restricted
+forms (Liu/Chen/Yang, see PAPERS.md), so the cut is an earliest-finish-time
+heuristic with a handoff-cost refinement pass — but every per-block solve
+below it stays the paper's *optimal* min-cost flow, certificate checks
+included, and the roll-up is oracle-reconciled.
+"""
+
+from repro.dag.manifest_emit import DagJob, build_jobs, dispatch_blocks, emit_manifest
+from repro.dag.operating_points import (
+    DELAY_SLACK,
+    DvfsSelection,
+    FrontierPoint,
+    OperatingPoint,
+    default_ladder,
+    sweep_operating_points,
+)
+from repro.dag.partition import (
+    HandoffCost,
+    Partition,
+    PartitionPlan,
+    partition_graph,
+    plan_handoffs,
+)
+from repro.dag.report import (
+    DAG_REPORT_SCHEMA,
+    build_dag_report,
+    render_dag_text,
+    report_to_json,
+)
+
+__all__ = [
+    "DAG_REPORT_SCHEMA",
+    "DELAY_SLACK",
+    "DagJob",
+    "DvfsSelection",
+    "FrontierPoint",
+    "HandoffCost",
+    "OperatingPoint",
+    "Partition",
+    "PartitionPlan",
+    "build_dag_report",
+    "build_jobs",
+    "default_ladder",
+    "dispatch_blocks",
+    "emit_manifest",
+    "partition_graph",
+    "plan_handoffs",
+    "render_dag_text",
+    "report_to_json",
+    "sweep_operating_points",
+]

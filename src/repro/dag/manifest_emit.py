@@ -1,0 +1,171 @@
+"""Lowering partition plans onto the batch service.
+
+Once :mod:`repro.dag.partition` has cut the task graph and
+:mod:`repro.dag.operating_points` has fixed each partition's DVFS point,
+what remains is a plain batch of per-block allocation instances — one
+per task, at its partition's supply voltage.  This module lowers that
+batch two ways:
+
+* :func:`dispatch_blocks` fans the solves out through the in-process
+  :class:`~repro.service.executor.BatchExecutor`, inheriting its cache,
+  admission lint-gate and certificate spot-check semantics unchanged;
+* :func:`emit_manifest` writes the same batch as a
+  ``repro.service/manifest/v2`` document plus serialised
+  ``repro-instance-v1`` files, so ``repro-alloc batch`` or a ``POST
+  /v1/batch`` against the allocation server replays it later, remotely,
+  or under different executor settings.
+
+Both paths go through instance-kind jobs on purpose: the serialised
+instance embeds the *full* operating point (both rescaled supply
+voltages, the memory config), so no manifest schema change is needed to
+carry DVFS information — a v2 manifest consumer that has never heard of
+``repro.dag`` still solves the batch at the right voltages.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.problem import AllocationProblem
+from repro.dag.operating_points import DvfsSelection, OperatingPoint, task_problem
+from repro.dag.partition import PartitionPlan
+from repro.energy.models import EnergyModel
+from repro.exceptions import DagError
+from repro.obs import trace as obs
+from repro.scheduling.schedule import Schedule
+from repro.service.executor import BatchExecutor, JobResult
+from repro.service.manifest import SCHEMA_V2
+from repro.workloads.serialize import problem_to_dict
+
+__all__ = ["DagJob", "build_jobs", "dispatch_blocks", "emit_manifest"]
+
+
+@dataclass(frozen=True)
+class DagJob:
+    """One per-block solve of a lowered partition plan.
+
+    Attributes:
+        job_id: Batch identifier, ``<partition id>:<task name>``.
+        task: Task name.
+        partition: Owning partition id.
+        point: The partition's chosen operating point.
+        problem: The allocation instance at that point.
+        schedule: The task's list schedule (forwarded to the executor so
+            schedule-aware lint rules run at admission time).
+    """
+
+    job_id: str
+    task: str
+    partition: str
+    point: OperatingPoint
+    problem: AllocationProblem
+    schedule: Schedule
+
+
+def build_jobs(
+    plan: PartitionPlan,
+    selection: DvfsSelection,
+    register_count: int = 4,
+    energy_model: EnergyModel | None = None,
+) -> list[DagJob]:
+    """Materialise the per-block batch of a partitioned, DVFS'd plan.
+
+    One job per task, in topological order, at the operating point of
+    the task's partition.  The instance is built by
+    :func:`~repro.dag.operating_points.task_problem` — the exact
+    construction the sweep priced, so executor objectives reconcile with
+    sweep energies to the frame-rate weight.
+    """
+    order = plan.graph.topological_order()
+    assert order is not None  # cycles rejected at graph construction
+    jobs = []
+    for task in order:
+        partition = plan.partition_of(task.name)
+        try:
+            point = selection.assignment[partition.id]
+        except KeyError:
+            raise DagError(
+                f"selection has no operating point for partition "
+                f"{partition.id!r}"
+            ) from None
+        jobs.append(
+            DagJob(
+                job_id=f"{partition.id}:{task.name}",
+                task=task.name,
+                partition=partition.id,
+                point=point,
+                problem=task_problem(
+                    plan, task.name, point, register_count, energy_model
+                ),
+                schedule=plan.schedules[task.name],
+            )
+        )
+    return jobs
+
+
+def dispatch_blocks(
+    jobs: list[DagJob],
+    executor: BatchExecutor | None = None,
+    **executor_args: Any,
+) -> list[JobResult]:
+    """Fan the per-block solves out through the batch executor.
+
+    Args:
+        jobs: The batch from :func:`build_jobs`.
+        executor: An existing executor to reuse (its cache, lint gate
+            and certify settings apply unchanged).  ``None`` constructs
+            a fresh one from *executor_args*
+            (:class:`~repro.service.executor.BatchExecutor` keywords,
+            e.g. ``workers=4`` or ``certify_fraction=1.0``).
+
+    Returns:
+        :class:`~repro.service.executor.JobResult` per job, in
+        submission (topological) order.
+    """
+    runner = executor or BatchExecutor(**executor_args)
+    for job in jobs:
+        runner.submit(job.problem, job_id=job.job_id, schedule=job.schedule)
+    results = runner.gather()
+    obs.count("dag.blocks_dispatched", len(jobs))
+    return results
+
+
+def _instance_filename(job_id: str) -> str:
+    """Filesystem-safe instance filename for *job_id*."""
+    return job_id.replace("/", "-").replace(":", "-") + ".json"
+
+
+def emit_manifest(
+    jobs: list[DagJob],
+    directory: str | Path,
+    graph_name: str = "dag",
+    extra_defaults: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write the batch as a v2 manifest + instance files under *directory*.
+
+    Each job becomes a serialised ``repro-instance-v1`` file (the full
+    operating point travels inside the instance document) and one
+    ``{"kind": "instance"}`` manifest line labelled with the job id.
+    Returns the path of the written ``manifest.json``; feed it to
+    ``repro-alloc batch`` or POST its content to ``/v1/batch``.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, Any] = {"schema": SCHEMA_V2, "jobs": []}
+    if extra_defaults:
+        manifest["defaults"] = dict(extra_defaults)
+    for job in jobs:
+        filename = _instance_filename(job.job_id)
+        (base / filename).write_text(
+            json.dumps(problem_to_dict(job.problem), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        manifest["jobs"].append(
+            {"kind": "instance", "path": filename, "label": job.job_id}
+        )
+    path = base / f"{graph_name}.manifest.json"
+    path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+    return path

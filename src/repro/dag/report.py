@@ -1,0 +1,203 @@
+"""Versioned DAG allocation reports (``repro.dag/report/v1``).
+
+The roll-up document of a full task-graph run: the partition structure,
+each partition's chosen operating point, per-block allocation energies
+(with batch-executor provenance when the blocks went through
+:func:`~repro.dag.manifest_emit.dispatch_blocks`), the cross-partition
+handoff bill, and the energy-vs-makespan Pareto frontier.  The document
+is self-reconciling — ``energy.total`` must equal the sum of the block
+energies plus the handoff energies, which is exactly what the
+:func:`repro.verify.oracles.oracle_dag_reconciliation` oracle re-checks
+from the raw entries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.tables import format_table
+from repro.dag.operating_points import DvfsSelection
+from repro.dag.partition import HandoffCost, PartitionPlan
+from repro.service.executor import JobResult
+
+__all__ = [
+    "DAG_REPORT_SCHEMA",
+    "build_dag_report",
+    "render_dag_text",
+    "report_to_json",
+]
+
+#: Schema identifier stamped on DAG allocation reports.
+DAG_REPORT_SCHEMA = "repro.dag/report/v1"
+
+
+def build_dag_report(
+    plan: PartitionPlan,
+    selection: DvfsSelection,
+    handoffs: Sequence[HandoffCost],
+    results: Sequence[JobResult] | None = None,
+    register_count: int | None = None,
+) -> dict[str, Any]:
+    """Assemble the ``repro.dag/report/v1`` document.
+
+    Args:
+        plan: The partitioned task graph.
+        selection: The DVFS co-optimisation outcome for *plan*.
+        handoffs: Cut-edge costs from
+            :func:`~repro.dag.partition.plan_handoffs` (their total must
+            match ``selection.handoff_energy`` — the oracle checks).
+        results: Batch-executor results, when the blocks were
+            dispatched; folded in as per-block provenance
+            (status/cached/certified/objective).
+        register_count: Register-file size of the per-block solves,
+            recorded for reproducibility.
+
+    Returns:
+        A JSON-ready dict.
+    """
+    provenance: dict[str, JobResult] = {}
+    for result in results or ():
+        task = result.job_id.rsplit(":", 1)[-1]
+        provenance[task] = result
+    partitions = [
+        {
+            "id": partition.id,
+            "core": partition.core,
+            "era": partition.era,
+            "tasks": list(partition.tasks),
+            "work": partition.work,
+            "operating_point": selection.assignment[partition.id].to_dict(),
+            "energy": selection.partition_energies[partition.id],
+        }
+        for partition in plan.partitions
+    ]
+    blocks = []
+    for partition in plan.partitions:
+        for task_name in partition.tasks:
+            task = plan.graph.task(task_name)
+            entry: dict[str, Any] = {
+                "task": task_name,
+                "partition": partition.id,
+                "rate": task.rate,
+                "energy": selection.block_energies[task_name],
+            }
+            result = provenance.get(task_name)
+            if result is not None:
+                entry["job"] = {
+                    "job_id": result.job_id,
+                    "status": result.status,
+                    "cached": result.cached,
+                    "certified": result.certified,
+                    "objective": result.objective,
+                }
+            blocks.append(entry)
+    handoff_entries = [
+        {
+            "edge": list(handoff.edge),
+            "from": handoff.from_partition,
+            "to": handoff.to_partition,
+            "variables": list(handoff.variables),
+            "energy": handoff.energy,
+        }
+        for handoff in handoffs
+    ]
+    frontier = [
+        {
+            "label": point.label,
+            "makespan": point.makespan,
+            "energy": point.energy,
+            "meets_deadline": point.meets_deadline,
+            "assignment": {
+                pid: op.to_dict() for pid, op in sorted(point.assignment.items())
+            },
+        }
+        for point in selection.frontier
+    ]
+    report: dict[str, Any] = {
+        "schema": DAG_REPORT_SCHEMA,
+        "graph": plan.graph.name,
+        "tasks": len(plan.graph),
+        "deadline": plan.deadline,
+        "nominal_makespan": plan.nominal_makespan,
+        "makespan": selection.makespan,
+        "partitions": partitions,
+        "blocks": blocks,
+        "handoffs": handoff_entries,
+        "energy": {
+            "blocks": sum(selection.block_energies.values()),
+            "handoffs": selection.handoff_energy,
+            "total": selection.total_energy,
+        },
+        "frontier": frontier,
+    }
+    if register_count is not None:
+        report["register_count"] = register_count
+    return report
+
+
+def report_to_json(report: Mapping[str, Any]) -> str:
+    """Serialise *report* to indented JSON with a trailing newline."""
+    return json.dumps(report, indent=2) + "\n"
+
+
+def render_dag_text(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of a ``repro.dag/report/v1`` document."""
+    lines = [
+        f"task graph {report['graph']!r}: {report['tasks']} task(s), "
+        f"makespan {report['makespan']:g} / deadline {report['deadline']:g}"
+    ]
+    lines.append(
+        format_table(
+            ["partition", "tasks", "slowdown", "voltage", "energy"],
+            [
+                [
+                    p["id"],
+                    " ".join(p["tasks"]),
+                    p["operating_point"]["slowdown"],
+                    p["operating_point"]["voltage"],
+                    p["energy"],
+                ]
+                for p in report["partitions"]
+            ],
+            title="partitions",
+        )
+    )
+    if report["handoffs"]:
+        lines.append(
+            format_table(
+                ["edge", "from", "to", "values", "energy"],
+                [
+                    [
+                        "->".join(h["edge"]),
+                        h["from"],
+                        h["to"],
+                        len(h["variables"]),
+                        h["energy"],
+                    ]
+                    for h in report["handoffs"]
+                ],
+                title="handoffs",
+            )
+        )
+    lines.append(
+        format_table(
+            ["label", "makespan", "energy", "feasible"],
+            [
+                [
+                    f["label"],
+                    f["makespan"],
+                    f["energy"],
+                    "yes" if f["meets_deadline"] else "no",
+                ]
+                for f in report["frontier"]
+            ],
+            title="energy/makespan frontier",
+        )
+    )
+    energy = report["energy"]
+    lines.append(
+        f"energy: blocks {energy['blocks']:.3f} + handoffs "
+        f"{energy['handoffs']:.3f} = {energy['total']:.3f} per frame"
+    )
+    return "\n\n".join(lines) + "\n"

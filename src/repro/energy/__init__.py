@@ -7,6 +7,7 @@ from repro.energy.models import (
     EnergyModel,
     PairwiseSwitchingModel,
     StaticEnergyModel,
+    reference_reg_voltage,
 )
 from repro.energy.report import EnergyReport
 from repro.energy.switching import (
@@ -38,6 +39,7 @@ __all__ = [
     "gaussian_dsp_trace",
     "max_divisor_supply",
     "pairwise_activity_table",
+    "reference_reg_voltage",
     "scale_energy",
     "uniform_trace",
 ]

@@ -33,7 +33,24 @@ __all__ = [
     "StaticEnergyModel",
     "ActivityEnergyModel",
     "PairwiseSwitchingModel",
+    "reference_reg_voltage",
 ]
+
+
+def reference_reg_voltage(
+    model: "EnergyModel | None", default: float = NOMINAL_VOLTAGE
+) -> float:
+    """Register-file supply a sweep should rescale from.
+
+    The built-in models expose their register supply as ``reg_voltage``;
+    custom :class:`EnergyModel` implementations may not, in which case the
+    nominal supply is assumed.  Every voltage sweep (design-space
+    exploration, the DAG DVFS co-optimiser) resolves the fallback through
+    this one helper so their defaults cannot drift apart.
+    """
+    if model is None:
+        return default
+    return float(getattr(model, "reg_voltage", default))
 
 
 @runtime_checkable

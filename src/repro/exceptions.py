@@ -61,3 +61,10 @@ class LintGateError(ReproError):
 class ServiceError(ReproError):
     """The batch allocation service was misconfigured or fed bad input
     (malformed manifest, invalid executor parameters, bad cache store)."""
+
+
+class DagError(ReproError):
+    """Task-graph partitioning or DVFS co-optimisation was given an
+    unmeetable constraint (deadline below the nominal makespan, an
+    operating point violating the CMOS delay-slack relation) or a
+    malformed plan."""

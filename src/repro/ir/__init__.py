@@ -8,7 +8,7 @@ for writing kernels.
 from repro.ir.basic_block import BasicBlock
 from repro.ir.builder import BlockBuilder
 from repro.ir.operations import OpCode, Operation
-from repro.ir.task_graph import Task, TaskGraph
+from repro.ir.task_graph import TASK_GRAPH_SCHEMA, Task, TaskGraph
 from repro.ir.values import (
     DEFAULT_WIDTH,
     DataVariable,
@@ -25,6 +25,7 @@ __all__ = [
     "DataVariable",
     "OpCode",
     "Operation",
+    "TASK_GRAPH_SCHEMA",
     "Task",
     "TaskGraph",
     "expected_hamming",

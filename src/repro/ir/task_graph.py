@@ -10,12 +10,17 @@ block ordering and the cross-task liveness that makes variables like
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterator, Mapping
 
 from repro.exceptions import GraphError
 from repro.ir.basic_block import BasicBlock
+from repro.ir.operations import OpCode, Operation
+from repro.ir.values import DataVariable
 
-__all__ = ["Task", "TaskGraph"]
+__all__ = ["TASK_GRAPH_SCHEMA", "Task", "TaskGraph"]
+
+#: Schema identifier stamped on serialised task graphs.
+TASK_GRAPH_SCHEMA = "repro/task-graph/v1"
 
 
 @dataclass
@@ -119,3 +124,118 @@ class TaskGraph:
 
     def __len__(self) -> int:
         return len(self._tasks)
+
+    # ------------------------------------------------------------------
+    # serialisation (``repro/task-graph/v1``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the graph (tasks, embedded blocks, edges) to JSON data.
+
+        The document follows the :mod:`repro.workloads.serialize` idiom:
+        a ``schema`` stamp plus plain lists that round-trip unchanged
+        through ``json.dumps``/``json.loads``.  Blocks embed their full
+        operation lists (opcode, inputs, output, delay), declared variable
+        widths/traces and live-out sets, so :meth:`from_dict` rebuilds
+        byte-identical :class:`~repro.ir.basic_block.BasicBlock` objects.
+        """
+        return {
+            "schema": TASK_GRAPH_SCHEMA,
+            "name": self.name,
+            "tasks": [
+                {
+                    "name": task.name,
+                    "rate": task.rate,
+                    "block": _block_to_dict(task.block),
+                }
+                for task in self._tasks.values()
+            ],
+            "edges": sorted(list(edge) for edge in self._edges),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskGraph":
+        """Rebuild a graph serialised by :meth:`to_dict`.
+
+        Validates through the normal constructors: malformed blocks,
+        duplicate tasks, unknown edge endpoints and cycles all raise
+        :class:`~repro.exceptions.GraphError`.
+        """
+        if data.get("schema") != TASK_GRAPH_SCHEMA:
+            raise GraphError(
+                f"unknown task-graph schema {data.get('schema')!r}"
+            )
+        graph = cls(str(data.get("name", "graph")))
+        for entry in data.get("tasks", ()):
+            try:
+                name = entry["name"]
+                block = _block_from_dict(entry["block"])
+            except KeyError as exc:
+                raise GraphError(f"task entry missing field {exc}") from None
+            graph.add_task(Task(str(name), block, int(entry.get("rate", 1))))
+        for edge in data.get("edges", ()):
+            before, after = edge
+            graph.add_edge(str(before), str(after))
+        return graph
+
+
+def _block_to_dict(block: BasicBlock) -> dict[str, Any]:
+    """JSON-ready view of one basic block (operations, variables, live-out)."""
+    return {
+        "name": block.name,
+        "operations": [
+            {
+                "name": op.name,
+                "opcode": op.opcode.value,
+                "inputs": list(op.inputs),
+                "output": op.output,
+                "delay": op.delay,
+            }
+            for op in block.operations
+        ],
+        "variables": [
+            {
+                "name": var.name,
+                "width": var.width,
+                "trace": list(var.trace),
+            }
+            for var in block.variables.values()
+        ],
+        "live_out": sorted(block.live_out),
+    }
+
+
+def _block_from_dict(data: Mapping[str, Any]) -> BasicBlock:
+    """Rebuild a block serialised by :func:`_block_to_dict`."""
+    try:
+        operations = [
+            Operation(
+                name=str(entry["name"]),
+                opcode=OpCode(entry["opcode"]),
+                inputs=tuple(str(i) for i in entry.get("inputs", ())),
+                output=(
+                    str(entry["output"])
+                    if entry.get("output") is not None
+                    else None
+                ),
+                delay=int(entry.get("delay", 1)),
+            )
+            for entry in data.get("operations", ())
+        ]
+    except KeyError as exc:
+        raise GraphError(f"operation entry missing field {exc}") from None
+    except ValueError as exc:
+        raise GraphError(f"bad operation entry: {exc}") from None
+    variables = [
+        DataVariable(
+            str(entry["name"]),
+            int(entry.get("width", 16)),
+            tuple(entry.get("trace", ())),
+        )
+        for entry in data.get("variables", ())
+    ]
+    return BasicBlock.from_operations(
+        str(data.get("name", "block")),
+        operations,
+        live_out=tuple(str(v) for v in data.get("live_out", ())),
+        variables=variables,
+    )

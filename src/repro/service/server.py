@@ -654,8 +654,9 @@ class AllocationServer:
         since the server started — warm-start hit kinds
         (``solver.warm_start.cold/replay/incremental``), solver-ladder
         rung attempts/successes (``service.rung.*``), shed totals
-        (``service.shed*``) — plus admission, result-cache and server
-        stats.
+        (``service.shed*``), task-graph pipeline counters (``dag.*``,
+        grouped under ``dag``) — plus admission, result-cache and
+        server stats.
         """
         collector = obs.current()
         return {
@@ -673,6 +674,7 @@ class AllocationServer:
                 if collector
                 else {}
             ),
+            "dag": counter_group(collector, "dag") if collector else {},
             "server": self.health(),
         }
 

@@ -43,6 +43,7 @@ from repro.verify.oracles import (
     Violation,
     check_allocation,
     oracle_codegen_agreement,
+    oracle_dag_reconciliation,
 )
 
 __all__ = [
@@ -67,4 +68,5 @@ __all__ = [
     "Violation",
     "check_allocation",
     "oracle_codegen_agreement",
+    "oracle_dag_reconciliation",
 ]

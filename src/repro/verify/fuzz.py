@@ -483,14 +483,20 @@ def run_fuzz(
         iters: Number of cases to run.
         use_lp: Force the LP cross-check on/off (``None`` = autodetect).
         shrink: Greedily minimise failing instances before reporting.
-        family: ``"classic"`` (two-level draws, :func:`draw_case`) or
-            ``"banked"`` (multi-bank draws, :func:`draw_bank_case`).
+        family: ``"classic"`` (two-level draws, :func:`draw_case`),
+            ``"banked"`` (multi-bank draws, :func:`draw_bank_case`) or
+            ``"dag"`` (whole task-graph runs through the
+            :mod:`repro.dag` pipeline, checked by the report
+            reconciliation oracle; no shrinking — the reproducer is the
+            ``(workload, seed, cores, registers)`` tuple itself).
 
     Returns:
         A ``repro.verify/fuzz-report/v1`` dict: coverage counters,
         per-status totals and one entry per failure with the (minimised)
         reproducer instance inline.
     """
+    if family == "dag":
+        return _run_dag_fuzz(seed, iters)
     if family not in ("classic", "banked"):
         raise ValueError(f"unknown fuzz family {family!r}")
     draw = draw_bank_case if family == "banked" else draw_case
@@ -551,6 +557,103 @@ def run_fuzz(
         "schema": SCHEMA,
         "seed": seed,
         "family": family,
+        "iterations": iters,
+        "statuses": statuses,
+        "coverage": coverage,
+        "failures": failures,
+    }
+
+
+def _run_dag_fuzz(seed: int, iters: int) -> dict[str, Any]:
+    """The ``dag`` fuzz family: end-to-end task-graph pipeline runs.
+
+    Each case draws a registered DAG workload (fresh block seed), a core
+    count, a register-file size and a deadline slack, runs the full
+    partition → DVFS sweep → batch dispatch → report pipeline with
+    certificates on every solve, and checks the result with
+    :func:`repro.verify.oracles.oracle_dag_reconciliation`.  Cases are
+    tiny (the reproducer is the drawn parameter tuple), so there is no
+    shrinking stage.
+    """
+    # Local import: repro.dag pulls in the batch service, which imports
+    # back into repro.verify for certificates — a module-level import
+    # here would cycle.
+    from repro.dag import (
+        build_dag_report,
+        build_jobs,
+        default_ladder,
+        dispatch_blocks,
+        partition_graph,
+        plan_handoffs,
+        sweep_operating_points,
+    )
+    from repro.exceptions import DagError
+    from repro.verify.oracles import OracleViolation, oracle_dag_reconciliation
+    from repro.workloads.registry import DAG_NAMES, dag_workload
+
+    plan_rng = spawn_rng(seed, "fuzz-dag")
+    ladder = default_ladder((1.0, 2.0, 4.0))
+    statuses = {"ok": 0, "infeasible": 0, "violation": 0}
+    coverage: dict[str, dict[str, int]] = {
+        "workload": {},
+        "cores": {},
+        "register_count": {},
+    }
+    failures: list[dict[str, Any]] = []
+    for index in range(iters):
+        case = {
+            "workload": plan_rng.choice(DAG_NAMES),
+            "graph_seed": plan_rng.randrange(1 << 16),
+            "cores": plan_rng.randint(1, 3),
+            "registers": plan_rng.randint(2, 6),
+            "slack": plan_rng.choice((1.0, 1.5, 2.5, 4.0)),
+        }
+        for axis in ("workload", "cores", "register_count"):
+            value = case["registers" if axis == "register_count" else axis]
+            coverage[axis][str(value)] = coverage[axis].get(str(value), 0) + 1
+        try:
+            graph = dag_workload(case["workload"], seed=case["graph_seed"])
+            plan = partition_graph(
+                graph, cores=case["cores"], slack=case["slack"]
+            )
+            handoffs = plan_handoffs(plan)
+            selection = sweep_operating_points(
+                plan,
+                register_count=case["registers"],
+                ladder=ladder,
+                handoff_energy=sum(h.energy for h in handoffs),
+            )
+            jobs = build_jobs(
+                plan, selection, register_count=case["registers"]
+            )
+            results = dispatch_blocks(jobs, certify_fraction=1.0)
+            report = build_dag_report(
+                plan,
+                selection,
+                handoffs,
+                results,
+                register_count=case["registers"],
+            )
+            oracle_dag_reconciliation(report, require_certified=True)
+        except (InfeasibleFlowError, DagError):
+            statuses["infeasible"] += 1
+        except OracleViolation as exc:
+            statuses["violation"] += 1
+            failures.append(
+                {
+                    "case": case,
+                    "seed": seed,
+                    "violations": [
+                        {"oracle": exc.oracle, "message": str(exc)}
+                    ],
+                }
+            )
+        else:
+            statuses["ok"] += 1
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "family": "dag",
         "iterations": iters,
         "statuses": statuses,
         "coverage": coverage,

@@ -25,7 +25,12 @@ invariant *independently* of the code that produced the solution:
   chains by independent accounting;
 * ``codegen_agreement`` — the lowered program's memory traffic reconciles
   exactly with the allocation report, and simulated execution matches the
-  reference dataflow evaluation on random inputs.
+  reference dataflow evaluation on random inputs;
+* ``dag_reconciliation`` — a ``repro.dag/report/v1`` document is
+  internally consistent: per-block energies roll up to partition and
+  report totals, batch-executor objectives agree with the sweep's
+  energies, the makespan meets the deadline and the frontier's
+  feasibility flags are truthful.
 
 Oracles raise :class:`OracleViolation`; :func:`check_allocation` runs a
 battery and returns the violations as data (the fuzz harness consumes
@@ -56,6 +61,7 @@ __all__ = [
     "oracle_optimality_certificate",
     "oracle_energy_agreement",
     "oracle_codegen_agreement",
+    "oracle_dag_reconciliation",
 ]
 
 #: Relative tolerance for energy comparisons.
@@ -564,3 +570,125 @@ def check_allocation(
         except OracleViolation as exc:
             violations.append(Violation(oracle=name, message=str(exc)))
     return violations
+
+
+def oracle_dag_reconciliation(
+    report, require_certified: bool = False
+) -> None:
+    """Re-check a ``repro.dag/report/v1`` document's internal accounting.
+
+    Independently of :mod:`repro.dag.report`, re-derives every roll-up
+    from the raw entries:
+
+    * each partition's energy equals the sum of its member blocks;
+    * ``energy.blocks`` / ``energy.handoffs`` / ``energy.total`` equal
+      the block sum, the handoff sum and their total respectively;
+    * every block with batch provenance solved (``status == "ok"``) and
+      its executor objective times the task rate equals the block's
+      per-frame energy — i.e. the batch really solved the same instances
+      the DVFS sweep priced;
+    * the chosen makespan meets the deadline, and every frontier entry's
+      ``meets_deadline`` flag is truthful.
+
+    Args:
+        report: A decoded ``repro.dag/report/v1`` document.
+        require_certified: Also demand that every dispatched block
+            carried a spot-checked optimality certificate.
+
+    Raises:
+        OracleViolation: Any reconciliation failure.
+    """
+    name = "dag_reconciliation"
+    schema = report.get("schema")
+    if schema != "repro.dag/report/v1":
+        raise OracleViolation(name, f"unknown report schema {schema!r}")
+    blocks = report.get("blocks", [])
+    partitions = report.get("partitions", [])
+    handoffs = report.get("handoffs", [])
+    energy = report.get("energy", {})
+
+    by_partition: dict = {}
+    for block in blocks:
+        by_partition.setdefault(block["partition"], 0.0)
+        by_partition[block["partition"]] += float(block["energy"])
+    for partition in partitions:
+        expected = by_partition.get(partition["id"], 0.0)
+        got = float(partition["energy"])
+        if abs(got - expected) > _ENERGY_TOL * (1 + abs(expected)):
+            raise OracleViolation(
+                name,
+                f"partition {partition['id']!r} energy {got} != sum of "
+                f"its blocks {expected}",
+            )
+        members = set(partition["tasks"])
+        listed = {
+            b["task"] for b in blocks if b["partition"] == partition["id"]
+        }
+        if members != listed:
+            raise OracleViolation(
+                name,
+                f"partition {partition['id']!r} lists tasks "
+                f"{sorted(members)} but blocks cover {sorted(listed)}",
+            )
+
+    block_sum = sum(float(b["energy"]) for b in blocks)
+    handoff_sum = sum(float(h["energy"]) for h in handoffs)
+    for key, expected in (
+        ("blocks", block_sum),
+        ("handoffs", handoff_sum),
+        ("total", block_sum + handoff_sum),
+    ):
+        got = float(energy.get(key, float("nan")))
+        if not abs(got - expected) <= _ENERGY_TOL * (1 + abs(expected)):
+            raise OracleViolation(
+                name,
+                f"energy.{key} = {got} does not reconcile with the "
+                f"re-derived {expected}",
+            )
+
+    for block in blocks:
+        job = block.get("job")
+        if job is None:
+            continue
+        if job.get("status") != "ok":
+            raise OracleViolation(
+                name,
+                f"block {block['task']!r} job {job.get('job_id')!r} has "
+                f"status {job.get('status')!r}",
+            )
+        if require_certified and not job.get("certified"):
+            raise OracleViolation(
+                name,
+                f"block {block['task']!r} solve carried no optimality "
+                f"certificate",
+            )
+        objective = job.get("objective")
+        if objective is None:
+            raise OracleViolation(
+                name, f"block {block['task']!r} job reports no objective"
+            )
+        expected = float(objective) * float(block.get("rate", 1))
+        got = float(block["energy"])
+        if abs(got - expected) > _ENERGY_TOL * (1 + abs(expected)):
+            raise OracleViolation(
+                name,
+                f"block {block['task']!r} energy {got} != executor "
+                f"objective x rate = {expected}",
+            )
+
+    deadline = float(report.get("deadline", float("inf")))
+    makespan = float(report.get("makespan", float("nan")))
+    if not makespan <= deadline:
+        raise OracleViolation(
+            name, f"makespan {makespan} exceeds the deadline {deadline}"
+        )
+    for point in report.get("frontier", []):
+        flagged = bool(point.get("meets_deadline"))
+        actual = float(point["makespan"]) <= deadline
+        if flagged != actual:
+            raise OracleViolation(
+                name,
+                f"frontier point {point.get('label')!r} claims "
+                f"meets_deadline={flagged} but makespan "
+                f"{point['makespan']} vs deadline {deadline} says {actual}",
+            )

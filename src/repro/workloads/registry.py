@@ -17,6 +17,7 @@ from typing import Mapping, Tuple
 
 from repro.exceptions import WorkloadError
 from repro.ir.basic_block import BasicBlock
+from repro.ir.task_graph import Task, TaskGraph
 from repro.lifetimes.intervals import Lifetime
 from repro.workloads.dsp_kernels import (
     dct4,
@@ -37,13 +38,23 @@ from repro.workloads.paper_examples import (
 from repro.workloads.random_blocks import random_dfg
 from repro.workloads.rsp import rsp_block
 
-__all__ = ["FIGURE_NAMES", "KERNEL_NAMES", "figure_example", "kernel_block"]
+__all__ = [
+    "DAG_NAMES",
+    "FIGURE_NAMES",
+    "KERNEL_NAMES",
+    "dag_workload",
+    "figure_example",
+    "kernel_block",
+]
 
 #: Kernel names accepted by :func:`kernel_block` (CLI choices reuse this).
 KERNEL_NAMES: tuple[str, ...] = ("fir", "iir", "ewf", "dct", "rsp", "random")
 
 #: Worked-example names accepted by :func:`figure_example`.
 FIGURE_NAMES: tuple[str, ...] = ("fig1", "fig3", "fig4")
+
+#: Task-graph workload names accepted by :func:`dag_workload`.
+DAG_NAMES: tuple[str, ...] = ("diamond", "fanin")
 
 
 def kernel_block(name: str, taps: int = 8, seed: int = 2024) -> BasicBlock:
@@ -71,6 +82,63 @@ def kernel_block(name: str, taps: int = 8, seed: int = 2024) -> BasicBlock:
             f"unknown kernel {name!r}; expected one of {KERNEL_NAMES}"
         )
     return factories[name]()
+
+
+def _diamond_graph(rng: random.Random) -> TaskGraph:
+    """Diamond DAG: a front-end task fanning out to two filters that
+    rejoin in a back-end accumulation task (the classic cut-heuristic
+    stress shape: every cut severs at least one live value)."""
+    graph = TaskGraph("diamond")
+    graph.add_task(Task("front", fir_filter(4, rng)))
+    graph.add_task(Task("left", iir_biquad(1, rng), rate=2))
+    graph.add_task(Task("right", dct4(rng)))
+    graph.add_task(Task("back", fir_filter(6, rng)))
+    graph.add_edge("front", "left")
+    graph.add_edge("front", "right")
+    graph.add_edge("left", "back")
+    graph.add_edge("right", "back")
+    return graph
+
+
+def _fanin_graph(rng: random.Random) -> TaskGraph:
+    """Fan-in pipeline: three independent sources converge on a merge
+    task whose output feeds a two-stage tail (mixed rates, so the
+    per-frame roll-up weights tasks differently)."""
+    graph = TaskGraph("fanin")
+    graph.add_task(Task("src_a", fir_filter(3, rng)))
+    graph.add_task(Task("src_b", iir_biquad(1, rng)))
+    graph.add_task(Task("src_c", fir_filter(5, rng), rate=2))
+    graph.add_task(Task("merge", dct4(rng)))
+    graph.add_task(Task("tail", fir_filter(4, rng)))
+    graph.add_edge("src_a", "merge")
+    graph.add_edge("src_b", "merge")
+    graph.add_edge("src_c", "merge")
+    graph.add_edge("merge", "tail")
+    return graph
+
+
+def dag_workload(name: str, seed: int = 2024) -> TaskGraph:
+    """Build the named example task graph with its own seeded generator.
+
+    Args:
+        name: One of :data:`DAG_NAMES` (``diamond`` — one producer
+            fanning out to two parallel filters rejoined by a consumer;
+            ``fanin`` — three sources converging on a merge + tail
+            pipeline).
+        seed: Seed of the graph's private generator (block value traces).
+
+    Raises:
+        WorkloadError: Unknown DAG name.
+    """
+    factories = {
+        "diamond": _diamond_graph,
+        "fanin": _fanin_graph,
+    }
+    if name not in factories:
+        raise WorkloadError(
+            f"unknown task graph {name!r}; expected one of {DAG_NAMES}"
+        )
+    return factories[name](random.Random(seed))
 
 
 def figure_example(

@@ -1,0 +1,1 @@
+"""Tests for the task-graph partitioning + DVFS subsystem."""

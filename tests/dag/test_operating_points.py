@@ -1,0 +1,139 @@
+"""Tests for the per-partition DVFS co-optimiser."""
+
+import pytest
+
+from repro.dag import (
+    DELAY_SLACK,
+    OperatingPoint,
+    default_ladder,
+    partition_graph,
+    plan_handoffs,
+    sweep_operating_points,
+)
+from repro.energy.voltage import NOMINAL_VOLTAGE, cmos_delay_factor
+from repro.exceptions import DagError
+from repro.ir.task_graph import Task, TaskGraph
+from repro.obs import trace as obs
+from repro.workloads import fir_filter
+from repro.workloads.registry import dag_workload
+
+
+def single_task_plan():
+    graph = TaskGraph("solo")
+    graph.add_task(Task("only", fir_filter(4)))
+    return partition_graph(graph, cores=1, slack=4.0)
+
+
+def test_delay_slack_matches_the_lint_rule():
+    # The sweep's feasibility check and lint RA403 must agree, or an
+    # operating point the co-optimiser picks could be flagged by lint.
+    from repro.lint.rules_energy import _DELAY_SLACK
+
+    assert DELAY_SLACK == _DELAY_SLACK
+
+
+def test_default_ladder_points_are_feasible_and_monotone():
+    ladder = default_ladder()
+    assert ladder[0].slowdown == 1.0
+    assert ladder[0].voltage == NOMINAL_VOLTAGE
+    voltages = [point.voltage for point in ladder]
+    assert voltages == sorted(voltages, reverse=True)
+    for point in ladder:
+        assert point.feasible
+        assert cmos_delay_factor(point.voltage) <= point.slowdown * (
+            1.0 + DELAY_SLACK
+        )
+
+
+def test_sub_unity_slowdown_rejected():
+    with pytest.raises(DagError):
+        OperatingPoint(slowdown=0.5, voltage=5.0)
+
+
+def test_infeasible_ladder_point_rejected():
+    plan = single_task_plan()
+    bad = OperatingPoint(slowdown=1.0, voltage=2.0)  # far too slow at 2 V
+    assert not bad.feasible
+    with pytest.raises(DagError):
+        sweep_operating_points(plan, ladder=(bad,))
+
+
+def test_empty_ladder_rejected():
+    with pytest.raises(DagError):
+        sweep_operating_points(single_task_plan(), ladder=())
+
+
+def test_sweep_warm_starts_after_one_cold_solve():
+    # Acceptance criterion: over a fixed single-task partition the sweep
+    # does exactly one cold solve; every other ladder rung re-solves
+    # incrementally (voltage is a cost-only perturbation).
+    plan = single_task_plan()
+    ladder = default_ladder()
+    with obs.collect() as trace:
+        warm = sweep_operating_points(plan, ladder=ladder)
+    counters = trace.counters
+    assert counters["solver.warm_start.cold"] == 1
+    assert counters["solver.warm_start.incremental"] == len(ladder) - 1
+    assert counters["dag.dvfs_sweep.solves"] == len(ladder)
+
+    cold = sweep_operating_points(plan, ladder=ladder, warm_start=False)
+    assert warm.total_energy == pytest.approx(cold.total_energy)
+    assert warm.block_energies == pytest.approx(cold.block_energies)
+    for point in zip(warm.frontier, cold.frontier):
+        assert point[0].energy == pytest.approx(point[1].energy)
+
+
+def test_selection_meets_deadline_and_reconciles():
+    plan = partition_graph(dag_workload("diamond"), cores=2)
+    handoffs = plan_handoffs(plan)
+    handoff_energy = sum(h.energy for h in handoffs)
+    selection = sweep_operating_points(
+        plan, register_count=4, handoff_energy=handoff_energy
+    )
+    assert selection.makespan <= plan.deadline
+    assert selection.total_energy == pytest.approx(
+        sum(selection.partition_energies.values()) + handoff_energy
+    )
+    assert sum(selection.block_energies.values()) == pytest.approx(
+        sum(selection.partition_energies.values())
+    )
+    assert set(selection.assignment) == {p.id for p in plan.partitions}
+
+
+def test_slack_buys_voltage_scaling():
+    # With real deadline headroom the co-optimiser must find something
+    # cheaper than running everything at nominal.
+    plan = partition_graph(dag_workload("diamond"), cores=2, slack=1.5)
+    selection = sweep_operating_points(plan, register_count=4)
+    nominal = next(
+        f for f in selection.frontier if f.label == "uniform:1x"
+    )
+    assert selection.total_energy < nominal.energy
+    assert any(
+        point.slowdown > 1.0 for point in selection.assignment.values()
+    )
+
+
+def test_tight_deadline_still_harvests_idle_slack():
+    # deadline == nominal makespan: the critical path cannot slow down,
+    # but a partition with idle time (off the critical path) still can —
+    # free energy the greedy pass must not leave on the table.
+    plan = partition_graph(dag_workload("diamond"), cores=2, slack=1.0)
+    selection = sweep_operating_points(plan, register_count=4)
+    assert selection.makespan <= plan.deadline
+    critical = max(plan.partitions, key=lambda p: p.work)
+    assert selection.assignment[critical.id].slowdown == 1.0
+
+
+def test_frontier_is_non_dominated_and_sorted():
+    plan = partition_graph(dag_workload("fanin"), cores=2)
+    selection = sweep_operating_points(plan, register_count=4)
+    frontier = selection.frontier
+    assert len(frontier) >= 2  # at least nominal + one scaled point
+    makespans = [f.makespan for f in frontier]
+    assert makespans == sorted(makespans)
+    for i, a in enumerate(frontier):
+        for b in frontier[i + 1 :]:
+            # later points trade makespan for energy, never dominate
+            assert b.energy < a.energy
+        assert a.meets_deadline == (a.makespan <= plan.deadline)

@@ -1,0 +1,130 @@
+"""Tests for DAG report assembly and the reconciliation oracle."""
+
+import copy
+import json
+
+import pytest
+
+from repro.dag import (
+    DAG_REPORT_SCHEMA,
+    build_dag_report,
+    build_jobs,
+    dispatch_blocks,
+    partition_graph,
+    plan_handoffs,
+    render_dag_text,
+    report_to_json,
+    sweep_operating_points,
+)
+from repro.verify import OracleViolation, oracle_dag_reconciliation
+from repro.workloads.registry import dag_workload
+
+
+@pytest.fixture(scope="module")
+def report():
+    plan = partition_graph(dag_workload("diamond"), cores=2)
+    handoffs = plan_handoffs(plan)
+    selection = sweep_operating_points(
+        plan,
+        register_count=4,
+        handoff_energy=sum(h.energy for h in handoffs),
+    )
+    jobs = build_jobs(plan, selection, register_count=4)
+    results = dispatch_blocks(jobs, certify_fraction=1.0)
+    return build_dag_report(
+        plan, selection, handoffs, results, register_count=4
+    )
+
+
+def test_report_schema_and_shape(report):
+    assert report["schema"] == DAG_REPORT_SCHEMA
+    assert report["graph"] == "diamond"
+    assert report["tasks"] == 4
+    assert report["register_count"] == 4
+    assert {b["task"] for b in report["blocks"]} == {
+        "front", "left", "right", "back",
+    }
+    for block in report["blocks"]:
+        assert block["job"]["status"] == "ok"
+        assert block["job"]["certified"]
+    assert report["energy"]["total"] == pytest.approx(
+        report["energy"]["blocks"] + report["energy"]["handoffs"]
+    )
+
+
+def test_report_round_trips_through_json(report):
+    decoded = json.loads(report_to_json(report))
+    assert decoded == report
+    oracle_dag_reconciliation(decoded, require_certified=True)
+
+
+def test_oracle_accepts_the_genuine_report(report):
+    oracle_dag_reconciliation(report, require_certified=True)
+
+
+def test_oracle_catches_tampered_total(report):
+    bad = copy.deepcopy(report)
+    bad["energy"]["total"] += 1.0
+    with pytest.raises(OracleViolation, match="energy.total"):
+        oracle_dag_reconciliation(bad)
+
+
+def test_oracle_catches_tampered_partition_energy(report):
+    bad = copy.deepcopy(report)
+    bad["partitions"][0]["energy"] += 0.5
+    with pytest.raises(OracleViolation, match="sum of"):
+        oracle_dag_reconciliation(bad)
+
+
+def test_oracle_catches_block_job_disagreement(report):
+    bad = copy.deepcopy(report)
+    bad["blocks"][0]["job"]["objective"] *= 2
+    with pytest.raises(OracleViolation, match="objective"):
+        oracle_dag_reconciliation(bad)
+
+
+def test_oracle_catches_failed_jobs(report):
+    bad = copy.deepcopy(report)
+    bad["blocks"][0]["job"]["status"] = "failed"
+    with pytest.raises(OracleViolation, match="status"):
+        oracle_dag_reconciliation(bad)
+
+
+def test_oracle_enforces_certificates_on_request(report):
+    bad = copy.deepcopy(report)
+    bad["blocks"][0]["job"]["certified"] = False
+    oracle_dag_reconciliation(bad)  # fine without the flag
+    with pytest.raises(OracleViolation, match="certificate"):
+        oracle_dag_reconciliation(bad, require_certified=True)
+
+
+def test_oracle_catches_missed_deadline(report):
+    bad = copy.deepcopy(report)
+    bad["makespan"] = bad["deadline"] + 1.0
+    with pytest.raises(OracleViolation, match="deadline"):
+        oracle_dag_reconciliation(bad)
+
+
+def test_oracle_catches_lying_frontier_flags(report):
+    bad = copy.deepcopy(report)
+    bad["frontier"][0]["meets_deadline"] = not bad["frontier"][0][
+        "meets_deadline"
+    ]
+    with pytest.raises(OracleViolation, match="frontier"):
+        oracle_dag_reconciliation(bad)
+
+
+def test_oracle_rejects_unknown_schema(report):
+    bad = copy.deepcopy(report)
+    bad["schema"] = "repro.dag/report/v999"
+    with pytest.raises(OracleViolation, match="schema"):
+        oracle_dag_reconciliation(bad)
+
+
+def test_text_rendering_mentions_the_headlines(report):
+    text = render_dag_text(report)
+    assert "diamond" in text
+    assert "core0/era0" in text
+    assert "frontier" in text
+    assert "handoffs" in text
+    assert "per frame" in text

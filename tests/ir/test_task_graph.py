@@ -82,3 +82,95 @@ def test_rate_validation():
 
 def test_len():
     assert len(chain_graph()) == 3
+
+
+# ----------------------------------------------------------------------
+# repro/task-graph/v1 serialisation
+# ----------------------------------------------------------------------
+
+def test_round_trip_preserves_structure():
+    import json
+
+    from repro.ir.task_graph import TASK_GRAPH_SCHEMA
+
+    tg = chain_graph()
+    tg.add_edge("t1", "t3")
+    data = json.loads(json.dumps(tg.to_dict()))  # through real JSON
+    assert data["schema"] == TASK_GRAPH_SCHEMA
+    rebuilt = TaskGraph.from_dict(data)
+    assert rebuilt.name == tg.name
+    assert rebuilt.edges == tg.edges
+    assert [t.name for t in rebuilt.topological_order()] == [
+        t.name for t in tg.topological_order()
+    ]
+    for task in tg.tasks:
+        twin = rebuilt.task(task.name)
+        assert twin.rate == task.rate
+        assert twin.block.live_out == task.block.live_out
+        assert [op.name for op in twin.block.operations] == [
+            op.name for op in task.block.operations
+        ]
+    # and the rebuilt graph re-serialises byte-identically
+    assert rebuilt.to_dict() == tg.to_dict()
+
+
+def test_round_trip_preserves_rates_and_traces():
+    from repro.workloads.registry import dag_workload
+
+    graph = dag_workload("diamond")
+    rebuilt = TaskGraph.from_dict(graph.to_dict())
+    assert {t.name: t.rate for t in rebuilt.tasks} == {
+        t.name: t.rate for t in graph.tasks
+    }
+    for task in graph.tasks:
+        twin = rebuilt.task(task.name)
+        for name, variable in task.block.variables.items():
+            assert twin.block.variable(name).trace == variable.trace
+            assert twin.block.variable(name).width == variable.width
+
+
+def test_from_dict_rejects_unknown_schema():
+    with pytest.raises(GraphError, match="schema"):
+        TaskGraph.from_dict({"schema": "nope", "tasks": []})
+
+
+def test_from_dict_rejects_missing_fields():
+    from repro.ir.task_graph import TASK_GRAPH_SCHEMA
+
+    with pytest.raises(GraphError):
+        TaskGraph.from_dict(
+            {"schema": TASK_GRAPH_SCHEMA, "tasks": [{"rate": 1}]}
+        )
+
+
+def test_from_dict_rejects_bad_opcode():
+    from repro.ir.task_graph import TASK_GRAPH_SCHEMA
+
+    with pytest.raises(GraphError, match="bad operation"):
+        TaskGraph.from_dict(
+            {
+                "schema": TASK_GRAPH_SCHEMA,
+                "name": "g",
+                "tasks": [
+                    {
+                        "name": "t",
+                        "block": {
+                            "name": "b",
+                            "operations": [
+                                {"name": "o", "opcode": "teleport"}
+                            ],
+                        },
+                    }
+                ],
+            }
+        )
+
+
+def test_from_dict_rejects_cyclic_documents():
+    from repro.ir.task_graph import TASK_GRAPH_SCHEMA
+
+    tg = chain_graph()
+    data = tg.to_dict()
+    data["edges"].append(["t3", "t1"])
+    with pytest.raises(GraphError, match="cycle"):
+        TaskGraph.from_dict(data)

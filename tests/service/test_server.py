@@ -53,9 +53,34 @@ def test_healthz_and_metrics_endpoints():
         assert metrics["schema"] == "repro.service/metrics/v1"
         assert metrics["admission"]["capacity"] == harness.config.queue_capacity
         assert "counters" in metrics and "cache" in metrics
+        assert "dag" in metrics  # task-graph counters get their own section
 
         status, _, body = harness.request("GET", "/metrics?format=text")
         assert status == 200
+
+
+def test_dag_counters_reach_the_metrics_endpoint():
+    # The server installs a process-global trace collector, so dag.*
+    # counters emitted by the task-graph pipeline (partitioning, DVFS
+    # sweeps, block dispatch) surface in /metrics — JSON section and
+    # Prometheus text exposition alike.
+    from repro.obs import trace as obs
+
+    with ServerHarness(ServerConfig()) as harness:
+        obs.count("dag.blocks_dispatched", 4)
+        obs.count("dag.dvfs_sweep.solves", 20)
+
+        status, metrics = harness.get_json("/metrics")
+        assert status == 200
+        assert metrics["dag"]["blocks_dispatched"] == 4
+        assert metrics["dag"]["dvfs_sweep.solves"] == 20
+        assert metrics["counters"]["dag.blocks_dispatched"] == 4
+
+        status, _, body = harness.request("GET", "/metrics?format=text")
+        assert status == 200
+        text = body.decode()
+        assert "dag_blocks_dispatched_total 4" in text
+        assert "dag_dvfs_sweep_solves_total 20" in text
 
 
 def test_bad_requests_are_explicit_errors():

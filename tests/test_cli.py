@@ -142,7 +142,7 @@ def test_cli_docstring_mentions_all_commands():
 
     for command in (
         "demo", "compare", "table1", "figures", "chart", "diagnose",
-        "offsets", "explore", "profile", "fuzz", "batch", "serve",
+        "offsets", "explore", "profile", "fuzz", "dag", "batch", "serve",
     ):
         assert command in cli.__doc__
 
@@ -311,3 +311,92 @@ def test_batch_lint_gate_rejects_provably_bad_jobs(tmp_path, capsys):
     assert any(
         res["ruleId"] == "RA601" for res in blocked[0]["results"]
     )
+
+
+def test_dag_json_report(capsys):
+    assert main(["dag", "diamond", "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "repro.dag/report/v1"
+    assert report["graph"] == "diamond"
+    assert report["tasks"] == 4
+    assert all(b["job"]["status"] == "ok" for b in report["blocks"])
+    assert all(b["job"]["certified"] for b in report["blocks"])
+    assert len(report["frontier"]) >= 2
+
+
+def test_dag_text_report(capsys):
+    assert main(["dag", "fanin", "--cores", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "fanin" in out
+    assert "frontier" in out
+    assert "per frame" in out
+
+
+def test_dag_emits_replayable_manifest(tmp_path, capsys):
+    out_dir = tmp_path / "dagjobs"
+    assert main(
+        ["dag", "diamond", "--format", "json",
+         "--emit-manifest", str(out_dir)]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "wrote batch manifest" in captured.err
+    manifest = out_dir / "diamond.manifest.json"
+    assert manifest.exists()
+    dag_report = json.loads(captured.out)
+
+    # The emitted manifest replays through the ordinary batch command
+    # and lands on the same objectives.
+    assert main(["batch", str(manifest)]) == 0
+    batch_report = json.loads(capsys.readouterr().out)
+    assert batch_report["totals"]["ok"] == dag_report["tasks"]
+    by_job = {j["job_id"]: j["objective"] for j in batch_report["jobs"]}
+    for block in dag_report["blocks"]:
+        assert by_job[block["job"]["job_id"]] == pytest.approx(
+            block["job"]["objective"]
+        )
+
+
+def test_dag_output_to_file(tmp_path, capsys):
+    target = tmp_path / "dag.json"
+    assert main(
+        ["dag", "diamond", "--format", "json", "-o", str(target)]
+    ) == 0
+    assert "wrote dag report" in capsys.readouterr().out
+    assert json.loads(target.read_text())["schema"] == "repro.dag/report/v1"
+
+
+def test_dag_infeasible_deadline_is_a_clean_error(capsys):
+    code = main(["dag", "diamond", "--deadline", "1"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_dag_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["dag", "moebius"])
+
+
+def test_lint_covers_dag_workloads(capsys):
+    assert main(["lint", "diamond", "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert set(report) == {"front", "left", "right", "back"}
+    for entry in report.values():
+        assert entry["schema"] == "repro.lint/report/v1"
+        assert "diagnostics" in entry
+
+
+def test_profile_covers_dag_workloads(capsys):
+    assert main(["profile", "fanin", "-R", "4"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["workload"] == "fanin"
+    assert report["params"]["tasks"] == 5
+    assert report["params"]["energy_per_frame"] > 0
+
+
+def test_fuzz_dag_family(capsys):
+    assert main(
+        ["fuzz", "--family", "dag", "--seed", "5", "--iters", "2"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["family"] == "dag"
+    assert report["statuses"]["violation"] == 0

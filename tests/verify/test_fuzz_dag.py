@@ -1,0 +1,34 @@
+"""The ``dag`` fuzz family: end-to-end pipeline sweeps under oracle."""
+
+import pytest
+
+from repro.verify.fuzz import SCHEMA, run_fuzz
+
+
+def test_dag_sweep_runs_clean_under_the_oracle():
+    report = run_fuzz(seed=5, iters=4, family="dag")
+    assert report["schema"] == SCHEMA
+    assert report["family"] == "dag"
+    assert report["iterations"] == 4
+    assert report["statuses"]["violation"] == 0
+    assert report["failures"] == []
+    assert report["statuses"]["ok"] > 0
+
+
+def test_dag_coverage_tracks_the_drawn_axes():
+    report = run_fuzz(seed=5, iters=6, family="dag")
+    coverage = report["coverage"]
+    assert set(coverage) == {"workload", "cores", "register_count"}
+    assert sum(coverage["workload"].values()) == 6
+    assert set(coverage["workload"]) <= {"diamond", "fanin"}
+
+
+def test_dag_runs_are_deterministic():
+    first = run_fuzz(seed=13, iters=3, family="dag")
+    second = run_fuzz(seed=13, iters=3, family="dag")
+    assert first == second
+
+
+def test_unknown_family_still_rejected():
+    with pytest.raises(ValueError, match="family"):
+        run_fuzz(seed=1, iters=1, family="hyperbolic")

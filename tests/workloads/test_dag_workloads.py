@@ -1,0 +1,54 @@
+"""Tests for the registered task-graph (DAG) workloads."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.registry import DAG_NAMES, dag_workload
+
+
+def test_registry_exposes_the_expected_graphs():
+    assert DAG_NAMES == ("diamond", "fanin")
+
+
+@pytest.mark.parametrize("name", DAG_NAMES)
+def test_graphs_are_acyclic_and_connected(name):
+    graph = dag_workload(name)
+    order = graph.topological_order()  # raises on cycles
+    assert [t.name for t in order]
+    assert graph.edges  # every registered DAG has real precedence
+    names = {t.name for t in graph.tasks}
+    touched = {u for u, _ in graph.edges} | {v for _, v in graph.edges}
+    assert touched <= names
+
+
+def test_diamond_shape():
+    graph = dag_workload("diamond")
+    assert {t.name for t in graph.tasks} == {"front", "left", "right", "back"}
+    assert ("front", "left") in graph.edges
+    assert ("front", "right") in graph.edges
+    assert ("left", "back") in graph.edges
+    assert ("right", "back") in graph.edges
+    # the left branch runs at a higher frame rate
+    assert graph.task("left").rate == 2
+
+
+def test_fanin_shape():
+    graph = dag_workload("fanin")
+    assert {t.name for t in graph.tasks} == {
+        "src_a", "src_b", "src_c", "merge", "tail",
+    }
+    for source in ("src_a", "src_b", "src_c"):
+        assert (source, "merge") in graph.edges
+    assert ("merge", "tail") in graph.edges
+
+
+@pytest.mark.parametrize("name", DAG_NAMES)
+def test_same_seed_is_deterministic(name):
+    first = dag_workload(name, seed=7)
+    second = dag_workload(name, seed=7)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_unknown_graph_is_a_workload_error():
+    with pytest.raises(WorkloadError):
+        dag_workload("moebius")
